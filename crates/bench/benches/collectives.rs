@@ -1,0 +1,39 @@
+//! Criterion benchmarks of collective lowering and cost evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use olab_ccl::{lower, Algorithm, Collective};
+use olab_gpu::{GpuSku, Precision};
+use olab_net::Topology;
+use olab_sim::GpuId;
+
+fn bench_lowering(c: &mut Criterion) {
+    let sku = GpuSku::h100();
+    let topo = Topology::nvswitch(8, sku.link_bw_unidir_gbs, sku.link_latency_us);
+    let group: Vec<GpuId> = (0..8).map(GpuId).collect();
+
+    let mut g = c.benchmark_group("ccl_lower");
+    for &bytes in &[1u64 << 20, 1 << 26, 1 << 30] {
+        g.bench_with_input(BenchmarkId::new("all_reduce", bytes), &bytes, |b, &bytes| {
+            b.iter(|| {
+                let coll = Collective::all_reduce(bytes, group.clone());
+                lower(&coll, Algorithm::Ring, &sku, &topo, Precision::Fp16)
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("ccl_cost");
+    let ar = Collective::all_reduce(1 << 28, group.clone());
+    for algo in [Algorithm::Ring, Algorithm::Tree] {
+        let op = lower(&ar, algo, &sku, &topo, Precision::Fp16);
+        g.bench_with_input(
+            BenchmarkId::new("isolated_duration", format!("{algo}")),
+            &op,
+            |b, op| b.iter(|| op.isolated_duration_s()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lowering);
+criterion_main!(benches);

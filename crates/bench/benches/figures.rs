@@ -1,0 +1,64 @@
+//! Criterion benchmarks of full figure-cell simulations: how long it takes
+//! the harness to regenerate one representative cell of each figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use olab_core::{microbench, Experiment, Strategy};
+use olab_gpu::{Datapath, Precision, SkuKind};
+use olab_models::ModelPreset;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure_cells");
+    g.sample_size(10);
+
+    // One Fig. 4/5/6 grid cell (full three-mode experiment).
+    let fig4_cell = Experiment::new(SkuKind::H100, 4, ModelPreset::Gpt3Xl, Strategy::Fsdp, 8);
+    g.bench_function("fig4_cell_h100_xl_b8", |b| {
+        b.iter(|| fig4_cell.run().expect("cell runs"))
+    });
+
+    // The largest headline cell: MI250 + 13B with recomputation.
+    let fig5_cell = Experiment::new(SkuKind::Mi250, 4, ModelPreset::Gpt3_13B, Strategy::Fsdp, 8);
+    g.bench_function("fig5_cell_mi250_13b_b8", |b| {
+        b.iter(|| fig5_cell.run().expect("cell runs"))
+    });
+
+    // One pipeline cell (Fig. 1b).
+    let fig1b_cell = Experiment::new(
+        SkuKind::A100,
+        4,
+        ModelPreset::Gpt3_2_7B,
+        Strategy::Pipeline { microbatch_size: 8 },
+        32,
+    );
+    g.bench_function("fig1b_cell_a100_pp_b32", |b| {
+        b.iter(|| fig1b_cell.run().expect("cell runs"))
+    });
+
+    // One Fig. 8 microbenchmark point.
+    g.bench_function("fig8_point_h100_4096", |b| {
+        b.iter(|| {
+            microbench::gemm_vs_allreduce(
+                SkuKind::H100,
+                4,
+                4096,
+                4,
+                1 << 30,
+                Precision::Fp16,
+                Datapath::TensorCore,
+            )
+            .expect("point runs")
+        })
+    });
+
+    // One Fig. 9 capped cell.
+    let fig9_cell = Experiment::new(SkuKind::A100, 4, ModelPreset::Gpt3_2_7B, Strategy::Fsdp, 8)
+        .with_power_cap(150.0);
+    g.bench_function("fig9_cell_a100_150w", |b| {
+        b.iter(|| fig9_cell.run().expect("cell runs"))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benchmarks of schedule construction (FSDP and pipeline
+//! timelines for real model configurations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use olab_gpu::{Datapath, GpuSku, Precision};
+use olab_models::{memory::ActivationPolicy, ModelPreset};
+use olab_net::Topology;
+use olab_parallel::{fsdp, pipeline, ExecutionMode};
+
+fn bench_schedules(c: &mut Criterion) {
+    let sku = GpuSku::h100();
+    let topo = Topology::nvswitch(4, sku.link_bw_unidir_gbs, sku.link_latency_us);
+
+    let mut g = c.benchmark_group("schedule_build");
+    for model in [ModelPreset::Gpt3Xl, ModelPreset::Gpt3_13B] {
+        let plan = fsdp::FsdpPlan {
+            model: model.config(),
+            ranks: 4,
+            batch_per_rank: 8,
+            seq: 1024,
+            precision: Precision::Fp16,
+            datapath: Datapath::TensorCore,
+            activation_policy: ActivationPolicy::Full,
+            grad_accum_steps: 1,
+            overlap: Default::default(),
+        };
+        g.bench_with_input(
+            BenchmarkId::new("fsdp", model.config().name),
+            &plan,
+            |b, plan| b.iter(|| fsdp::fsdp_timeline(plan, &sku, &topo, ExecutionMode::Overlapped)),
+        );
+
+        let pp = pipeline::PipelinePlan {
+            model: model.config(),
+            stages: 4,
+            microbatches: 8,
+            batch_total: 64,
+            seq: 1024,
+            precision: Precision::Fp16,
+            datapath: Datapath::TensorCore,
+            activation_policy: ActivationPolicy::Full,
+            schedule: Default::default(),
+        };
+        g.bench_with_input(
+            BenchmarkId::new("pipeline", model.config().name),
+            &pp,
+            |b, pp| {
+                b.iter(|| pipeline::pipeline_timeline(pp, &sku, &topo, ExecutionMode::Overlapped))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedules);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Ablation: collective algorithm (ring vs tree) across message sizes.
+//!
+//! Rings are bandwidth-optimal, trees latency-optimal; NCCL switches
+//! between them by size. This study shows the crossover the `Algorithm::auto`
+//! heuristic encodes, on both an NVLink and an Infinity Fabric node.
+
+use olab_bench::emit;
+use olab_ccl::{lower, Algorithm, Collective};
+use olab_core::report::Table;
+use olab_gpu::{Precision, SkuKind};
+use olab_net::Topology;
+use olab_sim::GpuId;
+
+fn main() {
+    let mut table = Table::new([
+        "GPU",
+        "Message",
+        "Ring time",
+        "Tree time",
+        "Winner",
+        "Auto picks",
+    ]);
+    for sku_kind in [SkuKind::H100, SkuKind::Mi250] {
+        let sku = sku_kind.sku();
+        let topo = match sku.vendor {
+            olab_gpu::Vendor::Nvidia => {
+                Topology::nvswitch(4, sku.link_bw_unidir_gbs, sku.link_latency_us)
+            }
+            olab_gpu::Vendor::Amd => {
+                Topology::full_mesh(4, sku.link_bw_unidir_gbs, sku.link_latency_us)
+            }
+        };
+        let group: Vec<GpuId> = (0..4).map(GpuId).collect();
+        for exp in [12u32, 16, 20, 24, 28, 30] {
+            let bytes = 1u64 << exp;
+            let coll = Collective::all_reduce(bytes, group.clone());
+            let ring = lower(&coll, Algorithm::Ring, &sku, &topo, Precision::Fp16);
+            let tree = lower(&coll, Algorithm::Tree, &sku, &topo, Precision::Fp16);
+            let auto = Algorithm::auto(coll.kind, bytes, 4);
+            let (rt, tt) = (ring.isolated_duration_s(), tree.isolated_duration_s());
+            table.row([
+                sku_kind.to_string(),
+                format!("{} KiB", bytes >> 10),
+                format!("{:.1} us", rt * 1e6),
+                format!("{:.1} us", tt * 1e6),
+                if rt < tt { "ring" } else { "tree" }.to_string(),
+                auto.to_string(),
+            ]);
+        }
+    }
+    emit("Ablation: ring vs tree all-reduce across message sizes", &table);
+}

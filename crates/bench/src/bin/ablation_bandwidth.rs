@@ -1,0 +1,70 @@
+//! Ablation: interconnect bandwidth sensitivity.
+//!
+//! Sweeps the per-GPU link bandwidth of an H100-class node (0.25x to 2x
+//! NVLink4) and re-runs a Fig. 4 cell, showing how fabric speed moves the
+//! overlap ratio and the contention slowdown — the lever distinguishing
+//! the NVIDIA and AMD columns of the paper's figures.
+
+use olab_bench::emit;
+use olab_core::report::{ms, pct, Table};
+use olab_core::{execute, Machine, MachineConfig, OverlapMetrics};
+use olab_gpu::{Datapath, DvfsGovernor, GpuSku, Precision};
+use olab_models::{memory::ActivationPolicy, ModelPreset};
+use olab_net::Topology;
+use olab_parallel::{fsdp, ExecutionMode};
+
+fn main() {
+    let mut table = Table::new([
+        "Link bw (GB/s/dir)",
+        "Overlap ratio",
+        "Compute slowdown",
+        "E2E overlapped",
+        "E2E sequential",
+    ]);
+    let base = GpuSku::h100();
+    for factor in [0.25, 0.5, 1.0, 1.5, 2.0] {
+        let mut sku = base.clone();
+        sku.link_bw_unidir_gbs = base.link_bw_unidir_gbs * factor;
+        let topology = Topology::nvswitch(4, sku.link_bw_unidir_gbs, sku.link_latency_us);
+        let machine = Machine::new(MachineConfig {
+            governor: DvfsGovernor::stock(sku.tdp_w),
+            sku: sku.clone(),
+            topology: topology.clone(),
+            contended: true,
+            jitter: None,
+        });
+        let plan = fsdp::FsdpPlan {
+            model: ModelPreset::Gpt3_2_7B.config(),
+            ranks: 4,
+            batch_per_rank: 8,
+            seq: 1024,
+            precision: Precision::Fp16,
+            datapath: Datapath::TensorCore,
+            activation_policy: ActivationPolicy::Full,
+            grad_accum_steps: 1,
+            overlap: Default::default(),
+        };
+        let ovl = execute(
+            &fsdp::fsdp_timeline(&plan, &sku, &topology, ExecutionMode::Overlapped),
+            &machine,
+        )
+        .expect("overlapped runs");
+        let seq = execute(
+            &fsdp::fsdp_timeline(&plan, &sku, &topology, ExecutionMode::Sequential),
+            &machine,
+        )
+        .expect("sequential runs");
+        let m = OverlapMetrics::derive(&ovl, &seq);
+        table.row([
+            format!("{:.0}", sku.link_bw_unidir_gbs),
+            pct(m.overlap_ratio),
+            pct(m.compute_slowdown),
+            ms(m.e2e_overlapped_s),
+            ms(m.e2e_sequential_measured_s),
+        ]);
+    }
+    emit(
+        "Ablation: link bandwidth sweep (H100-class node, GPT-3 2.7B FSDP b8)",
+        &table,
+    );
+}

@@ -1,0 +1,60 @@
+//! Ablation: frequency capping vs power capping.
+//!
+//! The paper's conclusion mentions both knobs; this study compares them at
+//! matched performance points, showing that clock caps save energy
+//! superlinearly (`P ~ f^2.2`) while strict power caps let memory-bound
+//! phases run unthrottled — two different efficiency frontiers.
+
+use olab_bench::emit;
+use olab_core::report::{ms, pct, Table};
+use olab_core::{Experiment, Strategy};
+use olab_gpu::SkuKind;
+use olab_models::ModelPreset;
+
+fn base() -> Experiment {
+    Experiment::new(SkuKind::A100, 4, ModelPreset::Gpt3_2_7B, Strategy::Fsdp, 8)
+}
+
+fn main() {
+    let stock = base().run().expect("stock runs");
+    let e2e0 = stock.metrics.e2e_overlapped_s;
+    let energy0 = stock.metrics.energy_j;
+
+    let mut table = Table::new([
+        "Knob",
+        "Setting",
+        "E2E",
+        "Slowdown",
+        "Energy/iter",
+        "Energy saved",
+        "Avg power",
+    ]);
+    for f in [1.0, 0.9, 0.8, 0.7, 0.6, 0.5] {
+        let r = base().with_freq_cap(f).run().expect("freq-capped runs");
+        table.row([
+            "clock".to_string(),
+            format!("{:.0}%", f * 100.0),
+            ms(r.metrics.e2e_overlapped_s),
+            pct(r.metrics.e2e_overlapped_s / e2e0 - 1.0),
+            format!("{:.0} J", r.metrics.energy_j),
+            pct(1.0 - r.metrics.energy_j / energy0),
+            format!("{:.0} W", r.metrics.avg_power_w),
+        ]);
+    }
+    for cap in [400.0, 350.0, 300.0, 250.0, 200.0, 150.0] {
+        let r = base().with_power_cap(cap).run().expect("power-capped runs");
+        table.row([
+            "power".to_string(),
+            format!("{cap:.0} W"),
+            ms(r.metrics.e2e_overlapped_s),
+            pct(r.metrics.e2e_overlapped_s / e2e0 - 1.0),
+            format!("{:.0} J", r.metrics.energy_j),
+            pct(1.0 - r.metrics.energy_j / energy0),
+            format!("{:.0} W", r.metrics.avg_power_w),
+        ]);
+    }
+    emit(
+        "Ablation: frequency capping vs power capping (A100x4, GPT-3 2.7B FSDP b8)",
+        &table,
+    );
+}

@@ -1,0 +1,88 @@
+//! Ablation: scale-out (multi-node) extension.
+//!
+//! The paper deliberately stays single-node "to isolate hardware-specific
+//! performance characteristics". This study shows what that isolation
+//! protects it from: spanning FSDP across two 4×H100 nodes drops the ring
+//! bus bandwidth to the NIC rate, exploding the overlap ratio and
+//! contention slowdown as the NIC shrinks from 4x400G-class (200 GB/s) to
+//! a single 100G port (12.5 GB/s).
+
+use olab_bench::emit;
+use olab_core::report::{ms, pct, Table};
+use olab_core::{execute, Machine, MachineConfig, OverlapMetrics};
+use olab_gpu::{Datapath, DvfsGovernor, GpuSku, Precision};
+use olab_models::{memory::ActivationPolicy, ModelPreset};
+use olab_net::Topology;
+use olab_parallel::{fsdp, ExecutionMode};
+
+fn run(topology: Topology, ranks: usize) -> OverlapMetrics {
+    let sku = GpuSku::h100();
+    let machine = Machine::new(MachineConfig {
+        governor: DvfsGovernor::stock(sku.tdp_w),
+        sku: sku.clone(),
+        topology: topology.clone(),
+        contended: true,
+        jitter: None,
+    });
+    let plan = fsdp::FsdpPlan::new(
+        ModelPreset::Gpt3_2_7B.config(),
+        ranks,
+        8,
+        1024,
+        Precision::Fp16,
+        Datapath::TensorCore,
+        ActivationPolicy::Full,
+    );
+    let ovl = execute(
+        &fsdp::fsdp_timeline(&plan, &sku, &topology, ExecutionMode::Overlapped),
+        &machine,
+    )
+    .expect("overlapped runs");
+    let seq = execute(
+        &fsdp::fsdp_timeline(&plan, &sku, &topology, ExecutionMode::Sequential),
+        &machine,
+    )
+    .expect("sequential runs");
+    OverlapMetrics::derive(&ovl, &seq)
+}
+
+fn main() {
+    let h100 = GpuSku::h100();
+    let mut table = Table::new([
+        "Fabric",
+        "Ring busbw (GB/s)",
+        "Overlap ratio",
+        "Compute slowdown",
+        "E2E overlapped",
+        "Seq vs overlap",
+    ]);
+
+    // Single-node baseline: 8 GPUs behind one NVSwitch.
+    let single = Topology::nvswitch(8, h100.link_bw_unidir_gbs, h100.link_latency_us);
+    let m = run(single.clone(), 8);
+    table.row([
+        "1 node x 8 GPUs (NVSwitch)".to_string(),
+        format!("{:.0}", single.ring_busbw_gbs(8)),
+        pct(m.overlap_ratio),
+        pct(m.compute_slowdown),
+        ms(m.e2e_overlapped_s),
+        pct(m.sequential_vs_overlapped()),
+    ]);
+
+    for nic in [200.0, 100.0, 50.0, 12.5] {
+        let topo = Topology::multi_node(2, 4, h100.link_bw_unidir_gbs, h100.link_latency_us, nic, 10.0);
+        let m = run(topo.clone(), 8);
+        table.row([
+            format!("2 nodes x 4 GPUs, {nic:.1} GB/s NIC"),
+            format!("{:.1}", topo.ring_busbw_gbs(8)),
+            pct(m.overlap_ratio),
+            pct(m.compute_slowdown),
+            ms(m.e2e_overlapped_s),
+            pct(m.sequential_vs_overlapped()),
+        ]);
+    }
+    emit(
+        "Ablation: multi-node scale-out (GPT-3 2.7B FSDP b8, 8x H100)",
+        &table,
+    );
+}

@@ -1,0 +1,55 @@
+//! Ablation: sequence length.
+//!
+//! The paper fixes its sequence length; this sweep shows why it matters:
+//! compute grows superlinearly with sequence (attention is quadratic) while
+//! FSDP communication (parameters) is sequence-independent, so longer
+//! sequences dilute the overlap region exactly like larger batches do.
+
+use olab_bench::emit;
+use olab_core::report::{ms, pct, Table};
+use olab_core::{Experiment, Strategy};
+use olab_gpu::SkuKind;
+use olab_models::ModelPreset;
+
+fn main() {
+    let mut table = Table::new([
+        "GPU",
+        "Seq len",
+        "Overlap ratio",
+        "Compute slowdown",
+        "E2E overlapped",
+        "Act policy",
+    ]);
+    for sku in [SkuKind::H100, SkuKind::Mi250] {
+        for seq in [256u64, 512, 1024, 2048] {
+            let exp = Experiment::new(sku, 4, ModelPreset::Gpt3_2_7B, Strategy::Fsdp, 8)
+                .with_seq(seq);
+            match exp.run() {
+                Ok(r) => {
+                    table.row([
+                        sku.to_string(),
+                        seq.to_string(),
+                        pct(r.metrics.overlap_ratio),
+                        pct(r.metrics.compute_slowdown),
+                        ms(r.metrics.e2e_overlapped_s),
+                        format!("{:?}", r.activation_policy),
+                    ]);
+                }
+                Err(e) => {
+                    table.row([
+                        sku.to_string(),
+                        seq.to_string(),
+                        format!("{e}"),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                    ]);
+                }
+            }
+        }
+    }
+    emit(
+        "Ablation: sequence length (GPT-3 2.7B FSDP b8, 4 GPUs)",
+        &table,
+    );
+}

@@ -1,0 +1,69 @@
+//! Ablation: distribution strategy (FSDP vs pipeline vs tensor
+//! parallelism) through the overlap lens.
+//!
+//! Extends the paper's FSDP-vs-PP comparison (takeaway 1) with Megatron
+//! tensor parallelism: TP moves *activations* (4 all-reduces per layer),
+//! whose forward halves sit on the critical path — the gap the Domino
+//! citation targets.
+
+use olab_bench::emit;
+use olab_core::report::{ms, pct, Table};
+use olab_core::{Experiment, Strategy};
+use olab_gpu::SkuKind;
+use olab_models::ModelPreset;
+
+fn main() {
+    let mut table = Table::new([
+        "GPU",
+        "Strategy",
+        "Overlap ratio",
+        "Compute slowdown",
+        "E2E overlapped",
+        "E2E sequential",
+        "Comm total/GPU",
+    ]);
+    for sku in [SkuKind::H100, SkuKind::Mi250] {
+        let strategies = [
+            Strategy::Fsdp,
+            Strategy::Pipeline { microbatch_size: 8 },
+            Strategy::TensorParallel,
+        ];
+        for strategy in strategies {
+            // Keep per-iteration samples comparable: FSDP batch is
+            // per-rank (8x4=32 samples), PP/TP batches are global (32).
+            let batch = match strategy {
+                Strategy::Fsdp => 8,
+                _ => 32,
+            };
+            let exp = Experiment::new(sku, 4, ModelPreset::Gpt3_2_7B, strategy, batch);
+            match exp.run() {
+                Ok(r) => {
+                    table.row([
+                        sku.to_string(),
+                        strategy.to_string(),
+                        pct(r.metrics.overlap_ratio),
+                        pct(r.metrics.compute_slowdown),
+                        ms(r.metrics.e2e_overlapped_s),
+                        ms(r.metrics.e2e_sequential_measured_s),
+                        ms(r.overlapped.comm_s() / 4.0),
+                    ]);
+                }
+                Err(e) => {
+                    table.row([
+                        sku.to_string(),
+                        strategy.to_string(),
+                        format!("{e}"),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                    ]);
+                }
+            }
+        }
+    }
+    emit(
+        "Ablation: distribution strategy (GPT-3 2.7B, 32 samples/iter, 4 GPUs)",
+        &table,
+    );
+}

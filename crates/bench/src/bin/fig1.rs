@@ -1,0 +1,84 @@
+//! Regenerates Fig. 1: amount of overlapping computation/communication
+//! across model sizes and batch sizes.
+//!
+//! (a) FSDP on an 8×H100 node across all workloads;
+//! (b) pipeline parallelism on a 4×A100 node with GPT-3 2.7B.
+
+use olab_bench::emit;
+use olab_core::report::{ms, pct, Table};
+use olab_core::registry;
+
+fn main() {
+    let mut a = Table::new([
+        "Model",
+        "Batch",
+        "Overlap ratio (Eq. 2)",
+        "Overlapped compute time",
+        "Total comm time",
+        "Comm hidden",
+    ]);
+    for exp in registry::fig1a() {
+        match exp.run() {
+            Ok(r) => {
+                let comm = r.overlapped.comm_s();
+                a.row([
+                    exp.model.config().name.to_string(),
+                    exp.batch.to_string(),
+                    pct(r.metrics.overlap_ratio),
+                    ms(r.overlapped.overlapped_compute_s() / exp.n_gpus as f64),
+                    ms(comm / exp.n_gpus as f64),
+                    pct(if comm > 0.0 { r.overlapped.hidden_comm_s() / comm } else { 0.0 }),
+                ]);
+            }
+            Err(_) => {
+                a.row([
+                    exp.model.config().name.to_string(),
+                    exp.batch.to_string(),
+                    "OOM".into(),
+                    "OOM".into(),
+                    "OOM".into(),
+                    "OOM".into(),
+                ]);
+            }
+        }
+    }
+    emit("Fig. 1(a): overlap vs model/batch — FSDP on H100x8", &a);
+
+    let mut b = Table::new([
+        "Batch",
+        "Microbatches",
+        "Overlap ratio (Eq. 2)",
+        "Overlapped compute time",
+        "Total comm time",
+        "Comm hidden",
+    ]);
+    for exp in registry::fig1b() {
+        match exp.run() {
+            Ok(r) => {
+                let comm = r.overlapped.comm_s();
+                b.row([
+                    exp.batch.to_string(),
+                    (exp.batch / registry::PP_MICROBATCH).to_string(),
+                    pct(r.metrics.overlap_ratio),
+                    ms(r.overlapped.overlapped_compute_s() / exp.n_gpus as f64),
+                    ms(comm / exp.n_gpus as f64),
+                    pct(if comm > 0.0 { r.overlapped.hidden_comm_s() / comm } else { 0.0 }),
+                ]);
+            }
+            Err(e) => {
+                b.row([
+                    exp.batch.to_string(),
+                    "-".into(),
+                    format!("{e}"),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+            }
+        }
+    }
+    emit(
+        "Fig. 1(b): overlap vs batch — pipeline parallelism, GPT-3 2.7B on A100x4",
+        &b,
+    );
+}

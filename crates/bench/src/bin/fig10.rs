@@ -1,0 +1,54 @@
+//! Regenerates Fig. 10: the effect of numeric precision (FP32 vs FP16) on
+//! slowdowns and power across workloads, 4×H100.
+
+use olab_bench::emit;
+use olab_core::report::{ms, pct, xtdp, Table};
+use olab_core::registry;
+
+fn main() {
+    let mut table = Table::new([
+        "Model",
+        "Batch",
+        "Precision",
+        "Overlap ratio",
+        "Compute slowdown",
+        "E2E overlapped",
+        "Avg power",
+        "Peak power",
+    ]);
+    for (fp32, fp16) in registry::fig10() {
+        for exp in [fp32, fp16] {
+            match exp.run() {
+                Ok(r) => {
+                    let tdp = r.tdp_w();
+                    table.row([
+                        exp.model.config().name.to_string(),
+                        exp.batch.to_string(),
+                        exp.precision.to_string(),
+                        pct(r.metrics.overlap_ratio),
+                        pct(r.metrics.compute_slowdown),
+                        ms(r.metrics.e2e_overlapped_s),
+                        xtdp(r.metrics.avg_power_w, tdp),
+                        xtdp(r.metrics.peak_power_w, tdp),
+                    ]);
+                }
+                Err(_) => {
+                    table.row([
+                        exp.model.config().name.to_string(),
+                        exp.batch.to_string(),
+                        exp.precision.to_string(),
+                        "OOM".into(),
+                        "OOM".into(),
+                        "OOM".into(),
+                        "OOM".into(),
+                        "OOM".into(),
+                    ]);
+                }
+            }
+        }
+    }
+    emit(
+        "Fig. 10: Numeric precision (FP32 vs FP16) on slowdowns and power (H100x4 FSDP)",
+        &table,
+    );
+}

@@ -1,0 +1,55 @@
+//! Regenerates Fig. 11: the impact of tensor-core utilization (FP32 on the
+//! vector path vs TF32 on tensor cores) on performance and power, 4×H100.
+
+use olab_bench::emit;
+use olab_core::report::{ms, pct, xtdp, Table};
+use olab_core::registry;
+
+fn main() {
+    let mut table = Table::new([
+        "Model",
+        "Batch",
+        "Datapath",
+        "Overlap ratio",
+        "Compute slowdown",
+        "E2E overlapped",
+        "Avg power",
+        "Peak power",
+    ]);
+    for (vector, tensor) in registry::fig11() {
+        for exp in [vector, tensor] {
+            let path = format!("{} ({})", exp.datapath, exp.precision);
+            match exp.run() {
+                Ok(r) => {
+                    let tdp = r.tdp_w();
+                    table.row([
+                        exp.model.config().name.to_string(),
+                        exp.batch.to_string(),
+                        path,
+                        pct(r.metrics.overlap_ratio),
+                        pct(r.metrics.compute_slowdown),
+                        ms(r.metrics.e2e_overlapped_s),
+                        xtdp(r.metrics.avg_power_w, tdp),
+                        xtdp(r.metrics.peak_power_w, tdp),
+                    ]);
+                }
+                Err(_) => {
+                    table.row([
+                        exp.model.config().name.to_string(),
+                        exp.batch.to_string(),
+                        path,
+                        "OOM".into(),
+                        "OOM".into(),
+                        "OOM".into(),
+                        "OOM".into(),
+                        "OOM".into(),
+                    ]);
+                }
+            }
+        }
+    }
+    emit(
+        "Fig. 11: Tensor-core utilization (FP32 vector vs TF32 tensor) on H100x4 FSDP",
+        &table,
+    );
+}

@@ -1,0 +1,38 @@
+//! Regenerates Fig. 4: computation slowdowns across GPUs, models, batch
+//! sizes, and parallelization strategies.
+
+use olab_bench::emit;
+use olab_core::report::{pct, Table};
+use olab_core::registry;
+
+fn main() {
+    let mut table = Table::new([
+        "GPU",
+        "Strategy",
+        "Model",
+        "Batch",
+        "Overlap ratio",
+        "Compute slowdown",
+    ]);
+    for exp in registry::main_grid() {
+        let (ratio, slowdown) = match exp.run() {
+            Ok(r) => (pct(r.metrics.overlap_ratio), pct(r.metrics.compute_slowdown)),
+            Err(e) => {
+                let reason = match e {
+                    olab_core::ExperimentError::OutOfMemory { .. } => "OOM".to_string(),
+                    other => format!("{other}"),
+                };
+                (reason.clone(), reason)
+            }
+        };
+        table.row([
+            format!("{}", exp.sku),
+            format!("{}", exp.strategy),
+            exp.model.config().name.to_string(),
+            exp.batch.to_string(),
+            ratio,
+            slowdown,
+        ]);
+    }
+    emit("Fig. 4: Computation slowdowns across GPUs", &table);
+}

@@ -1,0 +1,54 @@
+//! Regenerates Fig. 5: end-to-end training iteration latency under ideal,
+//! overlapped, and sequential execution.
+
+use olab_bench::emit;
+use olab_core::report::{ms, pct, Table};
+use olab_core::registry;
+
+fn main() {
+    let mut table = Table::new([
+        "GPU",
+        "Strategy",
+        "Model",
+        "Batch",
+        "E2E ideal (Eq. 4)",
+        "E2E overlapped",
+        "E2E sequential",
+        "Overlap vs ideal",
+        "Seq vs overlap",
+    ]);
+    for exp in registry::main_grid() {
+        match exp.run() {
+            Ok(r) => {
+                table.row([
+                    format!("{}", exp.sku),
+                    format!("{}", exp.strategy),
+                    exp.model.config().name.to_string(),
+                    exp.batch.to_string(),
+                    ms(r.metrics.e2e_ideal_s),
+                    ms(r.metrics.e2e_overlapped_s),
+                    ms(r.metrics.e2e_sequential_measured_s),
+                    pct(r.metrics.overlap_vs_ideal()),
+                    pct(r.metrics.sequential_vs_overlapped()),
+                ]);
+            }
+            Err(_) => {
+                table.row([
+                    format!("{}", exp.sku),
+                    format!("{}", exp.strategy),
+                    exp.model.config().name.to_string(),
+                    exp.batch.to_string(),
+                    "OOM".into(),
+                    "OOM".into(),
+                    "OOM".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+            }
+        }
+    }
+    emit(
+        "Fig. 5: End-to-end training iteration latency across GPUs",
+        &table,
+    );
+}

@@ -1,0 +1,52 @@
+//! Regenerates Fig. 6: power consumption across GPUs for various models,
+//! normalized to TDP (average and peak, overlapped vs sequential).
+
+use olab_bench::emit;
+use olab_core::report::{xtdp, Table};
+use olab_core::registry;
+
+fn main() {
+    let mut table = Table::new([
+        "GPU",
+        "Strategy",
+        "Model",
+        "Batch",
+        "Avg power (ovl)",
+        "Peak power (ovl)",
+        "Avg power (seq)",
+        "Peak power (seq)",
+        "Sampled peak",
+    ]);
+    for exp in registry::main_grid() {
+        match exp.run() {
+            Ok(r) => {
+                let tdp = r.tdp_w();
+                table.row([
+                    format!("{}", exp.sku),
+                    format!("{}", exp.strategy),
+                    exp.model.config().name.to_string(),
+                    exp.batch.to_string(),
+                    xtdp(r.metrics.avg_power_w, tdp),
+                    xtdp(r.metrics.peak_power_w, tdp),
+                    xtdp(r.metrics.avg_power_sequential_w, tdp),
+                    xtdp(r.metrics.peak_power_sequential_w, tdp),
+                    xtdp(r.sampled_peak_w, tdp),
+                ]);
+            }
+            Err(_) => {
+                table.row([
+                    format!("{}", exp.sku),
+                    format!("{}", exp.strategy),
+                    exp.model.config().name.to_string(),
+                    exp.batch.to_string(),
+                    "OOM".into(),
+                    "OOM".into(),
+                    "OOM".into(),
+                    "OOM".into(),
+                    "OOM".into(),
+                ]);
+            }
+        }
+    }
+    emit("Fig. 6: Power consumption across GPUs (normalized to TDP)", &table);
+}

@@ -1,0 +1,68 @@
+//! Regenerates Fig. 7: the fine-grained power trace of one MI250 during
+//! LLaMA-2 13B FSDP training. Power is normalized to TDP and time to one
+//! iteration; rows inside compute/communication overlap windows are marked,
+//! mirroring the figure's grey regions.
+//!
+//! ROCm-SMI's 1 ms sampling makes this trace possible on the MI250 — NVML's
+//! 100 ms windows would smear the spikes (see the `ablation_sampler` bin).
+
+use olab_bench::emit;
+use olab_core::registry;
+use olab_core::report::Table;
+use olab_power::Sampler;
+
+fn main() {
+    let exp = registry::fig7();
+    let report = match exp.run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fig7 experiment failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let tdp = report.tdp_w();
+    let run = &report.overlapped;
+    let gpu0 = &run.gpus[0];
+    let sampled = gpu0.power.sample(Sampler::rocm_smi_fine());
+    let e2e = run.e2e_s;
+
+    let in_overlap = |t: f64| {
+        gpu0.overlap_windows
+            .iter()
+            .any(|&(a, b)| t >= a && t < b)
+    };
+
+    let mut table = Table::new(["t (normalized)", "power (x TDP)", "overlap window"]);
+    // Thin the series for readability: at most ~200 rows in markdown mode;
+    // --csv emits every sample for plotting.
+    let stride = if olab_bench::csv_requested() {
+        1
+    } else {
+        (sampled.samples.len() / 200).max(1)
+    };
+    for sample in sampled.samples.iter().step_by(stride) {
+        table.row([
+            format!("{:.4}", sample.time_s / e2e),
+            format!("{:.3}", sample.watts / tdp),
+            if in_overlap(sample.time_s) { "1" } else { "0" }.to_string(),
+        ]);
+    }
+    emit(
+        "Fig. 7: MI250 power trace, LLaMA-2 13B FSDP (1 ms sampling, normalized)",
+        &table,
+    );
+
+    let peak = sampled.peak().unwrap_or(0.0) / tdp;
+    let avg = sampled.average().unwrap_or(0.0) / tdp;
+    println!("peak = {peak:.2}x TDP, average = {avg:.2}x TDP, iteration = {:.1} ms", e2e * 1e3);
+    println!(
+        "overlap windows cover {:.1}% of the iteration",
+        100.0
+            * gpu0
+                .overlap_windows
+                .iter()
+                .map(|&(a, b)| b - a)
+                .sum::<f64>()
+            / e2e
+    );
+}

@@ -1,0 +1,45 @@
+//! Regenerates Fig. 8: power and performance of an N×N matrix
+//! multiplication executed concurrently with a 1 GB all-reduce, across all
+//! four SKUs.
+
+use olab_bench::emit;
+use olab_core::microbench;
+use olab_core::report::{pct, xtdp, Table};
+use olab_gpu::SkuKind;
+
+fn main() {
+    let mut table = Table::new([
+        "GPU",
+        "N",
+        "GEMM slowdown",
+        "Avg power (no ovl)",
+        "Peak power (no ovl)",
+        "Avg power (ovl)",
+        "Peak power (ovl)",
+    ]);
+    for sku in SkuKind::ALL {
+        let tdp = sku.sku().tdp_w;
+        let points = match microbench::fig8_sweep(sku, 4) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{sku}: {e}");
+                continue;
+            }
+        };
+        for p in points {
+            table.row([
+                sku.to_string(),
+                p.n.to_string(),
+                pct(p.slowdown()),
+                xtdp(p.avg_power_isolated_w, tdp),
+                xtdp(p.peak_power_isolated_w, tdp),
+                xtdp(p.avg_power_overlapped_w, tdp),
+                xtdp(p.peak_power_overlapped_w, tdp),
+            ]);
+        }
+    }
+    emit(
+        "Fig. 8: NxN GEMM concurrent with a 1 GB all-reduce (microbenchmark)",
+        &table,
+    );
+}

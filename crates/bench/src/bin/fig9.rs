@@ -1,0 +1,55 @@
+//! Regenerates Fig. 9: the impact of power capping on performance and
+//! slowdowns, 4×A100 with GPT-3 2.7B FSDP.
+
+use olab_bench::emit;
+use olab_core::report::{ms, pct, Table};
+use olab_core::registry;
+
+fn main() {
+    // Uncapped baselines for the relative-slowdown columns.
+    let stock = registry::fig9()
+        .first()
+        .cloned()
+        .expect("fig9 grid is non-empty");
+    let baseline = stock.run().expect("stock-cap run succeeds");
+    let base_ovl = baseline.metrics.e2e_overlapped_s;
+    let base_seq = baseline.metrics.e2e_sequential_measured_s;
+
+    let mut table = Table::new([
+        "Power cap (W)",
+        "E2E overlapped",
+        "E2E sequential",
+        "Overlapped slowdown vs 400 W",
+        "Sequential slowdown vs 400 W",
+        "Compute slowdown (Eq. 1)",
+    ]);
+    for exp in registry::fig9() {
+        let cap = exp.power_cap_w.expect("cap set");
+        match exp.run() {
+            Ok(r) => {
+                table.row([
+                    format!("{cap:.0}"),
+                    ms(r.metrics.e2e_overlapped_s),
+                    ms(r.metrics.e2e_sequential_measured_s),
+                    pct(r.metrics.e2e_overlapped_s / base_ovl - 1.0),
+                    pct(r.metrics.e2e_sequential_measured_s / base_seq - 1.0),
+                    pct(r.metrics.compute_slowdown),
+                ]);
+            }
+            Err(e) => {
+                table.row([
+                    format!("{cap:.0}"),
+                    format!("{e}"),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+            }
+        }
+    }
+    emit(
+        "Fig. 9: Impact of power capping (A100x4, GPT-3 2.7B FSDP, batch 8)",
+        &table,
+    );
+}

@@ -1,0 +1,88 @@
+//! Computes the paper's abstract-level aggregate statistics over the main
+//! grid: mean/max compute slowdown of overlapped execution, and mean/max
+//! slowdown of sequential relative to overlapped execution.
+
+use olab_bench::emit;
+use olab_core::report::{pct, Table};
+use olab_core::registry;
+
+fn main() {
+    let mut compute_slowdowns: Vec<(String, f64)> = Vec::new();
+    let mut seq_vs_ovl: Vec<(String, f64)> = Vec::new();
+    let mut fsdp_slowdowns: Vec<(String, f64)> = Vec::new();
+    let mut fsdp_seq_vs_ovl: Vec<(String, f64)> = Vec::new();
+    let mut feasible = 0usize;
+    let mut infeasible = 0usize;
+
+    for exp in registry::main_grid() {
+        match exp.run() {
+            Ok(r) => {
+                feasible += 1;
+                compute_slowdowns.push((exp.label(), r.metrics.compute_slowdown));
+                seq_vs_ovl.push((exp.label(), r.metrics.sequential_vs_overlapped()));
+                if matches!(exp.strategy, olab_core::Strategy::Fsdp) {
+                    fsdp_slowdowns.push((exp.label(), r.metrics.compute_slowdown));
+                    fsdp_seq_vs_ovl.push((exp.label(), r.metrics.sequential_vs_overlapped()));
+                }
+            }
+            Err(_) => infeasible += 1,
+        }
+    }
+
+    let mean = |v: &[(String, f64)]| v.iter().map(|x| x.1).sum::<f64>() / v.len() as f64;
+    let max = |v: &[(String, f64)]| {
+        v.iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .cloned()
+            .unwrap_or(("-".into(), 0.0))
+    };
+
+    let (max_cs_label, max_cs) = max(&compute_slowdowns);
+    let (max_sq_label, max_sq) = max(&seq_vs_ovl);
+
+    let mut table = Table::new(["Statistic", "Paper", "Simulated", "Where (simulated max)"]);
+    table
+        .row([
+            "Mean compute slowdown (overlap vs isolated)".to_string(),
+            "18.9%".to_string(),
+            pct(mean(&compute_slowdowns)),
+            "-".to_string(),
+        ])
+        .row([
+            "Max compute slowdown".to_string(),
+            "40.0%".to_string(),
+            pct(max_cs),
+            max_cs_label,
+        ])
+        .row([
+            "Mean compute slowdown, FSDP cells only".to_string(),
+            "-".to_string(),
+            pct(mean(&fsdp_slowdowns)),
+            "(the paper's averages come from overlap-heavy FSDP configs)".to_string(),
+        ])
+        .row([
+            "Mean sequential vs overlapped, FSDP cells only".to_string(),
+            "-".to_string(),
+            pct(mean(&fsdp_seq_vs_ovl)),
+            "-".to_string(),
+        ])
+        .row([
+            "Mean sequential vs overlapped".to_string(),
+            "10.2%".to_string(),
+            pct(mean(&seq_vs_ovl)),
+            "-".to_string(),
+        ])
+        .row([
+            "Max sequential vs overlapped".to_string(),
+            "26.6%".to_string(),
+            pct(max_sq),
+            max_sq_label,
+        ])
+        .row([
+            "Feasible / infeasible grid cells".to_string(),
+            "-".to_string(),
+            format!("{feasible} / {infeasible}"),
+            "-".to_string(),
+        ]);
+    emit("Headline statistics (paper abstract vs simulation)", &table);
+}

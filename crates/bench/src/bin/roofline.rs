@@ -1,0 +1,39 @@
+//! Prints the roofline machine-balance analysis for every SKU: where each
+//! part's memory-bound/compute-bound crossover sits per datapath, and why
+//! large-model GEMMs (intensity ~1000 FLOP/byte in FP16) are compute-bound
+//! everywhere while the elementwise/optimizer kernels never leave the
+//! bandwidth wall.
+
+use olab_bench::emit;
+use olab_core::report::Table;
+use olab_gpu::{roofline, Datapath, GpuSku, KernelKind, Precision};
+
+fn main() {
+    let mut table = Table::new([
+        "GPU",
+        "Balance FP16/tensor (FLOP/B)",
+        "Balance FP32/vector (FLOP/B)",
+        "GEMM 8Ki intensity",
+        "Adam intensity",
+        "GEMM bound",
+        "Adam bound",
+    ]);
+    let gemm = KernelKind::gemm(8192, 8192, 8192);
+    let adam = KernelKind::AdamStep { params: 1 << 28 };
+    for sku in GpuSku::all() {
+        let bal16 = roofline::machine_balance(&sku, Precision::Fp16, Datapath::TensorCore);
+        let bal32 = roofline::machine_balance(&sku, Precision::Fp32, Datapath::Vector);
+        let gi = gemm.intensity(Precision::Fp16);
+        let ai = adam.intensity(Precision::Fp16);
+        table.row([
+            sku.name.to_string(),
+            format!("{bal16:.0}"),
+            format!("{bal32:.1}"),
+            format!("{gi:.0}"),
+            format!("{ai:.2}"),
+            if gi > bal16 { "compute" } else { "memory" }.to_string(),
+            if ai > bal32 { "compute" } else { "memory" }.to_string(),
+        ]);
+    }
+    emit("Roofline machine balance per SKU", &table);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table I: the GPU inventory.
+
+fn main() {
+    println!("## Table I: List of GPUs evaluated\n");
+    print!("{}", olab_gpu::table1_markdown());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table II: the evaluated workloads.
+
+fn main() {
+    println!("## Table II: Workloads evaluated\n");
+    print!("{}", olab_models::table2_markdown());
+}

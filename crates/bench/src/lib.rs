@@ -1,0 +1,62 @@
+//! # olab-bench — figure & table regenerators
+//!
+//! One binary per table/figure of the paper, each printing the same
+//! rows/series the paper reports (markdown by default, CSV with `--csv`):
+//!
+//! | binary    | reproduces |
+//! |-----------|------------|
+//! | `table1`  | Table I — GPU inventory |
+//! | `table2`  | Table II — workloads |
+//! | `fig1`    | Fig. 1 — overlap amount vs model/batch |
+//! | `fig4`    | Fig. 4 — compute slowdown grid |
+//! | `fig5`    | Fig. 5 — E2E latency: ideal/overlapped/sequential |
+//! | `fig6`    | Fig. 6 — average & peak power |
+//! | `fig7`    | Fig. 7 — MI250 power trace (1 ms sampling) |
+//! | `fig8`    | Fig. 8 — GEMM ∥ 1 GB all-reduce microbenchmark |
+//! | `fig9`    | Fig. 9 — power capping on 4×A100 |
+//! | `fig10`   | Fig. 10 — FP16 vs FP32 |
+//! | `fig11`   | Fig. 11 — tensor cores (TF32) vs FP32 vector |
+//! | `headline`| the abstract's aggregate statistics |
+//! | `ablation_*` | design-space studies beyond the paper |
+//!
+//! Run any of them with `cargo run --release -p olab-bench --bin <name>`.
+//! Criterion benches (`cargo bench`) measure the simulator itself.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use olab_core::report::Table;
+
+/// True when `--csv` was passed on the command line.
+pub fn csv_requested() -> bool {
+    std::env::args().any(|a| a == "--csv")
+}
+
+/// Prints a titled table in the requested format.
+pub fn emit(title: &str, table: &Table) {
+    if csv_requested() {
+        println!("# {title}");
+        print!("{}", table.to_csv());
+    } else {
+        println!("## {title}\n");
+        print!("{}", table.to_markdown());
+    }
+    println!();
+}
+
+/// Formats an `Option<f64>` percentage cell, using `-` for missing values
+/// (infeasible configurations — the paper's absent bars).
+pub fn pct_or_dash(v: Option<f64>) -> String {
+    v.map(olab_core::report::pct).unwrap_or_else(|| "-".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_or_dash_handles_both_cases() {
+        assert_eq!(pct_or_dash(Some(0.5)), "50.0%");
+        assert_eq!(pct_or_dash(None), "-");
+    }
+}

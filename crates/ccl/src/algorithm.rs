@@ -1,0 +1,195 @@
+//! Collective algorithms and their bandwidth/latency characteristics.
+
+use crate::CollectiveKind;
+use std::fmt;
+
+/// How a collective is scheduled over the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Bandwidth-optimal chunked ring (NCCL's default for large messages).
+    Ring,
+    /// Latency-optimal binary tree (NCCL's default for small messages).
+    Tree,
+    /// Direct copy between endpoints (point-to-point, small broadcast).
+    Direct,
+    /// Two-level hierarchical schedule for node-spanning groups
+    /// (reduce-scatter intra-node, all-reduce inter-node, all-gather
+    /// intra-node): only `1/gpus_per_node` of the payload crosses each NIC.
+    Hierarchical,
+}
+
+impl Algorithm {
+    /// The algorithm a NCCL-like library would choose automatically:
+    /// trees under the crossover size, rings above, direct for
+    /// point-to-point.
+    pub fn auto(kind: CollectiveKind, bytes: u64, _group_size: usize) -> Algorithm {
+        const TREE_CROSSOVER_BYTES: u64 = 1 << 20; // 1 MiB
+        match kind {
+            CollectiveKind::PointToPoint => Algorithm::Direct,
+            CollectiveKind::AllToAll => Algorithm::Direct,
+            CollectiveKind::Broadcast => Algorithm::Ring,
+            CollectiveKind::AllReduce
+            | CollectiveKind::AllGather
+            | CollectiveKind::ReduceScatter => {
+                if bytes < TREE_CROSSOVER_BYTES {
+                    Algorithm::Tree
+                } else {
+                    Algorithm::Ring
+                }
+            }
+        }
+    }
+
+    /// Topology-aware automatic selection: like [`Algorithm::auto`], but
+    /// upgrades large node-spanning reductions to the hierarchical schedule
+    /// on two-level fabrics (what NCCL does with its inter/intra channels).
+    pub fn auto_for(
+        kind: CollectiveKind,
+        bytes: u64,
+        group: &[olab_sim::GpuId],
+        topology: &olab_net::Topology,
+    ) -> Algorithm {
+        let base = Self::auto(kind, bytes, group.len());
+        let spans_nodes = group
+            .windows(2)
+            .any(|w| topology.node_of(w[0]) != topology.node_of(w[1]));
+        let reduces_or_gathers = matches!(
+            kind,
+            CollectiveKind::AllReduce | CollectiveKind::AllGather | CollectiveKind::ReduceScatter
+        );
+        if base == Algorithm::Ring && spans_nodes && reduces_or_gathers {
+            Algorithm::Hierarchical
+        } else {
+            base
+        }
+    }
+
+    /// Number of serialized fabric steps (each paying one hop latency).
+    pub fn latency_steps(self, kind: CollectiveKind, group_size: usize) -> u32 {
+        let n = group_size as u32;
+        match (self, kind) {
+            (_, CollectiveKind::PointToPoint) => 1,
+            (Algorithm::Ring, CollectiveKind::AllReduce) => 2 * (n - 1),
+            (Algorithm::Ring, _) => n - 1,
+            (Algorithm::Tree, CollectiveKind::AllReduce) => {
+                2 * n.next_power_of_two().trailing_zeros().max(1)
+            }
+            (Algorithm::Tree, _) => n.next_power_of_two().trailing_zeros().max(1),
+            (Algorithm::Direct, CollectiveKind::AllToAll) => n - 1,
+            (Algorithm::Direct, _) => 1,
+            // Intra RS + inter AR + intra AG, each latency-pipelined.
+            (Algorithm::Hierarchical, _) => 2 * (n - 1).min(8) + 2,
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Algorithm::Ring => write!(f, "ring"),
+            Algorithm::Tree => write!(f, "tree"),
+            Algorithm::Direct => write!(f, "direct"),
+            Algorithm::Hierarchical => write!(f, "hierarchical"),
+        }
+    }
+}
+
+/// Bytes each rank must move over the wire (send side) for a collective of
+/// logical size `bytes` over `n` ranks.
+///
+/// These are the standard alpha-beta model volumes:
+///
+/// | collective      | ring              | tree        |
+/// |-----------------|-------------------|-------------|
+/// | all-reduce      | `2 S (n-1)/n`     | `2 S`       |
+/// | all-gather      | `S (n-1)/n`       | `S (n-1)/n` |
+/// | reduce-scatter  | `S (n-1)/n`       | `S (n-1)/n` |
+/// | broadcast       | `S`               | `S`         |
+/// | all-to-all      | `S (n-1)/n`       | —           |
+/// | point-to-point  | `S`               | —           |
+pub fn wire_bytes_per_rank(
+    kind: CollectiveKind,
+    algorithm: Algorithm,
+    bytes: u64,
+    n: usize,
+) -> f64 {
+    let s = bytes as f64;
+    let n = n as f64;
+    let shard = s * (n - 1.0) / n;
+    match kind {
+        CollectiveKind::AllReduce => match algorithm {
+            Algorithm::Ring | Algorithm::Direct => 2.0 * shard,
+            Algorithm::Tree => 2.0 * s,
+            // Intra-node phases move 2·S·(g-1)/g locally; the wire figure
+            // reported here is the per-rank total (NIC traffic is priced by
+            // the lowering via the topology's per-phase rates).
+            Algorithm::Hierarchical => 2.0 * shard,
+        },
+        CollectiveKind::AllGather | CollectiveKind::ReduceScatter => shard,
+        CollectiveKind::Broadcast => s,
+        CollectiveKind::AllToAll => shard,
+        CollectiveKind::PointToPoint => s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_picks_tree_for_small_and_ring_for_large() {
+        assert_eq!(
+            Algorithm::auto(CollectiveKind::AllReduce, 1 << 10, 4),
+            Algorithm::Tree
+        );
+        assert_eq!(
+            Algorithm::auto(CollectiveKind::AllReduce, 1 << 28, 4),
+            Algorithm::Ring
+        );
+        assert_eq!(
+            Algorithm::auto(CollectiveKind::PointToPoint, 1 << 28, 2),
+            Algorithm::Direct
+        );
+    }
+
+    #[test]
+    fn ring_all_reduce_moves_2s_nm1_over_n() {
+        let v = wire_bytes_per_rank(CollectiveKind::AllReduce, Algorithm::Ring, 1000, 4);
+        assert!((v - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_gather_and_reduce_scatter_move_half_of_all_reduce() {
+        let ar = wire_bytes_per_rank(CollectiveKind::AllReduce, Algorithm::Ring, 1 << 20, 8);
+        let ag = wire_bytes_per_rank(CollectiveKind::AllGather, Algorithm::Ring, 1 << 20, 8);
+        let rs = wire_bytes_per_rank(CollectiveKind::ReduceScatter, Algorithm::Ring, 1 << 20, 8);
+        assert!((ar - 2.0 * ag).abs() < 1e-6);
+        assert_eq!(ag, rs);
+    }
+
+    #[test]
+    fn tree_all_reduce_moves_more_bytes_than_ring() {
+        let ring = wire_bytes_per_rank(CollectiveKind::AllReduce, Algorithm::Ring, 1 << 20, 8);
+        let tree = wire_bytes_per_rank(CollectiveKind::AllReduce, Algorithm::Tree, 1 << 20, 8);
+        assert!(tree > ring);
+    }
+
+    #[test]
+    fn tree_has_logarithmic_latency_steps() {
+        assert_eq!(Algorithm::Tree.latency_steps(CollectiveKind::AllGather, 8), 3);
+        assert_eq!(Algorithm::Ring.latency_steps(CollectiveKind::AllGather, 8), 7);
+        assert_eq!(Algorithm::Ring.latency_steps(CollectiveKind::AllReduce, 4), 6);
+        assert_eq!(
+            Algorithm::Direct.latency_steps(CollectiveKind::PointToPoint, 2),
+            1
+        );
+    }
+
+    #[test]
+    fn wire_bytes_shrink_with_group_size_for_sharded_collectives() {
+        let small = wire_bytes_per_rank(CollectiveKind::AllGather, Algorithm::Ring, 1 << 20, 2);
+        let large = wire_bytes_per_rank(CollectiveKind::AllGather, Algorithm::Ring, 1 << 20, 16);
+        assert!(large > small, "(n-1)/n grows with n");
+        assert!(large < (1 << 20) as f64);
+    }
+}

@@ -1,0 +1,51 @@
+//! Channel-count heuristic.
+//!
+//! NCCL and RCCL split each collective across several *channels*; each
+//! channel is a persistent kernel occupying SMs/CUs for the lifetime of the
+//! collective. More channels extract more bandwidth from the fabric but
+//! steal more compute capacity from concurrent kernels — the first-order SM
+//! contention mechanism of the paper.
+
+use olab_gpu::Vendor;
+
+/// Channels a NCCL/RCCL-like library would use for a message of
+/// `wire_bytes` on wire, per rank.
+///
+/// The heuristic matches the libraries' observable behaviour: one channel
+/// per ~8 MiB of payload, at least one, capped per vendor (NCCL tops out at
+/// 16 usable channels per collective on these nodes; RCCL uses fewer, wider
+/// workgroups).
+pub fn channel_count(vendor: Vendor, wire_bytes: f64) -> u32 {
+    let per_channel = 8.0 * (1 << 20) as f64;
+    let want = (wire_bytes / per_channel).ceil().max(1.0) as u32;
+    let cap = match vendor {
+        Vendor::Nvidia => 16,
+        Vendor::Amd => 8,
+    };
+    want.min(cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_messages_use_one_channel() {
+        assert_eq!(channel_count(Vendor::Nvidia, 1024.0), 1);
+        assert_eq!(channel_count(Vendor::Amd, 0.0), 1);
+    }
+
+    #[test]
+    fn channel_count_grows_with_message_size() {
+        let small = channel_count(Vendor::Nvidia, 8.0 * 1024.0 * 1024.0);
+        let large = channel_count(Vendor::Nvidia, 64.0 * 1024.0 * 1024.0);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn vendor_caps_apply() {
+        let huge = 10.0 * (1u64 << 30) as f64;
+        assert_eq!(channel_count(Vendor::Nvidia, huge), 16);
+        assert_eq!(channel_count(Vendor::Amd, huge), 8);
+    }
+}

@@ -1,0 +1,155 @@
+//! Logical collective operations.
+
+use olab_sim::GpuId;
+use std::fmt;
+
+/// The communication patterns used by FSDP and pipeline parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollectiveKind {
+    /// Reduce a buffer across ranks, every rank gets the result.
+    AllReduce,
+    /// Concatenate per-rank shards onto every rank (FSDP parameter
+    /// unsharding).
+    AllGather,
+    /// Reduce across ranks, scatter shards (FSDP gradient reduction).
+    ReduceScatter,
+    /// Copy a buffer from one root to every rank.
+    Broadcast,
+    /// Exchange distinct shards between every pair of ranks.
+    AllToAll,
+    /// A point-to-point transfer (pipeline activations/gradients).
+    PointToPoint,
+}
+
+impl CollectiveKind {
+    /// Whether the collective performs arithmetic (reductions).
+    pub fn reduces(self) -> bool {
+        matches!(self, CollectiveKind::AllReduce | CollectiveKind::ReduceScatter)
+    }
+}
+
+impl fmt::Display for CollectiveKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectiveKind::AllReduce => write!(f, "all-reduce"),
+            CollectiveKind::AllGather => write!(f, "all-gather"),
+            CollectiveKind::ReduceScatter => write!(f, "reduce-scatter"),
+            CollectiveKind::Broadcast => write!(f, "broadcast"),
+            CollectiveKind::AllToAll => write!(f, "all-to-all"),
+            CollectiveKind::PointToPoint => write!(f, "send-recv"),
+        }
+    }
+}
+
+/// A logical collective over a group of ranks.
+///
+/// `bytes` is the *logical buffer size*: the size of the buffer being
+/// reduced (all-reduce), the full gathered output (all-gather), the full
+/// pre-reduction input per rank (reduce-scatter), the broadcast payload, the
+/// per-rank all-to-all buffer, or the message size (point-to-point).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Collective {
+    /// The communication pattern.
+    pub kind: CollectiveKind,
+    /// Logical buffer size in bytes.
+    pub bytes: u64,
+    /// Participating ranks (2 for point-to-point).
+    pub group: Vec<GpuId>,
+}
+
+impl Collective {
+    /// Creates a collective, validating the group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group has fewer than 2 distinct ranks, or if a
+    /// point-to-point group does not have exactly 2.
+    pub fn new(kind: CollectiveKind, bytes: u64, mut group: Vec<GpuId>) -> Self {
+        group.sort_unstable();
+        group.dedup();
+        assert!(group.len() >= 2, "collective group needs at least 2 ranks");
+        if kind == CollectiveKind::PointToPoint {
+            assert_eq!(group.len(), 2, "point-to-point takes exactly 2 ranks");
+        }
+        Collective { kind, bytes, group }
+    }
+
+    /// An all-reduce of `bytes` over `group`.
+    pub fn all_reduce(bytes: u64, group: Vec<GpuId>) -> Self {
+        Self::new(CollectiveKind::AllReduce, bytes, group)
+    }
+
+    /// An all-gather producing `bytes` of output on every rank.
+    pub fn all_gather(bytes: u64, group: Vec<GpuId>) -> Self {
+        Self::new(CollectiveKind::AllGather, bytes, group)
+    }
+
+    /// A reduce-scatter consuming `bytes` of input per rank.
+    pub fn reduce_scatter(bytes: u64, group: Vec<GpuId>) -> Self {
+        Self::new(CollectiveKind::ReduceScatter, bytes, group)
+    }
+
+    /// A point-to-point transfer of `bytes` from `src` to `dst`.
+    pub fn p2p(bytes: u64, src: GpuId, dst: GpuId) -> Self {
+        Self::new(CollectiveKind::PointToPoint, bytes, vec![src, dst])
+    }
+
+    /// Group size.
+    pub fn group_size(&self) -> usize {
+        self.group.len()
+    }
+}
+
+impl fmt::Display for Collective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{:.1} MiB x{}]",
+            self.kind,
+            self.bytes as f64 / (1 << 20) as f64,
+            self.group.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(n: u16) -> Vec<GpuId> {
+        (0..n).map(GpuId).collect()
+    }
+
+    #[test]
+    fn constructors_set_kind_and_group() {
+        let c = Collective::all_reduce(1024, group(4));
+        assert_eq!(c.kind, CollectiveKind::AllReduce);
+        assert_eq!(c.group_size(), 4);
+    }
+
+    #[test]
+    fn group_is_deduplicated() {
+        let c = Collective::all_gather(8, vec![GpuId(1), GpuId(0), GpuId(1)]);
+        assert_eq!(c.group, vec![GpuId(0), GpuId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 ranks")]
+    fn singleton_group_is_rejected() {
+        Collective::all_reduce(8, vec![GpuId(0)]);
+    }
+
+    #[test]
+    fn only_reducing_collectives_report_reduces() {
+        assert!(CollectiveKind::AllReduce.reduces());
+        assert!(CollectiveKind::ReduceScatter.reduces());
+        assert!(!CollectiveKind::AllGather.reduces());
+        assert!(!CollectiveKind::PointToPoint.reduces());
+    }
+
+    #[test]
+    fn display_shows_size_and_fanout() {
+        let c = Collective::p2p(1 << 20, GpuId(0), GpuId(1));
+        assert_eq!(c.to_string(), "send-recv[1.0 MiB x2]");
+    }
+}

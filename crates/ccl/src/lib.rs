@@ -1,0 +1,44 @@
+//! # olab-ccl — collective communication library model
+//!
+//! An NCCL/RCCL-style collectives model: given a logical collective
+//! (all-reduce, all-gather, reduce-scatter, broadcast, all-to-all, or a
+//! point-to-point send/recv), an algorithm (ring/tree/direct), the GPU SKU
+//! and the node topology, it produces a [`CommOp`] describing what the
+//! collective *costs*:
+//!
+//! * bytes on the wire per rank and the achievable bus bandwidth,
+//! * step + launch latency,
+//! * HBM traffic amplification (ring steps stage through device memory),
+//! * reduction FLOPs (all-reduce and reduce-scatter do math!),
+//! * SM occupancy of the channel kernels.
+//!
+//! The last three are the contention hooks: when a `CommOp` runs while a
+//! compute kernel is resident, the machine model in `olab-core` charges the
+//! kernel for the stolen SMs, the shared HBM bandwidth, and the extra power.
+//!
+//! ```rust
+//! use olab_ccl::{lower, Algorithm, Collective};
+//! use olab_gpu::{GpuSku, Precision};
+//! use olab_net::Topology;
+//! use olab_sim::GpuId;
+//!
+//! let sku = GpuSku::h100();
+//! let topo = Topology::nvswitch(4, sku.link_bw_unidir_gbs, sku.link_latency_us);
+//! let group: Vec<GpuId> = (0..4).map(GpuId).collect();
+//! let ar = Collective::all_reduce(1 << 30, group); // 1 GiB, the Fig. 8 microbenchmark
+//! let op = lower(&ar, Algorithm::Ring, &sku, &topo, Precision::Fp16);
+//! assert!(op.isolated_duration_s() > 1e-3, "a 1 GiB all-reduce takes milliseconds");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod algorithm;
+mod channels;
+mod collective;
+mod lowering;
+
+pub use algorithm::{wire_bytes_per_rank, Algorithm};
+pub use channels::channel_count;
+pub use collective::{Collective, CollectiveKind};
+pub use lowering::{lower, CommOp};

@@ -1,0 +1,281 @@
+//! Lowering logical collectives to resource demands.
+
+use crate::{channel_count, wire_bytes_per_rank, Algorithm, Collective, CollectiveKind};
+use olab_gpu::{GpuSku, Precision};
+use olab_net::Topology;
+use std::fmt;
+
+/// A lowered collective: everything the execution engine needs to know about
+/// what the collective consumes while it runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommOp {
+    /// The logical collective.
+    pub collective: Collective,
+    /// The algorithm chosen.
+    pub algorithm: Algorithm,
+    /// Bytes each rank pushes onto the wire.
+    pub wire_bytes_per_rank: f64,
+    /// Achievable wire rate per rank in bytes/s (bus bandwidth after
+    /// efficiency, or the point-to-point link rate).
+    pub wire_rate_bytes_per_sec: f64,
+    /// Fixed latency: per-step hop latency plus kernel launch, seconds.
+    pub latency_s: f64,
+    /// HBM traffic per rank (staging amplification), bytes.
+    pub hbm_bytes_per_rank: f64,
+    /// Reduction FLOPs per rank (all-reduce / reduce-scatter math).
+    pub reduction_flops_per_rank: f64,
+    /// Fraction of the GPU's SMs occupied by the channel kernels.
+    pub sm_fraction: f64,
+    /// Number of channels used.
+    pub channels: u32,
+}
+
+impl CommOp {
+    /// Time the collective takes with nothing else running, in seconds.
+    pub fn isolated_duration_s(&self) -> f64 {
+        self.latency_s + self.wire_bytes_per_rank / self.wire_rate_bytes_per_sec
+    }
+
+    /// Effective bus bandwidth of the isolated collective, in GB/s
+    /// (`wire bytes / time` — the number `nccl-tests` reports as `busbw`).
+    pub fn isolated_busbw_gbs(&self) -> f64 {
+        self.wire_bytes_per_rank / self.isolated_duration_s() / 1e9
+    }
+}
+
+impl fmt::Display for CommOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} via {} ({} ch, {:.2} ms isolated)",
+            self.collective,
+            self.algorithm,
+            self.channels,
+            self.isolated_duration_s() * 1e3
+        )
+    }
+}
+
+/// Lowers a collective onto a SKU + topology.
+///
+/// `precision` sets the element width for reduction math. All ranks are
+/// assumed symmetric (single-node, homogeneous GPUs), so per-rank figures
+/// apply to every member of the group.
+///
+/// # Panics
+///
+/// Panics if the group does not fit in the topology.
+pub fn lower(
+    collective: &Collective,
+    algorithm: Algorithm,
+    sku: &GpuSku,
+    topology: &Topology,
+    precision: Precision,
+) -> CommOp {
+    let n = collective.group_size();
+    assert!(
+        collective.group.iter().all(|g| g.index() < topology.n_gpus()),
+        "collective group exceeds topology"
+    );
+    let profile = sku.contention();
+
+    let wire = wire_bytes_per_rank(collective.kind, algorithm, collective.bytes, n);
+
+    let raw_rate_gbs = match collective.kind {
+        CollectiveKind::PointToPoint => {
+            topology.p2p_bw_gbs(collective.group[0], collective.group[1])
+        }
+        CollectiveKind::AllToAll => topology.injection_bw_gbs(),
+        _ => topology.ring_busbw_gbs(n),
+    };
+    let efficiency = match collective.kind {
+        CollectiveKind::PointToPoint => profile.p2p_efficiency,
+        _ => profile.ring_busbw_efficiency,
+    };
+    let wire_rate = if algorithm == Algorithm::Hierarchical {
+        // Two-phase cost: ring phases inside each node at the intra rate,
+        // plus an inter-node phase where each NIC carries only 1/g of the
+        // payload (g ranks per node reduce-scatter first).
+        let g = topology.gpus_per_node().min(n).max(1) as f64;
+        let k = (n as f64 / g).ceil().max(1.0);
+        let s = collective.bytes as f64;
+        // All-reduce needs both a reduce and a gather phase at each level;
+        // all-gather / reduce-scatter need one.
+        let phases = if collective.kind == CollectiveKind::AllReduce { 2.0 } else { 1.0 };
+        let intra = topology.injection_bw_gbs() * 1e9 * profile.ring_busbw_efficiency;
+        let nic = (topology.nic_bw_gbs() * 1e9 * profile.ring_busbw_efficiency)
+            .min(intra * g);
+        let t_intra = phases * s * (g - 1.0) / g / intra;
+        let t_inter = if k > 1.0 {
+            phases * s * (k - 1.0) / k / nic
+        } else {
+            0.0
+        };
+        let t = (t_intra + t_inter).max(1e-12);
+        wire / t
+    } else {
+        raw_rate_gbs * 1e9 * efficiency
+    };
+
+    let steps = algorithm.latency_steps(collective.kind, n);
+    let latency_s =
+        f64::from(steps) * topology.latency_s() + profile.collective_launch_us * 1e-6;
+
+    let channels = channel_count(sku.vendor, wire);
+    let sm_fraction = profile.comm_sm_fraction(channels);
+
+    let elems = collective.bytes as f64 / precision.bytes() as f64;
+    let reduction_flops = if collective.kind.reduces() {
+        elems * (n as f64 - 1.0) / n as f64
+    } else {
+        0.0
+    };
+
+    CommOp {
+        collective: collective.clone(),
+        algorithm,
+        wire_bytes_per_rank: wire,
+        wire_rate_bytes_per_sec: wire_rate,
+        latency_s,
+        hbm_bytes_per_rank: wire * profile.hbm_bytes_per_wire_byte,
+        reduction_flops_per_rank: reduction_flops,
+        sm_fraction,
+        channels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olab_sim::GpuId;
+
+    fn group(n: u16) -> Vec<GpuId> {
+        (0..n).map(GpuId).collect()
+    }
+
+    fn h100_node() -> (GpuSku, Topology) {
+        let sku = GpuSku::h100();
+        let topo = Topology::nvswitch(4, sku.link_bw_unidir_gbs, sku.link_latency_us);
+        (sku, topo)
+    }
+
+    fn mi250_node() -> (GpuSku, Topology) {
+        let sku = GpuSku::mi250();
+        let topo = Topology::full_mesh(4, sku.link_bw_unidir_gbs, sku.link_latency_us);
+        (sku, topo)
+    }
+
+    #[test]
+    fn gib_all_reduce_takes_single_digit_milliseconds_on_h100() {
+        let (sku, topo) = h100_node();
+        let ar = Collective::all_reduce(1 << 30, group(4));
+        let op = lower(&ar, Algorithm::Ring, &sku, &topo, Precision::Fp16);
+        let ms = op.isolated_duration_s() * 1e3;
+        // 1.5 GiB on wire at ~360 GB/s => ~4.5 ms.
+        assert!((2.0..12.0).contains(&ms), "got {ms} ms");
+    }
+
+    #[test]
+    fn amd_fabric_is_slower_than_nvlink_for_the_same_collective() {
+        let (h, ht) = h100_node();
+        let (m, mt) = mi250_node();
+        let ar = Collective::all_reduce(1 << 28, group(4));
+        let on_h = lower(&ar, Algorithm::Ring, &h, &ht, Precision::Fp16);
+        let on_m = lower(&ar, Algorithm::Ring, &m, &mt, Precision::Fp16);
+        assert!(on_m.isolated_duration_s() > 2.0 * on_h.isolated_duration_s());
+    }
+
+    #[test]
+    fn reducing_collectives_carry_reduction_flops() {
+        let (sku, topo) = h100_node();
+        let rs = Collective::reduce_scatter(1 << 20, group(4));
+        let op = lower(&rs, Algorithm::Ring, &sku, &topo, Precision::Fp16);
+        let elems = (1 << 20) as f64 / 2.0;
+        assert!((op.reduction_flops_per_rank - elems * 0.75).abs() < 1.0);
+
+        let ag = Collective::all_gather(1 << 20, group(4));
+        let op = lower(&ag, Algorithm::Ring, &sku, &topo, Precision::Fp16);
+        assert_eq!(op.reduction_flops_per_rank, 0.0);
+    }
+
+    #[test]
+    fn hbm_traffic_exceeds_wire_traffic() {
+        let (sku, topo) = h100_node();
+        let ar = Collective::all_reduce(1 << 24, group(4));
+        let op = lower(&ar, Algorithm::Ring, &sku, &topo, Precision::Fp16);
+        assert!(op.hbm_bytes_per_rank >= 2.0 * op.wire_bytes_per_rank);
+    }
+
+    #[test]
+    fn sm_fraction_is_positive_and_bounded() {
+        let (sku, topo) = h100_node();
+        for bytes in [1u64 << 10, 1 << 24, 1 << 30] {
+            let ar = Collective::all_reduce(bytes, group(4));
+            let op = lower(&ar, Algorithm::Ring, &sku, &topo, Precision::Fp16);
+            assert!(op.sm_fraction > 0.0);
+            assert!(op.sm_fraction <= sku.contention().max_comm_sm_fraction);
+        }
+    }
+
+    #[test]
+    fn p2p_on_mesh_uses_the_single_link() {
+        let (sku, topo) = mi250_node();
+        let p = Collective::p2p(1 << 26, GpuId(0), GpuId(1));
+        let op = lower(&p, Algorithm::Direct, &sku, &topo, Precision::Fp16);
+        // One of three peer links (150/3 GB/s) at the MI250's calibrated
+        // 0.50 point-to-point efficiency = 25 GB/s.
+        let gbs = op.wire_rate_bytes_per_sec / 1e9;
+        assert!((gbs - 25.0).abs() < 0.5, "got {gbs} GB/s");
+    }
+
+    #[test]
+    fn busbw_converges_to_wire_rate_for_large_messages() {
+        let (sku, topo) = h100_node();
+        let big = Collective::all_gather(1 << 32, group(4));
+        let op = lower(&big, Algorithm::Ring, &sku, &topo, Precision::Fp16);
+        let ratio = op.isolated_busbw_gbs() * 1e9 / op.wire_rate_bytes_per_sec;
+        assert!(ratio > 0.98, "latency should be negligible, ratio {ratio}");
+    }
+
+    #[test]
+    fn hierarchical_beats_flat_ring_across_nodes() {
+        let sku = GpuSku::h100();
+        let topo = Topology::multi_node(2, 4, sku.link_bw_unidir_gbs, 4.0, 50.0, 10.0);
+        let group: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let ar = Collective::all_reduce(1 << 28, group);
+        let flat = lower(&ar, Algorithm::Ring, &sku, &topo, Precision::Fp16);
+        let hier = lower(&ar, Algorithm::Hierarchical, &sku, &topo, Precision::Fp16);
+        // NIC traffic halves (2S(k-1)/k vs ~2S), minus the intra phases.
+        assert!(
+            hier.isolated_duration_s() < 0.75 * flat.isolated_duration_s(),
+            "hierarchical {} vs flat {}",
+            hier.isolated_duration_s(),
+            flat.isolated_duration_s()
+        );
+    }
+
+    #[test]
+    fn auto_for_upgrades_node_spanning_reductions() {
+        let topo = Topology::multi_node(2, 4, 450.0, 4.0, 50.0, 10.0);
+        let group: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let algo = Algorithm::auto_for(CollectiveKind::AllReduce, 1 << 28, &group, &topo);
+        assert_eq!(algo, Algorithm::Hierarchical);
+        // Intra-node groups keep the flat ring.
+        let local: Vec<GpuId> = (0..4).map(GpuId).collect();
+        let algo = Algorithm::auto_for(CollectiveKind::AllReduce, 1 << 28, &local, &topo);
+        assert_eq!(algo, Algorithm::Ring);
+        // Single-node fabrics are untouched.
+        let single = Topology::nvswitch(8, 450.0, 4.0);
+        let algo = Algorithm::auto_for(CollectiveKind::AllReduce, 1 << 28, &group, &single);
+        assert_eq!(algo, Algorithm::Ring);
+    }
+
+    #[test]
+    fn small_messages_are_latency_dominated() {
+        let (sku, topo) = h100_node();
+        let tiny = Collective::all_reduce(1 << 10, group(4));
+        let op = lower(&tiny, Algorithm::Tree, &sku, &topo, Precision::Fp16);
+        let ratio = op.isolated_busbw_gbs() * 1e9 / op.wire_rate_bytes_per_sec;
+        assert!(ratio < 0.1, "tiny collectives cannot reach busbw, ratio {ratio}");
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for collective lowering.
+
+use olab_ccl::{lower, wire_bytes_per_rank, Algorithm, Collective, CollectiveKind};
+use olab_gpu::{GpuSku, Precision, SkuKind};
+use olab_net::Topology;
+use olab_sim::GpuId;
+use proptest::prelude::*;
+
+fn any_kind() -> impl Strategy<Value = CollectiveKind> {
+    prop_oneof![
+        Just(CollectiveKind::AllReduce),
+        Just(CollectiveKind::AllGather),
+        Just(CollectiveKind::ReduceScatter),
+        Just(CollectiveKind::Broadcast),
+        Just(CollectiveKind::AllToAll),
+    ]
+}
+
+fn node(sku: &GpuSku, n: usize) -> Topology {
+    match sku.vendor {
+        olab_gpu::Vendor::Nvidia => Topology::nvswitch(n, sku.link_bw_unidir_gbs, sku.link_latency_us),
+        olab_gpu::Vendor::Amd => Topology::full_mesh(n, sku.link_bw_unidir_gbs, sku.link_latency_us),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Wire volume is monotone in message size and bounded by 2S.
+    #[test]
+    fn wire_bytes_are_monotone_and_bounded(
+        kind in any_kind(),
+        bytes in 1u64..(1 << 31),
+        n in 2usize..16,
+    ) {
+        for algo in [Algorithm::Ring, Algorithm::Tree] {
+            let v = wire_bytes_per_rank(kind, algo, bytes, n);
+            let v2 = wire_bytes_per_rank(kind, algo, bytes * 2, n);
+            prop_assert!(v > 0.0);
+            prop_assert!(v <= 2.0 * bytes as f64 + 1e-6);
+            prop_assert!(v2 >= v);
+        }
+    }
+
+    /// Lowered collectives have positive, finite durations that grow with
+    /// message size.
+    #[test]
+    fn lowering_is_sane_on_all_skus(
+        bytes in 1024u64..(1 << 30),
+        kind in any_kind(),
+    ) {
+        for sku_kind in SkuKind::ALL {
+            let sku = sku_kind.sku();
+            let topo = node(&sku, 4);
+            let group: Vec<GpuId> = (0..4).map(GpuId).collect();
+            let coll = Collective::new(kind, bytes, group);
+            let algo = Algorithm::auto(kind, bytes, 4);
+            let op = lower(&coll, algo, &sku, &topo, Precision::Fp16);
+            prop_assert!(op.isolated_duration_s().is_finite());
+            prop_assert!(op.isolated_duration_s() > 0.0);
+            prop_assert!(op.sm_fraction > 0.0 && op.sm_fraction < 0.5);
+            prop_assert!(op.hbm_bytes_per_rank >= op.wire_bytes_per_rank);
+
+            let bigger = Collective::new(kind, bytes * 2, (0..4).map(GpuId).collect());
+            let op2 = lower(&bigger, algo, &sku, &topo, Precision::Fp16);
+            prop_assert!(op2.isolated_duration_s() >= op.isolated_duration_s());
+        }
+    }
+
+    /// Bus bandwidth never exceeds the wire rate, and approaches it for
+    /// large messages.
+    #[test]
+    fn busbw_is_bounded_by_wire_rate(bytes in 1024u64..(1u64 << 32)) {
+        let sku = GpuSku::h100();
+        let topo = node(&sku, 8);
+        let group: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let coll = Collective::all_reduce(bytes, group);
+        let op = lower(&coll, Algorithm::Ring, &sku, &topo, Precision::Fp16);
+        prop_assert!(op.isolated_busbw_gbs() * 1e9 <= op.wire_rate_bytes_per_sec * (1.0 + 1e-9));
+    }
+
+    /// Auto algorithm selection is total and latency steps are positive.
+    #[test]
+    fn auto_selection_is_total(kind in any_kind(), bytes in 1u64..(1 << 31), n in 2usize..32) {
+        let algo = Algorithm::auto(kind, bytes, n);
+        prop_assert!(algo.latency_steps(kind, n) >= 1);
+    }
+}

@@ -1,0 +1,399 @@
+//! Hand-rolled argument parsing.
+
+use olab_core::adaptive::Objective;
+use olab_core::Strategy;
+use olab_gpu::{Datapath, Precision, SkuKind};
+use olab_models::ModelPreset;
+use std::error::Error;
+use std::fmt;
+
+/// A user-facing CLI error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for CliError {}
+
+impl From<olab_core::ExperimentError> for CliError {
+    fn from(e: olab_core::ExperimentError) -> Self {
+        CliError(format!("experiment failed: {e}"))
+    }
+}
+
+/// Shared experiment arguments.
+#[derive(Debug, Clone)]
+pub struct RunArgs {
+    /// GPU SKU.
+    pub sku: SkuKind,
+    /// GPUs in the node.
+    pub gpus: usize,
+    /// Workload.
+    pub model: ModelPreset,
+    /// Distribution strategy.
+    pub strategy: Strategy,
+    /// Batch size (per-rank for FSDP, global otherwise).
+    pub batch: u64,
+    /// Sequence length.
+    pub seq: u64,
+    /// Numeric precision.
+    pub precision: Precision,
+    /// Matrix-kernel datapath.
+    pub datapath: Datapath,
+    /// Optional strict power cap, watts.
+    pub power_cap: Option<f64>,
+    /// Optional clock cap (fraction of boost).
+    pub freq_cap: Option<f64>,
+    /// Gradient-accumulation micro-steps (FSDP).
+    pub grad_accum: u32,
+    /// Emit CSV instead of aligned text.
+    pub csv: bool,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        RunArgs {
+            sku: SkuKind::H100,
+            gpus: 4,
+            model: ModelPreset::Gpt3_2_7B,
+            strategy: Strategy::Fsdp,
+            batch: 8,
+            seq: 1024,
+            precision: Precision::Fp16,
+            datapath: Datapath::TensorCore,
+            power_cap: None,
+            freq_cap: None,
+            grad_accum: 1,
+            csv: false,
+        }
+    }
+}
+
+impl RunArgs {
+    /// Builds the experiment these arguments describe.
+    pub fn experiment(&self) -> olab_core::Experiment {
+        let mut e = olab_core::Experiment::new(
+            self.sku,
+            self.gpus,
+            self.model,
+            self.strategy,
+            self.batch,
+        )
+        .with_seq(self.seq)
+        .with_precision(self.precision)
+        .with_datapath(self.datapath)
+        .with_grad_accum(self.grad_accum);
+        if let Some(cap) = self.power_cap {
+            e = e.with_power_cap(cap);
+        }
+        if let Some(f) = self.freq_cap {
+            e = e.with_freq_cap(f);
+        }
+        e
+    }
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// `olab list`.
+    List,
+    /// `olab run ...`.
+    Run(RunArgs),
+    /// `olab sweep ... --batches a,b,c`.
+    Sweep(RunArgs, Vec<u64>),
+    /// `olab trace ... [--interval-ms x]`.
+    Trace(RunArgs, f64),
+    /// `olab tune ... [--objective latency|energy|edp]`.
+    Tune(RunArgs, Objective),
+    /// `olab chrome ...` — emit a chrome://tracing JSON timeline.
+    Chrome(RunArgs),
+    /// `olab help` / no arguments.
+    Help,
+}
+
+/// Parses a SKU name (case-insensitive).
+pub fn parse_sku(s: &str) -> Result<SkuKind, CliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "a100" => Ok(SkuKind::A100),
+        "h100" => Ok(SkuKind::H100),
+        "mi210" => Ok(SkuKind::Mi210),
+        "mi250" => Ok(SkuKind::Mi250),
+        other => Err(CliError(format!(
+            "unknown sku '{other}' (expected a100|h100|mi210|mi250)"
+        ))),
+    }
+}
+
+/// Parses a model name.
+pub fn parse_model(s: &str) -> Result<ModelPreset, CliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "gpt3-xl" | "gpt3-1.3b" => Ok(ModelPreset::Gpt3Xl),
+        "gpt3-2.7b" => Ok(ModelPreset::Gpt3_2_7B),
+        "gpt3-6.7b" => Ok(ModelPreset::Gpt3_6_7B),
+        "gpt3-13b" => Ok(ModelPreset::Gpt3_13B),
+        "llama2-13b" => Ok(ModelPreset::Llama2_13B),
+        other => Err(CliError(format!(
+            "unknown model '{other}' (expected gpt3-xl|gpt3-2.7b|gpt3-6.7b|gpt3-13b|llama2-13b)"
+        ))),
+    }
+}
+
+/// Parses a strategy name.
+pub fn parse_strategy(s: &str) -> Result<Strategy, CliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "fsdp" => Ok(Strategy::Fsdp),
+        "pp" | "pipeline" => Ok(Strategy::Pipeline { microbatch_size: 8 }),
+        "tp" | "tensor" => Ok(Strategy::TensorParallel),
+        other => Err(CliError(format!(
+            "unknown strategy '{other}' (expected fsdp|pp|tp)"
+        ))),
+    }
+}
+
+fn parse_precision(s: &str) -> Result<Precision, CliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "fp16" => Ok(Precision::Fp16),
+        "bf16" => Ok(Precision::Bf16),
+        "fp32" => Ok(Precision::Fp32),
+        "tf32" => Ok(Precision::Tf32),
+        other => Err(CliError(format!("unknown precision '{other}'"))),
+    }
+}
+
+fn parse_datapath(s: &str) -> Result<Datapath, CliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "tensor" | "tensorcore" => Ok(Datapath::TensorCore),
+        "vector" => Ok(Datapath::Vector),
+        other => Err(CliError(format!("unknown datapath '{other}'"))),
+    }
+}
+
+fn parse_objective(s: &str) -> Result<Objective, CliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "latency" => Ok(Objective::Latency),
+        "energy" => Ok(Objective::Energy),
+        "edp" => Ok(Objective::Edp),
+        other => Err(CliError(format!(
+            "unknown objective '{other}' (expected latency|energy|edp)"
+        ))),
+    }
+}
+
+fn num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, CliError> {
+    value
+        .parse()
+        .map_err(|_| CliError(format!("{flag}: cannot parse '{value}'")))
+}
+
+/// Parses common flags into `RunArgs`, returning unconsumed (flag, value)
+/// pairs to the caller.
+fn parse_run_args<'a>(
+    pairs: &[(&'a str, &'a str)],
+) -> Result<(RunArgs, Vec<(&'a str, &'a str)>), CliError> {
+    let mut args = RunArgs::default();
+    let mut rest = Vec::new();
+    for &(flag, value) in pairs {
+        match flag {
+            "--sku" => args.sku = parse_sku(value)?,
+            "--gpus" => args.gpus = num(flag, value)?,
+            "--model" => args.model = parse_model(value)?,
+            "--strategy" => args.strategy = parse_strategy(value)?,
+            "--batch" => args.batch = num(flag, value)?,
+            "--seq" => args.seq = num(flag, value)?,
+            "--precision" => args.precision = parse_precision(value)?,
+            "--datapath" => args.datapath = parse_datapath(value)?,
+            "--power-cap" => args.power_cap = Some(num(flag, value)?),
+            "--freq-cap" => args.freq_cap = Some(num(flag, value)?),
+            "--grad-accum" => args.grad_accum = num(flag, value)?,
+            "--microbatch" => {
+                let size = num(flag, value)?;
+                args.strategy = Strategy::Pipeline {
+                    microbatch_size: size,
+                };
+            }
+            _ => rest.push((flag, value)),
+        }
+    }
+    Ok((args, rest))
+}
+
+/// Parses a full command line (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing the offending flag or value.
+pub fn parse(argv: &[String]) -> Result<Command, CliError> {
+    let Some(sub) = argv.first() else {
+        return Ok(Command::Help);
+    };
+
+    // Split "--flag value" pairs; "--csv" is a bare flag.
+    let mut pairs: Vec<(&str, &str)> = Vec::new();
+    let mut csv = false;
+    let mut i = 1;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        if flag == "--csv" {
+            csv = true;
+            i += 1;
+            continue;
+        }
+        if !flag.starts_with("--") {
+            return Err(CliError(format!("expected a --flag, got '{flag}'")));
+        }
+        let Some(value) = argv.get(i + 1) else {
+            return Err(CliError(format!("{flag} needs a value")));
+        };
+        pairs.push((flag, value.as_str()));
+        i += 2;
+    }
+
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "list" => Ok(Command::List),
+        "run" => {
+            let (mut args, rest) = parse_run_args(&pairs)?;
+            args.csv = csv;
+            reject_unknown(&rest)?;
+            Ok(Command::Run(args))
+        }
+        "sweep" => {
+            let (mut args, rest) = parse_run_args(&pairs)?;
+            args.csv = csv;
+            let mut batches = vec![8, 16, 32];
+            let mut unknown = Vec::new();
+            for (flag, value) in rest {
+                if flag == "--batches" {
+                    batches = value
+                        .split(',')
+                        .map(|v| num("--batches", v.trim()))
+                        .collect::<Result<Vec<u64>, _>>()?;
+                } else {
+                    unknown.push((flag, value));
+                }
+            }
+            reject_unknown(&unknown)?;
+            Ok(Command::Sweep(args, batches))
+        }
+        "trace" => {
+            let (mut args, rest) = parse_run_args(&pairs)?;
+            args.csv = csv;
+            let mut interval = 1.0;
+            let mut unknown = Vec::new();
+            for (flag, value) in rest {
+                if flag == "--interval-ms" {
+                    interval = num("--interval-ms", value)?;
+                } else {
+                    unknown.push((flag, value));
+                }
+            }
+            reject_unknown(&unknown)?;
+            Ok(Command::Trace(args, interval))
+        }
+        "chrome" => {
+            let (mut args, rest) = parse_run_args(&pairs)?;
+            args.csv = csv;
+            reject_unknown(&rest)?;
+            Ok(Command::Chrome(args))
+        }
+        "tune" => {
+            let (mut args, rest) = parse_run_args(&pairs)?;
+            args.csv = csv;
+            let mut objective = Objective::Latency;
+            let mut unknown = Vec::new();
+            for (flag, value) in rest {
+                if flag == "--objective" {
+                    objective = parse_objective(value)?;
+                } else {
+                    unknown.push((flag, value));
+                }
+            }
+            reject_unknown(&unknown)?;
+            Ok(Command::Tune(args, objective))
+        }
+        other => Err(CliError(format!(
+            "unknown command '{other}' (expected run|sweep|trace|tune|chrome|list|help)"
+        ))),
+    }
+}
+
+fn reject_unknown(rest: &[(&str, &str)]) -> Result<(), CliError> {
+    if let Some((flag, _)) = rest.first() {
+        return Err(CliError(format!("unknown flag '{flag}'")));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn run_parses_all_flags() {
+        let cmd = parse(&argv(
+            "run --sku mi250 --model gpt3-13b --strategy fsdp --batch 16 \
+             --seq 512 --precision fp32 --datapath vector --power-cap 300 \
+             --freq-cap 0.8 --grad-accum 2 --csv",
+        ))
+        .unwrap();
+        let Command::Run(args) = cmd else {
+            panic!("expected run");
+        };
+        assert_eq!(args.sku, SkuKind::Mi250);
+        assert_eq!(args.model, ModelPreset::Gpt3_13B);
+        assert_eq!(args.batch, 16);
+        assert_eq!(args.seq, 512);
+        assert_eq!(args.precision, Precision::Fp32);
+        assert_eq!(args.datapath, Datapath::Vector);
+        assert_eq!(args.power_cap, Some(300.0));
+        assert_eq!(args.freq_cap, Some(0.8));
+        assert_eq!(args.grad_accum, 2);
+        assert!(args.csv);
+    }
+
+    #[test]
+    fn sweep_parses_batch_list() {
+        let cmd = parse(&argv("sweep --sku a100 --batches 4,8,64")).unwrap();
+        let Command::Sweep(_, batches) = cmd else {
+            panic!("expected sweep");
+        };
+        assert_eq!(batches, vec![4, 8, 64]);
+    }
+
+    #[test]
+    fn pipeline_microbatch_flag_sets_strategy() {
+        let cmd = parse(&argv("run --strategy pp --microbatch 4")).unwrap();
+        let Command::Run(args) = cmd else {
+            panic!("expected run");
+        };
+        assert_eq!(args.strategy, Strategy::Pipeline { microbatch_size: 4 });
+    }
+
+    #[test]
+    fn empty_argv_is_help() {
+        assert!(matches!(parse(&[]).unwrap(), Command::Help));
+    }
+
+    #[test]
+    fn unknown_flags_and_values_error_cleanly() {
+        assert!(parse(&argv("run --bogus 1")).is_err());
+        assert!(parse(&argv("run --sku q100")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("run --batch")).is_err());
+    }
+
+    #[test]
+    fn tune_parses_objective() {
+        let cmd = parse(&argv("tune --sku mi250 --objective energy")).unwrap();
+        assert!(matches!(cmd, Command::Tune(_, Objective::Energy)));
+    }
+}

@@ -1,0 +1,269 @@
+//! Subcommand implementations (each returns the text to print).
+
+use crate::args::{CliError, RunArgs};
+use olab_core::adaptive::{tune_fsdp, Objective};
+use olab_core::report::{ms, pct, Table};
+use olab_gpu::GpuSku;
+use olab_models::ModelPreset;
+use olab_power::Sampler;
+use std::fmt::Write as _;
+
+/// `olab help`.
+pub fn help() -> String {
+    "\
+olab — compute/communication-overlap characterization (ISPASS'25 reproduction)
+
+USAGE:
+  olab list                                    available SKUs and models
+  olab run   [flags]                           one experiment, full metrics
+  olab sweep [flags] --batches 8,16,32         batch sweep table
+  olab trace [flags] [--interval-ms 1]         sampled power trace (CSV-ish)
+  olab tune  [flags] [--objective energy]      adaptive overlap search (FSDP)
+  olab chrome [flags]                          chrome://tracing JSON timeline
+
+FLAGS (shared):
+  --sku a100|h100|mi210|mi250     --gpus N             --model gpt3-2.7b|...
+  --strategy fsdp|pp|tp           --microbatch N       --batch N
+  --seq N                         --precision fp16|bf16|fp32|tf32
+  --datapath tensor|vector        --power-cap WATTS    --freq-cap 0.0-1.0
+  --grad-accum K                  --csv
+"
+    .to_string()
+}
+
+/// `olab list`.
+pub fn list() -> String {
+    let mut out = String::from("SKUs:\n");
+    for sku in GpuSku::all() {
+        let _ = writeln!(
+            out,
+            "  {:6} {:7} {:4} GB, {:6.0} GB/s HBM, {:4.0} W TDP, {:3.0} GB/s/dir links",
+            sku.name.to_lowercase(),
+            format!("({})", sku.vendor),
+            sku.mem_gb,
+            sku.mem_bw_gbs,
+            sku.tdp_w,
+            sku.link_bw_unidir_gbs
+        );
+    }
+    out.push_str("\nModels:\n");
+    for preset in ModelPreset::ALL {
+        let cfg = preset.config();
+        let _ = writeln!(
+            out,
+            "  {:11} {} ({} layers, hidden {})",
+            cli_name(preset),
+            preset.param_label(),
+            cfg.layers,
+            cfg.hidden
+        );
+    }
+    out
+}
+
+fn cli_name(preset: ModelPreset) -> &'static str {
+    match preset {
+        ModelPreset::Gpt3Xl => "gpt3-xl",
+        ModelPreset::Gpt3_2_7B => "gpt3-2.7b",
+        ModelPreset::Gpt3_6_7B => "gpt3-6.7b",
+        ModelPreset::Gpt3_13B => "gpt3-13b",
+        ModelPreset::Llama2_13B => "llama2-13b",
+    }
+}
+
+/// `olab run`.
+pub fn run(args: &RunArgs) -> Result<String, CliError> {
+    let report = args.experiment().run()?;
+    let m = &report.metrics;
+    let tdp = report.tdp_w();
+    let mut out = format!("{}\n\n", report.experiment.label());
+    let _ = writeln!(out, "activation policy    {:?}", report.activation_policy);
+    let _ = writeln!(out, "E2E ideal (Eq.4)     {}", ms(m.e2e_ideal_s));
+    let _ = writeln!(out, "E2E overlapped       {}", ms(m.e2e_overlapped_s));
+    let _ = writeln!(
+        out,
+        "E2E sequential       {} (Eq.5 derived {})",
+        ms(m.e2e_sequential_measured_s),
+        ms(m.e2e_sequential_derived_s)
+    );
+    let _ = writeln!(out, "compute slowdown     {}", pct(m.compute_slowdown));
+    let _ = writeln!(out, "overlap ratio        {}", pct(m.overlap_ratio));
+    let _ = writeln!(
+        out,
+        "avg / peak power     {:.0} W ({:.2}x TDP) / {:.0} W ({:.2}x TDP)",
+        m.avg_power_w,
+        m.avg_power_w / tdp,
+        m.peak_power_w,
+        m.peak_power_w / tdp
+    );
+    let _ = writeln!(out, "energy per iter      {:.0} J", m.energy_j);
+    Ok(out)
+}
+
+/// `olab sweep`.
+pub fn sweep(args: &RunArgs, batches: &[u64]) -> Result<String, CliError> {
+    let mut table = Table::new([
+        "Batch",
+        "Overlap ratio",
+        "Compute slowdown",
+        "E2E overlapped",
+        "E2E sequential",
+        "Peak power",
+    ]);
+    for &batch in batches {
+        let mut a = args.clone();
+        a.batch = batch;
+        match a.experiment().run() {
+            Ok(r) => {
+                table.row([
+                    batch.to_string(),
+                    pct(r.metrics.overlap_ratio),
+                    pct(r.metrics.compute_slowdown),
+                    ms(r.metrics.e2e_overlapped_s),
+                    ms(r.metrics.e2e_sequential_measured_s),
+                    format!("{:.2}x TDP", r.metrics.peak_power_w / r.tdp_w()),
+                ]);
+            }
+            Err(e) => {
+                table.row([
+                    batch.to_string(),
+                    format!("{e}"),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+            }
+        }
+    }
+    Ok(if args.csv {
+        table.to_csv()
+    } else {
+        table.to_markdown()
+    })
+}
+
+/// `olab trace`.
+pub fn trace(args: &RunArgs, interval_ms: f64) -> Result<String, CliError> {
+    let report = args.experiment().run()?;
+    let gpu0 = &report.overlapped.gpus[0];
+    let sampler = Sampler::with_interval("cli", interval_ms * 1e-3);
+    let sampled = gpu0.power.sample(sampler);
+    let tdp = report.tdp_w();
+    let in_overlap =
+        |t: f64| gpu0.overlap_windows.iter().any(|&(a, b)| t >= a && t < b);
+
+    let mut out = String::from("t_ms,power_w,power_x_tdp,overlap\n");
+    for s in &sampled.samples {
+        let _ = writeln!(
+            out,
+            "{:.3},{:.1},{:.3},{}",
+            s.time_s * 1e3,
+            s.watts,
+            s.watts / tdp,
+            u8::from(in_overlap(s.time_s))
+        );
+    }
+    Ok(out)
+}
+
+/// `olab chrome`: emit a chrome://tracing timeline of the overlapped run.
+pub fn chrome(args: &RunArgs) -> Result<String, CliError> {
+    let report = args.experiment().run()?;
+    Ok(olab_core::chrome_trace::to_chrome_trace(&report.overlapped.trace))
+}
+
+/// `olab tune`.
+pub fn tune(args: &RunArgs, objective: Objective) -> Result<String, CliError> {
+    let choice = tune_fsdp(&args.experiment(), objective)?;
+    let mut table = Table::new(["Policy", "E2E", "Energy", "Score", "Pick"]);
+    for (i, c) in choice.candidates.iter().enumerate() {
+        table.row([
+            c.policy.to_string(),
+            ms(c.report.metrics.e2e_overlapped_s),
+            format!("{:.0} J", c.report.metrics.energy_j),
+            format!("{:.4}", c.score),
+            if i == 0 { "<== best" } else { "" }.to_string(),
+        ]);
+    }
+    let mut out = format!(
+        "adaptive overlap search, objective = {objective}\n\n{}",
+        if args.csv {
+            table.to_csv()
+        } else {
+            table.to_markdown()
+        }
+    );
+    let _ = writeln!(
+        out,
+        "\nbest policy '{}' improves {} by {} over always-overlap",
+        choice.best().policy,
+        objective,
+        pct(choice.gain_over_default())
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_mentions_every_subcommand() {
+        let h = help();
+        for cmd in ["run", "sweep", "trace", "tune", "list"] {
+            assert!(h.contains(cmd), "{cmd}");
+        }
+    }
+
+    #[test]
+    fn list_names_all_skus_and_models() {
+        let l = list();
+        for name in ["a100", "h100", "mi210", "mi250", "gpt3-13b", "llama2-13b"] {
+            assert!(l.contains(name), "{name}");
+        }
+    }
+
+    #[test]
+    fn run_produces_metrics() {
+        let mut args = RunArgs::default();
+        args.seq = 256;
+        let out = run(&args).unwrap();
+        assert!(out.contains("compute slowdown"));
+        assert!(out.contains("x TDP"));
+    }
+
+    #[test]
+    fn sweep_renders_one_row_per_batch() {
+        let mut args = RunArgs::default();
+        args.seq = 256;
+        let out = sweep(&args, &[4, 8]).unwrap();
+        assert_eq!(out.lines().count(), 4, "header + separator + 2 rows");
+    }
+
+    #[test]
+    fn trace_is_csv_with_overlap_column() {
+        let mut args = RunArgs::default();
+        args.seq = 256;
+        let out = trace(&args, 5.0).unwrap();
+        assert!(out.starts_with("t_ms,power_w"));
+        assert!(out.lines().count() > 3);
+    }
+
+    #[test]
+    fn chrome_emits_json() {
+        let mut args = RunArgs::default();
+        args.seq = 256;
+        let out = chrome(&args).unwrap();
+        assert!(out.trim_start().starts_with('['));
+        assert!(out.contains("\"ph\": \"X\""));
+    }
+
+    #[test]
+    fn tune_reports_a_best_policy() {
+        let mut args = RunArgs::default();
+        args.seq = 256;
+        let out = tune(&args, Objective::Latency).unwrap();
+        assert!(out.contains("<== best"));
+    }
+}

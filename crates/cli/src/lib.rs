@@ -1,0 +1,39 @@
+//! # olab-cli — command-line interface to overlap-lab
+//!
+//! ```text
+//! olab list                                  # SKUs and models
+//! olab run   --sku h100 --model gpt3-2.7b --strategy fsdp --batch 8
+//! olab sweep --sku mi250 --model gpt3-13b --strategy fsdp --batches 8,16,32
+//! olab trace --sku mi250 --model llama2-13b --batch 8 --interval-ms 1
+//! olab tune  --sku mi250 --model gpt3-2.7b --batch 8 --objective energy
+//! ```
+//!
+//! The argument parser is hand-rolled (the workspace keeps its dependency
+//! set minimal) and lives in [`args`]; subcommand implementations are in
+//! [`commands`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, CliError, Command, RunArgs};
+
+/// Entry point shared by the binary and the tests.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with a user-facing message on bad arguments or a
+/// failed experiment.
+pub fn main_with(args: &[String]) -> Result<String, CliError> {
+    match parse(args)? {
+        Command::List => Ok(commands::list()),
+        Command::Run(run) => commands::run(&run),
+        Command::Sweep(run, batches) => commands::sweep(&run, &batches),
+        Command::Trace(run, interval_ms) => commands::trace(&run, interval_ms),
+        Command::Tune(run, objective) => commands::tune(&run, objective),
+        Command::Chrome(run) => commands::chrome(&run),
+        Command::Help => Ok(commands::help()),
+    }
+}

@@ -1,0 +1,13 @@
+//! The `olab` binary.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match olab_cli::main_with(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `olab help` for usage");
+            std::process::exit(2);
+        }
+    }
+}

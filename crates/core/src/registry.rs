@@ -1,0 +1,229 @@
+//! The experiment grids behind every figure and table of the paper.
+//!
+//! Each function returns the full grid, including configurations that will
+//! fail memory validation — the regenerators print those as the paper's
+//! missing bars (e.g. GPT-3 6.7B on the 40 GB A100).
+
+use crate::{Experiment, Strategy};
+use olab_gpu::{Datapath, Precision, SkuKind};
+use olab_models::ModelPreset;
+
+/// Batch sizes swept for FSDP experiments (per-rank).
+pub const FSDP_BATCHES: [u64; 4] = [8, 16, 32, 64];
+
+/// Global batch sizes swept for pipeline experiments.
+pub const PP_BATCHES: [u64; 4] = [8, 16, 32, 64];
+
+/// Microbatch size used by all pipeline experiments.
+pub const PP_MICROBATCH: u64 = 8;
+
+/// GPUs per node in the paper's main grid.
+pub const NODE_GPUS: usize = 4;
+
+/// Strict power caps swept in Fig. 9, watts (A100).
+pub const FIG9_CAPS: [f64; 6] = [400.0, 300.0, 250.0, 200.0, 150.0, 100.0];
+
+/// Fig. 1(a): overlap amount across model and batch sizes, FSDP on an
+/// 8×H100 node.
+pub fn fig1a() -> Vec<Experiment> {
+    let mut out = Vec::new();
+    for model in ModelPreset::ALL {
+        for batch in FSDP_BATCHES {
+            out.push(Experiment::new(
+                SkuKind::H100,
+                8,
+                model,
+                Strategy::Fsdp,
+                batch,
+            ));
+        }
+    }
+    out
+}
+
+/// Fig. 1(b): overlap amount across batch sizes, pipeline parallelism on a
+/// 4×A100 node with GPT-3 2.7B.
+pub fn fig1b() -> Vec<Experiment> {
+    PP_BATCHES
+        .iter()
+        .map(|&batch| {
+            Experiment::new(
+                SkuKind::A100,
+                NODE_GPUS,
+                ModelPreset::Gpt3_2_7B,
+                Strategy::Pipeline {
+                    microbatch_size: PP_MICROBATCH,
+                },
+                batch,
+            )
+        })
+        .collect()
+}
+
+/// The main grid shared by Figs. 4, 5 and 6: every SKU × strategy × model ×
+/// batch size.
+pub fn main_grid() -> Vec<Experiment> {
+    let mut out = Vec::new();
+    for sku in SkuKind::ALL {
+        for model in ModelPreset::ALL {
+            for batch in FSDP_BATCHES {
+                out.push(Experiment::new(
+                    sku,
+                    NODE_GPUS,
+                    model,
+                    Strategy::Fsdp,
+                    batch,
+                ));
+            }
+            for batch in PP_BATCHES {
+                out.push(Experiment::new(
+                    sku,
+                    NODE_GPUS,
+                    model,
+                    Strategy::Pipeline {
+                        microbatch_size: PP_MICROBATCH,
+                    },
+                    batch,
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Fig. 7: the fine-grained power trace — LLaMA-2 13B FSDP on 4×MI250.
+pub fn fig7() -> Experiment {
+    Experiment::new(
+        SkuKind::Mi250,
+        NODE_GPUS,
+        ModelPreset::Llama2_13B,
+        Strategy::Fsdp,
+        8,
+    )
+}
+
+/// Fig. 9: power capping on 4×A100, GPT-3 2.7B FSDP.
+pub fn fig9() -> Vec<Experiment> {
+    FIG9_CAPS
+        .iter()
+        .map(|&cap| {
+            Experiment::new(
+                SkuKind::A100,
+                NODE_GPUS,
+                ModelPreset::Gpt3_2_7B,
+                Strategy::Fsdp,
+                8,
+            )
+            .with_power_cap(cap)
+        })
+        .collect()
+}
+
+/// Fig. 10: numeric precision (FP32 vs FP16) on 4×H100 across workloads.
+/// Returns (FP32 experiment, FP16 experiment) pairs.
+pub fn fig10() -> Vec<(Experiment, Experiment)> {
+    let mut out = Vec::new();
+    for model in [
+        ModelPreset::Gpt3Xl,
+        ModelPreset::Gpt3_2_7B,
+        ModelPreset::Gpt3_6_7B,
+    ] {
+        for batch in [8, 16] {
+            let base = Experiment::new(SkuKind::H100, NODE_GPUS, model, Strategy::Fsdp, batch);
+            out.push((
+                base.clone()
+                    .with_precision(Precision::Fp32)
+                    .with_datapath(Datapath::Vector),
+                base.with_precision(Precision::Fp16)
+                    .with_datapath(Datapath::TensorCore),
+            ));
+        }
+    }
+    out
+}
+
+/// Fig. 11: FP32 on the vector path vs TF32 on tensor cores, 4×H100.
+/// Returns (FP32-vector experiment, TF32-tensor experiment) pairs.
+pub fn fig11() -> Vec<(Experiment, Experiment)> {
+    let mut out = Vec::new();
+    for model in [
+        ModelPreset::Gpt3Xl,
+        ModelPreset::Gpt3_2_7B,
+        ModelPreset::Gpt3_6_7B,
+    ] {
+        for batch in [8, 16] {
+            let base = Experiment::new(SkuKind::H100, NODE_GPUS, model, Strategy::Fsdp, batch)
+                .with_precision(Precision::Fp32);
+            out.push((
+                base.clone().with_datapath(Datapath::Vector),
+                base.with_precision(Precision::Tf32)
+                    .with_datapath(Datapath::TensorCore),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1a_covers_all_models_and_batches() {
+        let g = fig1a();
+        assert_eq!(g.len(), ModelPreset::ALL.len() * FSDP_BATCHES.len());
+        assert!(g.iter().all(|e| e.n_gpus == 8 && e.sku == SkuKind::H100));
+    }
+
+    #[test]
+    fn main_grid_covers_every_sku() {
+        let g = main_grid();
+        assert_eq!(
+            g.len(),
+            SkuKind::ALL.len()
+                * ModelPreset::ALL.len()
+                * (FSDP_BATCHES.len() + PP_BATCHES.len())
+        );
+        for sku in SkuKind::ALL {
+            assert!(g.iter().any(|e| e.sku == sku));
+        }
+    }
+
+    #[test]
+    fn fig9_applies_decreasing_caps() {
+        let g = fig9();
+        assert_eq!(g.len(), FIG9_CAPS.len());
+        assert!(g.iter().all(|e| e.power_cap_w.is_some()));
+    }
+
+    #[test]
+    fn fig10_pairs_differ_only_in_numerics() {
+        for (fp32, fp16) in fig10() {
+            assert_eq!(fp32.model, fp16.model);
+            assert_eq!(fp32.batch, fp16.batch);
+            assert_eq!(fp32.precision, Precision::Fp32);
+            assert_eq!(fp16.precision, Precision::Fp16);
+        }
+    }
+
+    #[test]
+    fn fig11_compares_datapaths() {
+        for (vector, tensor) in fig11() {
+            assert_eq!(vector.datapath, Datapath::Vector);
+            assert_eq!(tensor.datapath, Datapath::TensorCore);
+            assert_eq!(tensor.precision, Precision::Tf32);
+        }
+    }
+
+    #[test]
+    fn some_main_grid_cells_are_infeasible_like_the_paper() {
+        // The A100 cannot run the 13B models: those cells must fail
+        // validation, mirroring the paper's missing bars.
+        let infeasible = main_grid()
+            .iter()
+            .filter(|e| e.sku == SkuKind::A100 && e.model == ModelPreset::Gpt3_13B)
+            .filter(|e| matches!(e.strategy, Strategy::Fsdp))
+            .all(|e| e.validate().is_err());
+        assert!(infeasible);
+    }
+}

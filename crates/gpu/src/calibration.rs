@@ -1,0 +1,132 @@
+//! Per-SKU contention calibration.
+//!
+//! These coefficients encode *where* compute/communication interference
+//! comes from — SM occupancy of collective kernels, HBM traffic
+//! amplification, cache pollution, and achievable link efficiency — and are
+//! tuned so the simulator lands in the paper's reported ranges:
+//!
+//! * MI210 FSDP: mean compute slowdown ≈ 11.3%, peaks ≈ 23% (Sec. V-A);
+//! * H100 FSDP: 2.3–7.25%, peaking at 19.2%;
+//! * A100: ≤ 4.3% (memory-capacity-limited to small models);
+//! * MI250 on GPT-3 13B: slowdowns approaching 40%;
+//! * pipeline parallelism consistently below FSDP (send/recv needs fewer
+//!   SMs and no reduction math).
+//!
+//! The AMD parts get heavier coefficients than the NVIDIA parts: RCCL runs
+//! wider workgroups per channel, Infinity Fabric transfers are staged
+//! through HBM on both GCDs, and the paper observes correspondingly higher
+//! interference.
+
+use crate::SkuKind;
+
+/// Contention coefficients for one SKU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContentionProfile {
+    /// Fraction of the GPU's SMs occupied by one collective channel.
+    pub sm_fraction_per_channel: f64,
+    /// Ceiling on total SM occupancy by communication kernels.
+    pub max_comm_sm_fraction: f64,
+    /// HBM bytes moved per byte on the wire (ring steps read and write
+    /// staging buffers; reductions read two operands).
+    pub hbm_bytes_per_wire_byte: f64,
+    /// Multiplicative compute slowdown from cache/TLB pollution whenever a
+    /// communication kernel is co-resident (1.0 = none).
+    pub l2_interference: f64,
+    /// Achievable ring bus-bandwidth as a fraction of the unidirectional
+    /// link bandwidth.
+    pub ring_busbw_efficiency: f64,
+    /// Achievable point-to-point bandwidth as a fraction of the link rate
+    /// (send/recv avoids the ring's staging and synchronization overheads).
+    pub p2p_efficiency: f64,
+    /// Base latency of one collective launch, microseconds.
+    pub collective_launch_us: f64,
+}
+
+impl ContentionProfile {
+    /// Calibrated profile for a SKU.
+    pub fn for_sku(kind: SkuKind) -> Self {
+        match kind {
+            SkuKind::A100 => ContentionProfile {
+                sm_fraction_per_channel: 1.0 / 108.0,
+                max_comm_sm_fraction: 0.16,
+                hbm_bytes_per_wire_byte: 2.0,
+                l2_interference: 1.20,
+                ring_busbw_efficiency: 0.55,
+                p2p_efficiency: 0.85,
+                collective_launch_us: 12.0,
+            },
+            SkuKind::H100 => ContentionProfile {
+                sm_fraction_per_channel: 1.0 / 132.0,
+                max_comm_sm_fraction: 0.18,
+                hbm_bytes_per_wire_byte: 2.0,
+                l2_interference: 1.15,
+                ring_busbw_efficiency: 0.60,
+                p2p_efficiency: 0.85,
+                collective_launch_us: 10.0,
+            },
+            // RCCL runs wide workgroups per channel and stages ring steps
+            // through HBM on the way across Infinity Fabric; measured 4-GPU
+            // all-reduce bus bandwidth on these parts is a small fraction of
+            // the link rate, and co-resident collectives interfere heavily
+            // with compute (the paper's 11.3%-mean / 23%-peak MI210 numbers).
+            SkuKind::Mi210 => ContentionProfile {
+                sm_fraction_per_channel: 4.0 / 104.0,
+                max_comm_sm_fraction: 0.28,
+                hbm_bytes_per_wire_byte: 3.0,
+                l2_interference: 1.35,
+                ring_busbw_efficiency: 0.28,
+                p2p_efficiency: 0.50,
+                collective_launch_us: 18.0,
+            },
+            // The MI250 is a dual-GCD package: every ring step crosses the
+            // in-package fabric and both GCDs' HBM, roughly doubling staging
+            // traffic and cache pollution relative to the MI210. This is the
+            // part the paper reports ~40% compute slowdowns on for 13B-class
+            // models (Sec. V-A, Fig. 5).
+            SkuKind::Mi250 => ContentionProfile {
+                sm_fraction_per_channel: 8.0 / 208.0,
+                max_comm_sm_fraction: 0.35,
+                hbm_bytes_per_wire_byte: 4.0,
+                l2_interference: 1.45,
+                ring_busbw_efficiency: 0.15,
+                p2p_efficiency: 0.50,
+                collective_launch_us: 20.0,
+            },
+        }
+    }
+
+    /// SM fraction consumed by `channels` collective channels, capped.
+    pub fn comm_sm_fraction(&self, channels: u32) -> f64 {
+        (self.sm_fraction_per_channel * f64::from(channels)).min(self.max_comm_sm_fraction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amd_parts_have_heavier_interference_than_nvidia() {
+        let h100 = ContentionProfile::for_sku(SkuKind::H100);
+        let mi250 = ContentionProfile::for_sku(SkuKind::Mi250);
+        assert!(mi250.l2_interference > h100.l2_interference);
+        assert!(mi250.hbm_bytes_per_wire_byte > h100.hbm_bytes_per_wire_byte);
+        assert!(mi250.ring_busbw_efficiency < h100.ring_busbw_efficiency);
+    }
+
+    #[test]
+    fn comm_sm_fraction_caps_at_profile_maximum() {
+        let p = ContentionProfile::for_sku(SkuKind::A100);
+        assert!(p.comm_sm_fraction(1) > 0.0);
+        assert!(p.comm_sm_fraction(1000) <= p.max_comm_sm_fraction);
+        assert!(p.comm_sm_fraction(4) < p.comm_sm_fraction(8));
+    }
+
+    #[test]
+    fn amplification_is_at_least_two_everywhere() {
+        // Ring steps fundamentally read and write HBM once per wire byte.
+        for kind in SkuKind::ALL {
+            assert!(ContentionProfile::for_sku(kind).hbm_bytes_per_wire_byte >= 2.0);
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! DVFS governor: frequency selection under power limits.
+//!
+//! Real GPUs enforce their power limit with a hardware control loop that
+//! reduces the core clock when a (ms-scale) moving average of board power
+//! exceeds the limit. Short spikes pass through — this is why the paper can
+//! observe 1.4x-TDP peaks (Fig. 6/7) while `nvidia-smi` power caps still
+//! bite hard (Fig. 9, up to 107% slowdown at 100 W).
+//!
+//! We model this with two enforcement flavors:
+//! * [`Enforcement::Transient`] — the stock behaviour: throttling only
+//!   engages when demand exceeds `cap * headroom`, letting realistic spikes
+//!   through while still penalizing sustained oversubscription.
+//! * [`Enforcement::Strict`] — an explicit `nvidia-smi`-style cap: demand is
+//!   clamped to the cap at every instant.
+
+use crate::power::{PowerProfile, Utilization};
+use std::fmt;
+
+/// How a power limit is enforced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Enforcement {
+    /// Clamp instantaneous power to the cap (software-set caps).
+    Strict,
+    /// Allow transient excursions up to `headroom * cap` before throttling
+    /// (stock board behaviour; headroom ~1.25–1.35 on modern parts).
+    Transient {
+        /// Multiple of the cap tolerated instantaneously.
+        headroom: f64,
+    },
+}
+
+/// A power limit applied to one GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLimit {
+    /// The limit in watts.
+    pub cap_w: f64,
+    /// Enforcement flavor.
+    pub enforcement: Enforcement,
+}
+
+impl PowerLimit {
+    /// The stock limit for a board: TDP with transient headroom.
+    pub fn stock(tdp_w: f64) -> Self {
+        PowerLimit {
+            cap_w: tdp_w,
+            enforcement: Enforcement::Transient { headroom: 1.45 },
+        }
+    }
+
+    /// An explicit software cap (`nvidia-smi -pl <watts>` equivalent).
+    pub fn strict(cap_w: f64) -> Self {
+        PowerLimit {
+            cap_w,
+            enforcement: Enforcement::Strict,
+        }
+    }
+
+    /// The wattage above which throttling engages.
+    pub fn throttle_threshold(&self) -> f64 {
+        match self.enforcement {
+            Enforcement::Strict => self.cap_w,
+            Enforcement::Transient { headroom } => self.cap_w * headroom,
+        }
+    }
+}
+
+impl fmt::Display for PowerLimit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.enforcement {
+            Enforcement::Strict => write!(f, "{:.0} W (strict)", self.cap_w),
+            Enforcement::Transient { headroom } => {
+                write!(f, "{:.0} W (transient x{headroom:.2})", self.cap_w)
+            }
+        }
+    }
+}
+
+/// Result of a governor decision for one epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThrottleDecision {
+    /// Core-clock factor selected, in `[min_freq_factor, max_factor]`.
+    pub freq_factor: f64,
+    /// Board power at that frequency, watts.
+    pub power_w: f64,
+    /// Whether the limit forced a reduction below the requested maximum.
+    pub throttled: bool,
+}
+
+/// Frequency governor for one GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DvfsGovernor {
+    /// The active power limit.
+    pub limit: PowerLimit,
+    /// An additional user frequency cap in `(0, 1]` (`nvidia-smi -lgc`
+    /// equivalent), 1.0 = no cap.
+    pub max_freq_factor: f64,
+}
+
+impl DvfsGovernor {
+    /// Governor with the stock limit for a TDP and no frequency cap.
+    pub fn stock(tdp_w: f64) -> Self {
+        DvfsGovernor {
+            limit: PowerLimit::stock(tdp_w),
+            max_freq_factor: 1.0,
+        }
+    }
+
+    /// Picks the highest legal frequency for the utilization this epoch.
+    ///
+    /// Solves `idle + uncore + core·f^alpha = threshold` for `f`, clamped to
+    /// `[profile.min_freq_factor, max_freq_factor]`. Memory/comm power is not
+    /// throttleable by the core clock, so under very low caps the board may
+    /// still exceed the cap at the frequency floor — exactly the behaviour
+    /// of real parts under aggressive `nvidia-smi -pl` settings.
+    pub fn decide(&self, profile: &PowerProfile, u: &Utilization) -> ThrottleDecision {
+        let threshold = self.limit.throttle_threshold();
+        let core = profile.core_dynamic(u);
+        let fixed = profile.idle_w + profile.uncore_dynamic(u);
+
+        let unthrottled = fixed + core * self.max_freq_factor.powf(profile.alpha);
+        if unthrottled <= threshold || core <= 0.0 {
+            return ThrottleDecision {
+                freq_factor: self.max_freq_factor,
+                power_w: unthrottled,
+                throttled: false,
+            };
+        }
+
+        let budget = (threshold - fixed).max(0.0);
+        let f = if budget > 0.0 {
+            (budget / core).powf(1.0 / profile.alpha)
+        } else {
+            0.0
+        };
+        let f = f.clamp(profile.min_freq_factor, self.max_freq_factor);
+        ThrottleDecision {
+            freq_factor: f,
+            power_w: fixed + core * f.powf(profile.alpha),
+            throttled: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GpuSku, SkuKind};
+
+    fn busy() -> Utilization {
+        Utilization {
+            tensor: 1.0,
+            mem: 0.8,
+            comm: 0.5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn stock_limit_lets_transient_peaks_through() {
+        let a100 = GpuSku::a100();
+        let gov = DvfsGovernor::stock(a100.tdp_w);
+        let d = gov.decide(&a100.power(), &busy());
+        assert!(!d.throttled);
+        assert!(d.power_w > a100.tdp_w, "peak {} should exceed TDP", d.power_w);
+        assert_eq!(d.freq_factor, 1.0);
+    }
+
+    #[test]
+    fn strict_cap_throttles_to_the_cap() {
+        let a100 = GpuSku::a100();
+        let gov = DvfsGovernor {
+            limit: PowerLimit::strict(250.0),
+            max_freq_factor: 1.0,
+        };
+        let d = gov.decide(&a100.power(), &busy());
+        assert!(d.throttled);
+        assert!(d.freq_factor < 1.0);
+        assert!(d.power_w <= 250.0 + 1e-9);
+    }
+
+    #[test]
+    fn a_100w_cap_on_a100_cuts_frequency_by_more_than_half() {
+        // Fig. 9: at 100 W the A100 slows overlapping execution by ~100%.
+        let a100 = GpuSku::a100();
+        let gov = DvfsGovernor {
+            limit: PowerLimit::strict(100.0),
+            max_freq_factor: 1.0,
+        };
+        let d = gov.decide(&a100.power(), &busy());
+        assert!(d.throttled);
+        assert!(
+            d.freq_factor <= 0.5,
+            "100 W cap should halve the clock, got {}",
+            d.freq_factor
+        );
+    }
+
+    #[test]
+    fn frequency_floor_is_respected_even_for_impossible_caps() {
+        let a100 = GpuSku::a100();
+        let profile = a100.power();
+        let gov = DvfsGovernor {
+            limit: PowerLimit::strict(10.0),
+            max_freq_factor: 1.0,
+        };
+        let d = gov.decide(&profile, &busy());
+        assert_eq!(d.freq_factor, profile.min_freq_factor);
+        // Uncore power cannot be throttled; board exceeds the cap.
+        assert!(d.power_w > 10.0);
+    }
+
+    #[test]
+    fn frequency_cap_acts_without_power_pressure() {
+        let a100 = GpuSku::a100();
+        let gov = DvfsGovernor {
+            limit: PowerLimit::stock(a100.tdp_w),
+            max_freq_factor: 0.6,
+        };
+        let d = gov.decide(&a100.power(), &Utilization {
+            tensor: 0.3,
+            ..Default::default()
+        });
+        assert_eq!(d.freq_factor, 0.6);
+        assert!(!d.throttled);
+    }
+
+    #[test]
+    fn idle_boards_never_throttle() {
+        for kind in SkuKind::ALL {
+            let sku = kind.sku();
+            let gov = DvfsGovernor {
+                limit: PowerLimit::strict(sku.idle_w + 1.0),
+                max_freq_factor: 1.0,
+            };
+            let d = gov.decide(&sku.power(), &Utilization::idle());
+            assert!(!d.throttled, "{kind}");
+            assert!((d.power_w - sku.idle_w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn power_limit_display_names_enforcement() {
+        assert_eq!(PowerLimit::strict(150.0).to_string(), "150 W (strict)");
+        assert!(PowerLimit::stock(400.0).to_string().contains("transient"));
+    }
+}

@@ -1,0 +1,275 @@
+//! Analytic kernel models: FLOPs, memory traffic, and achievable efficiency.
+
+use crate::{Datapath, Precision};
+use std::fmt;
+
+/// The kernel shapes that dominate transformer training, each with an
+/// analytic FLOP and byte count.
+///
+/// The byte counts assume each operand is read/written once from HBM (tiled
+/// GEMMs reuse operands through shared memory/L2, so this is the standard
+/// first-order model).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KernelKind {
+    /// Dense matrix multiply `C[m,n] += A[m,k] * B[k,n]`.
+    Gemm {
+        /// Rows of `A`/`C`.
+        m: u64,
+        /// Columns of `B`/`C`.
+        n: u64,
+        /// Inner dimension.
+        k: u64,
+    },
+    /// Batched GEMM (attention score/context products).
+    BatchedGemm {
+        /// Number of independent GEMMs.
+        batch: u64,
+        /// Rows per GEMM.
+        m: u64,
+        /// Columns per GEMM.
+        n: u64,
+        /// Inner dimension per GEMM.
+        k: u64,
+    },
+    /// Elementwise map over `elems` elements with `flops_per_elem` work and
+    /// `streams` operand tensors moved (read + write counted separately).
+    Elementwise {
+        /// Number of elements.
+        elems: u64,
+        /// Arithmetic per element.
+        flops_per_elem: u64,
+        /// Number of tensor-sized operands streamed through HBM.
+        streams: u64,
+    },
+    /// Row-wise softmax over a `[rows, cols]` tensor.
+    Softmax {
+        /// Independent rows.
+        rows: u64,
+        /// Elements per row.
+        cols: u64,
+    },
+    /// Layer normalization over `elems` activations.
+    LayerNorm {
+        /// Number of elements.
+        elems: u64,
+    },
+    /// Embedding-table gather for `tokens` tokens of width `hidden`.
+    Embedding {
+        /// Tokens looked up.
+        tokens: u64,
+        /// Embedding width.
+        hidden: u64,
+    },
+    /// Adam optimizer update over `params` parameters (mixed precision:
+    /// FP32 master weights + moments, FP16 weights/grads).
+    AdamStep {
+        /// Parameters updated by this rank.
+        params: u64,
+    },
+    /// Elementwise reduction of two buffers (the math inside reduce-scatter /
+    /// all-reduce collectives).
+    CommReduction {
+        /// Elements combined.
+        elems: u64,
+    },
+}
+
+impl KernelKind {
+    /// Convenience constructor for a plain GEMM.
+    pub fn gemm(m: u64, n: u64, k: u64) -> Self {
+        KernelKind::Gemm { m, n, k }
+    }
+
+    /// Floating-point operations performed.
+    pub fn flops(&self) -> f64 {
+        match *self {
+            KernelKind::Gemm { m, n, k } => 2.0 * m as f64 * n as f64 * k as f64,
+            KernelKind::BatchedGemm { batch, m, n, k } => {
+                2.0 * batch as f64 * m as f64 * n as f64 * k as f64
+            }
+            KernelKind::Elementwise {
+                elems,
+                flops_per_elem,
+                ..
+            } => elems as f64 * flops_per_elem as f64,
+            KernelKind::Softmax { rows, cols } => 5.0 * rows as f64 * cols as f64,
+            KernelKind::LayerNorm { elems } => 8.0 * elems as f64,
+            KernelKind::Embedding { tokens, hidden } => tokens as f64 * hidden as f64,
+            KernelKind::AdamStep { params } => 12.0 * params as f64,
+            KernelKind::CommReduction { elems } => elems as f64,
+        }
+    }
+
+    /// HBM bytes moved at the given element precision.
+    pub fn bytes(&self, precision: Precision) -> f64 {
+        let eb = precision.bytes() as f64;
+        match *self {
+            KernelKind::Gemm { m, n, k } => {
+                eb * (m as f64 * k as f64 + k as f64 * n as f64 + m as f64 * n as f64)
+            }
+            KernelKind::BatchedGemm { batch, m, n, k } => {
+                eb * batch as f64
+                    * (m as f64 * k as f64 + k as f64 * n as f64 + m as f64 * n as f64)
+            }
+            KernelKind::Elementwise { elems, streams, .. } => {
+                eb * elems as f64 * streams as f64
+            }
+            KernelKind::Softmax { rows, cols } => 2.0 * eb * rows as f64 * cols as f64,
+            KernelKind::LayerNorm { elems } => 2.0 * eb * elems as f64,
+            KernelKind::Embedding { tokens, hidden } => {
+                2.0 * eb * tokens as f64 * hidden as f64
+            }
+            // Adam mixed precision: read grad(2) + p16(2) + m(4) + v(4) +
+            // master(4); write p16(2) + m(4) + v(4) + master(4) = 30 B/param,
+            // independent of activation precision.
+            KernelKind::AdamStep { params } => 30.0 * params as f64,
+            // Read two operands, write one.
+            KernelKind::CommReduction { elems } => 3.0 * eb * elems as f64,
+        }
+    }
+
+    /// Arithmetic intensity in FLOP/byte at a precision.
+    pub fn intensity(&self, precision: Precision) -> f64 {
+        self.flops() / self.bytes(precision).max(1.0)
+    }
+
+    /// Whether this kernel can use the tensor/matrix-core datapath.
+    pub fn uses_matrix_math(&self) -> bool {
+        matches!(
+            self,
+            KernelKind::Gemm { .. } | KernelKind::BatchedGemm { .. }
+        )
+    }
+
+    /// Achievable fraction of peak FLOP throughput for this kernel on the
+    /// given datapath. GEMMs asymptote to a high fraction of peak as they
+    /// grow (cuBLAS-like behaviour); small kernels are launch/tiling-bound.
+    pub fn flop_efficiency(&self, datapath: Datapath) -> f64 {
+        match self {
+            KernelKind::Gemm { .. } | KernelKind::BatchedGemm { .. } => {
+                let base = match datapath {
+                    Datapath::Vector => 0.85,
+                    Datapath::TensorCore => 0.72,
+                };
+                // Ramp with problem size: half-efficiency point at 2 GFLOP.
+                let work = self.flops();
+                let half = 2.0e9;
+                base * work / (work + half)
+            }
+            // Non-GEMM kernels run on the vector path and are memory-bound in
+            // practice; give them modest compute efficiency.
+            _ => 0.5,
+        }
+    }
+
+    /// Achievable fraction of peak HBM bandwidth.
+    pub fn bandwidth_efficiency(&self) -> f64 {
+        match self {
+            KernelKind::Gemm { .. } | KernelKind::BatchedGemm { .. } => 0.85,
+            KernelKind::Embedding { .. } => 0.55,
+            KernelKind::AdamStep { .. } => 0.80,
+            _ => 0.75,
+        }
+    }
+
+    /// Short kernel-class name for traces.
+    pub fn class(&self) -> &'static str {
+        match self {
+            KernelKind::Gemm { .. } => "gemm",
+            KernelKind::BatchedGemm { .. } => "bgemm",
+            KernelKind::Elementwise { .. } => "eltwise",
+            KernelKind::Softmax { .. } => "softmax",
+            KernelKind::LayerNorm { .. } => "layernorm",
+            KernelKind::Embedding { .. } => "embedding",
+            KernelKind::AdamStep { .. } => "adam",
+            KernelKind::CommReduction { .. } => "reduce",
+        }
+    }
+}
+
+impl fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            KernelKind::Gemm { m, n, k } => write!(f, "gemm[{m}x{n}x{k}]"),
+            KernelKind::BatchedGemm { batch, m, n, k } => {
+                write!(f, "bgemm[{batch}x({m}x{n}x{k})]")
+            }
+            other => write!(f, "{}", other.class()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_flop_count_is_2mnk() {
+        let g = KernelKind::gemm(128, 256, 512);
+        assert_eq!(g.flops(), 2.0 * 128.0 * 256.0 * 512.0);
+    }
+
+    #[test]
+    fn batched_gemm_scales_with_batch() {
+        let one = KernelKind::gemm(64, 64, 64);
+        let many = KernelKind::BatchedGemm {
+            batch: 8,
+            m: 64,
+            n: 64,
+            k: 64,
+        };
+        assert_eq!(many.flops(), 8.0 * one.flops());
+        assert_eq!(
+            many.bytes(Precision::Fp16),
+            8.0 * one.bytes(Precision::Fp16)
+        );
+    }
+
+    #[test]
+    fn halving_precision_halves_gemm_bytes() {
+        let g = KernelKind::gemm(100, 100, 100);
+        assert_eq!(g.bytes(Precision::Fp32), 2.0 * g.bytes(Precision::Fp16));
+    }
+
+    #[test]
+    fn adam_bytes_are_precision_independent() {
+        let k = KernelKind::AdamStep { params: 1000 };
+        assert_eq!(k.bytes(Precision::Fp16), k.bytes(Precision::Fp32));
+        assert_eq!(k.bytes(Precision::Fp32), 30_000.0);
+    }
+
+    #[test]
+    fn large_gemms_have_high_intensity() {
+        let big = KernelKind::gemm(4096, 4096, 4096);
+        assert!(big.intensity(Precision::Fp16) > 500.0);
+        let ew = KernelKind::Elementwise {
+            elems: 1 << 20,
+            flops_per_elem: 1,
+            streams: 2,
+        };
+        assert!(ew.intensity(Precision::Fp16) < 1.0);
+    }
+
+    #[test]
+    fn efficiency_ramps_with_gemm_size() {
+        let small = KernelKind::gemm(64, 64, 64);
+        let big = KernelKind::gemm(8192, 8192, 8192);
+        assert!(
+            small.flop_efficiency(Datapath::TensorCore)
+                < big.flop_efficiency(Datapath::TensorCore)
+        );
+        assert!(big.flop_efficiency(Datapath::TensorCore) > 0.7);
+    }
+
+    #[test]
+    fn only_matrix_kernels_use_matrix_math() {
+        assert!(KernelKind::gemm(1, 1, 1).uses_matrix_math());
+        assert!(!KernelKind::LayerNorm { elems: 10 }.uses_matrix_math());
+    }
+
+    #[test]
+    fn display_includes_shape() {
+        assert_eq!(KernelKind::gemm(2, 3, 4).to_string(), "gemm[2x3x4]");
+        assert_eq!(KernelKind::LayerNorm { elems: 1 }.to_string(), "layernorm");
+    }
+}

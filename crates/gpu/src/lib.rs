@@ -1,0 +1,45 @@
+//! # olab-gpu — GPU device models
+//!
+//! Device-level models for the four accelerators the paper evaluates
+//! (NVIDIA A100/H100, AMD MI210/MI250):
+//!
+//! * [`GpuSku`] — per-SKU datasheet numbers (Table I of the paper) plus the
+//!   microarchitectural parameters the simulator needs (SM count, HBM
+//!   bandwidth, interconnect bandwidth, TDP);
+//! * [`Precision`] / [`Datapath`] — numeric formats and the vector-core vs.
+//!   tensor/matrix-core execution paths (Section V-C of the paper);
+//! * [`KernelKind`] — analytic FLOP/byte models of the kernels that dominate
+//!   transformer training;
+//! * [`roofline`] — isolated kernel execution times under a roofline model;
+//! * [`PowerProfile`] / [`power`] — component-based instantaneous power;
+//! * [`DvfsGovernor`] — frequency throttling under power caps (Figure 9);
+//! * [`ContentionProfile`] — per-SKU calibration of the compute/communication
+//!   interference coefficients (SM occupancy of collective kernels, HBM
+//!   traffic amplification, cache interference).
+//!
+//! ```rust
+//! use olab_gpu::{roofline, Datapath, GpuSku, KernelKind, Precision};
+//!
+//! let h100 = GpuSku::h100();
+//! let gemm = KernelKind::gemm(4096, 4096, 4096);
+//! let t = roofline::isolated_duration(&gemm, &h100, Precision::Fp16, Datapath::TensorCore, 1.0);
+//! assert!(t > 0.0 && t < 1.0, "a 4Ki GEMM takes well under a second: {t}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod calibration;
+mod dvfs;
+mod kernel;
+pub mod power;
+mod precision;
+pub mod roofline;
+mod sku;
+
+pub use calibration::ContentionProfile;
+pub use dvfs::{DvfsGovernor, Enforcement, PowerLimit, ThrottleDecision};
+pub use kernel::KernelKind;
+pub use power::PowerProfile;
+pub use precision::{Datapath, Precision};
+pub use sku::{table1_markdown, GpuSku, SkuKind, Vendor};

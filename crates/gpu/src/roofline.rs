@@ -1,0 +1,258 @@
+//! Roofline timing for kernels running in isolation.
+//!
+//! The machine model in `olab-core` re-derives these quantities each epoch
+//! (with contention applied); this module provides the isolated baseline and
+//! the demand decomposition both share.
+
+use crate::{Datapath, GpuSku, KernelKind, Precision};
+
+/// Demand decomposition of one kernel on one SKU: the inputs to both the
+/// isolated roofline and the contended rate computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelDemand {
+    /// Total floating-point work.
+    pub flops: f64,
+    /// Total HBM traffic in bytes.
+    pub bytes: f64,
+    /// Achievable FLOP/s at full frequency with no contention.
+    pub flops_per_sec: f64,
+    /// Achievable HBM bytes/s with no contention.
+    pub bytes_per_sec: f64,
+    /// Fixed launch/dispatch overhead in seconds.
+    pub launch_s: f64,
+    /// Whether the kernel runs on the tensor/matrix datapath.
+    pub on_tensor_core: bool,
+}
+
+impl KernelDemand {
+    /// Time the FLOP side needs at a frequency factor (relative clock).
+    pub fn compute_time(&self, freq_factor: f64) -> f64 {
+        self.flops / (self.flops_per_sec * freq_factor.max(1e-6))
+    }
+
+    /// Time the memory side needs given an available bandwidth fraction.
+    pub fn memory_time(&self, bw_fraction: f64) -> f64 {
+        self.bytes / (self.bytes_per_sec * bw_fraction.max(1e-6))
+    }
+
+    /// Roofline duration at the given frequency and bandwidth fractions.
+    pub fn duration(&self, freq_factor: f64, bw_fraction: f64) -> f64 {
+        self.compute_time(freq_factor).max(self.memory_time(bw_fraction)) + self.launch_s
+    }
+
+    /// Whether the kernel is compute-bound at full frequency and bandwidth.
+    pub fn compute_bound(&self) -> bool {
+        self.compute_time(1.0) >= self.memory_time(1.0)
+    }
+
+    /// Unconstrained HBM bandwidth demand in bytes/s: the rate the kernel
+    /// would stream at if only the FLOP side limited it, capped at its
+    /// achievable bandwidth.
+    pub fn bandwidth_demand(&self) -> f64 {
+        let span = self.compute_time(1.0).max(1e-15);
+        (self.bytes / span).min(self.bytes_per_sec)
+    }
+}
+
+/// Launch overhead per kernel, seconds. Real stacks pay 3–10 us per launch;
+/// CUDA graphs / HIP graphs reduce it, so we sit at the low end.
+pub const LAUNCH_OVERHEAD_S: f64 = 3.0e-6;
+
+/// Decomposes a kernel into its resource demands on a SKU.
+///
+/// TF32 is coerced to the tensor-core path (it does not exist elsewhere);
+/// non-matrix kernels are coerced to the vector path.
+pub fn demand(
+    kernel: &KernelKind,
+    sku: &GpuSku,
+    precision: Precision,
+    datapath: Datapath,
+) -> KernelDemand {
+    let effective_path = if !kernel.uses_matrix_math() {
+        Datapath::Vector
+    } else if precision.requires_tensor_core() {
+        Datapath::TensorCore
+    } else {
+        datapath
+    };
+    let peak = sku.peak_tflops(precision, effective_path) * 1e12;
+    let flop_eff = kernel.flop_efficiency(effective_path);
+    let bw_eff = kernel.bandwidth_efficiency();
+    KernelDemand {
+        flops: kernel.flops(),
+        bytes: kernel.bytes(precision),
+        flops_per_sec: peak * flop_eff,
+        bytes_per_sec: sku.mem_bw_gbs * 1e9 * bw_eff,
+        launch_s: LAUNCH_OVERHEAD_S,
+        on_tensor_core: effective_path == Datapath::TensorCore && kernel.uses_matrix_math(),
+    }
+}
+
+/// Isolated execution time of a kernel on a SKU, in seconds.
+///
+/// `freq_factor` scales the core clock (1.0 = boost clock); memory bandwidth
+/// is clock-independent, matching the separate HBM clock domain on real
+/// parts.
+pub fn isolated_duration(
+    kernel: &KernelKind,
+    sku: &GpuSku,
+    precision: Precision,
+    datapath: Datapath,
+    freq_factor: f64,
+) -> f64 {
+    demand(kernel, sku, precision, datapath).duration(freq_factor, 1.0)
+}
+
+/// The machine-balance point: the arithmetic intensity (FLOP/byte) at
+/// which a kernel transitions from memory-bound to compute-bound on this
+/// SKU/precision/datapath, at nominal efficiencies.
+pub fn machine_balance(sku: &GpuSku, precision: Precision, datapath: Datapath) -> f64 {
+    sku.peak_tflops(precision, datapath) * 1e12 / (sku.mem_bw_gbs * 1e9)
+}
+
+/// Points of the classic roofline curve: attainable GFLOP/s as a function
+/// of arithmetic intensity, sampled log-uniformly over `[lo, hi]` FLOP/byte.
+pub fn roofline_curve(
+    sku: &GpuSku,
+    precision: Precision,
+    datapath: Datapath,
+    lo: f64,
+    hi: f64,
+    points: usize,
+) -> Vec<(f64, f64)> {
+    assert!(lo > 0.0 && hi > lo && points >= 2, "invalid sweep");
+    let peak = sku.peak_tflops(precision, datapath) * 1e3; // GFLOP/s
+    let bw = sku.mem_bw_gbs; // GB/s
+    (0..points)
+        .map(|i| {
+            let t = i as f64 / (points - 1) as f64;
+            let intensity = lo * (hi / lo).powf(t);
+            (intensity, (intensity * bw).min(peak))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big_gemm() -> KernelKind {
+        KernelKind::gemm(8192, 8192, 8192)
+    }
+
+    #[test]
+    fn tensor_core_is_faster_for_large_gemms() {
+        let h100 = GpuSku::h100();
+        let tv = isolated_duration(&big_gemm(), &h100, Precision::Fp32, Datapath::Vector, 1.0);
+        let tt = isolated_duration(&big_gemm(), &h100, Precision::Tf32, Datapath::TensorCore, 1.0);
+        assert!(tt < tv, "tensor core {tt} should beat vector {tv}");
+    }
+
+    #[test]
+    fn fp16_is_faster_than_fp32_on_tensor_cores() {
+        let h100 = GpuSku::h100();
+        let t32 = isolated_duration(&big_gemm(), &h100, Precision::Tf32, Datapath::TensorCore, 1.0);
+        let t16 = isolated_duration(&big_gemm(), &h100, Precision::Fp16, Datapath::TensorCore, 1.0);
+        assert!(t16 < t32);
+    }
+
+    #[test]
+    fn frequency_scaling_slows_compute_bound_kernels_proportionally() {
+        let h100 = GpuSku::h100();
+        let full = isolated_duration(&big_gemm(), &h100, Precision::Fp16, Datapath::TensorCore, 1.0);
+        let half = isolated_duration(&big_gemm(), &h100, Precision::Fp16, Datapath::TensorCore, 0.5);
+        let ratio = half / full;
+        assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn memory_bound_kernels_ignore_core_frequency() {
+        let h100 = GpuSku::h100();
+        let k = KernelKind::Elementwise {
+            elems: 1 << 28,
+            flops_per_elem: 1,
+            streams: 2,
+        };
+        let full = isolated_duration(&k, &h100, Precision::Fp16, Datapath::Vector, 1.0);
+        let half = isolated_duration(&k, &h100, Precision::Fp16, Datapath::Vector, 0.6);
+        assert!((half / full - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn tf32_is_coerced_onto_tensor_cores() {
+        let d = demand(&big_gemm(), &GpuSku::a100(), Precision::Tf32, Datapath::Vector);
+        assert!(d.on_tensor_core);
+    }
+
+    #[test]
+    fn non_matrix_kernels_stay_on_vector_path() {
+        let d = demand(
+            &KernelKind::LayerNorm { elems: 1 << 20 },
+            &GpuSku::h100(),
+            Precision::Fp16,
+            Datapath::TensorCore,
+        );
+        assert!(!d.on_tensor_core);
+    }
+
+    #[test]
+    fn sanity_h100_fp16_large_gemm_runs_near_peak() {
+        // 8192^3 GEMM = 1.1 TFLOP; H100 FP16 dense ~989 TFLOP/s at ~72% eff
+        // => ~1.5 ms.
+        let t = isolated_duration(
+            &big_gemm(),
+            &GpuSku::h100(),
+            Precision::Fp16,
+            Datapath::TensorCore,
+            1.0,
+        );
+        assert!(t > 0.8e-3 && t < 3.0e-3, "unexpected duration {t}");
+    }
+
+    #[test]
+    fn bandwidth_demand_is_capped_at_achievable_bw() {
+        let h100 = GpuSku::h100();
+        let ew = KernelKind::Elementwise {
+            elems: 1 << 28,
+            flops_per_elem: 1,
+            streams: 3,
+        };
+        let d = demand(&ew, &h100, Precision::Fp16, Datapath::Vector);
+        assert!(d.bandwidth_demand() <= d.bytes_per_sec * (1.0 + 1e-9));
+        assert!(!d.compute_bound());
+    }
+
+    #[test]
+    fn machine_balance_orders_skus_sensibly() {
+        // H100's tensor engine outgrew its HBM far more than the A100's.
+        let h = machine_balance(&GpuSku::h100(), Precision::Fp16, Datapath::TensorCore);
+        let a = machine_balance(&GpuSku::a100(), Precision::Fp16, Datapath::TensorCore);
+        assert!(h > a, "H100 balance {h} vs A100 {a}");
+        assert!((100.0..600.0).contains(&h), "H100 balance {h} FLOP/byte");
+    }
+
+    #[test]
+    fn roofline_curve_is_monotone_and_saturates() {
+        let sku = GpuSku::h100();
+        let curve = roofline_curve(&sku, Precision::Fp16, Datapath::TensorCore, 0.1, 1e4, 64);
+        assert_eq!(curve.len(), 64);
+        for pair in curve.windows(2) {
+            assert!(pair[1].1 >= pair[0].1, "attainable FLOPs must not drop");
+        }
+        let peak = sku.fp16_tensor_tflops * 1e3;
+        assert!((curve.last().unwrap().1 - peak).abs() < 1e-6, "saturates at peak");
+        // Below the balance point the curve is bandwidth-limited.
+        assert!(curve[0].1 < peak / 100.0);
+    }
+
+    #[test]
+    fn big_gemms_are_compute_bound() {
+        let d = demand(
+            &big_gemm(),
+            &GpuSku::h100(),
+            Precision::Fp16,
+            Datapath::TensorCore,
+        );
+        assert!(d.compute_bound());
+    }
+}

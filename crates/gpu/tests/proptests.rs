@@ -1,0 +1,132 @@
+//! Property-based tests for the GPU device models.
+
+use olab_gpu::power::Utilization;
+use olab_gpu::{
+    roofline, Datapath, DvfsGovernor, GpuSku, KernelKind, PowerLimit, Precision, SkuKind,
+};
+use proptest::prelude::*;
+
+fn any_sku() -> impl Strategy<Value = SkuKind> {
+    prop_oneof![
+        Just(SkuKind::A100),
+        Just(SkuKind::H100),
+        Just(SkuKind::Mi210),
+        Just(SkuKind::Mi250),
+    ]
+}
+
+fn any_precision() -> impl Strategy<Value = Precision> {
+    prop_oneof![
+        Just(Precision::Fp32),
+        Just(Precision::Tf32),
+        Just(Precision::Fp16),
+        Just(Precision::Bf16),
+    ]
+}
+
+fn any_gemm() -> impl Strategy<Value = KernelKind> {
+    (1u64..8192, 1u64..8192, 1u64..8192).prop_map(|(m, n, k)| KernelKind::Gemm { m, n, k })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Durations are always positive and finite, and never faster than the
+    /// absolute roofline (peak FLOPs and bandwidth with no efficiency loss).
+    #[test]
+    fn durations_respect_the_ideal_roofline(
+        sku in any_sku(),
+        precision in any_precision(),
+        gemm in any_gemm(),
+    ) {
+        let sku = sku.sku();
+        for datapath in Datapath::ALL {
+            let t = roofline::isolated_duration(&gemm, &sku, precision, datapath, 1.0);
+            prop_assert!(t.is_finite() && t > 0.0);
+            let floor = gemm.flops() / (sku.peak_tflops(precision, Datapath::TensorCore) * 1e12);
+            prop_assert!(t >= floor, "duration {t} under physical floor {floor}");
+        }
+    }
+
+    /// Lowering the clock never speeds a kernel up, and at most slows it by
+    /// the clock ratio.
+    #[test]
+    fn frequency_scaling_is_monotone_and_bounded(
+        sku in any_sku(),
+        gemm in any_gemm(),
+        freq in 0.4f64..1.0,
+    ) {
+        let sku = sku.sku();
+        let full = roofline::isolated_duration(&gemm, &sku, Precision::Fp16, Datapath::TensorCore, 1.0);
+        let slow = roofline::isolated_duration(&gemm, &sku, Precision::Fp16, Datapath::TensorCore, freq);
+        prop_assert!(slow >= full - 1e-15);
+        prop_assert!(slow <= full / freq + 1e-12, "slow {slow} vs bound {}", full / freq);
+    }
+
+    /// Power is monotone in utilization and bounded by the component sum.
+    #[test]
+    fn power_is_monotone_and_bounded(
+        sku in any_sku(),
+        vector in 0.0f64..1.0,
+        tensor in 0.0f64..1.0,
+        mem in 0.0f64..1.0,
+        comm in 0.0f64..1.0,
+    ) {
+        let profile = sku.sku().power();
+        let u = Utilization { vector, tensor, mem, comm };
+        let p = profile.instantaneous(&u, 1.0);
+        prop_assert!(p >= profile.idle_w);
+        prop_assert!(p <= profile.idle_w + profile.vector_w + profile.tensor_w
+            + profile.mem_w + profile.comm_w + 1e-9);
+        // Doubling any one utilization never lowers power.
+        let more = Utilization { vector: (vector * 1.5).min(1.0), ..u };
+        prop_assert!(profile.instantaneous(&more, 1.0) >= p - 1e-9);
+    }
+
+    /// The DVFS governor never exceeds a strict cap unless it is already at
+    /// the frequency floor, and never throttles below it.
+    #[test]
+    fn governor_respects_strict_caps(
+        sku in any_sku(),
+        cap in 50.0f64..800.0,
+        tensor in 0.0f64..1.0,
+        mem in 0.0f64..1.0,
+    ) {
+        let profile = sku.sku().power();
+        let gov = DvfsGovernor { limit: PowerLimit::strict(cap), max_freq_factor: 1.0 };
+        let u = Utilization { tensor, mem, ..Default::default() };
+        let d = gov.decide(&profile, &u);
+        prop_assert!(d.freq_factor >= profile.min_freq_factor - 1e-12);
+        prop_assert!(d.freq_factor <= 1.0 + 1e-12);
+        if d.freq_factor > profile.min_freq_factor + 1e-9 {
+            prop_assert!(d.power_w <= cap + 1e-6, "{} W over cap {cap}", d.power_w);
+        }
+    }
+
+    /// FLOP and byte counts scale linearly in GEMM dimensions.
+    #[test]
+    fn gemm_counts_scale_linearly(m in 1u64..1000, n in 1u64..1000, k in 1u64..1000) {
+        let one = KernelKind::Gemm { m, n, k };
+        let two = KernelKind::Gemm { m: 2 * m, n, k };
+        prop_assert!((two.flops() / one.flops() - 2.0).abs() < 1e-9);
+        prop_assert!(two.bytes(Precision::Fp16) > one.bytes(Precision::Fp16));
+    }
+
+    /// Arithmetic intensity is invariant to precision only through byte
+    /// width: halving the element size doubles intensity for GEMMs.
+    #[test]
+    fn intensity_scales_with_element_width(gemm in any_gemm()) {
+        let i16 = gemm.intensity(Precision::Fp16);
+        let i32 = gemm.intensity(Precision::Fp32);
+        prop_assert!((i16 / i32 - 2.0).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn all_skus_have_consistent_datasheets() {
+    for sku in GpuSku::all() {
+        assert!(sku.fp16_tensor_tflops >= sku.fp32_vector_tflops);
+        assert!(sku.mem_bw_gbs > 0.0 && sku.tdp_w > sku.idle_w);
+        assert!(sku.n_sms > 0 && sku.mem_gb > 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # olab-models — transformer training workloads
+//!
+//! The GPT-3 and LLaMA-2 configurations of the paper's Table II, lowered to
+//! analytic kernel graphs:
+//!
+//! * [`ModelPreset`] / [`TransformerConfig`] — architecture descriptions
+//!   with exact parameter counts;
+//! * [`ops`] — per-layer forward/backward kernel sequences (GEMMs,
+//!   attention, normalization, optimizer) parameterized by batch and
+//!   sequence length;
+//! * [`memory`] — device memory footprints under replication, FSDP
+//!   (ZeRO-3) sharding, or pipeline staging, including the activation
+//!   recomputation policy. This is what enforces the paper's observation
+//!   that the 40 GB A100 cannot train beyond GPT-3 2.7B under FSDP.
+//!
+//! ```rust
+//! use olab_models::{ModelPreset, ops};
+//!
+//! let cfg = ModelPreset::Gpt3Xl.config();
+//! assert_eq!(cfg.layers, 24);
+//! let layer = ops::layer_kernels(&cfg, 8, 1024);
+//! assert!(!layer.forward.is_empty());
+//! // Backward work is roughly twice forward work.
+//! let f: f64 = layer.forward.iter().map(|k| k.flops()).sum();
+//! let b: f64 = layer.backward.iter().map(|k| k.flops()).sum();
+//! assert!(b > 1.8 * f && b < 2.3 * f);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod memory;
+pub mod ops;
+
+pub use config::{table2_markdown, Family, ModelPreset, TransformerConfig};

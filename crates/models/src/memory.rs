@@ -1,0 +1,359 @@
+//! Device memory footprint estimation.
+//!
+//! Reproduces the capacity gating the paper reports: the 40 GB A100 can
+//! only train up to GPT-3 2.7B under FSDP on a 4-GPU node, while the 80 GB
+//! H100 and 128 GB MI250 reach 13B-class models.
+
+use crate::TransformerConfig;
+use olab_gpu::{GpuSku, Precision};
+use std::fmt;
+
+/// How model state is distributed across the node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sharding {
+    /// Full replica on every GPU (plain data parallelism).
+    Replicated,
+    /// ZeRO-3/FSDP: parameters, gradients and optimizer state sharded
+    /// across `n` ranks.
+    FsdpZero3 {
+        /// Number of ranks sharing the states.
+        ranks: usize,
+    },
+    /// Pipeline parallelism: each of `stages` GPUs holds `layers/stages`
+    /// layers, with `in_flight` microbatches of activations resident.
+    Pipeline {
+        /// Number of pipeline stages.
+        stages: usize,
+        /// Microbatches resident per stage.
+        in_flight: usize,
+    },
+    /// Megatron tensor parallelism: weights/gradients/optimizer sharded
+    /// `1/ranks`; roughly half the activations (the sharded blocks) shrink
+    /// with the rank count, the layer boundaries stay replicated.
+    TensorParallel {
+        /// Tensor-parallel ranks.
+        ranks: usize,
+    },
+}
+
+/// Whether activations are kept or recomputed in the backward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActivationPolicy {
+    /// Keep all activations (fastest, largest).
+    Full,
+    /// Checkpoint layer boundaries and recompute inside the backward pass
+    /// (adds one forward recomputation per layer).
+    Recompute,
+}
+
+/// Per-component memory footprint on one GPU, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryEstimate {
+    /// Model weights resident on the device.
+    pub weights: f64,
+    /// Gradients resident on the device.
+    pub gradients: f64,
+    /// Optimizer state (Adam mixed precision: FP32 master + two moments).
+    pub optimizer: f64,
+    /// Activations and attention working set.
+    pub activations: f64,
+    /// Transient working buffers (unsharded FSDP layers, comm staging).
+    pub workspace: f64,
+}
+
+impl MemoryEstimate {
+    /// Total bytes on the device.
+    pub fn total(&self) -> f64 {
+        self.weights + self.gradients + self.optimizer + self.activations + self.workspace
+    }
+
+    /// Total in GiB.
+    pub fn total_gib(&self) -> f64 {
+        self.total() / (1u64 << 30) as f64
+    }
+}
+
+impl fmt::Display for MemoryEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let gib = (1u64 << 30) as f64;
+        write!(
+            f,
+            "{:.1} GiB (w {:.1} + g {:.1} + opt {:.1} + act {:.1} + ws {:.1})",
+            self.total() / gib,
+            self.weights / gib,
+            self.gradients / gib,
+            self.optimizer / gib,
+            self.activations / gib,
+            self.workspace / gib
+        )
+    }
+}
+
+/// Bytes of Adam optimizer state per parameter under mixed precision:
+/// FP32 master copy + FP32 momentum + FP32 variance.
+pub const ADAM_BYTES_PER_PARAM: f64 = 12.0;
+
+/// Bytes of the FP32 gradient-accumulation buffer per parameter.
+pub const GRAD_ACCUM_BYTES_PER_PARAM: f64 = 4.0;
+
+/// Fraction of HBM usable for training state (the rest goes to the CUDA/HIP
+/// context, fragmentation, and library workspaces).
+pub const USABLE_FRACTION: f64 = 0.87;
+
+/// Estimates the per-GPU footprint of one training iteration.
+pub fn footprint(
+    cfg: &TransformerConfig,
+    batch: u64,
+    seq: u64,
+    precision: Precision,
+    sharding: Sharding,
+    activations: ActivationPolicy,
+) -> MemoryEstimate {
+    let eb = precision.bytes() as f64;
+    let params = cfg.param_count() as f64;
+    let layer_params = cfg.layer_params() as f64;
+    let t = (batch * seq) as f64;
+    let h = cfg.hidden as f64;
+    let heads = f64::from(cfg.heads);
+    let seq_f = seq as f64;
+
+    // Full activation working set of one layer: inputs to every kernel, plus
+    // the attention score matrix.
+    // Attention scores are materialized in FP32 for softmax stability.
+    let layer_act_full = t * h * 16.0 * eb / 2.0 + t * seq_f * heads * 4.0;
+    // Checkpointed: only the layer-boundary activation.
+    let layer_act_ckpt = t * h * eb;
+
+    let (layers_here, states_divisor, act_copies) = match sharding {
+        Sharding::Replicated => (f64::from(cfg.layers), 1.0, 1.0),
+        Sharding::FsdpZero3 { ranks } => (f64::from(cfg.layers), ranks as f64, 1.0),
+        Sharding::Pipeline { stages, in_flight } => (
+            (f64::from(cfg.layers) / stages as f64).ceil(),
+            1.0,
+            in_flight as f64,
+        ),
+        Sharding::TensorParallel { ranks } => (
+            f64::from(cfg.layers),
+            ranks as f64,
+            0.5 + 0.5 / ranks as f64,
+        ),
+    };
+
+    // Embedding/head states live on one stage under pipelining; fold them in
+    // everywhere for a slightly conservative estimate.
+    let state_params = match sharding {
+        Sharding::Pipeline { .. } => {
+            layers_here * layer_params + cfg.embedding_params() as f64
+        }
+        _ => params,
+    };
+
+    let weights = state_params * eb / states_divisor;
+    // Low-precision gradients plus the FP32 accumulation buffer mixed
+    // precision training maintains.
+    let gradients = state_params * (eb + GRAD_ACCUM_BYTES_PER_PARAM) / states_divisor;
+    let optimizer = state_params * ADAM_BYTES_PER_PARAM / states_divisor;
+
+    // Per-microbatch activations for the layers on this device.
+    let act_per_copy = match activations {
+        ActivationPolicy::Full => layers_here * layer_act_full,
+        ActivationPolicy::Recompute => layers_here * layer_act_ckpt + layer_act_full,
+    };
+    let activations_bytes = act_per_copy * act_copies + t * h * 4.0 * eb; // +embedding/logits edge
+
+    // FSDP keeps ~2 layers unsharded (current + prefetched); everything
+    // needs some comm staging.
+    let workspace = match sharding {
+        Sharding::FsdpZero3 { .. } => 2.0 * layer_params * eb * 2.0 + 256.0 * (1 << 20) as f64,
+        _ => 256.0 * (1 << 20) as f64,
+    };
+
+    MemoryEstimate {
+        weights,
+        gradients,
+        optimizer,
+        activations: activations_bytes,
+        workspace,
+    }
+}
+
+/// Picks the cheapest activation policy that fits a SKU, or reports the
+/// overflow.
+///
+/// Returns `Ok((policy, estimate))` with `ActivationPolicy::Full` preferred,
+/// or `Err(estimate)` (the recompute-policy estimate) if nothing fits.
+pub fn fit(
+    cfg: &TransformerConfig,
+    batch: u64,
+    seq: u64,
+    precision: Precision,
+    sharding: Sharding,
+    sku: &GpuSku,
+) -> Result<(ActivationPolicy, MemoryEstimate), MemoryEstimate> {
+    let budget = sku.mem_bytes() as f64 * USABLE_FRACTION;
+    let full = footprint(cfg, batch, seq, precision, sharding, ActivationPolicy::Full);
+    if full.total() <= budget {
+        return Ok((ActivationPolicy::Full, full));
+    }
+    let ckpt = footprint(
+        cfg,
+        batch,
+        seq,
+        precision,
+        sharding,
+        ActivationPolicy::Recompute,
+    );
+    if ckpt.total() <= budget {
+        Ok((ActivationPolicy::Recompute, ckpt))
+    } else {
+        Err(ckpt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelPreset;
+
+    const B: u64 = 8;
+    const S: u64 = 1024;
+
+    fn fsdp4() -> Sharding {
+        Sharding::FsdpZero3 { ranks: 4 }
+    }
+
+    #[test]
+    fn a100_fits_2_7b_but_not_6_7b_under_fsdp() {
+        // The paper: "the A100 was constrained to models up to GPT-3 2.7B".
+        let a100 = GpuSku::a100();
+        let ok = fit(
+            &ModelPreset::Gpt3_2_7B.config(),
+            B,
+            S,
+            Precision::Fp16,
+            fsdp4(),
+            &a100,
+        );
+        assert!(ok.is_ok(), "2.7B must fit on the A100: {:?}", ok.err());
+        let too_big = fit(
+            &ModelPreset::Gpt3_6_7B.config(),
+            B,
+            S,
+            Precision::Fp16,
+            fsdp4(),
+            &a100,
+        );
+        assert!(too_big.is_err(), "6.7B must NOT fit on the 40 GB A100");
+    }
+
+    #[test]
+    fn h100_and_mi250_fit_13b_under_fsdp() {
+        for sku in [GpuSku::h100(), GpuSku::mi250()] {
+            let r = fit(
+                &ModelPreset::Gpt3_13B.config(),
+                B,
+                S,
+                Precision::Fp16,
+                fsdp4(),
+                &sku,
+            );
+            assert!(r.is_ok(), "13B must fit on {}: {:?}", sku.name, r.err());
+        }
+    }
+
+    #[test]
+    fn mi210_tops_out_at_6_7b() {
+        let mi210 = GpuSku::mi210();
+        assert!(fit(
+            &ModelPreset::Gpt3_6_7B.config(),
+            B,
+            S,
+            Precision::Fp16,
+            fsdp4(),
+            &mi210
+        )
+        .is_ok());
+        assert!(fit(
+            &ModelPreset::Gpt3_13B.config(),
+            B,
+            S,
+            Precision::Fp16,
+            fsdp4(),
+            &mi210
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn recompute_shrinks_activations() {
+        let cfg = ModelPreset::Gpt3_6_7B.config();
+        let full = footprint(&cfg, B, S, Precision::Fp16, fsdp4(), ActivationPolicy::Full);
+        let ckpt = footprint(
+            &cfg,
+            B,
+            S,
+            Precision::Fp16,
+            fsdp4(),
+            ActivationPolicy::Recompute,
+        );
+        assert!(ckpt.activations < full.activations / 2.0);
+        assert_eq!(ckpt.weights, full.weights);
+    }
+
+    #[test]
+    fn fsdp_divides_states_by_rank_count() {
+        let cfg = ModelPreset::Gpt3_2_7B.config();
+        let repl = footprint(
+            &cfg,
+            B,
+            S,
+            Precision::Fp16,
+            Sharding::Replicated,
+            ActivationPolicy::Full,
+        );
+        let shard = footprint(&cfg, B, S, Precision::Fp16, fsdp4(), ActivationPolicy::Full);
+        assert!((repl.optimizer / shard.optimizer - 4.0).abs() < 1e-9);
+        assert_eq!(repl.activations, shard.activations);
+    }
+
+    #[test]
+    fn pipeline_stages_hold_a_slice_of_layers() {
+        let cfg = ModelPreset::Gpt3_2_7B.config();
+        let stage = footprint(
+            &cfg,
+            B,
+            S,
+            Precision::Fp16,
+            Sharding::Pipeline {
+                stages: 4,
+                in_flight: 4,
+            },
+            ActivationPolicy::Full,
+        );
+        let repl = footprint(
+            &cfg,
+            B,
+            S,
+            Precision::Fp16,
+            Sharding::Replicated,
+            ActivationPolicy::Full,
+        );
+        assert!(stage.weights < repl.weights / 2.0);
+    }
+
+    #[test]
+    fn fp32_states_are_larger_than_fp16() {
+        let cfg = ModelPreset::Gpt3Xl.config();
+        let half = footprint(&cfg, B, S, Precision::Fp16, fsdp4(), ActivationPolicy::Full);
+        let single = footprint(&cfg, B, S, Precision::Fp32, fsdp4(), ActivationPolicy::Full);
+        assert!(single.total() > half.total());
+    }
+
+    #[test]
+    fn display_reports_components_in_gib() {
+        let cfg = ModelPreset::Gpt3Xl.config();
+        let e = footprint(&cfg, B, S, Precision::Fp16, fsdp4(), ActivationPolicy::Full);
+        let s = e.to_string();
+        assert!(s.contains("GiB"), "{s}");
+    }
+}

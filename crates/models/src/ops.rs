@@ -1,0 +1,277 @@
+//! Lowering transformer layers to kernel sequences.
+
+use crate::config::{Family, TransformerConfig};
+use olab_gpu::KernelKind;
+
+/// Forward and backward kernel sequences for one transformer layer.
+#[derive(Debug, Clone)]
+pub struct LayerKernels {
+    /// Forward-pass kernels in execution order.
+    pub forward: Vec<KernelKind>,
+    /// Backward-pass kernels in execution order.
+    pub backward: Vec<KernelKind>,
+}
+
+impl LayerKernels {
+    /// Total FLOPs of the forward pass.
+    pub fn forward_flops(&self) -> f64 {
+        self.forward.iter().map(|k| k.flops()).sum()
+    }
+
+    /// Total FLOPs of the backward pass.
+    pub fn backward_flops(&self) -> f64 {
+        self.backward.iter().map(|k| k.flops()).sum()
+    }
+}
+
+/// Backward kernels for one forward kernel: dgrad + wgrad for GEMMs,
+/// cost-equivalent kernels otherwise.
+fn backward_of(kernel: &KernelKind) -> Vec<KernelKind> {
+    match *kernel {
+        KernelKind::Gemm { m, n, k } => vec![
+            KernelKind::Gemm { m, n: k, k: n }, // dX = dY * W^T
+            KernelKind::Gemm { m: k, n, k: m }, // dW = X^T * dY
+        ],
+        KernelKind::BatchedGemm { batch, m, n, k } => vec![
+            KernelKind::BatchedGemm { batch, m, n: k, k: n },
+            KernelKind::BatchedGemm { batch, m: k, n, k: m },
+        ],
+        KernelKind::Elementwise {
+            elems,
+            flops_per_elem,
+            streams,
+        } => vec![KernelKind::Elementwise {
+            elems,
+            flops_per_elem: flops_per_elem + 1,
+            streams,
+        }],
+        KernelKind::Softmax { rows, cols } => vec![KernelKind::Softmax { rows, cols }],
+        KernelKind::LayerNorm { elems } => vec![
+            KernelKind::LayerNorm { elems },
+            KernelKind::Elementwise {
+                elems,
+                flops_per_elem: 4,
+                streams: 3,
+            },
+        ],
+        KernelKind::Embedding { tokens, hidden } => {
+            vec![KernelKind::Embedding { tokens, hidden }]
+        }
+        // Optimizer / comm-reduction kernels have no backward.
+        KernelKind::AdamStep { .. } | KernelKind::CommReduction { .. } => vec![],
+    }
+}
+
+/// The kernels of one transformer layer for a `batch x seq` input.
+pub fn layer_kernels(cfg: &TransformerConfig, batch: u64, seq: u64) -> LayerKernels {
+    assert!(batch > 0 && seq > 0, "batch and seq must be positive");
+    let t = batch * seq;
+    let h = cfg.hidden;
+    let hd = cfg.head_dim();
+    let bh = batch * u64::from(cfg.heads);
+
+    let mut forward: Vec<KernelKind> = Vec::new();
+
+    // Attention block.
+    forward.push(KernelKind::LayerNorm { elems: t * h });
+    forward.push(KernelKind::Gemm { m: t, n: 3 * h, k: h }); // fused QKV
+    forward.push(KernelKind::BatchedGemm {
+        batch: bh,
+        m: seq,
+        n: seq,
+        k: hd,
+    }); // scores
+    forward.push(KernelKind::Softmax {
+        rows: bh * seq,
+        cols: seq,
+    });
+    forward.push(KernelKind::BatchedGemm {
+        batch: bh,
+        m: seq,
+        n: hd,
+        k: seq,
+    }); // context
+    forward.push(KernelKind::Gemm { m: t, n: h, k: h }); // output projection
+    forward.push(KernelKind::Elementwise {
+        elems: t * h,
+        flops_per_elem: 1,
+        streams: 3,
+    }); // residual
+
+    // MLP block.
+    forward.push(KernelKind::LayerNorm { elems: t * h });
+    match cfg.family {
+        Family::Gpt => {
+            forward.push(KernelKind::Gemm {
+                m: t,
+                n: cfg.ffn_hidden,
+                k: h,
+            });
+            forward.push(KernelKind::Elementwise {
+                elems: t * cfg.ffn_hidden,
+                flops_per_elem: 8, // GELU
+                streams: 2,
+            });
+            forward.push(KernelKind::Gemm {
+                m: t,
+                n: h,
+                k: cfg.ffn_hidden,
+            });
+        }
+        Family::Llama => {
+            forward.push(KernelKind::Gemm {
+                m: t,
+                n: 2 * cfg.ffn_hidden, // gate + up fused
+                k: h,
+            });
+            forward.push(KernelKind::Elementwise {
+                elems: t * cfg.ffn_hidden,
+                flops_per_elem: 6, // SiLU * gate
+                streams: 3,
+            });
+            forward.push(KernelKind::Gemm {
+                m: t,
+                n: h,
+                k: cfg.ffn_hidden,
+            });
+        }
+    }
+    forward.push(KernelKind::Elementwise {
+        elems: t * h,
+        flops_per_elem: 1,
+        streams: 3,
+    }); // residual
+
+    let backward = forward.iter().rev().flat_map(backward_of).collect();
+
+    LayerKernels { forward, backward }
+}
+
+/// Embedding lookup kernels (start of the forward pass).
+pub fn embedding_kernels(cfg: &TransformerConfig, batch: u64, seq: u64) -> Vec<KernelKind> {
+    vec![KernelKind::Embedding {
+        tokens: batch * seq,
+        hidden: cfg.hidden,
+    }]
+}
+
+/// Final-norm + LM-head kernels (end of the forward pass) and their
+/// backward.
+pub fn head_kernels(cfg: &TransformerConfig, batch: u64, seq: u64) -> LayerKernels {
+    let t = batch * seq;
+    let forward = vec![
+        KernelKind::LayerNorm { elems: t * cfg.hidden },
+        KernelKind::Gemm {
+            m: t,
+            n: cfg.vocab,
+            k: cfg.hidden,
+        },
+        KernelKind::Softmax {
+            rows: t,
+            cols: cfg.vocab,
+        },
+    ];
+    let backward = forward.iter().rev().flat_map(backward_of).collect();
+    LayerKernels { forward, backward }
+}
+
+/// The Adam update for `params` locally-owned parameters.
+pub fn optimizer_kernel(params: u64) -> KernelKind {
+    KernelKind::AdamStep { params }
+}
+
+/// Total FLOPs of one training iteration (forward + backward, all layers,
+/// embedding + head), for cross-checking against the `6 * params * tokens`
+/// rule of thumb.
+pub fn iteration_flops(cfg: &TransformerConfig, batch: u64, seq: u64) -> f64 {
+    let layer = layer_kernels(cfg, batch, seq);
+    let head = head_kernels(cfg, batch, seq);
+    let emb: f64 = embedding_kernels(cfg, batch, seq)
+        .iter()
+        .map(|k| k.flops())
+        .sum();
+    f64::from(cfg.layers) * (layer.forward_flops() + layer.backward_flops())
+        + head.forward_flops()
+        + head.backward_flops()
+        + emb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelPreset;
+
+    #[test]
+    fn backward_is_roughly_twice_forward() {
+        let cfg = ModelPreset::Gpt3_6_7B.config();
+        let layer = layer_kernels(&cfg, 8, 1024);
+        let ratio = layer.backward_flops() / layer.forward_flops();
+        assert!((1.8..2.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn iteration_flops_match_six_p_t_rule() {
+        // fwd+bwd ~ 6 * params * tokens for large models (attention adds a
+        // seq/hidden-dependent term, so allow generous bounds).
+        let cfg = ModelPreset::Gpt3_13B.config();
+        let (b, s) = (8, 1024);
+        let flops = iteration_flops(&cfg, b, s);
+        let rule = 6.0 * cfg.param_count() as f64 * (b * s) as f64;
+        let ratio = flops / rule;
+        assert!((0.8..1.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn flops_scale_linearly_with_batch() {
+        let cfg = ModelPreset::Gpt3Xl.config();
+        let one = layer_kernels(&cfg, 8, 512).forward_flops();
+        let two = layer_kernels(&cfg, 16, 512).forward_flops();
+        let ratio = two / one;
+        assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn attention_flops_scale_quadratically_with_seq() {
+        let cfg = ModelPreset::Gpt3Xl.config();
+        let s1 = layer_kernels(&cfg, 8, 512);
+        let s2 = layer_kernels(&cfg, 8, 1024);
+        // Total forward grows superlinearly (GEMMs linear + attention quadratic).
+        let ratio = s2.forward_flops() / s1.forward_flops();
+        assert!(ratio > 2.0 && ratio < 4.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn llama_layers_differ_from_gpt_layers() {
+        let gpt = layer_kernels(&ModelPreset::Gpt3_13B.config(), 8, 512);
+        let llama = layer_kernels(&ModelPreset::Llama2_13B.config(), 8, 512);
+        assert_ne!(
+            gpt.forward_flops(),
+            llama.forward_flops(),
+            "gated MLP changes the FLOP count"
+        );
+    }
+
+    #[test]
+    fn head_gemm_touches_the_full_vocabulary() {
+        let cfg = ModelPreset::Gpt3Xl.config();
+        let head = head_kernels(&cfg, 2, 128);
+        let has_vocab_gemm = head.forward.iter().any(
+            |k| matches!(k, KernelKind::Gemm { n, .. } if *n == cfg.vocab),
+        );
+        assert!(has_vocab_gemm);
+    }
+
+    #[test]
+    fn optimizer_kernel_wraps_param_count() {
+        assert_eq!(
+            optimizer_kernel(100).flops(),
+            KernelKind::AdamStep { params: 100 }.flops()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_batch_is_rejected() {
+        layer_kernels(&ModelPreset::Gpt3Xl.config(), 0, 128);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for workload models and memory estimation.
+
+use olab_gpu::Precision;
+use olab_models::memory::{self, ActivationPolicy, Sharding};
+use olab_models::{ops, ModelPreset};
+use proptest::prelude::*;
+
+fn any_model() -> impl Strategy<Value = ModelPreset> {
+    prop_oneof![
+        Just(ModelPreset::Gpt3Xl),
+        Just(ModelPreset::Gpt3_2_7B),
+        Just(ModelPreset::Gpt3_6_7B),
+        Just(ModelPreset::Gpt3_13B),
+        Just(ModelPreset::Llama2_13B),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Iteration FLOPs stay near the 6·params·tokens rule across the whole
+    /// configuration space (attention adds a bounded seq-dependent term).
+    #[test]
+    fn flops_track_the_6pt_rule(
+        model in any_model(),
+        batch in 1u64..32,
+        seq_pow in 7u32..12, // 128..2048
+    ) {
+        let cfg = model.config();
+        let seq = 1u64 << seq_pow;
+        let flops = ops::iteration_flops(&cfg, batch, seq);
+        let rule = 6.0 * cfg.param_count() as f64 * (batch * seq) as f64;
+        let ratio = flops / rule;
+        prop_assert!((0.7..1.8).contains(&ratio), "{model} b{batch} s{seq}: {ratio}");
+    }
+
+    /// Kernel graphs scale linearly with batch.
+    #[test]
+    fn layer_flops_scale_linearly_with_batch(
+        model in any_model(),
+        batch in 1u64..16,
+    ) {
+        let cfg = model.config();
+        let one = ops::layer_kernels(&cfg, batch, 512).forward_flops();
+        let two = ops::layer_kernels(&cfg, batch * 2, 512).forward_flops();
+        prop_assert!((two / one - 2.0).abs() < 0.01);
+    }
+
+    /// Memory estimates are monotone in batch, and recomputation never
+    /// increases the footprint.
+    #[test]
+    fn memory_is_monotone_in_batch_and_recompute_shrinks(
+        model in any_model(),
+        batch in 1u64..32,
+        ranks in 2usize..9,
+    ) {
+        let cfg = model.config();
+        let shard = Sharding::FsdpZero3 { ranks };
+        let small = memory::footprint(&cfg, batch, 1024, Precision::Fp16, shard, ActivationPolicy::Full);
+        let large = memory::footprint(&cfg, batch + 1, 1024, Precision::Fp16, shard, ActivationPolicy::Full);
+        prop_assert!(large.total() > small.total());
+        let ckpt = memory::footprint(&cfg, batch, 1024, Precision::Fp16, shard, ActivationPolicy::Recompute);
+        prop_assert!(ckpt.total() <= small.total());
+        prop_assert!(small.total() > 0.0 && small.total().is_finite());
+    }
+
+    /// More FSDP ranks never increase the per-GPU footprint.
+    #[test]
+    fn sharding_wider_never_costs_memory(
+        model in any_model(),
+        batch in 1u64..16,
+    ) {
+        let cfg = model.config();
+        let narrow = memory::footprint(
+            &cfg, batch, 1024, Precision::Fp16,
+            Sharding::FsdpZero3 { ranks: 2 }, ActivationPolicy::Full,
+        );
+        let wide = memory::footprint(
+            &cfg, batch, 1024, Precision::Fp16,
+            Sharding::FsdpZero3 { ranks: 8 }, ActivationPolicy::Full,
+        );
+        prop_assert!(wide.total() <= narrow.total());
+    }
+
+    /// Tensor-parallel sharding sits between replicated and FSDP footprints
+    /// for the state components.
+    #[test]
+    fn tensor_parallel_states_shrink_with_ranks(
+        model in any_model(),
+        ranks in 2usize..9,
+    ) {
+        let cfg = model.config();
+        let repl = memory::footprint(
+            &cfg, 8, 1024, Precision::Fp16, Sharding::Replicated, ActivationPolicy::Full,
+        );
+        let tp = memory::footprint(
+            &cfg, 8, 1024, Precision::Fp16,
+            Sharding::TensorParallel { ranks }, ActivationPolicy::Full,
+        );
+        prop_assert!(tp.weights < repl.weights);
+        prop_assert!(tp.optimizer < repl.optimizer);
+        prop_assert!(tp.activations <= repl.activations);
+    }
+}

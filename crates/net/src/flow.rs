@@ -1,0 +1,291 @@
+//! Max-min fair bandwidth sharing between concurrent flows.
+
+use crate::{Topology, TopologyKind};
+use olab_sim::GpuId;
+
+/// One point-to-point flow with a bandwidth demand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Flow {
+    /// Sending GPU.
+    pub src: GpuId,
+    /// Receiving GPU.
+    pub dst: GpuId,
+    /// Demand in GB/s (`f64::INFINITY` for "as fast as possible").
+    pub demand_gbs: f64,
+}
+
+impl Flow {
+    /// A flow that takes as much bandwidth as the fabric will give it.
+    pub fn saturating(src: GpuId, dst: GpuId) -> Self {
+        Flow {
+            src,
+            dst,
+            demand_gbs: f64::INFINITY,
+        }
+    }
+}
+
+/// Computes max-min fair rates (GB/s) for a set of concurrent flows.
+///
+/// Capacity constraints are the per-GPU injection and ejection ports (both
+/// fabrics) plus per-link capacity on mesh fabrics. Uses progressive
+/// water-filling: repeatedly find the most-contended unsaturated resource,
+/// freeze the flows it bottlenecks at their fair share, and continue.
+///
+/// # Panics
+///
+/// Panics if a flow references an endpoint outside the topology or has
+/// `src == dst`.
+pub fn share_bandwidth(topology: &Topology, flows: &[Flow]) -> Vec<f64> {
+    let n = topology.n_gpus();
+    for f in flows {
+        assert!(f.src != f.dst, "flow endpoints must differ");
+        assert!(f.src.index() < n && f.dst.index() < n, "flow endpoint out of range");
+    }
+
+    // Resource ids: 0..n injection, n..2n ejection, then mesh links, then
+    // per-node NIC egress/ingress (two-level fabrics).
+    let per_link = match topology.kind() {
+        TopologyKind::Switched | TopologyKind::TwoLevel => f64::INFINITY,
+        TopologyKind::FullMesh => topology.injection_bw_gbs() / (n as f64 - 1.0),
+    };
+    let link_id = |a: usize, b: usize| -> usize {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        2 * n + lo * n + hi
+    };
+    let n_nodes = n / topology.gpus_per_node().max(1);
+    let nic_egress = |node: usize| -> usize { 2 * n + n * n + node };
+    let nic_ingress = |node: usize| -> usize { 2 * n + n * n + n_nodes + node };
+    let n_resources = 2 * n + n * n + 2 * n_nodes;
+    let mut capacity = vec![f64::INFINITY; n_resources];
+    for g in 0..n {
+        capacity[g] = topology.injection_bw_gbs();
+        capacity[n + g] = topology.injection_bw_gbs();
+    }
+    if topology.kind() == TopologyKind::FullMesh {
+        for a in 0..n {
+            for b in (a + 1)..n {
+                capacity[link_id(a, b)] = per_link;
+            }
+        }
+    }
+    if topology.kind() == TopologyKind::TwoLevel {
+        for node in 0..n_nodes {
+            capacity[nic_egress(node)] = topology.nic_bw_gbs();
+            capacity[nic_ingress(node)] = topology.nic_bw_gbs();
+        }
+    }
+
+    let flow_resources: Vec<Vec<usize>> = flows
+        .iter()
+        .map(|f| {
+            let mut r = vec![f.src.index(), n + f.dst.index()];
+            if topology.kind() == TopologyKind::FullMesh {
+                r.push(link_id(f.src.index(), f.dst.index()));
+            }
+            if topology.kind() == TopologyKind::TwoLevel
+                && topology.node_of(f.src) != topology.node_of(f.dst)
+            {
+                r.push(nic_egress(topology.node_of(f.src)));
+                r.push(nic_ingress(topology.node_of(f.dst)));
+            }
+            r
+        })
+        .collect();
+
+    let mut rates = vec![0.0f64; flows.len()];
+    let mut frozen = vec![false; flows.len()];
+    let mut remaining: Vec<f64> = capacity.clone();
+
+    loop {
+        // Flows still unfrozen and not demand-satisfied.
+        let active: Vec<usize> = (0..flows.len()).filter(|&i| !frozen[i]).collect();
+        if active.is_empty() {
+            break;
+        }
+
+        // Fair share at the tightest resource among active flows.
+        let mut best_share = f64::INFINITY;
+        for r in 0..n_resources {
+            if remaining[r].is_infinite() {
+                continue;
+            }
+            let users = active
+                .iter()
+                .filter(|&&i| flow_resources[i].contains(&r))
+                .count();
+            if users > 0 {
+                best_share = best_share.min(remaining[r] / users as f64);
+            }
+        }
+
+        // Demand-limited flows finish first if their demand is below the share.
+        let min_demand = active
+            .iter()
+            .map(|&i| flows[i].demand_gbs)
+            .fold(f64::INFINITY, f64::min);
+
+        if min_demand < best_share {
+            for &i in &active {
+                if flows[i].demand_gbs <= min_demand + 1e-12 {
+                    rates[i] = flows[i].demand_gbs;
+                    frozen[i] = true;
+                    for &r in &flow_resources[i] {
+                        if remaining[r].is_finite() {
+                            remaining[r] -= rates[i];
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+
+        if best_share.is_infinite() {
+            // No finite constraint: grant demands (possibly infinite — treat
+            // as injection bandwidth to stay physical).
+            for &i in &active {
+                rates[i] = flows[i].demand_gbs.min(topology.injection_bw_gbs());
+                frozen[i] = true;
+            }
+            break;
+        }
+
+        // Freeze the flows crossing the bottleneck at the fair share.
+        let mut bottleneck = None;
+        for r in 0..n_resources {
+            if remaining[r].is_infinite() {
+                continue;
+            }
+            let users = active
+                .iter()
+                .filter(|&&i| flow_resources[i].contains(&r))
+                .count();
+            if users > 0 && (remaining[r] / users as f64 - best_share).abs() < 1e-9 {
+                bottleneck = Some(r);
+                break;
+            }
+        }
+        let r = bottleneck.expect("a finite bottleneck exists");
+        for &i in &active {
+            if flow_resources[i].contains(&r) {
+                rates[i] = best_share.min(flows[i].demand_gbs);
+                frozen[i] = true;
+                for &res in &flow_resources[i] {
+                    if remaining[res].is_finite() {
+                        remaining[res] = (remaining[res] - rates[i]).max(0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flow_gets_full_port_bandwidth() {
+        let t = Topology::nvswitch(4, 300.0, 5.0);
+        let rates = share_bandwidth(&t, &[Flow::saturating(GpuId(0), GpuId(1))]);
+        assert!((rates[0] - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_flows_from_one_source_split_the_injection_port() {
+        let t = Topology::nvswitch(4, 300.0, 5.0);
+        let rates = share_bandwidth(
+            &t,
+            &[
+                Flow::saturating(GpuId(0), GpuId(1)),
+                Flow::saturating(GpuId(0), GpuId(2)),
+            ],
+        );
+        assert!((rates[0] - 150.0).abs() < 1e-9);
+        assert!((rates[1] - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_flows_do_not_interfere() {
+        let t = Topology::nvswitch(4, 300.0, 5.0);
+        let rates = share_bandwidth(
+            &t,
+            &[
+                Flow::saturating(GpuId(0), GpuId(1)),
+                Flow::saturating(GpuId(2), GpuId(3)),
+            ],
+        );
+        assert!(rates.iter().all(|&r| (r - 300.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn mesh_flows_are_limited_by_their_link() {
+        let t = Topology::full_mesh(4, 150.0, 6.0);
+        let rates = share_bandwidth(&t, &[Flow::saturating(GpuId(0), GpuId(1))]);
+        assert!((rates[0] - 50.0).abs() < 1e-9, "one link of 150/3 GB/s");
+    }
+
+    #[test]
+    fn mesh_source_can_saturate_all_links_in_parallel() {
+        let t = Topology::full_mesh(4, 150.0, 6.0);
+        let flows: Vec<Flow> = (1..4).map(|d| Flow::saturating(GpuId(0), GpuId(d))).collect();
+        let rates = share_bandwidth(&t, &flows);
+        let total: f64 = rates.iter().sum();
+        assert!((total - 150.0).abs() < 1e-6, "aggregate {total}");
+    }
+
+    #[test]
+    fn demand_limited_flows_release_bandwidth_to_others() {
+        let t = Topology::nvswitch(4, 300.0, 5.0);
+        let rates = share_bandwidth(
+            &t,
+            &[
+                Flow {
+                    src: GpuId(0),
+                    dst: GpuId(1),
+                    demand_gbs: 50.0,
+                },
+                Flow::saturating(GpuId(0), GpuId(2)),
+            ],
+        );
+        assert!((rates[0] - 50.0).abs() < 1e-9);
+        assert!((rates[1] - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn many_to_one_is_limited_by_the_ejection_port() {
+        let t = Topology::nvswitch(4, 300.0, 5.0);
+        let flows: Vec<Flow> = (1..4).map(|s| Flow::saturating(GpuId(s), GpuId(0))).collect();
+        let rates = share_bandwidth(&t, &flows);
+        for r in &rates {
+            assert!((r - 100.0).abs() < 1e-6, "rate {r}");
+        }
+    }
+
+    #[test]
+    fn cross_node_flows_share_the_nic() {
+        let t = Topology::multi_node(2, 4, 450.0, 4.0, 50.0, 10.0);
+        // Two cross-node flows from different sources share node 0's NIC.
+        let rates = share_bandwidth(
+            &t,
+            &[
+                Flow::saturating(GpuId(0), GpuId(4)),
+                Flow::saturating(GpuId(1), GpuId(5)),
+            ],
+        );
+        for r in &rates {
+            assert!((r - 25.0).abs() < 1e-6, "rate {r}");
+        }
+        // Intra-node traffic is unaffected by the NIC.
+        let rates = share_bandwidth(&t, &[Flow::saturating(GpuId(0), GpuId(1))]);
+        assert!((rates[0] - 450.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_flows_yields_no_rates() {
+        let t = Topology::nvswitch(2, 100.0, 5.0);
+        assert!(share_bandwidth(&t, &[]).is_empty());
+    }
+}

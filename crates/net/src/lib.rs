@@ -1,0 +1,36 @@
+//! # olab-net — single-node GPU interconnect models
+//!
+//! Models the two interconnect organizations of the paper's testbeds:
+//!
+//! * **Switched** (NVIDIA DGX class): every GPU has a full-bandwidth
+//!   NVLink port into an NVSwitch plane; any pair communicates at the full
+//!   per-GPU injection bandwidth and the only contention points are each
+//!   GPU's injection/ejection ports.
+//! * **Full mesh** (AMD Instinct class): Infinity Fabric links connect each
+//!   GPU pair directly; a point-to-point transfer is limited by the single
+//!   link it crosses, while collectives can stripe across all links.
+//!
+//! The crate provides topology constructors, point-to-point and ring
+//! bandwidth queries, and a max-min fair bandwidth-sharing solver used when
+//! several flows are in flight at once.
+//!
+//! ```rust
+//! use olab_net::Topology;
+//! use olab_sim::GpuId;
+//!
+//! let dgx = Topology::nvswitch(8, 450.0, 4.0);
+//! assert_eq!(dgx.p2p_bw_gbs(GpuId(0), GpuId(5)), 450.0);
+//!
+//! let mi = Topology::full_mesh(4, 150.0, 6.0);
+//! // Each of the 3 peer links gets a third of the aggregate bandwidth.
+//! assert!((mi.p2p_bw_gbs(GpuId(0), GpuId(1)) - 50.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod flow;
+mod topology;
+
+pub use flow::{share_bandwidth, Flow};
+pub use topology::{Topology, TopologyKind};

@@ -1,0 +1,320 @@
+//! Interconnect topologies.
+
+use olab_sim::GpuId;
+use std::fmt;
+
+/// The organization of the fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TopologyKind {
+    /// NVSwitch-style: full-bandwidth any-to-any through a switch plane.
+    Switched,
+    /// Infinity-Fabric-style: a dedicated link between every GPU pair.
+    FullMesh,
+    /// Multi-node: switched intra-node fabric plus a per-node NIC
+    /// (InfiniBand/RoCE class) between nodes.
+    TwoLevel,
+}
+
+impl fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyKind::Switched => write!(f, "switched"),
+            TopologyKind::FullMesh => write!(f, "full-mesh"),
+            TopologyKind::TwoLevel => write!(f, "two-level"),
+        }
+    }
+}
+
+/// A GPU interconnect (single node, or multi-node for the scale-out
+/// extension).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    kind: TopologyKind,
+    n_gpus: usize,
+    /// Per-GPU aggregate unidirectional bandwidth, GB/s.
+    injection_gbs: f64,
+    /// Hop latency, microseconds.
+    latency_us: f64,
+    /// Two-level only: GPUs per node.
+    gpus_per_node: usize,
+    /// Two-level only: per-node NIC bandwidth (unidirectional), GB/s.
+    nic_gbs: f64,
+    /// Two-level only: inter-node hop latency, microseconds.
+    internode_latency_us: f64,
+}
+
+impl Topology {
+    /// A switched (NVSwitch) fabric with `per_gpu_gbs` unidirectional
+    /// injection bandwidth per GPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_gpus < 2` or the bandwidth is not positive.
+    pub fn nvswitch(n_gpus: usize, per_gpu_gbs: f64, latency_us: f64) -> Self {
+        assert!(n_gpus >= 2, "a fabric needs at least two endpoints");
+        assert!(per_gpu_gbs > 0.0, "bandwidth must be positive");
+        Topology {
+            kind: TopologyKind::Switched,
+            n_gpus,
+            injection_gbs: per_gpu_gbs,
+            latency_us,
+            gpus_per_node: n_gpus,
+            nic_gbs: f64::INFINITY,
+            internode_latency_us: latency_us,
+        }
+    }
+
+    /// A multi-node fabric: `nodes` switched nodes of `gpus_per_node` GPUs
+    /// each, joined by one `nic_gbs` (unidirectional GB/s) NIC per node
+    /// with `internode_latency_us` hop latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on fewer than 2 nodes, fewer than 1 GPU per node, or
+    /// non-positive bandwidths.
+    pub fn multi_node(
+        nodes: usize,
+        gpus_per_node: usize,
+        per_gpu_gbs: f64,
+        intranode_latency_us: f64,
+        nic_gbs: f64,
+        internode_latency_us: f64,
+    ) -> Self {
+        assert!(nodes >= 2, "multi-node needs at least two nodes");
+        assert!(gpus_per_node >= 1, "each node needs at least one GPU");
+        assert!(per_gpu_gbs > 0.0 && nic_gbs > 0.0, "bandwidths must be positive");
+        Topology {
+            kind: TopologyKind::TwoLevel,
+            n_gpus: nodes * gpus_per_node,
+            injection_gbs: per_gpu_gbs,
+            latency_us: intranode_latency_us,
+            gpus_per_node,
+            nic_gbs,
+            internode_latency_us,
+        }
+    }
+
+    /// A full-mesh (Infinity Fabric) topology where each GPU's
+    /// `aggregate_gbs` of link bandwidth is split evenly across its
+    /// `n_gpus - 1` peer links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_gpus < 2` or the bandwidth is not positive.
+    pub fn full_mesh(n_gpus: usize, aggregate_gbs: f64, latency_us: f64) -> Self {
+        assert!(n_gpus >= 2, "a fabric needs at least two endpoints");
+        assert!(aggregate_gbs > 0.0, "bandwidth must be positive");
+        Topology {
+            kind: TopologyKind::FullMesh,
+            n_gpus,
+            injection_gbs: aggregate_gbs,
+            latency_us,
+            gpus_per_node: n_gpus,
+            nic_gbs: f64::INFINITY,
+            internode_latency_us: latency_us,
+        }
+    }
+
+    /// Fabric organization.
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// Number of endpoints.
+    pub fn n_gpus(&self) -> usize {
+        self.n_gpus
+    }
+
+    /// Per-GPU aggregate unidirectional bandwidth, GB/s.
+    pub fn injection_bw_gbs(&self) -> f64 {
+        self.injection_gbs
+    }
+
+    /// Hop latency in seconds (the inter-node latency on two-level
+    /// fabrics, since collectives spanning nodes pay it on every step).
+    pub fn latency_s(&self) -> f64 {
+        match self.kind {
+            TopologyKind::TwoLevel => self.internode_latency_us * 1e-6,
+            _ => self.latency_us * 1e-6,
+        }
+    }
+
+    /// GPUs per node (equal to `n_gpus` on single-node fabrics).
+    pub fn gpus_per_node(&self) -> usize {
+        self.gpus_per_node
+    }
+
+    /// The node index of a GPU.
+    pub fn node_of(&self, gpu: GpuId) -> usize {
+        gpu.index() / self.gpus_per_node
+    }
+
+    /// Per-node NIC bandwidth, GB/s (infinite on single-node fabrics).
+    pub fn nic_bw_gbs(&self) -> f64 {
+        self.nic_gbs
+    }
+
+    /// Bandwidth of one point-to-point transfer `src -> dst`, GB/s.
+    ///
+    /// Switched fabrics deliver the full injection bandwidth to any pair;
+    /// meshes are limited by the single direct link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` or either id is out of range.
+    pub fn p2p_bw_gbs(&self, src: GpuId, dst: GpuId) -> f64 {
+        assert!(src != dst, "p2p transfer needs distinct endpoints");
+        assert!(src.index() < self.n_gpus && dst.index() < self.n_gpus);
+        match self.kind {
+            TopologyKind::Switched => self.injection_gbs,
+            TopologyKind::FullMesh => self.injection_gbs / (self.n_gpus as f64 - 1.0),
+            TopologyKind::TwoLevel => {
+                if self.node_of(src) == self.node_of(dst) {
+                    self.injection_gbs
+                } else {
+                    self.nic_gbs
+                }
+            }
+        }
+    }
+
+    /// Bus bandwidth available to a ring spanning `group_size` GPUs, GB/s.
+    ///
+    /// On a switched fabric a single ring saturates each GPU's port. On a
+    /// mesh, collective libraries stripe multiple logical rings across all
+    /// peer links, so the aggregate injection bandwidth is also the right
+    /// ceiling; per-link limits reappear only for point-to-point traffic.
+    pub fn ring_busbw_gbs(&self, group_size: usize) -> f64 {
+        assert!(group_size >= 2 && group_size <= self.n_gpus);
+        match self.kind {
+            TopologyKind::TwoLevel if group_size > self.gpus_per_node => {
+                // A node-major ring crosses each NIC once per direction, so
+                // the stream is bottlenecked by the slower of the NIC and
+                // the intra-node port.
+                self.injection_gbs.min(self.nic_gbs)
+            }
+            _ => self.injection_gbs,
+        }
+    }
+
+    /// Bisection bandwidth of the node, GB/s (for reporting).
+    pub fn bisection_bw_gbs(&self) -> f64 {
+        match self.kind {
+            TopologyKind::Switched => self.injection_gbs * (self.n_gpus as f64 / 2.0),
+            TopologyKind::FullMesh => {
+                // Links crossing a balanced cut: (n/2) * (n - n/2) links.
+                let half = (self.n_gpus / 2) as f64;
+                let other = self.n_gpus as f64 - half;
+                let per_link = self.injection_gbs / (self.n_gpus as f64 - 1.0);
+                per_link * half * other
+            }
+            TopologyKind::TwoLevel => {
+                let nodes = self.n_gpus / self.gpus_per_node;
+                self.nic_gbs * (nodes / 2).max(1) as f64
+            }
+        }
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} fabric, {} GPUs, {:.0} GB/s/GPU",
+            self.kind, self.n_gpus, self.injection_gbs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switched_p2p_gets_full_injection_bandwidth() {
+        let t = Topology::nvswitch(8, 450.0, 4.0);
+        assert_eq!(t.p2p_bw_gbs(GpuId(0), GpuId(7)), 450.0);
+        assert_eq!(t.p2p_bw_gbs(GpuId(3), GpuId(4)), 450.0);
+    }
+
+    #[test]
+    fn mesh_p2p_is_limited_by_the_direct_link() {
+        let t = Topology::full_mesh(4, 150.0, 6.0);
+        assert!((t.p2p_bw_gbs(GpuId(0), GpuId(3)) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ring_busbw_equals_injection_bandwidth() {
+        let t = Topology::nvswitch(4, 300.0, 5.0);
+        assert_eq!(t.ring_busbw_gbs(4), 300.0);
+        let m = Topology::full_mesh(4, 150.0, 6.0);
+        assert_eq!(m.ring_busbw_gbs(2), 150.0);
+    }
+
+    #[test]
+    fn bisection_bandwidth_scales_with_node_size() {
+        let t = Topology::nvswitch(8, 450.0, 4.0);
+        assert_eq!(t.bisection_bw_gbs(), 4.0 * 450.0);
+        let m = Topology::full_mesh(4, 150.0, 6.0);
+        assert!((m.bisection_bw_gbs() - 50.0 * 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_is_converted_to_seconds() {
+        let t = Topology::nvswitch(2, 100.0, 5.0);
+        assert!((t.latency_s() - 5e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct endpoints")]
+    fn p2p_to_self_panics() {
+        Topology::nvswitch(2, 100.0, 1.0).p2p_bw_gbs(GpuId(0), GpuId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two endpoints")]
+    fn single_gpu_fabric_is_rejected() {
+        Topology::nvswitch(1, 100.0, 1.0);
+    }
+
+    #[test]
+    fn two_level_p2p_depends_on_node_locality() {
+        let t = Topology::multi_node(2, 4, 450.0, 4.0, 50.0, 10.0);
+        assert_eq!(t.n_gpus(), 8);
+        assert_eq!(t.p2p_bw_gbs(GpuId(0), GpuId(3)), 450.0, "intra-node");
+        assert_eq!(t.p2p_bw_gbs(GpuId(0), GpuId(4)), 50.0, "cross-node");
+        assert_eq!(t.node_of(GpuId(3)), 0);
+        assert_eq!(t.node_of(GpuId(4)), 1);
+    }
+
+    #[test]
+    fn two_level_ring_is_nic_bound_when_spanning_nodes() {
+        let t = Topology::multi_node(2, 4, 450.0, 4.0, 50.0, 10.0);
+        assert_eq!(t.ring_busbw_gbs(4), 450.0, "intra-node group");
+        assert_eq!(t.ring_busbw_gbs(8), 50.0, "node-spanning group");
+    }
+
+    #[test]
+    fn two_level_latency_is_the_internode_latency() {
+        let t = Topology::multi_node(2, 4, 450.0, 4.0, 50.0, 10.0);
+        assert!((t.latency_s() - 10e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_level_bisection_counts_nic_pairs() {
+        let t = Topology::multi_node(4, 4, 450.0, 4.0, 50.0, 10.0);
+        assert_eq!(t.bisection_bw_gbs(), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn single_node_multi_node_is_rejected() {
+        Topology::multi_node(1, 4, 450.0, 4.0, 50.0, 10.0);
+    }
+
+    #[test]
+    fn display_summarizes_the_fabric() {
+        let t = Topology::full_mesh(4, 150.0, 6.0);
+        assert_eq!(t.to_string(), "full-mesh fabric, 4 GPUs, 150 GB/s/GPU");
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the bandwidth-sharing solver.
+
+use olab_net::{share_bandwidth, Flow, Topology};
+use olab_sim::GpuId;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomFlow {
+    src: u16,
+    dst: u16,
+    demand: f64,
+}
+
+fn random_flows(n_gpus: u16) -> impl Strategy<Value = Vec<RandomFlow>> {
+    proptest::collection::vec(
+        (0..n_gpus, 0..n_gpus, 1.0f64..1000.0).prop_filter_map(
+            "distinct endpoints",
+            |(src, dst, demand)| (src != dst).then_some(RandomFlow { src, dst, demand }),
+        ),
+        1..12,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Rates never exceed demands, port capacities, or link capacities.
+    #[test]
+    fn shares_respect_all_capacities(flows in random_flows(6), switched in any::<bool>()) {
+        let topo = if switched {
+            Topology::nvswitch(6, 300.0, 5.0)
+        } else {
+            Topology::full_mesh(6, 150.0, 6.0)
+        };
+        let fs: Vec<Flow> = flows
+            .iter()
+            .map(|f| Flow { src: GpuId(f.src), dst: GpuId(f.dst), demand_gbs: f.demand })
+            .collect();
+        let rates = share_bandwidth(&topo, &fs);
+        prop_assert_eq!(rates.len(), fs.len());
+
+        for (rate, flow) in rates.iter().zip(&fs) {
+            prop_assert!(*rate >= 0.0);
+            prop_assert!(*rate <= flow.demand_gbs + 1e-6);
+        }
+        // Injection / ejection conservation.
+        for g in 0..6u16 {
+            let out: f64 = rates
+                .iter()
+                .zip(&fs)
+                .filter(|(_, f)| f.src == GpuId(g))
+                .map(|(r, _)| *r)
+                .sum();
+            let inp: f64 = rates
+                .iter()
+                .zip(&fs)
+                .filter(|(_, f)| f.dst == GpuId(g))
+                .map(|(r, _)| *r)
+                .sum();
+            prop_assert!(out <= topo.injection_bw_gbs() + 1e-6, "gpu{g} out {out}");
+            prop_assert!(inp <= topo.injection_bw_gbs() + 1e-6, "gpu{g} in {inp}");
+        }
+        // Per-link capacity on meshes.
+        if !switched {
+            let per_link = topo.injection_bw_gbs() / 5.0;
+            for a in 0..6u16 {
+                for b in 0..6u16 {
+                    if a == b { continue; }
+                    let link: f64 = rates
+                        .iter()
+                        .zip(&fs)
+                        .filter(|(_, f)| f.src == GpuId(a) && f.dst == GpuId(b))
+                        .map(|(r, _)| *r)
+                        .sum();
+                    prop_assert!(link <= per_link + 1e-6);
+                }
+            }
+        }
+    }
+
+    /// An unconstrained single flow gets exactly min(demand, path capacity).
+    #[test]
+    fn single_flow_gets_full_path(demand in 1.0f64..2000.0) {
+        let topo = Topology::nvswitch(4, 300.0, 5.0);
+        let rates = share_bandwidth(
+            &topo,
+            &[Flow { src: GpuId(0), dst: GpuId(1), demand_gbs: demand }],
+        );
+        prop_assert!((rates[0] - demand.min(300.0)).abs() < 1e-6);
+    }
+
+    /// Adding a flow never increases anyone else's rate.
+    #[test]
+    fn adding_flows_is_monotone_decreasing(flows in random_flows(4)) {
+        prop_assume!(flows.len() >= 2);
+        let topo = Topology::nvswitch(4, 300.0, 5.0);
+        let all: Vec<Flow> = flows
+            .iter()
+            .map(|f| Flow { src: GpuId(f.src), dst: GpuId(f.dst), demand_gbs: f.demand })
+            .collect();
+        let fewer = &all[..all.len() - 1];
+        let rates_fewer = share_bandwidth(&topo, fewer);
+        let rates_all = share_bandwidth(&topo, &all);
+        let total_fewer: f64 = rates_fewer.iter().sum();
+        let total_all_prefix: f64 = rates_all[..fewer.len()].iter().sum();
+        // Aggregate fairness: existing flows lose at most what the new flow
+        // gains (max-min fairness is not per-flow monotone, but the
+        // aggregate is bounded).
+        prop_assert!(total_all_prefix <= total_fewer + 1e-6);
+    }
+}

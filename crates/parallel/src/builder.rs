@@ -1,0 +1,136 @@
+//! Schedule construction with optional sequential serialization.
+
+use crate::{ExecutionMode, Op};
+use olab_sim::{GpuId, TaskId, TaskSpec, Workload};
+
+/// Builds a [`Workload`] of [`Op`]s, optionally serializing communication
+/// against computation per GPU.
+///
+/// In [`ExecutionMode::Sequential`], every pushed task additionally depends
+/// on the previously pushed task of *every* participant GPU, regardless of
+/// stream — so nothing on a GPU ever runs concurrently with anything else on
+/// that GPU. Tasks must therefore be pushed in a valid execution order
+/// (schedules here always are: they are emitted in program order).
+#[derive(Debug)]
+pub struct ScheduleBuilder {
+    workload: Workload<Op>,
+    mode: ExecutionMode,
+    last_on_gpu: Vec<Option<TaskId>>,
+}
+
+impl ScheduleBuilder {
+    /// Creates a builder for an `n_gpus` node.
+    pub fn new(n_gpus: usize, mode: ExecutionMode) -> Self {
+        ScheduleBuilder {
+            workload: Workload::new(n_gpus),
+            mode,
+            last_on_gpu: vec![None; n_gpus],
+        }
+    }
+
+    /// The execution mode this builder serializes for.
+    pub fn mode(&self) -> ExecutionMode {
+        self.mode
+    }
+
+    /// Pushes a task, applying sequential-mode serialization.
+    pub fn push(&mut self, mut spec: TaskSpec<Op>) -> TaskId {
+        if self.mode == ExecutionMode::Sequential {
+            for gpu in spec.participants.clone() {
+                if let Some(prev) = self.last_on_gpu[gpu.index()] {
+                    if !spec.deps.contains(&prev) {
+                        spec.deps.push(prev);
+                    }
+                }
+            }
+        }
+        let id = self.workload.push(spec);
+        for gpu in self.workload.tasks()[id.index()].participants.clone() {
+            self.last_on_gpu[gpu.index()] = Some(id);
+        }
+        id
+    }
+
+    /// The most recently pushed task on a GPU, if any.
+    pub fn last_on(&self, gpu: GpuId) -> Option<TaskId> {
+        self.last_on_gpu[gpu.index()]
+    }
+
+    /// Finishes construction.
+    pub fn build(self) -> Workload<Op> {
+        self.workload
+    }
+
+    /// Number of tasks pushed so far.
+    pub fn len(&self) -> usize {
+        self.workload.len()
+    }
+
+    /// Whether no task has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.workload.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ComputeOp;
+    use olab_gpu::{Datapath, KernelKind, Precision};
+    use olab_sim::StreamKind;
+
+    fn op() -> Op {
+        Op::Compute(ComputeOp::new(
+            KernelKind::gemm(4, 4, 4),
+            Precision::Fp16,
+            Datapath::TensorCore,
+        ))
+    }
+
+    #[test]
+    fn sequential_mode_chains_across_streams() {
+        let mut b = ScheduleBuilder::new(1, ExecutionMode::Sequential);
+        let a = b.push(TaskSpec::compute("a", GpuId(0), op()));
+        let c = b.push(TaskSpec::comm("c", GpuId(0), op()));
+        let w = b.build();
+        assert_eq!(w.tasks()[c.index()].deps, vec![a]);
+    }
+
+    #[test]
+    fn overlapped_mode_adds_no_deps() {
+        let mut b = ScheduleBuilder::new(1, ExecutionMode::Overlapped);
+        b.push(TaskSpec::compute("a", GpuId(0), op()));
+        let c = b.push(TaskSpec::comm("c", GpuId(0), op()));
+        let w = b.build();
+        assert!(w.tasks()[c.index()].deps.is_empty());
+    }
+
+    #[test]
+    fn sequential_collectives_chain_on_every_participant() {
+        let mut b = ScheduleBuilder::new(2, ExecutionMode::Sequential);
+        let a0 = b.push(TaskSpec::compute("a0", GpuId(0), op()));
+        let a1 = b.push(TaskSpec::compute("a1", GpuId(1), op()));
+        let coll = b.push(TaskSpec::new(
+            "ar",
+            vec![GpuId(0), GpuId(1)],
+            StreamKind::Comm,
+            op(),
+        ));
+        let w = b.build();
+        let deps = &w.tasks()[coll.index()].deps;
+        assert!(deps.contains(&a0) && deps.contains(&a1));
+    }
+
+    #[test]
+    fn last_on_tracks_collective_participants() {
+        let mut b = ScheduleBuilder::new(2, ExecutionMode::Overlapped);
+        let coll = b.push(TaskSpec::new(
+            "ar",
+            vec![GpuId(0), GpuId(1)],
+            StreamKind::Comm,
+            op(),
+        ));
+        assert_eq!(b.last_on(GpuId(0)), Some(coll));
+        assert_eq!(b.last_on(GpuId(1)), Some(coll));
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests: every schedule the builders produce, over random
+//! configurations, must validate as a DAG, execute without deadlock under
+//! a trivial rate model, and satisfy the engine's trace invariants in both
+//! execution modes.
+
+use olab_gpu::{Datapath, GpuSku, Precision};
+use olab_models::memory::ActivationPolicy;
+use olab_models::TransformerConfig;
+use olab_net::Topology;
+use olab_parallel::{fsdp, moe, pipeline, tensor, ExecutionMode, Op};
+use olab_sim::{verify_trace, Engine, RateModel, RunningTask, Workload};
+use proptest::prelude::*;
+
+/// Every task takes 1 µs per unit of a crude size measure; devices draw a
+/// constant 100 W. Enough to execute any schedule.
+struct Uniform;
+
+impl RateModel for Uniform {
+    type Payload = Op;
+    fn assign_rates(
+        &mut self,
+        running: &[RunningTask<'_, Op>],
+        rates: &mut [f64],
+        power: &mut [f64],
+    ) {
+        for (i, task) in running.iter().enumerate() {
+            rates[i] = match task.payload {
+                Op::Compute(_) => 1e6,
+                Op::Comm(_) => 2e5,
+            };
+            for gpu in task.participants {
+                power[gpu.index()] = 100.0;
+            }
+        }
+    }
+}
+
+fn execute_and_verify(w: &Workload<Op>) -> Result<(), TestCaseError> {
+    w.validate().expect("valid DAG");
+    let trace = Engine::new(Uniform).run(w).expect("no deadlock");
+    let violations = verify_trace(w, &trace);
+    prop_assert!(violations.is_empty(), "{violations:?}");
+    Ok(())
+}
+
+/// A small random transformer (heads divide hidden; ffn divisible by 8).
+fn random_model() -> impl Strategy<Value = TransformerConfig> {
+    (2u32..8, 2u32..9, 4u64..65).prop_map(|(layers, heads, head_dim)| {
+        let heads = heads * 4; // keep divisible by up to 8 ranks
+        TransformerConfig::gpt("prop", layers, heads, u64::from(heads) * head_dim)
+    })
+}
+
+fn node(n: usize) -> (GpuSku, Topology) {
+    let sku = GpuSku::h100();
+    let topo = Topology::nvswitch(n, sku.link_bw_unidir_gbs, sku.link_latency_us);
+    (sku, topo)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fsdp_schedules_always_execute(
+        model in random_model(),
+        ranks in 2usize..9,
+        batch in 1u64..9,
+        accum in 1u32..4,
+        prefetch in any::<bool>(),
+        overlap_rs in any::<bool>(),
+        recompute in any::<bool>(),
+    ) {
+        let (sku, topo) = node(ranks);
+        let mut plan = fsdp::FsdpPlan::new(
+            model, ranks, batch, 64, Precision::Fp16, Datapath::TensorCore,
+            if recompute { ActivationPolicy::Recompute } else { ActivationPolicy::Full },
+        );
+        plan.grad_accum_steps = accum;
+        plan.overlap = fsdp::FsdpOverlap {
+            prefetch_all_gather: prefetch,
+            overlap_reduce_scatter: overlap_rs,
+        };
+        for mode in ExecutionMode::ALL {
+            execute_and_verify(&fsdp::fsdp_timeline(&plan, &sku, &topo, mode))?;
+        }
+    }
+
+    #[test]
+    fn pipeline_schedules_always_execute(
+        model in random_model(),
+        stages in 2usize..6,
+        microbatches in 1u32..7,
+        gpipe in any::<bool>(),
+    ) {
+        prop_assume!(stages <= model.layers as usize);
+        let (sku, topo) = node(stages);
+        let plan = pipeline::PipelinePlan {
+            model,
+            stages,
+            microbatches,
+            batch_total: 2 * u64::from(microbatches),
+            seq: 64,
+            precision: Precision::Fp16,
+            datapath: Datapath::TensorCore,
+            activation_policy: ActivationPolicy::Full,
+            schedule: if gpipe {
+                pipeline::PipelineSchedule::GPipe
+            } else {
+                pipeline::PipelineSchedule::OneFOneB
+            },
+        };
+        for mode in ExecutionMode::ALL {
+            execute_and_verify(&pipeline::pipeline_timeline(&plan, &sku, &topo, mode))?;
+        }
+    }
+
+    #[test]
+    fn tensor_schedules_always_execute(
+        model in random_model(),
+        ranks_pow in 1u32..3, // 2 or 4 ranks (heads are multiples of 4)
+        batch in 1u64..9,
+        recompute in any::<bool>(),
+    ) {
+        let ranks = 1usize << ranks_pow;
+        let (sku, topo) = node(ranks);
+        let plan = tensor::TensorPlan {
+            model,
+            ranks,
+            batch,
+            seq: 64,
+            precision: Precision::Fp16,
+            datapath: Datapath::TensorCore,
+            activation_policy: if recompute {
+                ActivationPolicy::Recompute
+            } else {
+                ActivationPolicy::Full
+            },
+        };
+        for mode in ExecutionMode::ALL {
+            execute_and_verify(&tensor::tensor_timeline(&plan, &sku, &topo, mode))?;
+        }
+    }
+
+    #[test]
+    fn moe_schedules_always_execute(
+        model in random_model(),
+        ranks in 2usize..5,
+        chunks in 1u32..5,
+        moe_every in 1u32..4,
+    ) {
+        let (sku, topo) = node(ranks);
+        let plan = moe::MoePlan {
+            model,
+            ranks,
+            batch_per_rank: 2,
+            seq: 64,
+            experts: (ranks as u32) * 2,
+            moe_every,
+            chunks,
+            precision: Precision::Fp16,
+            datapath: Datapath::TensorCore,
+        };
+        for mode in ExecutionMode::ALL {
+            execute_and_verify(&moe::moe_timeline(&plan, &sku, &topo, mode))?;
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Telemetry samplers.
+
+use std::fmt;
+
+/// A power-telemetry sampler: reports the average draw over consecutive
+/// windows of `interval_s`, like the vendor tools do.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sampler {
+    /// Tool name, for report labeling.
+    pub name: &'static str,
+    /// Averaging window, seconds.
+    pub interval_s: f64,
+}
+
+impl Sampler {
+    /// NVML-style sampling: 100 ms averaging windows (the granularity the
+    /// paper reports for `nvidia-smi`/NVML on A100/H100).
+    pub fn nvml() -> Self {
+        Sampler {
+            name: "nvml",
+            interval_s: 0.100,
+        }
+    }
+
+    /// AMD-SMI sampling at the paper's 20 ms configuration.
+    pub fn amd_smi() -> Self {
+        Sampler {
+            name: "amd-smi",
+            interval_s: 0.020,
+        }
+    }
+
+    /// AMD ROCm-SMI fine-grained sampling (1 ms), used for the paper's
+    /// power-trace figure.
+    pub fn rocm_smi_fine() -> Self {
+        Sampler {
+            name: "rocm-smi-1ms",
+            interval_s: 0.001,
+        }
+    }
+
+    /// A custom sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is not positive and finite.
+    pub fn with_interval(name: &'static str, interval_s: f64) -> Self {
+        assert!(
+            interval_s.is_finite() && interval_s > 0.0,
+            "invalid sampling interval {interval_s}"
+        );
+        Sampler { name, interval_s }
+    }
+}
+
+impl fmt::Display for Sampler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({:.0} ms)", self.name, self.interval_s * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vendor_presets_match_paper_methodology() {
+        assert_eq!(Sampler::nvml().interval_s, 0.100);
+        assert_eq!(Sampler::amd_smi().interval_s, 0.020);
+        assert_eq!(Sampler::rocm_smi_fine().interval_s, 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sampling interval")]
+    fn zero_interval_is_rejected() {
+        Sampler::with_interval("bad", 0.0);
+    }
+
+    #[test]
+    fn display_shows_interval() {
+        assert_eq!(Sampler::nvml().to_string(), "nvml (100 ms)");
+    }
+}

@@ -1,0 +1,216 @@
+//! Power traces and sampled telemetry.
+
+use crate::Sampler;
+use olab_sim::PowerSegment;
+
+/// One telemetry reading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerSample {
+    /// Center of the averaging window, seconds.
+    pub time_s: f64,
+    /// Average draw over the window, watts.
+    pub watts: f64,
+}
+
+/// An exact piecewise-constant power trace for one device.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PowerTrace {
+    segments: Vec<(f64, f64, f64)>, // (start, end, watts)
+}
+
+impl PowerTrace {
+    /// Builds a trace from engine power segments.
+    pub fn from_segments(segments: &[PowerSegment]) -> Self {
+        PowerTrace {
+            segments: segments
+                .iter()
+                .map(|s| (s.window.start.as_secs(), s.window.end.as_secs(), s.watts))
+                .collect(),
+        }
+    }
+
+    /// End of the trace, seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.segments.last().map_or(0.0, |s| s.1)
+    }
+
+    /// True instantaneous peak draw, watts.
+    pub fn peak_instantaneous(&self) -> f64 {
+        self.segments.iter().map(|s| s.2).fold(0.0, f64::max)
+    }
+
+    /// Time-weighted average draw, watts.
+    pub fn average(&self) -> f64 {
+        let (mut energy, mut span) = (0.0, 0.0);
+        for (t0, t1, w) in &self.segments {
+            energy += w * (t1 - t0);
+            span += t1 - t0;
+        }
+        if span > 0.0 {
+            energy / span
+        } else {
+            0.0
+        }
+    }
+
+    /// Total energy, joules.
+    pub fn energy_j(&self) -> f64 {
+        self.segments.iter().map(|(t0, t1, w)| w * (t1 - t0)).sum()
+    }
+
+    /// Average draw over `[a, b)`, watts (0 if the interval is empty).
+    pub fn average_over(&self, a: f64, b: f64) -> f64 {
+        if b <= a {
+            return 0.0;
+        }
+        let mut energy = 0.0;
+        for (t0, t1, w) in &self.segments {
+            let lo = t0.max(a);
+            let hi = t1.min(b);
+            if hi > lo {
+                energy += w * (hi - lo);
+            }
+        }
+        energy / (b - a)
+    }
+
+    /// Peak instantaneous draw within `[a, b)`, watts.
+    pub fn peak_over(&self, a: f64, b: f64) -> f64 {
+        self.segments
+            .iter()
+            .filter(|s| s.1.min(b) > s.0.max(a))
+            .map(|s| s.2)
+            .fold(0.0, f64::max)
+    }
+
+    /// Samples the trace the way a telemetry tool would: one reading per
+    /// `sampler.interval_s`, each the average over its window. The final
+    /// partial window is included.
+    pub fn sample(&self, sampler: Sampler) -> SampledTrace {
+        let dur = self.duration_s();
+        let dt = sampler.interval_s;
+        let mut samples = Vec::new();
+        let mut t = 0.0;
+        while t < dur {
+            let end = (t + dt).min(dur);
+            samples.push(PowerSample {
+                time_s: (t + end) / 2.0,
+                watts: self.average_over(t, end),
+            });
+            t += dt;
+        }
+        SampledTrace { sampler, samples }
+    }
+}
+
+/// A sequence of telemetry readings from one sampler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledTrace {
+    /// The sampler that produced the readings.
+    pub sampler: Sampler,
+    /// The readings, in time order.
+    pub samples: Vec<PowerSample>,
+}
+
+impl SampledTrace {
+    /// Highest reading, if any.
+    pub fn peak(&self) -> Option<f64> {
+        self.samples
+            .iter()
+            .map(|s| s.watts)
+            .fold(None, |acc, w| Some(acc.map_or(w, |a: f64| a.max(w))))
+    }
+
+    /// Mean of the readings, if any.
+    pub fn average(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().map(|s| s.watts).sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// Readings normalized by `tdp_w` (for the paper's x TDP axes).
+    pub fn normalized(&self, tdp_w: f64) -> Vec<PowerSample> {
+        self.samples
+            .iter()
+            .map(|s| PowerSample {
+                time_s: s.time_s,
+                watts: s.watts / tdp_w,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olab_sim::{SimTime, Window};
+
+    fn seg(a: f64, b: f64, w: f64) -> PowerSegment {
+        PowerSegment {
+            window: Window {
+                start: SimTime::from_secs(a),
+                end: SimTime::from_secs(b),
+            },
+            watts: w,
+        }
+    }
+
+    fn spike_trace() -> PowerTrace {
+        // 95 ms at 100 W, 5 ms spike at 600 W.
+        PowerTrace::from_segments(&[seg(0.0, 0.095, 100.0), seg(0.095, 0.100, 600.0)])
+    }
+
+    #[test]
+    fn exact_statistics() {
+        let t = spike_trace();
+        assert_eq!(t.peak_instantaneous(), 600.0);
+        assert!((t.average() - 125.0).abs() < 1e-9);
+        assert!((t.energy_j() - 12.5).abs() < 1e-9);
+        assert!((t.duration_s() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coarse_sampling_hides_spikes_fine_sampling_sees_them() {
+        // The reason Fig. 7 uses the MI250: 1 ms sampling sees the spike,
+        // 100 ms sampling averages it away.
+        let t = spike_trace();
+        let nvml = t.sample(Sampler::nvml());
+        let fine = t.sample(Sampler::rocm_smi_fine());
+        assert!((nvml.peak().unwrap() - 125.0).abs() < 1e-9);
+        assert!((fine.peak().unwrap() - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_count_matches_duration_over_interval() {
+        let t = spike_trace();
+        let fine = t.sample(Sampler::rocm_smi_fine());
+        assert_eq!(fine.samples.len(), 100);
+    }
+
+    #[test]
+    fn average_over_clamps_to_segments() {
+        let t = spike_trace();
+        assert!((t.average_over(0.0, 0.095) - 100.0).abs() < 1e-9);
+        assert_eq!(t.average_over(1.0, 2.0), 0.0);
+        assert_eq!(t.average_over(0.5, 0.5), 0.0);
+    }
+
+    #[test]
+    fn normalization_divides_by_tdp() {
+        let t = spike_trace().sample(Sampler::rocm_smi_fine());
+        let norm = t.normalized(400.0);
+        let peak = norm.iter().map(|s| s.watts).fold(0.0, f64::max);
+        assert!((peak - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_is_well_behaved() {
+        let t = PowerTrace::default();
+        assert_eq!(t.average(), 0.0);
+        assert_eq!(t.duration_s(), 0.0);
+        let s = t.sample(Sampler::nvml());
+        assert!(s.peak().is_none());
+        assert!(s.average().is_none());
+    }
+}

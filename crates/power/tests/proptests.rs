@@ -1,0 +1,80 @@
+//! Property-based tests for power traces and samplers.
+
+use olab_power::{PowerTrace, Sampler};
+use olab_sim::{PowerSegment, SimTime, Window};
+use proptest::prelude::*;
+
+fn random_trace() -> impl Strategy<Value = PowerTrace> {
+    proptest::collection::vec((0.0001f64..0.05, 10.0f64..900.0), 1..40).prop_map(|spans| {
+        let mut t = 0.0;
+        let mut segments = Vec::new();
+        for (dur, watts) in spans {
+            segments.push(PowerSegment {
+                window: Window {
+                    start: SimTime::from_secs(t),
+                    end: SimTime::from_secs(t + dur),
+                },
+                watts,
+            });
+            t += dur;
+        }
+        PowerTrace::from_segments(&segments)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Sampling conserves energy: the mean of window averages weighted by
+    /// window length equals the exact average.
+    #[test]
+    fn sampling_conserves_energy(trace in random_trace(), interval_ms in 1.0f64..100.0) {
+        let sampler = Sampler::with_interval("t", interval_ms * 1e-3);
+        let sampled = trace.sample(sampler);
+        // Reconstruct energy from the samples (each covers up to interval,
+        // the last possibly less).
+        let mut energy = 0.0;
+        let dur = trace.duration_s();
+        for (i, s) in sampled.samples.iter().enumerate() {
+            let start = i as f64 * sampler.interval_s;
+            let end = (start + sampler.interval_s).min(dur);
+            energy += s.watts * (end - start);
+        }
+        let exact = trace.energy_j();
+        prop_assert!((energy / exact - 1.0).abs() < 1e-6, "{energy} vs {exact}");
+    }
+
+    /// Peaks are anti-monotone in the sampling interval: a coarser sampler
+    /// never observes a higher peak.
+    #[test]
+    fn coarser_sampling_never_raises_peaks(trace in random_trace()) {
+        let mut last_peak = f64::INFINITY;
+        for interval in [0.0005, 0.005, 0.05, 0.5] {
+            let peak = trace
+                .sample(Sampler::with_interval("t", interval))
+                .peak()
+                .unwrap_or(0.0);
+            prop_assert!(peak <= last_peak + 1e-9);
+            prop_assert!(peak <= trace.peak_instantaneous() + 1e-9);
+            last_peak = peak;
+        }
+    }
+
+    /// Window averages never exceed the instantaneous peak or drop below
+    /// the instantaneous minimum.
+    #[test]
+    fn averages_are_bounded_by_extremes(trace in random_trace(), a in 0.0f64..0.5, len in 0.001f64..0.5) {
+        let avg = trace.average_over(a, a + len);
+        if avg > 0.0 {
+            prop_assert!(avg <= trace.peak_instantaneous() + 1e-9);
+        }
+        prop_assert!(trace.average() <= trace.peak_instantaneous() + 1e-9);
+    }
+
+    /// peak_over on the full span equals the global peak.
+    #[test]
+    fn peak_over_full_span_is_global_peak(trace in random_trace()) {
+        let full = trace.peak_over(0.0, trace.duration_s() + 1.0);
+        prop_assert!((full - trace.peak_instantaneous()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,422 @@
+//! The piecewise-fluid simulation loop.
+
+use crate::rate::{RateModel, RunningTask};
+use crate::trace::{GpuActivity, PowerSegment, SimTrace, TaskRecord, Window};
+use crate::{SimError, SimTime, StreamKind, TaskId, Workload};
+use std::collections::VecDeque;
+
+/// Work fractions below this are considered complete (guards rounding).
+const REMAINING_TOLERANCE: f64 = 1e-12;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Pending,
+    Running,
+    Done,
+}
+
+/// Executes a [`Workload`] under a [`RateModel`].
+///
+/// The engine is deterministic: identical workloads and models produce
+/// identical traces. Each iteration of the main loop ("epoch") runs until the
+/// earliest completion among running tasks, so the number of epochs is
+/// bounded by the number of tasks.
+#[derive(Debug)]
+pub struct Engine<M> {
+    model: M,
+}
+
+impl<M: RateModel> Engine<M> {
+    /// Creates an engine driving the given rate model.
+    pub fn new(model: M) -> Self {
+        Engine { model }
+    }
+
+    /// Consumes the engine, returning the rate model (useful when the model
+    /// accumulates state across a run).
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Runs the workload to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if tasks remain but none can start,
+    /// [`SimError::UnknownDependency`]/[`SimError::SelfDependency`] for
+    /// malformed DAGs, and [`SimError::InvalidRate`]/[`SimError::InvalidPower`]
+    /// if the rate model misbehaves.
+    pub fn run(&mut self, workload: &Workload<M::Payload>) -> Result<SimTrace, SimError> {
+        workload.validate()?;
+
+        let n = workload.len();
+        let n_gpus = workload.n_gpus();
+        let n_queues = n_gpus * 2;
+
+        let mut deps_left = vec![0usize; n];
+        let mut dependents: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+        for (i, task) in workload.tasks().iter().enumerate() {
+            deps_left[i] = task.deps.len();
+            for dep in &task.deps {
+                dependents[dep.index()].push(TaskId(i as u32));
+            }
+        }
+
+        let mut queues: Vec<VecDeque<TaskId>> = vec![VecDeque::new(); n_queues];
+        for (i, task) in workload.tasks().iter().enumerate() {
+            for gpu in &task.participants {
+                queues[gpu.index() * 2 + task.stream.index()].push_back(TaskId(i as u32));
+            }
+        }
+
+        let mut status = vec![Status::Pending; n];
+        let mut remaining = vec![1.0f64; n];
+        let mut start = vec![SimTime::ZERO; n];
+        let mut end = vec![SimTime::ZERO; n];
+        let mut coactive = vec![SimTime::ZERO; n];
+        let mut running: Vec<TaskId> = Vec::new();
+        let mut gpus: Vec<GpuActivity> = vec![GpuActivity::default(); n_gpus];
+
+        let mut now = SimTime::ZERO;
+        let mut done = 0usize;
+
+        let mut rates: Vec<f64> = Vec::new();
+        let mut power: Vec<f64> = Vec::new();
+
+        while done < n {
+            // Promote every task that is at the head of all its queues with
+            // satisfied dependencies.
+            let mut promoted = true;
+            while promoted {
+                promoted = false;
+                for q in 0..n_queues {
+                    let Some(&head) = queues[q].front() else {
+                        continue;
+                    };
+                    if status[head.index()] != Status::Pending
+                        || deps_left[head.index()] != 0
+                    {
+                        continue;
+                    }
+                    let spec = &workload.tasks()[head.index()];
+                    let ready = spec.participants.iter().all(|g| {
+                        queues[g.index() * 2 + spec.stream.index()].front() == Some(&head)
+                    });
+                    if ready {
+                        status[head.index()] = Status::Running;
+                        start[head.index()] = now;
+                        running.push(head);
+                        promoted = true;
+                    }
+                }
+            }
+            running.sort_unstable();
+
+            if running.is_empty() {
+                let stuck: Vec<TaskId> = (0..n)
+                    .filter(|&i| status[i] != Status::Done)
+                    .map(|i| TaskId(i as u32))
+                    .collect();
+                return Err(SimError::Deadlock { at: now, stuck });
+            }
+
+            // Ask the model for rates and power.
+            let views: Vec<RunningTask<'_, M::Payload>> = running
+                .iter()
+                .map(|&id| {
+                    let spec = &workload.tasks()[id.index()];
+                    RunningTask {
+                        id,
+                        label: &spec.label,
+                        participants: &spec.participants,
+                        stream: spec.stream,
+                        remaining: remaining[id.index()],
+                        payload: &spec.payload,
+                    }
+                })
+                .collect();
+            rates.clear();
+            rates.resize(running.len(), 0.0);
+            power.clear();
+            power.resize(n_gpus, 0.0);
+            self.model.assign_rates(&views, &mut rates, &mut power);
+
+            for (i, &rate) in rates.iter().enumerate() {
+                if !(rate.is_finite() && rate > 0.0) {
+                    return Err(SimError::InvalidRate {
+                        task: running[i],
+                        rate,
+                    });
+                }
+            }
+            for (g, &watts) in power.iter().enumerate() {
+                if !(watts.is_finite() && watts >= 0.0) {
+                    return Err(SimError::InvalidPower { gpu: g, watts });
+                }
+            }
+
+            // Advance to the earliest completion.
+            let mut dt = f64::INFINITY;
+            let mut argmin = 0usize;
+            for (i, &id) in running.iter().enumerate() {
+                let t = remaining[id.index()] / rates[i];
+                if t < dt {
+                    dt = t;
+                    argmin = i;
+                }
+            }
+            debug_assert!(dt.is_finite());
+
+            // Per-device stream occupancy during this epoch.
+            let mut stream_busy = vec![[false; 2]; n_gpus];
+            for &id in &running {
+                let spec = &workload.tasks()[id.index()];
+                for gpu in &spec.participants {
+                    stream_busy[gpu.index()][spec.stream.index()] = true;
+                }
+            }
+
+            let epoch = SimTime::from_secs(dt);
+            let epoch_end = now + epoch;
+
+            for (g, busy) in stream_busy.iter().enumerate() {
+                for s in StreamKind::ALL {
+                    if busy[s.index()] {
+                        gpus[g].busy[s.index()] += epoch;
+                    }
+                }
+                if busy[0] && busy[1] {
+                    push_window(&mut gpus[g].overlap_windows, now, epoch_end);
+                }
+                push_power(&mut gpus[g].power, now, epoch_end, power[g]);
+            }
+
+            for (i, &id) in running.iter().enumerate() {
+                let spec = &workload.tasks()[id.index()];
+                let other_busy = spec
+                    .participants
+                    .iter()
+                    .any(|g| stream_busy[g.index()][spec.stream.other().index()]);
+                if other_busy {
+                    coactive[id.index()] += epoch;
+                }
+                remaining[id.index()] = (remaining[id.index()] - rates[i] * dt).max(0.0);
+                if i == argmin {
+                    remaining[id.index()] = 0.0;
+                }
+            }
+
+            now = epoch_end;
+
+            // Retire completed tasks.
+            let mut still_running = Vec::with_capacity(running.len());
+            for &id in &running {
+                if remaining[id.index()] <= REMAINING_TOLERANCE {
+                    status[id.index()] = Status::Done;
+                    end[id.index()] = now;
+                    done += 1;
+                    let spec = &workload.tasks()[id.index()];
+                    for gpu in &spec.participants {
+                        let q = &mut queues[gpu.index() * 2 + spec.stream.index()];
+                        debug_assert_eq!(q.front(), Some(&id));
+                        q.pop_front();
+                    }
+                    for dep in &dependents[id.index()] {
+                        deps_left[dep.index()] -= 1;
+                    }
+                } else {
+                    still_running.push(id);
+                }
+            }
+            running = still_running;
+        }
+
+        let records = (0..n)
+            .map(|i| {
+                let spec = &workload.tasks()[i];
+                TaskRecord {
+                    id: TaskId(i as u32),
+                    label: spec.label.clone(),
+                    participants: spec.participants.clone(),
+                    stream: spec.stream,
+                    start: start[i],
+                    end: end[i],
+                    coactive: coactive[i],
+                }
+            })
+            .collect();
+
+        Ok(SimTrace::new(records, gpus, now))
+    }
+}
+
+/// Appends `[start, end)` to the window list, merging with the previous
+/// window when contiguous.
+fn push_window(windows: &mut Vec<Window>, start: SimTime, end: SimTime) {
+    if let Some(last) = windows.last_mut() {
+        if (last.end.as_secs() - start.as_secs()).abs() < 1e-12 {
+            last.end = end;
+            return;
+        }
+    }
+    windows.push(Window { start, end });
+}
+
+/// Appends a power segment, merging with the previous segment when the draw
+/// is identical and the windows are contiguous.
+fn push_power(segments: &mut Vec<PowerSegment>, start: SimTime, end: SimTime, watts: f64) {
+    if let Some(last) = segments.last_mut() {
+        let contiguous = (last.window.end.as_secs() - start.as_secs()).abs() < 1e-12;
+        if contiguous && (last.watts - watts).abs() < 1e-9 {
+            last.window.end = end;
+            return;
+        }
+    }
+    segments.push(PowerSegment {
+        window: Window { start, end },
+        watts,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rate::ConstantRate;
+    use crate::{GpuId, TaskSpec};
+
+    fn unit_workload() -> Workload<()> {
+        Workload::new(2)
+    }
+
+    #[test]
+    fn empty_workload_completes_immediately() {
+        let trace = Engine::new(ConstantRate::default())
+            .run(&unit_workload())
+            .unwrap();
+        assert_eq!(trace.makespan(), SimTime::ZERO);
+        assert!(trace.records().is_empty());
+    }
+
+    #[test]
+    fn stream_order_serializes_same_stream_tasks() {
+        let mut w = unit_workload();
+        w.push(TaskSpec::compute("a", GpuId(0), ()));
+        w.push(TaskSpec::compute("b", GpuId(0), ()));
+        let trace = Engine::new(ConstantRate::default()).run(&w).unwrap();
+        assert!((trace.makespan().as_secs() - 2.0).abs() < 1e-9);
+        let a = trace.record(TaskId(0)).unwrap();
+        let b = trace.record(TaskId(1)).unwrap();
+        assert!(b.start >= a.end);
+    }
+
+    #[test]
+    fn different_streams_run_concurrently_and_count_coactive_time() {
+        let mut w = unit_workload();
+        w.push(TaskSpec::compute("k", GpuId(0), ()));
+        w.push(TaskSpec::comm("c", GpuId(0), ()));
+        let trace = Engine::new(ConstantRate::default()).run(&w).unwrap();
+        assert!((trace.makespan().as_secs() - 1.0).abs() < 1e-9);
+        for record in trace.records() {
+            assert!((record.coactive.as_secs() - 1.0).abs() < 1e-9);
+        }
+        assert!((trace.gpu(GpuId(0)).overlap_time().as_secs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tasks_on_different_gpus_run_concurrently() {
+        let mut w = unit_workload();
+        w.push(TaskSpec::compute("a", GpuId(0), ()));
+        w.push(TaskSpec::compute("b", GpuId(1), ()));
+        let trace = Engine::new(ConstantRate::default()).run(&w).unwrap();
+        assert!((trace.makespan().as_secs() - 1.0).abs() < 1e-9);
+        // Different devices: no co-activity.
+        assert_eq!(trace.records()[0].coactive, SimTime::ZERO);
+    }
+
+    #[test]
+    fn dependencies_are_honored_across_streams() {
+        let mut w = unit_workload();
+        let a = w.push(TaskSpec::compute("a", GpuId(0), ()));
+        w.push(TaskSpec::comm("c", GpuId(0), ()).after(a));
+        let trace = Engine::new(ConstantRate::default()).run(&w).unwrap();
+        assert!((trace.makespan().as_secs() - 2.0).abs() < 1e-9);
+        assert_eq!(trace.gpu(GpuId(0)).overlap_time(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn collective_rendezvous_waits_for_all_ranks() {
+        let mut w = unit_workload();
+        // gpu0 computes 2 tasks before reaching the collective; gpu1 none.
+        let a = w.push(TaskSpec::compute("a0", GpuId(0), ()));
+        let b = w.push(TaskSpec::compute("a1", GpuId(0), ()).after(a));
+        let ar = w.push(
+            TaskSpec::collective("ar", vec![GpuId(0), GpuId(1)], ()).after(b),
+        );
+        let trace = Engine::new(ConstantRate::default()).run(&w).unwrap();
+        let rec = trace.record(ar).unwrap();
+        assert!((rec.start.as_secs() - 2.0).abs() < 1e-9);
+        assert!((trace.makespan().as_secs() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dependency_cycle_is_reported_as_deadlock() {
+        let mut w = unit_workload();
+        // b (id 1) depends on c (id 2); c depends on b via stream order is
+        // not expressible, so use explicit forward dependency: a valid
+        // workload where task 0 depends on task 1 and task 1 on task 0
+        // cannot be built with `after` (ids are sequential), so emulate a
+        // cross-stream deadlock instead: comm task first in queue waits on a
+        // compute task that is behind another comm task.
+        let mut c1 = TaskSpec::comm("c1", GpuId(0), ());
+        c1.deps.push(TaskId(1)); // forward reference to k, pushed next
+        w.push(c1);
+        w.push(TaskSpec::compute("k", GpuId(0), ()).after(TaskId(2)));
+        w.push(TaskSpec::comm("c2", GpuId(0), ()));
+        // c2 is behind c1 in the comm queue; c1 waits on k; k waits on c2.
+        let err = Engine::new(ConstantRate::default()).run(&w).unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }));
+    }
+
+    #[test]
+    fn invalid_rate_is_reported() {
+        struct Broken;
+        impl RateModel for Broken {
+            type Payload = ();
+            fn assign_rates(
+                &mut self,
+                _running: &[RunningTask<'_, ()>],
+                _rates: &mut [f64],
+                _power: &mut [f64],
+            ) {
+                // leaves rates at 0.0
+            }
+        }
+        let mut w = unit_workload();
+        w.push(TaskSpec::compute("a", GpuId(0), ()));
+        let err = Engine::new(Broken).run(&w).unwrap_err();
+        assert!(matches!(err, SimError::InvalidRate { rate, .. } if rate == 0.0));
+    }
+
+    #[test]
+    fn power_segments_cover_the_busy_span_and_merge() {
+        let mut w = unit_workload();
+        w.push(TaskSpec::compute("a", GpuId(0), ()));
+        w.push(TaskSpec::compute("b", GpuId(0), ()));
+        let trace = Engine::new(ConstantRate::default()).run(&w).unwrap();
+        let segs = &trace.gpu(GpuId(0)).power;
+        assert_eq!(segs.len(), 1, "equal-power contiguous segments merge");
+        assert!((segs[0].window.end.as_secs() - 2.0).abs() < 1e-9);
+        assert_eq!(segs[0].watts, 100.0);
+    }
+
+    #[test]
+    fn busy_time_accumulates_per_stream() {
+        let mut w = unit_workload();
+        w.push(TaskSpec::compute("a", GpuId(0), ()));
+        w.push(TaskSpec::comm("c", GpuId(0), ()));
+        let trace = Engine::new(ConstantRate::default()).run(&w).unwrap();
+        let activity = trace.gpu(GpuId(0));
+        assert!((activity.busy_time(StreamKind::Compute).as_secs() - 1.0).abs() < 1e-9);
+        assert!((activity.busy_time(StreamKind::Comm).as_secs() - 1.0).abs() < 1e-9);
+    }
+}

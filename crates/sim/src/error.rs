@@ -1,0 +1,97 @@
+//! Engine error type.
+
+use crate::{TaskId, SimTime};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while validating or running a [`Workload`](crate::Workload).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A task depends on an id that does not exist in the workload.
+    UnknownDependency {
+        /// The task holding the bad edge.
+        task: TaskId,
+        /// The referenced id.
+        dep: TaskId,
+    },
+    /// A task depends on itself.
+    SelfDependency {
+        /// The offending task.
+        task: TaskId,
+    },
+    /// No task can make progress but tasks remain — a dependency cycle or a
+    /// cross-stream ordering conflict (e.g. a collective behind a task that
+    /// waits on the collective).
+    Deadlock {
+        /// Simulation time at which progress stopped.
+        at: SimTime,
+        /// Tasks that never completed.
+        stuck: Vec<TaskId>,
+    },
+    /// The rate model assigned a non-positive or non-finite rate.
+    InvalidRate {
+        /// The task that received the invalid rate.
+        task: TaskId,
+        /// The rate value the model produced.
+        rate: f64,
+    },
+    /// The rate model produced a negative or non-finite power reading.
+    InvalidPower {
+        /// Device index with the invalid reading.
+        gpu: usize,
+        /// The power value the model produced.
+        watts: f64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownDependency { task, dep } => {
+                write!(f, "{task} depends on unknown {dep}")
+            }
+            SimError::SelfDependency { task } => write!(f, "{task} depends on itself"),
+            SimError::Deadlock { at, stuck } => write!(
+                f,
+                "deadlock at {at}: {} task(s) can never start (first: {})",
+                stuck.len(),
+                stuck.first().map(|t| t.to_string()).unwrap_or_default()
+            ),
+            SimError::InvalidRate { task, rate } => {
+                write!(f, "rate model produced invalid rate {rate} for {task}")
+            }
+            SimError::InvalidPower { gpu, watts } => {
+                write!(f, "rate model produced invalid power {watts} W for gpu{gpu}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = SimError::UnknownDependency {
+            task: TaskId(1),
+            dep: TaskId(9),
+        };
+        assert_eq!(e.to_string(), "task1 depends on unknown task9");
+
+        let e = SimError::Deadlock {
+            at: SimTime::from_secs(1.0),
+            stuck: vec![TaskId(3), TaskId(4)],
+        };
+        assert!(e.to_string().contains("2 task(s)"));
+        assert!(e.to_string().contains("task3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,168 @@
+//! Simulation clock.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point on (or span of) the simulation clock, in seconds.
+///
+/// `SimTime` is a thin newtype over `f64` seconds. The engine only ever moves
+/// the clock forward by strictly positive amounts, so values are always finite
+/// and non-negative in engine output.
+///
+/// ```rust
+/// use olab_sim::SimTime;
+/// let t = SimTime::from_millis(1.5) + SimTime::from_micros(500.0);
+/// assert!((t.as_millis() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The origin of the simulation clock.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid sim time: {secs}");
+        SimTime(secs)
+    }
+
+    /// Creates a time from milliseconds.
+    pub fn from_millis(ms: f64) -> Self {
+        Self::from_secs(ms * 1e-3)
+    }
+
+    /// Creates a time from microseconds.
+    pub fn from_micros(us: f64) -> Self {
+        Self::from_secs(us * 1e-6)
+    }
+
+    /// This time expressed in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// This time expressed in milliseconds.
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// This time expressed in microseconds.
+    pub fn as_micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Saturating difference `self - other`, clamped at zero.
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime((self.0 - other.0).max(0.0))
+    }
+
+    /// The larger of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if other.0 > self.0 {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// The smaller of two times.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if other.0 < self.0 {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        SimTime(iter.map(|t| t.0).sum())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1.0 {
+            write!(f, "{:.4} s", self.0)
+        } else if self.0 >= 1e-3 {
+            write!(f, "{:.4} ms", self.0 * 1e3)
+        } else {
+            write!(f, "{:.3} us", self.0 * 1e6)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion_round_trip() {
+        let t = SimTime::from_millis(250.0);
+        assert!((t.as_secs() - 0.25).abs() < 1e-12);
+        assert!((t.as_micros() - 250_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn arithmetic_is_saturating_on_subtraction() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert_eq!(a - b, SimTime::ZERO);
+        assert_eq!(b - a, SimTime::from_secs(1.0));
+        assert_eq!(a.saturating_sub(b), SimTime::ZERO);
+    }
+
+    #[test]
+    fn min_max_order_correctly() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let total: SimTime = (1..=4).map(|i| SimTime::from_secs(i as f64)).sum();
+        assert!((total.as_secs() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_picks_natural_units() {
+        assert_eq!(format!("{}", SimTime::from_secs(1.5)), "1.5000 s");
+        assert_eq!(format!("{}", SimTime::from_millis(1.5)), "1.5000 ms");
+        assert_eq!(format!("{}", SimTime::from_micros(1.5)), "1.500 us");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sim time")]
+    fn negative_time_is_rejected() {
+        let _ = SimTime::from_secs(-1.0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Simulation output: task records, power segments, overlap windows.
+
+use crate::{GpuId, SimTime, StreamKind, TaskId};
+
+/// A half-open time window `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Window {
+    /// Window start.
+    pub start: SimTime,
+    /// Window end.
+    pub end: SimTime,
+}
+
+impl Window {
+    /// Duration of the window.
+    pub fn duration(&self) -> SimTime {
+        self.end - self.start
+    }
+}
+
+/// Constant power draw of one device over a time window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerSegment {
+    /// The window the reading covers.
+    pub window: Window,
+    /// Instantaneous draw in watts, constant over the window.
+    pub watts: f64,
+}
+
+/// Completion record for one task.
+#[derive(Debug, Clone)]
+pub struct TaskRecord {
+    /// The task's id.
+    pub id: TaskId,
+    /// The task's label.
+    pub label: String,
+    /// Devices the task occupied.
+    pub participants: Vec<GpuId>,
+    /// The stream it occupied.
+    pub stream: StreamKind,
+    /// When the task started running.
+    pub start: SimTime,
+    /// When the task completed.
+    pub end: SimTime,
+    /// Time during which, on at least one shared device, a task of the
+    /// *other* stream was simultaneously running. For compute tasks this is
+    /// the "overlapped with communication" time of the paper's Eq. (2).
+    pub coactive: SimTime,
+}
+
+impl TaskRecord {
+    /// Wall-clock duration of the task.
+    pub fn duration(&self) -> SimTime {
+        self.end - self.start
+    }
+}
+
+/// Per-device activity summary.
+#[derive(Debug, Clone, Default)]
+pub struct GpuActivity {
+    /// Piecewise-constant power trace (contiguous, covering `[0, makespan)`).
+    pub power: Vec<PowerSegment>,
+    /// Windows during which both streams were simultaneously busy.
+    pub overlap_windows: Vec<Window>,
+    /// Total busy time per stream (indexed by [`StreamKind::index`]).
+    pub busy: [SimTime; 2],
+}
+
+impl GpuActivity {
+    /// Total busy time of a stream on this device.
+    pub fn busy_time(&self, stream: StreamKind) -> SimTime {
+        self.busy[stream.index()]
+    }
+
+    /// Total time both streams were busy simultaneously.
+    pub fn overlap_time(&self) -> SimTime {
+        self.overlap_windows.iter().map(|w| w.duration()).sum()
+    }
+
+    /// Mean power over `[0, horizon)`, counting idle gaps at their recorded
+    /// power. Returns 0 for an empty trace.
+    pub fn average_power(&self) -> f64 {
+        let mut energy = 0.0;
+        let mut span = 0.0;
+        for seg in &self.power {
+            let dt = seg.window.duration().as_secs();
+            energy += seg.watts * dt;
+            span += dt;
+        }
+        if span > 0.0 {
+            energy / span
+        } else {
+            0.0
+        }
+    }
+
+    /// Total energy in joules over the trace.
+    pub fn energy_joules(&self) -> f64 {
+        self.power
+            .iter()
+            .map(|seg| seg.watts * seg.window.duration().as_secs())
+            .sum()
+    }
+}
+
+/// Full output of one engine run.
+#[derive(Debug, Clone)]
+pub struct SimTrace {
+    records: Vec<TaskRecord>,
+    gpus: Vec<GpuActivity>,
+    makespan: SimTime,
+}
+
+impl SimTrace {
+    pub(crate) fn new(records: Vec<TaskRecord>, gpus: Vec<GpuActivity>, makespan: SimTime) -> Self {
+        SimTrace {
+            records,
+            gpus,
+            makespan,
+        }
+    }
+
+    /// Completion records in task-id order.
+    pub fn records(&self) -> &[TaskRecord] {
+        &self.records
+    }
+
+    /// Record of one task.
+    pub fn record(&self, id: TaskId) -> Option<&TaskRecord> {
+        self.records.iter().find(|r| r.id == id)
+    }
+
+    /// Per-device activity, indexed by device.
+    pub fn gpus(&self) -> &[GpuActivity] {
+        &self.gpus
+    }
+
+    /// Activity of one device.
+    pub fn gpu(&self, gpu: GpuId) -> &GpuActivity {
+        &self.gpus[gpu.index()]
+    }
+
+    /// Time at which the last task completed.
+    pub fn makespan(&self) -> SimTime {
+        self.makespan
+    }
+
+    /// Sum of task durations on a given stream across all devices,
+    /// counting a multi-device task once per participant.
+    pub fn stream_time(&self, stream: StreamKind) -> SimTime {
+        self.records
+            .iter()
+            .filter(|r| r.stream == stream)
+            .map(|r| {
+                let d = r.duration().as_secs() * r.participants.len() as f64;
+                SimTime::from_secs(d)
+            })
+            .sum()
+    }
+
+    /// Sum of per-task durations on a stream for one device.
+    pub fn stream_time_on(&self, gpu: GpuId, stream: StreamKind) -> SimTime {
+        self.records
+            .iter()
+            .filter(|r| r.stream == stream && r.participants.contains(&gpu))
+            .map(|r| r.duration())
+            .sum()
+    }
+
+    /// Sum of co-active time for tasks of a stream on one device.
+    pub fn coactive_time_on(&self, gpu: GpuId, stream: StreamKind) -> SimTime {
+        self.records
+            .iter()
+            .filter(|r| r.stream == stream && r.participants.contains(&gpu))
+            .map(|r| r.coactive)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(a: f64, b: f64) -> Window {
+        Window {
+            start: SimTime::from_secs(a),
+            end: SimTime::from_secs(b),
+        }
+    }
+
+    #[test]
+    fn activity_statistics() {
+        let activity = GpuActivity {
+            power: vec![
+                PowerSegment {
+                    window: window(0.0, 1.0),
+                    watts: 100.0,
+                },
+                PowerSegment {
+                    window: window(1.0, 3.0),
+                    watts: 400.0,
+                },
+            ],
+            overlap_windows: vec![window(0.5, 1.5)],
+            busy: [SimTime::from_secs(3.0), SimTime::from_secs(1.0)],
+        };
+        assert!((activity.average_power() - 300.0).abs() < 1e-9);
+        assert!((activity.energy_joules() - 900.0).abs() < 1e-9);
+        assert!((activity.overlap_time().as_secs() - 1.0).abs() < 1e-12);
+        assert_eq!(activity.busy_time(StreamKind::Comm), SimTime::from_secs(1.0));
+    }
+
+    #[test]
+    fn empty_activity_average_power_is_zero() {
+        assert_eq!(GpuActivity::default().average_power(), 0.0);
+    }
+
+    #[test]
+    fn stream_time_counts_multi_device_tasks_per_participant() {
+        let records = vec![TaskRecord {
+            id: TaskId(0),
+            label: "ar".into(),
+            participants: vec![GpuId(0), GpuId(1)],
+            stream: StreamKind::Comm,
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(2.0),
+            coactive: SimTime::ZERO,
+        }];
+        let trace = SimTrace::new(records, vec![GpuActivity::default(); 2], SimTime::from_secs(2.0));
+        assert!((trace.stream_time(StreamKind::Comm).as_secs() - 4.0).abs() < 1e-12);
+        assert!(
+            (trace.stream_time_on(GpuId(0), StreamKind::Comm).as_secs() - 2.0).abs() < 1e-12
+        );
+        assert_eq!(trace.stream_time(StreamKind::Compute), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,124 @@
+//! Structural validation of completed traces.
+//!
+//! The engine's accounting is also checked by property tests, but exposing
+//! a validator lets downstream users (custom rate models, hand-built
+//! schedules) assert the same invariants over their own runs.
+
+use crate::{SimTrace, StreamKind, Workload};
+
+/// Checks every structural invariant of a completed trace against its
+/// workload. Returns the list of violations (empty = valid).
+///
+/// Invariants:
+/// 1. every record has `start <= end <= makespan`;
+/// 2. every dependency finishes before its dependent starts;
+/// 3. tasks sharing a `(device, stream)` queue run without overlap, in
+///    push order;
+/// 4. co-active time never exceeds task duration;
+/// 5. per-device power segments are contiguous and span `[0, makespan)`.
+pub fn verify_trace<P>(workload: &Workload<P>, trace: &SimTrace) -> Vec<String> {
+    let mut violations = Vec::new();
+    let makespan = trace.makespan().as_secs();
+    let records = trace.records();
+    const EPS: f64 = 1e-9;
+
+    for rec in records {
+        if rec.end.as_secs() < rec.start.as_secs() {
+            violations.push(format!("{}: end before start", rec.label));
+        }
+        if rec.end.as_secs() > makespan + EPS {
+            violations.push(format!("{}: ends after makespan", rec.label));
+        }
+        if rec.coactive.as_secs() > rec.duration().as_secs() + EPS {
+            violations.push(format!("{}: coactive exceeds duration", rec.label));
+        }
+    }
+
+    for (i, spec) in workload.tasks().iter().enumerate() {
+        let rec = &records[i];
+        for dep in &spec.deps {
+            let dep_rec = &records[dep.index()];
+            if dep_rec.end.as_secs() > rec.start.as_secs() + EPS {
+                violations.push(format!(
+                    "{}: starts at {} before dependency {} ends at {}",
+                    rec.label,
+                    rec.start,
+                    dep_rec.label,
+                    dep_rec.end
+                ));
+            }
+        }
+    }
+
+    for g in 0..workload.n_gpus() {
+        for stream in StreamKind::ALL {
+            let mut last_end = 0.0f64;
+            let mut last_label = "";
+            for (i, spec) in workload.tasks().iter().enumerate() {
+                if spec.stream != stream
+                    || !spec.participants.iter().any(|p| p.index() == g)
+                {
+                    continue;
+                }
+                let rec = &records[i];
+                if rec.start.as_secs() < last_end - EPS {
+                    violations.push(format!(
+                        "gpu{g}/{stream}: {} overlaps predecessor {}",
+                        rec.label, last_label
+                    ));
+                }
+                last_end = rec.end.as_secs();
+                last_label = &rec.label;
+            }
+        }
+
+        let segments = &trace.gpus()[g].power;
+        if makespan > 0.0 {
+            if segments.is_empty() {
+                violations.push(format!("gpu{g}: no power segments"));
+                continue;
+            }
+            if segments[0].window.start.as_secs().abs() > EPS {
+                violations.push(format!("gpu{g}: power trace does not start at 0"));
+            }
+            for pair in segments.windows(2) {
+                if (pair[0].window.end.as_secs() - pair[1].window.start.as_secs()).abs() > EPS {
+                    violations.push(format!("gpu{g}: power trace has a gap"));
+                    break;
+                }
+            }
+            let end = segments.last().expect("non-empty").window.end.as_secs();
+            if (end - makespan).abs() > EPS {
+                violations.push(format!(
+                    "gpu{g}: power trace ends at {end}, makespan {makespan}"
+                ));
+            }
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConstantRate, Engine, GpuId, TaskSpec};
+
+    #[test]
+    fn engine_output_always_validates() {
+        let mut w = Workload::new(2);
+        let a = w.push(TaskSpec::compute("a", GpuId(0), ()));
+        w.push(TaskSpec::comm("c", GpuId(0), ()).after(a));
+        w.push(TaskSpec::collective("ar", vec![GpuId(0), GpuId(1)], ()));
+        let trace = Engine::new(ConstantRate::default()).run(&w).unwrap();
+        let violations = verify_trace(&w, &trace);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn empty_workload_validates() {
+        let w = Workload::<()>::new(1);
+        let trace = Engine::new(ConstantRate::default()).run(&w).unwrap();
+        assert!(verify_trace(&w, &trace).is_empty());
+    }
+}

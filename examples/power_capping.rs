@@ -1,0 +1,70 @@
+//! Power- and frequency-capping study (the paper's Fig. 9 plus the
+//! frequency-capping trade-off the conclusion mentions): sweeps caps on a
+//! 4×A100 node and reports the performance/energy frontier.
+//!
+//! ```sh
+//! cargo run --release -p olab-core --example power_capping
+//! ```
+
+use olab_core::report::{ms, pct, Table};
+use olab_core::{Experiment, Strategy};
+use olab_gpu::SkuKind;
+use olab_models::ModelPreset;
+
+fn base() -> Experiment {
+    Experiment::new(SkuKind::A100, 4, ModelPreset::Gpt3_2_7B, Strategy::Fsdp, 8)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let stock = base().run()?;
+    let e2e0 = stock.metrics.e2e_overlapped_s;
+    let energy0 = stock.metrics.energy_j;
+
+    println!("== power capping (strict, nvidia-smi style) ==\n");
+    let mut table = Table::new([
+        "Cap (W)",
+        "E2E",
+        "Slowdown",
+        "Energy/iter",
+        "Energy saved",
+        "Avg power",
+    ]);
+    for cap in [400.0, 300.0, 250.0, 200.0, 150.0, 100.0] {
+        let r = base().with_power_cap(cap).run()?;
+        table.row([
+            format!("{cap:.0}"),
+            ms(r.metrics.e2e_overlapped_s),
+            pct(r.metrics.e2e_overlapped_s / e2e0 - 1.0),
+            format!("{:.0} J", r.metrics.energy_j),
+            pct(1.0 - r.metrics.energy_j / energy0),
+            format!("{:.0} W", r.metrics.avg_power_w),
+        ]);
+    }
+    print!("{}", table.to_markdown());
+
+    println!("\n== frequency capping (nvidia-smi -lgc style) ==\n");
+    let mut table = Table::new([
+        "Clock cap",
+        "E2E",
+        "Slowdown",
+        "Energy/iter",
+        "Energy saved",
+    ]);
+    for f in [1.0, 0.9, 0.8, 0.7, 0.6, 0.5] {
+        let r = base().with_freq_cap(f).run()?;
+        table.row([
+            format!("{:.0}%", f * 100.0),
+            ms(r.metrics.e2e_overlapped_s),
+            pct(r.metrics.e2e_overlapped_s / e2e0 - 1.0),
+            format!("{:.0} J", r.metrics.energy_j),
+            pct(1.0 - r.metrics.energy_j / energy0),
+        ]);
+    }
+    print!("{}", table.to_markdown());
+
+    println!(
+        "\nTakeaway 5: caps save energy superlinearly at first (P ~ f^2.2) but \
+         under strict limits overlapped execution pays a compounding latency cost."
+    );
+    Ok(())
+}

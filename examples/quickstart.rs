@@ -1,0 +1,71 @@
+//! Quickstart: characterize one training iteration on a simulated 4×H100
+//! node and print the paper's metrics for it.
+//!
+//! ```sh
+//! cargo run --release -p olab-core --example quickstart
+//! ```
+
+use olab_core::{Experiment, Strategy};
+use olab_gpu::SkuKind;
+use olab_models::ModelPreset;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // GPT-3 2.7B, FSDP across 4 H100s, per-GPU batch 8, FP16 on tensor
+    // cores — one cell of the paper's Fig. 4/5/6 grid.
+    let experiment = Experiment::new(
+        SkuKind::H100,
+        4,
+        ModelPreset::Gpt3_2_7B,
+        Strategy::Fsdp,
+        8,
+    );
+    println!("experiment: {experiment}");
+
+    let report = experiment.run()?;
+    let m = &report.metrics;
+
+    println!("\n-- performance --");
+    println!("activation policy:        {:?}", report.activation_policy);
+    println!("E2E ideal (Eq. 4):        {:8.1} ms", m.e2e_ideal_s * 1e3);
+    println!("E2E overlapped:           {:8.1} ms", m.e2e_overlapped_s * 1e3);
+    println!(
+        "E2E sequential:           {:8.1} ms (derived via Eq. 5: {:.1} ms)",
+        m.e2e_sequential_measured_s * 1e3,
+        m.e2e_sequential_derived_s * 1e3
+    );
+    println!(
+        "compute slowdown (Eq. 1): {:8.1} %",
+        m.compute_slowdown * 100.0
+    );
+    println!(
+        "overlap ratio (Eq. 2):    {:8.1} %",
+        m.overlap_ratio * 100.0
+    );
+
+    let tdp = report.tdp_w();
+    println!("\n-- power --");
+    println!(
+        "average power:            {:8.0} W ({:.2}x TDP)",
+        m.avg_power_w,
+        m.avg_power_w / tdp
+    );
+    println!(
+        "peak power:               {:8.0} W ({:.2}x TDP)",
+        m.peak_power_w,
+        m.peak_power_w / tdp
+    );
+    println!(
+        "NVML-sampled peak:        {:8.0} W ({:.2}x TDP)",
+        report.sampled_peak_w,
+        report.sampled_peak_w / tdp
+    );
+    println!("iteration energy:         {:8.0} J", m.energy_j);
+
+    println!("\n-- takeaway 3 (overlap helps, but contention costs) --");
+    println!(
+        "overlap beats sequential by {:.1}%, but is {:.1}% above the ideal",
+        m.sequential_vs_overlapped() * 100.0,
+        m.overlap_vs_ideal() * 100.0
+    );
+    Ok(())
+}
