@@ -13,12 +13,16 @@ fn bench_lowering(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("ccl_lower");
     for &bytes in &[1u64 << 20, 1 << 26, 1 << 30] {
-        g.bench_with_input(BenchmarkId::new("all_reduce", bytes), &bytes, |b, &bytes| {
-            b.iter(|| {
-                let coll = Collective::all_reduce(bytes, group.clone());
-                lower(&coll, Algorithm::Ring, &sku, &topo, Precision::Fp16)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("all_reduce", bytes),
+            &bytes,
+            |b, &bytes| {
+                b.iter(|| {
+                    let coll = Collective::all_reduce(bytes, group.clone());
+                    lower(&coll, Algorithm::Ring, &sku, &topo, Precision::Fp16)
+                })
+            },
+        );
     }
     g.finish();
 

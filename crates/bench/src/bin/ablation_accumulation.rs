@@ -7,9 +7,11 @@
 
 use olab_bench::emit;
 use olab_core::report::{ms, pct, Table};
-use olab_core::{Experiment, Strategy};
+use olab_core::{sweep, Experiment, Strategy};
 use olab_gpu::SkuKind;
 use olab_models::ModelPreset;
+
+const MICRO_STEPS: [u32; 3] = [1, 2, 4];
 
 fn main() {
     let mut table = Table::new([
@@ -22,13 +24,30 @@ fn main() {
         "E2E (same samples)",
         "Throughput gain",
     ]);
-    for sku in [SkuKind::H100, SkuKind::Mi250] {
-        // 32 samples per GPU per optimizer step, split into k micro-steps.
+    let skus = [SkuKind::H100, SkuKind::Mi250];
+    // 32 samples per GPU per optimizer step, split into k micro-steps.
+    let grid: Vec<_> = skus
+        .iter()
+        .flat_map(|&sku| {
+            MICRO_STEPS.iter().map(move |&k| {
+                Experiment::new(
+                    sku,
+                    4,
+                    ModelPreset::Gpt3Xl,
+                    Strategy::Fsdp,
+                    32 / u64::from(k),
+                )
+                .with_grad_accum(k)
+            })
+        })
+        .collect();
+    let outcome = sweep::run_cells(&grid);
+    let mut rows = grid.iter().zip(&outcome.cells);
+    for sku in skus {
         let mut baseline_e2e = None;
-        for k in [1u32, 2, 4] {
-            let exp = Experiment::new(sku, 4, ModelPreset::Gpt3Xl, Strategy::Fsdp, 32 / u64::from(k))
-                .with_grad_accum(k);
-            match exp.run() {
+        for k in MICRO_STEPS {
+            let (_, cell) = rows.next().expect("one cell per (sku, k)");
+            match cell {
                 Ok(r) => {
                     let e2e = r.metrics.e2e_overlapped_s;
                     let gain = baseline_e2e

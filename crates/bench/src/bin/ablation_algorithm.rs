@@ -48,5 +48,8 @@ fn main() {
             ]);
         }
     }
-    emit("Ablation: ring vs tree all-reduce across message sizes", &table);
+    emit(
+        "Ablation: ring vs tree all-reduce across message sizes",
+        &table,
+    );
 }

@@ -7,16 +7,28 @@
 
 use olab_bench::emit;
 use olab_core::report::{ms, pct, Table};
-use olab_core::{Experiment, Strategy};
+use olab_core::{sweep, CellMetrics, Experiment, Strategy};
 use olab_gpu::SkuKind;
 use olab_models::ModelPreset;
+
+const FREQ_CAPS: [f64; 6] = [1.0, 0.9, 0.8, 0.7, 0.6, 0.5];
+const POWER_CAPS: [f64; 6] = [400.0, 350.0, 300.0, 250.0, 200.0, 150.0];
 
 fn base() -> Experiment {
     Experiment::new(SkuKind::A100, 4, ModelPreset::Gpt3_2_7B, Strategy::Fsdp, 8)
 }
 
 fn main() {
-    let stock = base().run().expect("stock runs");
+    // One grid: the stock baseline, then every clock cap, then every
+    // strict power cap.
+    let mut grid = vec![base()];
+    grid.extend(FREQ_CAPS.iter().map(|&f| base().with_freq_cap(f)));
+    grid.extend(POWER_CAPS.iter().map(|&cap| base().with_power_cap(cap)));
+    let outcome = sweep::run_cells(&grid);
+    let cell =
+        |i: usize| -> &CellMetrics { outcome.cells[i].as_ref().expect("A100 2.7B b8 is feasible") };
+
+    let stock = cell(0);
     let e2e0 = stock.metrics.e2e_overlapped_s;
     let energy0 = stock.metrics.energy_j;
 
@@ -29,8 +41,8 @@ fn main() {
         "Energy saved",
         "Avg power",
     ]);
-    for f in [1.0, 0.9, 0.8, 0.7, 0.6, 0.5] {
-        let r = base().with_freq_cap(f).run().expect("freq-capped runs");
+    for (i, f) in FREQ_CAPS.iter().enumerate() {
+        let r = cell(1 + i);
         table.row([
             "clock".to_string(),
             format!("{:.0}%", f * 100.0),
@@ -41,8 +53,8 @@ fn main() {
             format!("{:.0} W", r.metrics.avg_power_w),
         ]);
     }
-    for cap in [400.0, 350.0, 300.0, 250.0, 200.0, 150.0] {
-        let r = base().with_power_cap(cap).run().expect("power-capped runs");
+    for (i, cap) in POWER_CAPS.iter().enumerate() {
+        let r = cell(1 + FREQ_CAPS.len() + i);
         table.row([
             "power".to_string(),
             format!("{cap:.0} W"),

@@ -70,7 +70,14 @@ fn main() {
     ]);
 
     for nic in [200.0, 100.0, 50.0, 12.5] {
-        let topo = Topology::multi_node(2, 4, h100.link_bw_unidir_gbs, h100.link_latency_us, nic, 10.0);
+        let topo = Topology::multi_node(
+            2,
+            4,
+            h100.link_bw_unidir_gbs,
+            h100.link_latency_us,
+            nic,
+            10.0,
+        );
         let m = run(topo.clone(), 8);
         table.row([
             format!("2 nodes x 4 GPUs, {nic:.1} GB/s NIC"),

@@ -9,7 +9,7 @@
 
 use olab_bench::emit;
 use olab_core::report::{ms, pct, Table};
-use olab_core::{Experiment, Strategy};
+use olab_core::{sweep, Experiment, Strategy};
 use olab_gpu::SkuKind;
 use olab_models::ModelPreset;
 use olab_parallel::pipeline::PipelineSchedule;
@@ -23,41 +23,49 @@ fn main() {
         "E2E",
         "Acts in flight",
     ]);
+    let mut grid = Vec::new();
+    let mut in_flights = Vec::new();
     for batch in [16u64, 32, 64] {
         for schedule in [PipelineSchedule::OneFOneB, PipelineSchedule::GPipe] {
-            let exp = Experiment::new(
-                SkuKind::Mi250,
-                4,
-                ModelPreset::Gpt3_2_7B,
-                Strategy::Pipeline { microbatch_size: 8 },
-                batch,
-            )
-            .with_pipeline_schedule(schedule);
-            let in_flight = match schedule {
+            grid.push(
+                Experiment::new(
+                    SkuKind::Mi250,
+                    4,
+                    ModelPreset::Gpt3_2_7B,
+                    Strategy::Pipeline { microbatch_size: 8 },
+                    batch,
+                )
+                .with_pipeline_schedule(schedule),
+            );
+            in_flights.push(match schedule {
                 PipelineSchedule::GPipe => batch / 8,
                 PipelineSchedule::OneFOneB => (batch / 8).min(4),
-            };
-            match exp.run() {
-                Ok(r) => {
-                    table.row([
-                        batch.to_string(),
-                        schedule.to_string(),
-                        pct(r.metrics.overlap_ratio),
-                        pct(r.metrics.compute_slowdown),
-                        ms(r.metrics.e2e_overlapped_s),
-                        in_flight.to_string(),
-                    ]);
-                }
-                Err(e) => {
-                    table.row([
-                        batch.to_string(),
-                        schedule.to_string(),
-                        format!("{e}"),
-                        "-".into(),
-                        "-".into(),
-                        in_flight.to_string(),
-                    ]);
-                }
+            });
+        }
+    }
+    let outcome = sweep::run_cells(&grid);
+    for ((exp, cell), in_flight) in grid.iter().zip(&outcome.cells).zip(in_flights) {
+        let schedule = exp.pipeline_schedule;
+        match cell {
+            Ok(r) => {
+                table.row([
+                    exp.batch.to_string(),
+                    schedule.to_string(),
+                    pct(r.metrics.overlap_ratio),
+                    pct(r.metrics.compute_slowdown),
+                    ms(r.metrics.e2e_overlapped_s),
+                    in_flight.to_string(),
+                ]);
+            }
+            Err(e) => {
+                table.row([
+                    exp.batch.to_string(),
+                    schedule.to_string(),
+                    format!("{e}"),
+                    "-".into(),
+                    "-".into(),
+                    in_flight.to_string(),
+                ]);
             }
         }
     }

@@ -7,7 +7,7 @@
 
 use olab_bench::emit;
 use olab_core::report::{ms, pct, Table};
-use olab_core::{Experiment, Strategy};
+use olab_core::{sweep, Experiment, Strategy};
 use olab_gpu::SkuKind;
 use olab_models::ModelPreset;
 
@@ -20,31 +20,36 @@ fn main() {
         "E2E overlapped",
         "Act policy",
     ]);
+    let mut grid = Vec::new();
     for sku in [SkuKind::H100, SkuKind::Mi250] {
         for seq in [256u64, 512, 1024, 2048] {
-            let exp = Experiment::new(sku, 4, ModelPreset::Gpt3_2_7B, Strategy::Fsdp, 8)
-                .with_seq(seq);
-            match exp.run() {
-                Ok(r) => {
-                    table.row([
-                        sku.to_string(),
-                        seq.to_string(),
-                        pct(r.metrics.overlap_ratio),
-                        pct(r.metrics.compute_slowdown),
-                        ms(r.metrics.e2e_overlapped_s),
-                        format!("{:?}", r.activation_policy),
-                    ]);
-                }
-                Err(e) => {
-                    table.row([
-                        sku.to_string(),
-                        seq.to_string(),
-                        format!("{e}"),
-                        "-".into(),
-                        "-".into(),
-                        "-".into(),
-                    ]);
-                }
+            grid.push(
+                Experiment::new(sku, 4, ModelPreset::Gpt3_2_7B, Strategy::Fsdp, 8).with_seq(seq),
+            );
+        }
+    }
+    let outcome = sweep::run_cells(&grid);
+    for (exp, cell) in grid.iter().zip(&outcome.cells) {
+        match cell {
+            Ok(r) => {
+                table.row([
+                    exp.sku.to_string(),
+                    exp.seq.to_string(),
+                    pct(r.metrics.overlap_ratio),
+                    pct(r.metrics.compute_slowdown),
+                    ms(r.metrics.e2e_overlapped_s),
+                    format!("{:?}", r.activation_policy),
+                ]);
+            }
+            Err(e) => {
+                table.row([
+                    exp.sku.to_string(),
+                    exp.seq.to_string(),
+                    format!("{e}"),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
             }
         }
     }

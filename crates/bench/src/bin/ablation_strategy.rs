@@ -8,7 +8,7 @@
 
 use olab_bench::emit;
 use olab_core::report::{ms, pct, Table};
-use olab_core::{Experiment, Strategy};
+use olab_core::{sweep, Experiment, Strategy};
 use olab_gpu::SkuKind;
 use olab_models::ModelPreset;
 
@@ -22,6 +22,7 @@ fn main() {
         "E2E sequential",
         "Comm total/GPU",
     ]);
+    let mut grid = Vec::new();
     for sku in [SkuKind::H100, SkuKind::Mi250] {
         let strategies = [
             Strategy::Fsdp,
@@ -35,30 +36,39 @@ fn main() {
                 Strategy::Fsdp => 8,
                 _ => 32,
             };
-            let exp = Experiment::new(sku, 4, ModelPreset::Gpt3_2_7B, strategy, batch);
-            match exp.run() {
-                Ok(r) => {
-                    table.row([
-                        sku.to_string(),
-                        strategy.to_string(),
-                        pct(r.metrics.overlap_ratio),
-                        pct(r.metrics.compute_slowdown),
-                        ms(r.metrics.e2e_overlapped_s),
-                        ms(r.metrics.e2e_sequential_measured_s),
-                        ms(r.overlapped.comm_s() / 4.0),
-                    ]);
-                }
-                Err(e) => {
-                    table.row([
-                        sku.to_string(),
-                        strategy.to_string(),
-                        format!("{e}"),
-                        "-".into(),
-                        "-".into(),
-                        "-".into(),
-                        "-".into(),
-                    ]);
-                }
+            grid.push(Experiment::new(
+                sku,
+                4,
+                ModelPreset::Gpt3_2_7B,
+                strategy,
+                batch,
+            ));
+        }
+    }
+    let outcome = sweep::run_cells(&grid);
+    for (exp, cell) in grid.iter().zip(&outcome.cells) {
+        match cell {
+            Ok(r) => {
+                table.row([
+                    exp.sku.to_string(),
+                    exp.strategy.to_string(),
+                    pct(r.metrics.overlap_ratio),
+                    pct(r.metrics.compute_slowdown),
+                    ms(r.metrics.e2e_overlapped_s),
+                    ms(r.metrics.e2e_sequential_measured_s),
+                    ms(r.comm_s / 4.0),
+                ]);
+            }
+            Err(e) => {
+                table.row([
+                    exp.sku.to_string(),
+                    exp.strategy.to_string(),
+                    format!("{e}"),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
             }
         }
     }

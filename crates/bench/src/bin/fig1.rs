@@ -6,7 +6,7 @@
 
 use olab_bench::emit;
 use olab_core::report::{ms, pct, Table};
-use olab_core::registry;
+use olab_core::{registry, sweep};
 
 fn main() {
     let mut a = Table::new([
@@ -17,17 +17,23 @@ fn main() {
         "Total comm time",
         "Comm hidden",
     ]);
-    for exp in registry::fig1a() {
-        match exp.run() {
+    let grid_a = registry::fig1a();
+    let outcome_a = sweep::run_cells(&grid_a);
+    for (exp, cell) in grid_a.iter().zip(&outcome_a.cells) {
+        match cell {
             Ok(r) => {
-                let comm = r.overlapped.comm_s();
+                let comm = r.comm_s;
                 a.row([
                     exp.model.config().name.to_string(),
                     exp.batch.to_string(),
                     pct(r.metrics.overlap_ratio),
-                    ms(r.overlapped.overlapped_compute_s() / exp.n_gpus as f64),
+                    ms(r.overlapped_compute_s / exp.n_gpus as f64),
                     ms(comm / exp.n_gpus as f64),
-                    pct(if comm > 0.0 { r.overlapped.hidden_comm_s() / comm } else { 0.0 }),
+                    pct(if comm > 0.0 {
+                        r.hidden_comm_s / comm
+                    } else {
+                        0.0
+                    }),
                 ]);
             }
             Err(_) => {
@@ -52,17 +58,23 @@ fn main() {
         "Total comm time",
         "Comm hidden",
     ]);
-    for exp in registry::fig1b() {
-        match exp.run() {
+    let grid_b = registry::fig1b();
+    let outcome_b = sweep::run_cells(&grid_b);
+    for (exp, cell) in grid_b.iter().zip(&outcome_b.cells) {
+        match cell {
             Ok(r) => {
-                let comm = r.overlapped.comm_s();
+                let comm = r.comm_s;
                 b.row([
                     exp.batch.to_string(),
                     (exp.batch / registry::PP_MICROBATCH).to_string(),
                     pct(r.metrics.overlap_ratio),
-                    ms(r.overlapped.overlapped_compute_s() / exp.n_gpus as f64),
+                    ms(r.overlapped_compute_s / exp.n_gpus as f64),
                     ms(comm / exp.n_gpus as f64),
-                    pct(if comm > 0.0 { r.overlapped.hidden_comm_s() / comm } else { 0.0 }),
+                    pct(if comm > 0.0 {
+                        r.hidden_comm_s / comm
+                    } else {
+                        0.0
+                    }),
                 ]);
             }
             Err(e) => {

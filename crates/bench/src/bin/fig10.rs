@@ -3,7 +3,7 @@
 
 use olab_bench::emit;
 use olab_core::report::{ms, pct, xtdp, Table};
-use olab_core::registry;
+use olab_core::{registry, sweep};
 
 fn main() {
     let mut table = Table::new([
@@ -16,34 +16,37 @@ fn main() {
         "Avg power",
         "Peak power",
     ]);
-    for (fp32, fp16) in registry::fig10() {
-        for exp in [fp32, fp16] {
-            match exp.run() {
-                Ok(r) => {
-                    let tdp = r.tdp_w();
-                    table.row([
-                        exp.model.config().name.to_string(),
-                        exp.batch.to_string(),
-                        exp.precision.to_string(),
-                        pct(r.metrics.overlap_ratio),
-                        pct(r.metrics.compute_slowdown),
-                        ms(r.metrics.e2e_overlapped_s),
-                        xtdp(r.metrics.avg_power_w, tdp),
-                        xtdp(r.metrics.peak_power_w, tdp),
-                    ]);
-                }
-                Err(_) => {
-                    table.row([
-                        exp.model.config().name.to_string(),
-                        exp.batch.to_string(),
-                        exp.precision.to_string(),
-                        "OOM".into(),
-                        "OOM".into(),
-                        "OOM".into(),
-                        "OOM".into(),
-                        "OOM".into(),
-                    ]);
-                }
+    let grid: Vec<_> = registry::fig10()
+        .into_iter()
+        .flat_map(|(fp32, fp16)| [fp32, fp16])
+        .collect();
+    let outcome = sweep::run_cells(&grid);
+    for (exp, cell) in grid.iter().zip(&outcome.cells) {
+        match cell {
+            Ok(r) => {
+                let tdp = exp.sku.sku().tdp_w;
+                table.row([
+                    exp.model.config().name.to_string(),
+                    exp.batch.to_string(),
+                    exp.precision.to_string(),
+                    pct(r.metrics.overlap_ratio),
+                    pct(r.metrics.compute_slowdown),
+                    ms(r.metrics.e2e_overlapped_s),
+                    xtdp(r.metrics.avg_power_w, tdp),
+                    xtdp(r.metrics.peak_power_w, tdp),
+                ]);
+            }
+            Err(_) => {
+                table.row([
+                    exp.model.config().name.to_string(),
+                    exp.batch.to_string(),
+                    exp.precision.to_string(),
+                    "OOM".into(),
+                    "OOM".into(),
+                    "OOM".into(),
+                    "OOM".into(),
+                    "OOM".into(),
+                ]);
             }
         }
     }

@@ -3,7 +3,7 @@
 
 use olab_bench::emit;
 use olab_core::report::{ms, pct, xtdp, Table};
-use olab_core::registry;
+use olab_core::{registry, sweep};
 
 fn main() {
     let mut table = Table::new([
@@ -16,35 +16,38 @@ fn main() {
         "Avg power",
         "Peak power",
     ]);
-    for (vector, tensor) in registry::fig11() {
-        for exp in [vector, tensor] {
-            let path = format!("{} ({})", exp.datapath, exp.precision);
-            match exp.run() {
-                Ok(r) => {
-                    let tdp = r.tdp_w();
-                    table.row([
-                        exp.model.config().name.to_string(),
-                        exp.batch.to_string(),
-                        path,
-                        pct(r.metrics.overlap_ratio),
-                        pct(r.metrics.compute_slowdown),
-                        ms(r.metrics.e2e_overlapped_s),
-                        xtdp(r.metrics.avg_power_w, tdp),
-                        xtdp(r.metrics.peak_power_w, tdp),
-                    ]);
-                }
-                Err(_) => {
-                    table.row([
-                        exp.model.config().name.to_string(),
-                        exp.batch.to_string(),
-                        path,
-                        "OOM".into(),
-                        "OOM".into(),
-                        "OOM".into(),
-                        "OOM".into(),
-                        "OOM".into(),
-                    ]);
-                }
+    let grid: Vec<_> = registry::fig11()
+        .into_iter()
+        .flat_map(|(vector, tensor)| [vector, tensor])
+        .collect();
+    let outcome = sweep::run_cells(&grid);
+    for (exp, cell) in grid.iter().zip(&outcome.cells) {
+        let path = format!("{} ({})", exp.datapath, exp.precision);
+        match cell {
+            Ok(r) => {
+                let tdp = exp.sku.sku().tdp_w;
+                table.row([
+                    exp.model.config().name.to_string(),
+                    exp.batch.to_string(),
+                    path,
+                    pct(r.metrics.overlap_ratio),
+                    pct(r.metrics.compute_slowdown),
+                    ms(r.metrics.e2e_overlapped_s),
+                    xtdp(r.metrics.avg_power_w, tdp),
+                    xtdp(r.metrics.peak_power_w, tdp),
+                ]);
+            }
+            Err(_) => {
+                table.row([
+                    exp.model.config().name.to_string(),
+                    exp.batch.to_string(),
+                    path,
+                    "OOM".into(),
+                    "OOM".into(),
+                    "OOM".into(),
+                    "OOM".into(),
+                    "OOM".into(),
+                ]);
             }
         }
     }

@@ -3,7 +3,7 @@
 
 use olab_bench::emit;
 use olab_core::report::{pct, Table};
-use olab_core::registry;
+use olab_core::{registry, sweep};
 
 fn main() {
     let mut table = Table::new([
@@ -14,12 +14,17 @@ fn main() {
         "Overlap ratio",
         "Compute slowdown",
     ]);
-    for exp in registry::main_grid() {
-        let (ratio, slowdown) = match exp.run() {
-            Ok(r) => (pct(r.metrics.overlap_ratio), pct(r.metrics.compute_slowdown)),
+    let grid = registry::main_grid();
+    let outcome = sweep::run_cells(&grid);
+    for (exp, cell) in grid.iter().zip(&outcome.cells) {
+        let (ratio, slowdown) = match cell {
+            Ok(r) => (
+                pct(r.metrics.overlap_ratio),
+                pct(r.metrics.compute_slowdown),
+            ),
             Err(e) => {
                 let reason = match e {
-                    olab_core::ExperimentError::OutOfMemory { .. } => "OOM".to_string(),
+                    olab_core::CellError::OutOfMemory { .. } => "OOM".to_string(),
                     other => format!("{other}"),
                 };
                 (reason.clone(), reason)

@@ -3,7 +3,7 @@
 
 use olab_bench::emit;
 use olab_core::report::{ms, pct, Table};
-use olab_core::registry;
+use olab_core::{registry, sweep};
 
 fn main() {
     let mut table = Table::new([
@@ -17,8 +17,10 @@ fn main() {
         "Overlap vs ideal",
         "Seq vs overlap",
     ]);
-    for exp in registry::main_grid() {
-        match exp.run() {
+    let grid = registry::main_grid();
+    let outcome = sweep::run_cells(&grid);
+    for (exp, cell) in grid.iter().zip(&outcome.cells) {
+        match cell {
             Ok(r) => {
                 table.row([
                     format!("{}", exp.sku),

@@ -3,7 +3,7 @@
 
 use olab_bench::emit;
 use olab_core::report::{xtdp, Table};
-use olab_core::registry;
+use olab_core::{registry, sweep};
 
 fn main() {
     let mut table = Table::new([
@@ -17,10 +17,12 @@ fn main() {
         "Peak power (seq)",
         "Sampled peak",
     ]);
-    for exp in registry::main_grid() {
-        match exp.run() {
+    let grid = registry::main_grid();
+    let outcome = sweep::run_cells(&grid);
+    for (exp, cell) in grid.iter().zip(&outcome.cells) {
+        match cell {
             Ok(r) => {
-                let tdp = r.tdp_w();
+                let tdp = exp.sku.sku().tdp_w;
                 table.row([
                     format!("{}", exp.sku),
                     format!("{}", exp.strategy),
@@ -48,5 +50,8 @@ fn main() {
             }
         }
     }
-    emit("Fig. 6: Power consumption across GPUs (normalized to TDP)", &table);
+    emit(
+        "Fig. 6: Power consumption across GPUs (normalized to TDP)",
+        &table,
+    );
 }

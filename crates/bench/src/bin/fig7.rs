@@ -26,11 +26,7 @@ fn main() {
     let sampled = gpu0.power.sample(Sampler::rocm_smi_fine());
     let e2e = run.e2e_s;
 
-    let in_overlap = |t: f64| {
-        gpu0.overlap_windows
-            .iter()
-            .any(|&(a, b)| t >= a && t < b)
-    };
+    let in_overlap = |t: f64| gpu0.overlap_windows.iter().any(|&(a, b)| t >= a && t < b);
 
     let mut table = Table::new(["t (normalized)", "power (x TDP)", "overlap window"]);
     // Thin the series for readability: at most ~200 rows in markdown mode;
@@ -54,7 +50,10 @@ fn main() {
 
     let peak = sampled.peak().unwrap_or(0.0) / tdp;
     let avg = sampled.average().unwrap_or(0.0) / tdp;
-    println!("peak = {peak:.2}x TDP, average = {avg:.2}x TDP, iteration = {:.1} ms", e2e * 1e3);
+    println!(
+        "peak = {peak:.2}x TDP, average = {avg:.2}x TDP, iteration = {:.1} ms",
+        e2e * 1e3
+    );
     println!(
         "overlap windows cover {:.1}% of the iteration",
         100.0

@@ -3,15 +3,20 @@
 
 use olab_bench::emit;
 use olab_core::report::{ms, pct, Table};
-use olab_core::registry;
+use olab_core::{registry, sweep};
 
 fn main() {
-    // Uncapped baselines for the relative-slowdown columns.
-    let stock = registry::fig9()
+    let grid = registry::fig9();
+    let outcome = sweep::run_cells(&grid);
+
+    // Uncapped baselines for the relative-slowdown columns: the first grid
+    // cell carries the stock (400 W) cap.
+    let baseline = outcome
+        .cells
         .first()
-        .cloned()
-        .expect("fig9 grid is non-empty");
-    let baseline = stock.run().expect("stock-cap run succeeds");
+        .expect("fig9 grid is non-empty")
+        .as_ref()
+        .expect("stock-cap run succeeds");
     let base_ovl = baseline.metrics.e2e_overlapped_s;
     let base_seq = baseline.metrics.e2e_sequential_measured_s;
 
@@ -23,9 +28,9 @@ fn main() {
         "Sequential slowdown vs 400 W",
         "Compute slowdown (Eq. 1)",
     ]);
-    for exp in registry::fig9() {
+    for (exp, cell) in grid.iter().zip(&outcome.cells) {
         let cap = exp.power_cap_w.expect("cap set");
-        match exp.run() {
+        match cell {
             Ok(r) => {
                 table.row([
                     format!("{cap:.0}"),

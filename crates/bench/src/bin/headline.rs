@@ -4,7 +4,7 @@
 
 use olab_bench::emit;
 use olab_core::report::{pct, Table};
-use olab_core::registry;
+use olab_core::{registry, sweep};
 
 fn main() {
     let mut compute_slowdowns: Vec<(String, f64)> = Vec::new();
@@ -14,8 +14,10 @@ fn main() {
     let mut feasible = 0usize;
     let mut infeasible = 0usize;
 
-    for exp in registry::main_grid() {
-        match exp.run() {
+    let grid = registry::main_grid();
+    let outcome = sweep::run_cells(&grid);
+    for (exp, cell) in grid.iter().zip(&outcome.cells) {
+        match cell {
             Ok(r) => {
                 feasible += 1;
                 compute_slowdowns.push((exp.label(), r.metrics.compute_slowdown));

@@ -176,9 +176,18 @@ mod tests {
 
     #[test]
     fn tree_has_logarithmic_latency_steps() {
-        assert_eq!(Algorithm::Tree.latency_steps(CollectiveKind::AllGather, 8), 3);
-        assert_eq!(Algorithm::Ring.latency_steps(CollectiveKind::AllGather, 8), 7);
-        assert_eq!(Algorithm::Ring.latency_steps(CollectiveKind::AllReduce, 4), 6);
+        assert_eq!(
+            Algorithm::Tree.latency_steps(CollectiveKind::AllGather, 8),
+            3
+        );
+        assert_eq!(
+            Algorithm::Ring.latency_steps(CollectiveKind::AllGather, 8),
+            7
+        );
+        assert_eq!(
+            Algorithm::Ring.latency_steps(CollectiveKind::AllReduce, 4),
+            6
+        );
         assert_eq!(
             Algorithm::Direct.latency_steps(CollectiveKind::PointToPoint, 2),
             1

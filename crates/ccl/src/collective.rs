@@ -24,7 +24,10 @@ pub enum CollectiveKind {
 impl CollectiveKind {
     /// Whether the collective performs arithmetic (reductions).
     pub fn reduces(self) -> bool {
-        matches!(self, CollectiveKind::AllReduce | CollectiveKind::ReduceScatter)
+        matches!(
+            self,
+            CollectiveKind::AllReduce | CollectiveKind::ReduceScatter
+        )
     }
 }
 

@@ -74,7 +74,10 @@ pub fn lower(
 ) -> CommOp {
     let n = collective.group_size();
     assert!(
-        collective.group.iter().all(|g| g.index() < topology.n_gpus()),
+        collective
+            .group
+            .iter()
+            .all(|g| g.index() < topology.n_gpus()),
         "collective group exceeds topology"
     );
     let profile = sku.contention();
@@ -101,10 +104,13 @@ pub fn lower(
         let s = collective.bytes as f64;
         // All-reduce needs both a reduce and a gather phase at each level;
         // all-gather / reduce-scatter need one.
-        let phases = if collective.kind == CollectiveKind::AllReduce { 2.0 } else { 1.0 };
+        let phases = if collective.kind == CollectiveKind::AllReduce {
+            2.0
+        } else {
+            1.0
+        };
         let intra = topology.injection_bw_gbs() * 1e9 * profile.ring_busbw_efficiency;
-        let nic = (topology.nic_bw_gbs() * 1e9 * profile.ring_busbw_efficiency)
-            .min(intra * g);
+        let nic = (topology.nic_bw_gbs() * 1e9 * profile.ring_busbw_efficiency).min(intra * g);
         let t_intra = phases * s * (g - 1.0) / g / intra;
         let t_inter = if k > 1.0 {
             phases * s * (k - 1.0) / k / nic
@@ -118,8 +124,7 @@ pub fn lower(
     };
 
     let steps = algorithm.latency_steps(collective.kind, n);
-    let latency_s =
-        f64::from(steps) * topology.latency_s() + profile.collective_launch_us * 1e-6;
+    let latency_s = f64::from(steps) * topology.latency_s() + profile.collective_launch_us * 1e-6;
 
     let channels = channel_count(sku.vendor, wire);
     let sm_fraction = profile.comm_sm_fraction(channels);
@@ -276,6 +281,9 @@ mod tests {
         let tiny = Collective::all_reduce(1 << 10, group(4));
         let op = lower(&tiny, Algorithm::Tree, &sku, &topo, Precision::Fp16);
         let ratio = op.isolated_busbw_gbs() * 1e9 / op.wire_rate_bytes_per_sec;
-        assert!(ratio < 0.1, "tiny collectives cannot reach busbw, ratio {ratio}");
+        assert!(
+            ratio < 0.1,
+            "tiny collectives cannot reach busbw, ratio {ratio}"
+        );
     }
 }

@@ -18,8 +18,12 @@ fn any_kind() -> impl Strategy<Value = CollectiveKind> {
 
 fn node(sku: &GpuSku, n: usize) -> Topology {
     match sku.vendor {
-        olab_gpu::Vendor::Nvidia => Topology::nvswitch(n, sku.link_bw_unidir_gbs, sku.link_latency_us),
-        olab_gpu::Vendor::Amd => Topology::full_mesh(n, sku.link_bw_unidir_gbs, sku.link_latency_us),
+        olab_gpu::Vendor::Nvidia => {
+            Topology::nvswitch(n, sku.link_bw_unidir_gbs, sku.link_latency_us)
+        }
+        olab_gpu::Vendor::Amd => {
+            Topology::full_mesh(n, sku.link_bw_unidir_gbs, sku.link_latency_us)
+        }
     }
 }
 

@@ -76,17 +76,12 @@ impl Default for RunArgs {
 impl RunArgs {
     /// Builds the experiment these arguments describe.
     pub fn experiment(&self) -> olab_core::Experiment {
-        let mut e = olab_core::Experiment::new(
-            self.sku,
-            self.gpus,
-            self.model,
-            self.strategy,
-            self.batch,
-        )
-        .with_seq(self.seq)
-        .with_precision(self.precision)
-        .with_datapath(self.datapath)
-        .with_grad_accum(self.grad_accum);
+        let mut e =
+            olab_core::Experiment::new(self.sku, self.gpus, self.model, self.strategy, self.batch)
+                .with_seq(self.seq)
+                .with_precision(self.precision)
+                .with_datapath(self.datapath)
+                .with_grad_accum(self.grad_accum);
         if let Some(cap) = self.power_cap {
             e = e.with_power_cap(cap);
         }
@@ -97,6 +92,19 @@ impl RunArgs {
     }
 }
 
+/// Sweep-specific arguments: the batch list plus the grid-engine knobs.
+#[derive(Debug, Clone, Default)]
+pub struct SweepArgs {
+    /// Batch sizes to sweep.
+    pub batches: Vec<u64>,
+    /// Worker threads (`--jobs N`; `1` forces a serial sweep). `None`
+    /// defers to `OLAB_JOBS` or `available_parallelism`.
+    pub jobs: Option<usize>,
+    /// Persistent result-cache directory (`--cache DIR`). `None` defers
+    /// to `OLAB_CACHE_DIR` or memory-only caching.
+    pub cache: Option<String>,
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone)]
 pub enum Command {
@@ -104,8 +112,8 @@ pub enum Command {
     List,
     /// `olab run ...`.
     Run(RunArgs),
-    /// `olab sweep ... --batches a,b,c`.
-    Sweep(RunArgs, Vec<u64>),
+    /// `olab sweep ... --batches a,b,c [--jobs N] [--cache DIR]`.
+    Sweep(RunArgs, SweepArgs),
     /// `olab trace ... [--interval-ms x]`.
     Trace(RunArgs, f64),
     /// `olab tune ... [--objective latency|energy|edp]`.
@@ -190,11 +198,12 @@ fn num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, CliError> {
         .map_err(|_| CliError(format!("{flag}: cannot parse '{value}'")))
 }
 
+/// Flag/value pairs left unconsumed by [`parse_run_args`].
+type RestPairs<'a> = Vec<(&'a str, &'a str)>;
+
 /// Parses common flags into `RunArgs`, returning unconsumed (flag, value)
 /// pairs to the caller.
-fn parse_run_args<'a>(
-    pairs: &[(&'a str, &'a str)],
-) -> Result<(RunArgs, Vec<(&'a str, &'a str)>), CliError> {
+fn parse_run_args<'a>(pairs: &[(&'a str, &'a str)]) -> Result<(RunArgs, RestPairs<'a>), CliError> {
     let mut args = RunArgs::default();
     let mut rest = Vec::new();
     for &(flag, value) in pairs {
@@ -265,20 +274,26 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         "sweep" => {
             let (mut args, rest) = parse_run_args(&pairs)?;
             args.csv = csv;
-            let mut batches = vec![8, 16, 32];
+            let mut sweep = SweepArgs {
+                batches: vec![8, 16, 32],
+                ..SweepArgs::default()
+            };
             let mut unknown = Vec::new();
             for (flag, value) in rest {
-                if flag == "--batches" {
-                    batches = value
-                        .split(',')
-                        .map(|v| num("--batches", v.trim()))
-                        .collect::<Result<Vec<u64>, _>>()?;
-                } else {
-                    unknown.push((flag, value));
+                match flag {
+                    "--batches" => {
+                        sweep.batches = value
+                            .split(',')
+                            .map(|v| num("--batches", v.trim()))
+                            .collect::<Result<Vec<u64>, _>>()?;
+                    }
+                    "--jobs" => sweep.jobs = Some(num(flag, value)?),
+                    "--cache" => sweep.cache = Some(value.to_string()),
+                    _ => unknown.push((flag, value)),
                 }
             }
             reject_unknown(&unknown)?;
-            Ok(Command::Sweep(args, batches))
+            Ok(Command::Sweep(args, sweep))
         }
         "trace" => {
             let (mut args, rest) = parse_run_args(&pairs)?;
@@ -363,10 +378,23 @@ mod tests {
     #[test]
     fn sweep_parses_batch_list() {
         let cmd = parse(&argv("sweep --sku a100 --batches 4,8,64")).unwrap();
-        let Command::Sweep(_, batches) = cmd else {
+        let Command::Sweep(_, sweep) = cmd else {
             panic!("expected sweep");
         };
-        assert_eq!(batches, vec![4, 8, 64]);
+        assert_eq!(sweep.batches, vec![4, 8, 64]);
+        assert_eq!(sweep.jobs, None);
+        assert_eq!(sweep.cache, None);
+    }
+
+    #[test]
+    fn sweep_parses_grid_engine_knobs() {
+        let cmd = parse(&argv("sweep --jobs 2 --cache /tmp/olab-cache")).unwrap();
+        let Command::Sweep(_, sweep) = cmd else {
+            panic!("expected sweep");
+        };
+        assert_eq!(sweep.jobs, Some(2));
+        assert_eq!(sweep.cache.as_deref(), Some("/tmp/olab-cache"));
+        assert_eq!(sweep.batches, vec![8, 16, 32], "default batch list");
     }
 
     #[test]

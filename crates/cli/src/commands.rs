@@ -1,8 +1,9 @@
 //! Subcommand implementations (each returns the text to print).
 
-use crate::args::{CliError, RunArgs};
+use crate::args::{CliError, RunArgs, SweepArgs};
 use olab_core::adaptive::{tune_fsdp, Objective};
 use olab_core::report::{ms, pct, Table};
+use olab_core::Sweep;
 use olab_gpu::GpuSku;
 use olab_models::ModelPreset;
 use olab_power::Sampler;
@@ -17,6 +18,7 @@ USAGE:
   olab list                                    available SKUs and models
   olab run   [flags]                           one experiment, full metrics
   olab sweep [flags] --batches 8,16,32         batch sweep table
+             [--jobs N] [--cache DIR]          parallel workers, result cache
   olab trace [flags] [--interval-ms 1]         sampled power trace (CSV-ish)
   olab tune  [flags] [--objective energy]      adaptive overlap search (FSDP)
   olab chrome [flags]                          chrome://tracing JSON timeline
@@ -101,7 +103,35 @@ pub fn run(args: &RunArgs) -> Result<String, CliError> {
 }
 
 /// `olab sweep`.
-pub fn sweep(args: &RunArgs, batches: &[u64]) -> Result<String, CliError> {
+///
+/// Runs the batch sweep on the `olab-grid` engine: cells fan out across
+/// `--jobs` workers (default `OLAB_JOBS`, then `available_parallelism`)
+/// and repeats are served from the content-addressed cache (persistent
+/// under `--cache DIR`, default `OLAB_CACHE_DIR`, else memory-only).
+/// Telemetry goes to stderr; the table on stdout stays machine-readable.
+pub fn sweep(args: &RunArgs, sweep_args: &SweepArgs) -> Result<String, CliError> {
+    let mut engine = Sweep::from_env();
+    if let Some(jobs) = sweep_args.jobs {
+        engine = engine.with_jobs(jobs);
+    }
+    if let Some(dir) = &sweep_args.cache {
+        engine = engine
+            .with_disk_cache(dir)
+            .map_err(|e| CliError(format!("--cache {dir}: {e}")))?;
+    }
+
+    let grid: Vec<_> = sweep_args
+        .batches
+        .iter()
+        .map(|&batch| {
+            let mut a = args.clone();
+            a.batch = batch;
+            a.experiment()
+        })
+        .collect();
+    let outcome = engine.run(&grid);
+    outcome.log_stats();
+
     let mut table = Table::new([
         "Batch",
         "Overlap ratio",
@@ -110,10 +140,9 @@ pub fn sweep(args: &RunArgs, batches: &[u64]) -> Result<String, CliError> {
         "E2E sequential",
         "Peak power",
     ]);
-    for &batch in batches {
-        let mut a = args.clone();
-        a.batch = batch;
-        match a.experiment().run() {
+    let tdp = args.sku.sku().tdp_w;
+    for (&batch, cell) in sweep_args.batches.iter().zip(&outcome.cells) {
+        match cell {
             Ok(r) => {
                 table.row([
                     batch.to_string(),
@@ -121,7 +150,7 @@ pub fn sweep(args: &RunArgs, batches: &[u64]) -> Result<String, CliError> {
                     pct(r.metrics.compute_slowdown),
                     ms(r.metrics.e2e_overlapped_s),
                     ms(r.metrics.e2e_sequential_measured_s),
-                    format!("{:.2}x TDP", r.metrics.peak_power_w / r.tdp_w()),
+                    format!("{:.2}x TDP", r.metrics.peak_power_w / tdp),
                 ]);
             }
             Err(e) => {
@@ -150,8 +179,7 @@ pub fn trace(args: &RunArgs, interval_ms: f64) -> Result<String, CliError> {
     let sampler = Sampler::with_interval("cli", interval_ms * 1e-3);
     let sampled = gpu0.power.sample(sampler);
     let tdp = report.tdp_w();
-    let in_overlap =
-        |t: f64| gpu0.overlap_windows.iter().any(|&(a, b)| t >= a && t < b);
+    let in_overlap = |t: f64| gpu0.overlap_windows.iter().any(|&(a, b)| t >= a && t < b);
 
     let mut out = String::from("t_ms,power_w,power_x_tdp,overlap\n");
     for s in &sampled.samples {
@@ -170,7 +198,9 @@ pub fn trace(args: &RunArgs, interval_ms: f64) -> Result<String, CliError> {
 /// `olab chrome`: emit a chrome://tracing timeline of the overlapped run.
 pub fn chrome(args: &RunArgs) -> Result<String, CliError> {
     let report = args.experiment().run()?;
-    Ok(olab_core::chrome_trace::to_chrome_trace(&report.overlapped.trace))
+    Ok(olab_core::chrome_trace::to_chrome_trace(
+        &report.overlapped.trace,
+    ))
 }
 
 /// `olab tune`.
@@ -226,25 +256,70 @@ mod tests {
 
     #[test]
     fn run_produces_metrics() {
-        let mut args = RunArgs::default();
-        args.seq = 256;
+        let args = RunArgs {
+            seq: 256,
+            ..Default::default()
+        };
         let out = run(&args).unwrap();
         assert!(out.contains("compute slowdown"));
         assert!(out.contains("x TDP"));
     }
 
+    fn sweep_args(batches: &[u64]) -> SweepArgs {
+        SweepArgs {
+            batches: batches.to_vec(),
+            jobs: Some(2),
+            cache: None,
+        }
+    }
+
     #[test]
     fn sweep_renders_one_row_per_batch() {
-        let mut args = RunArgs::default();
-        args.seq = 256;
-        let out = sweep(&args, &[4, 8]).unwrap();
+        let args = RunArgs {
+            seq: 256,
+            ..Default::default()
+        };
+        let out = sweep(&args, &sweep_args(&[4, 8])).unwrap();
         assert_eq!(out.lines().count(), 4, "header + separator + 2 rows");
     }
 
     #[test]
+    fn sweep_serial_and_parallel_render_identically() {
+        let args = RunArgs {
+            seq: 256,
+            ..Default::default()
+        };
+        let mut serial = sweep_args(&[4, 8, 16]);
+        serial.jobs = Some(1);
+        let parallel = sweep_args(&[4, 8, 16]);
+        assert_eq!(
+            sweep(&args, &serial).unwrap(),
+            sweep(&args, &parallel).unwrap()
+        );
+    }
+
+    #[test]
+    fn sweep_uses_the_disk_cache_dir() {
+        let dir = std::env::temp_dir().join(format!("olab-cli-cache-{}", std::process::id()));
+        let args = RunArgs {
+            seq: 256,
+            ..Default::default()
+        };
+        let mut with_cache = sweep_args(&[4]);
+        with_cache.cache = Some(dir.display().to_string());
+        let out = sweep(&args, &with_cache).unwrap();
+        assert_eq!(out.lines().count(), 3, "header + separator + 1 row");
+        let entries = std::fs::read_dir(&dir).unwrap().count();
+        assert!(entries > 0, "cache dir has entries");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn trace_is_csv_with_overlap_column() {
-        let mut args = RunArgs::default();
-        args.seq = 256;
+        let args = RunArgs {
+            seq: 256,
+            ..Default::default()
+        };
         let out = trace(&args, 5.0).unwrap();
         assert!(out.starts_with("t_ms,power_w"));
         assert!(out.lines().count() > 3);
@@ -252,8 +327,10 @@ mod tests {
 
     #[test]
     fn chrome_emits_json() {
-        let mut args = RunArgs::default();
-        args.seq = 256;
+        let args = RunArgs {
+            seq: 256,
+            ..Default::default()
+        };
         let out = chrome(&args).unwrap();
         assert!(out.trim_start().starts_with('['));
         assert!(out.contains("\"ph\": \"X\""));
@@ -261,8 +338,10 @@ mod tests {
 
     #[test]
     fn tune_reports_a_best_policy() {
-        let mut args = RunArgs::default();
-        args.seq = 256;
+        let args = RunArgs {
+            seq: 256,
+            ..Default::default()
+        };
         let out = tune(&args, Objective::Latency).unwrap();
         assert!(out.contains("<== best"));
     }

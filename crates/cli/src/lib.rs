@@ -3,7 +3,8 @@
 //! ```text
 //! olab list                                  # SKUs and models
 //! olab run   --sku h100 --model gpt3-2.7b --strategy fsdp --batch 8
-//! olab sweep --sku mi250 --model gpt3-13b --strategy fsdp --batches 8,16,32
+//! olab sweep --sku mi250 --model gpt3-13b --strategy fsdp --batches 8,16,32 \
+//!            --jobs 8 --cache ~/.cache/olab   # parallel + persistent results
 //! olab trace --sku mi250 --model llama2-13b --batch 8 --interval-ms 1
 //! olab tune  --sku mi250 --model gpt3-2.7b --batch 8 --objective energy
 //! ```
@@ -18,7 +19,7 @@
 pub mod args;
 pub mod commands;
 
-pub use args::{parse, CliError, Command, RunArgs};
+pub use args::{parse, CliError, Command, RunArgs, SweepArgs};
 
 /// Entry point shared by the binary and the tests.
 ///
@@ -30,7 +31,7 @@ pub fn main_with(args: &[String]) -> Result<String, CliError> {
     match parse(args)? {
         Command::List => Ok(commands::list()),
         Command::Run(run) => commands::run(&run),
-        Command::Sweep(run, batches) => commands::sweep(&run, &batches),
+        Command::Sweep(run, sweep) => commands::sweep(&run, &sweep),
         Command::Trace(run, interval_ms) => commands::trace(&run, interval_ms),
         Command::Tune(run, objective) => commands::tune(&run, objective),
         Command::Chrome(run) => commands::chrome(&run),

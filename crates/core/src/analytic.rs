@@ -105,7 +105,11 @@ pub fn estimate_fsdp(plan: &FsdpPlan, sku: &GpuSku, topo: &Topology) -> Analytic
     .isolated_duration_s();
     let rs = lower(
         &Collective::reduce_scatter(layer_bytes, group),
-        Algorithm::auto(olab_ccl::CollectiveKind::ReduceScatter, layer_bytes, plan.ranks),
+        Algorithm::auto(
+            olab_ccl::CollectiveKind::ReduceScatter,
+            layer_bytes,
+            plan.ranks,
+        ),
         sku,
         topo,
         plan.precision,

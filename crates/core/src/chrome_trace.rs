@@ -91,7 +91,12 @@ mod tests {
             Datapath::TensorCore,
             ActivationPolicy::Full,
         );
-        let w = fsdp::fsdp_timeline(&plan, &sku, &machine.config().topology, ExecutionMode::Overlapped);
+        let w = fsdp::fsdp_timeline(
+            &plan,
+            &sku,
+            &machine.config().topology,
+            ExecutionMode::Overlapped,
+        );
         execute(&w, &machine).unwrap().trace
     }
 

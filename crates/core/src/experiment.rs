@@ -209,7 +209,7 @@ impl Experiment {
         match self.strategy {
             Strategy::Fsdp | Strategy::TensorParallel => Ok(0),
             Strategy::Pipeline { microbatch_size } => {
-                if microbatch_size == 0 || self.batch % microbatch_size != 0 {
+                if microbatch_size == 0 || !self.batch.is_multiple_of(microbatch_size) {
                     return Err(ExperimentError::InvalidConfig(format!(
                         "batch {} not divisible by microbatch size {microbatch_size}",
                         self.batch
@@ -227,18 +227,10 @@ impl Experiment {
         let cfg = self.model.config();
         let sku = self.sku.sku();
         let (sharding, batch) = match self.strategy {
-            Strategy::Fsdp => (
-                Sharding::FsdpZero3 {
-                    ranks: self.n_gpus,
-                },
-                self.batch,
-            ),
-            Strategy::TensorParallel => (
-                Sharding::TensorParallel {
-                    ranks: self.n_gpus,
-                },
-                self.batch,
-            ),
+            Strategy::Fsdp => (Sharding::FsdpZero3 { ranks: self.n_gpus }, self.batch),
+            Strategy::TensorParallel => {
+                (Sharding::TensorParallel { ranks: self.n_gpus }, self.batch)
+            }
             Strategy::Pipeline { .. } => {
                 let m = self.microbatches()?;
                 let in_flight = match self.pipeline_schedule {
@@ -258,8 +250,7 @@ impl Experiment {
             .map(|(policy, _)| policy)
             .map_err(|estimate| ExperimentError::OutOfMemory {
                 needed_gib: estimate.total_gib(),
-                budget_gib: sku.mem_bytes() as f64 * memory::USABLE_FRACTION
-                    / (1u64 << 30) as f64,
+                budget_gib: sku.mem_bytes() as f64 * memory::USABLE_FRACTION / (1u64 << 30) as f64,
             })
     }
 
@@ -387,12 +378,7 @@ impl MultiRunStats {
     fn series(&self, f: impl Fn(&OverlapMetrics) -> f64) -> (f64, f64) {
         let n = self.runs.len().max(1) as f64;
         let mean = self.runs.iter().map(&f).sum::<f64>() / n;
-        let var = self
-            .runs
-            .iter()
-            .map(|m| (f(m) - mean).powi(2))
-            .sum::<f64>()
-            / n;
+        let var = self.runs.iter().map(|m| (f(m) - mean).powi(2)).sum::<f64>() / n;
         (mean, var.sqrt())
     }
 
@@ -452,13 +438,21 @@ impl Experiment {
     /// the distribution of metrics — the paper's methodology ("all metrics
     /// were averaged over 25 runs").
     ///
+    /// The seeds fan out across the `olab-grid` worker pool; results come
+    /// back in seed order (seed `i` is always `runs[i]`) because the pool
+    /// collects by input index, and each seeded run is deterministic.
+    ///
     /// # Errors
     ///
     /// Same as [`Experiment::run`].
     pub fn run_n(&self, n: usize, sigma: f64) -> Result<MultiRunStats, ExperimentError> {
+        let seeds: Vec<u64> = (0..n as u64).collect();
+        let results = olab_grid::Pool::with_available_parallelism().map(&seeds, |&seed| {
+            self.run_jittered(seed, sigma).map(|r| r.metrics)
+        });
         let mut runs = Vec::with_capacity(n);
-        for seed in 0..n as u64 {
-            runs.push(self.run_jittered(seed, sigma)?.metrics);
+        for result in results {
+            runs.push(result?);
         }
         Ok(MultiRunStats { runs, sigma })
     }
@@ -516,12 +510,9 @@ mod tests {
 
     #[test]
     fn pipeline_experiment_runs_end_to_end() {
-        let r = small(
-            SkuKind::A100,
-            Strategy::Pipeline { microbatch_size: 2 },
-        )
-        .run()
-        .expect("runs");
+        let r = small(SkuKind::A100, Strategy::Pipeline { microbatch_size: 2 })
+            .run()
+            .expect("runs");
         assert!(r.metrics.e2e_overlapped_s > 0.0);
     }
 
@@ -538,7 +529,10 @@ mod tests {
     fn oversized_model_reports_oom() {
         let e = Experiment::new(SkuKind::A100, 4, ModelPreset::Gpt3_13B, Strategy::Fsdp, 8);
         match e.run() {
-            Err(ExperimentError::OutOfMemory { needed_gib, budget_gib }) => {
+            Err(ExperimentError::OutOfMemory {
+                needed_gib,
+                budget_gib,
+            }) => {
                 assert!(needed_gib > budget_gib);
             }
             other => panic!("expected OOM, got {other:?}"),

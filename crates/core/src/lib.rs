@@ -19,6 +19,10 @@
 //!   × batch × strategy × precision × datapath × power limit), validated
 //!   against device memory and run in all three execution modes;
 //! * [`registry`] — the sweeps behind every figure and table;
+//! * [`sweep`] — parallel, cached grid execution on the `olab-grid`
+//!   engine: every regenerator and CLI sweep fans cells across a
+//!   work-stealing pool and serves repeats from a content-addressed
+//!   result cache;
 //! * [`microbench`] — the Fig. 8 microbenchmark (N×N GEMM concurrent with
 //!   a 1 GB all-reduce);
 //! * [`report`] — markdown/CSV table rendering shared by the `olab-bench`
@@ -51,8 +55,10 @@ mod metrics;
 pub mod microbench;
 pub mod registry;
 pub mod report;
+pub mod sweep;
 
 pub use executor::{execute, GpuRunStats, RunResult};
 pub use experiment::{Experiment, ExperimentError, ExperimentReport, MultiRunStats, Strategy};
 pub use machine::{Jitter, Machine, MachineConfig};
 pub use metrics::OverlapMetrics;
+pub use sweep::{CellError, CellMetrics, CellOutcome, Sweep, SweepOutcome};

@@ -24,9 +24,7 @@ use olab_gpu::power::Utilization;
 use olab_gpu::{roofline, ContentionProfile, DvfsGovernor, GpuSku, PowerProfile};
 use olab_net::Topology;
 use olab_parallel::Op;
-use olab_sim::{RateModel, RunningTask};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use olab_sim::{RateModel, RunningTask, SeededRng};
 
 /// Fraction of datasheet HBM bandwidth usable when compute and
 /// communication interleave access streams.
@@ -87,7 +85,7 @@ pub struct Machine {
     config: MachineConfig,
     power_profile: PowerProfile,
     contention: ContentionProfile,
-    rng: Option<SmallRng>,
+    rng: Option<SeededRng>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -124,7 +122,7 @@ impl Machine {
     pub fn new(config: MachineConfig) -> Self {
         let power_profile = config.sku.power();
         let contention = config.sku.contention();
-        let rng = config.jitter.map(|j| SmallRng::seed_from_u64(j.seed));
+        let rng = config.jitter.map(|j| SeededRng::seed_from_u64(j.seed));
         Machine {
             config,
             power_profile,
@@ -210,8 +208,7 @@ impl RateModel for Machine {
             let kernel = compute_on[g].and_then(|i| running[i].payload.as_compute());
             let mut epoch = GpuEpoch::default();
 
-            let demand = kernel
-                .map(|c| roofline::demand(&c.kernel, sku, c.precision, c.datapath));
+            let demand = kernel.map(|c| roofline::demand(&c.kernel, sku, c.precision, c.datapath));
 
             // SM occupancy + cache interference.
             if let (true, Some(op)) = (contended && kernel.is_some(), comm) {
@@ -286,8 +283,7 @@ impl RateModel for Machine {
                         .map(|g| epochs[g.index()].comm_factor)
                         .fold(1.0_f64, f64::min);
                     let duration = op.latency_s
-                        + op.wire_bytes_per_rank
-                            / (op.wire_rate_bytes_per_sec * factor.max(0.05));
+                        + op.wire_bytes_per_rank / (op.wire_rate_bytes_per_sec * factor.max(0.05));
                     1.0 / duration
                 }
             };
@@ -299,7 +295,7 @@ impl RateModel for Machine {
         if let Some(rng) = &mut self.rng {
             let sigma = self.config.jitter.map(|j| j.sigma).unwrap_or(0.0);
             for rate in rates.iter_mut() {
-                let u: f64 = (0..4).map(|_| rng.gen::<f64>() - 0.5).sum::<f64>() / 2.0;
+                let u: f64 = (0..4).map(|_| rng.next_f64() - 0.5).sum::<f64>() / 2.0;
                 *rate *= (1.0 + sigma * u * 3.464).clamp(0.7, 1.3);
             }
         }
@@ -399,7 +395,12 @@ mod tests {
         let mut w = Workload::new(4);
         w.push(TaskSpec::compute("gemm", GpuId(0), gemm_op()));
         let alone = Engine::new(m.clone()).run(&w).unwrap();
-        let p_alone = alone.gpu(GpuId(0)).power.iter().map(|s| s.watts).fold(0.0, f64::max);
+        let p_alone = alone
+            .gpu(GpuId(0))
+            .power
+            .iter()
+            .map(|s| s.watts)
+            .fold(0.0, f64::max);
 
         let mut w = Workload::new(4);
         w.push(TaskSpec::compute("gemm", GpuId(0), gemm_op()));
@@ -410,7 +411,12 @@ mod tests {
             allreduce_op(&m, 1 << 30),
         ));
         let both = Engine::new(m.clone()).run(&w).unwrap();
-        let p_both = both.gpu(GpuId(0)).power.iter().map(|s| s.watts).fold(0.0, f64::max);
+        let p_both = both
+            .gpu(GpuId(0))
+            .power
+            .iter()
+            .map(|s| s.watts)
+            .fold(0.0, f64::max);
         assert!(p_both > p_alone + 30.0, "{p_both} vs {p_alone}");
     }
 

@@ -82,7 +82,12 @@ pub fn gemm_vs_allreduce(
                 &machine.config().topology,
                 precision,
             );
-            w.push(TaskSpec::new("ar.1g", group, StreamKind::Comm, Op::Comm(op)));
+            w.push(TaskSpec::new(
+                "ar.1g",
+                group,
+                StreamKind::Comm,
+                Op::Comm(op),
+            ));
         }
         w
     };

@@ -180,9 +180,7 @@ mod tests {
         let g = main_grid();
         assert_eq!(
             g.len(),
-            SkuKind::ALL.len()
-                * ModelPreset::ALL.len()
-                * (FSDP_BATCHES.len() + PP_BATCHES.len())
+            SkuKind::ALL.len() * ModelPreset::ALL.len() * (FSDP_BATCHES.len() + PP_BATCHES.len())
         );
         for sku in SkuKind::ALL {
             assert!(g.iter().any(|e| e.sku == sku));

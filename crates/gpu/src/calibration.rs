@@ -19,6 +19,13 @@
 
 use crate::SkuKind;
 
+/// Version of the calibration constants in this module (and of the SKU
+/// datasheet tables they pair with). Bump it whenever any coefficient
+/// changes: the version is part of every sweep cell's content-addressed
+/// cache key, so stale cached metrics from an older calibration can never
+/// be served for a newer build.
+pub const CALIBRATION_VERSION: u32 = 1;
+
 /// Contention coefficients for one SKU.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ContentionProfile {

@@ -161,7 +161,11 @@ mod tests {
         let gov = DvfsGovernor::stock(a100.tdp_w);
         let d = gov.decide(&a100.power(), &busy());
         assert!(!d.throttled);
-        assert!(d.power_w > a100.tdp_w, "peak {} should exceed TDP", d.power_w);
+        assert!(
+            d.power_w > a100.tdp_w,
+            "peak {} should exceed TDP",
+            d.power_w
+        );
         assert_eq!(d.freq_factor, 1.0);
     }
 
@@ -216,10 +220,13 @@ mod tests {
             limit: PowerLimit::stock(a100.tdp_w),
             max_freq_factor: 0.6,
         };
-        let d = gov.decide(&a100.power(), &Utilization {
-            tensor: 0.3,
-            ..Default::default()
-        });
+        let d = gov.decide(
+            &a100.power(),
+            &Utilization {
+                tensor: 0.3,
+                ..Default::default()
+            },
+        );
         assert_eq!(d.freq_factor, 0.6);
         assert!(!d.throttled);
     }

@@ -111,14 +111,10 @@ impl KernelKind {
                 eb * batch as f64
                     * (m as f64 * k as f64 + k as f64 * n as f64 + m as f64 * n as f64)
             }
-            KernelKind::Elementwise { elems, streams, .. } => {
-                eb * elems as f64 * streams as f64
-            }
+            KernelKind::Elementwise { elems, streams, .. } => eb * elems as f64 * streams as f64,
             KernelKind::Softmax { rows, cols } => 2.0 * eb * rows as f64 * cols as f64,
             KernelKind::LayerNorm { elems } => 2.0 * eb * elems as f64,
-            KernelKind::Embedding { tokens, hidden } => {
-                2.0 * eb * tokens as f64 * hidden as f64
-            }
+            KernelKind::Embedding { tokens, hidden } => 2.0 * eb * tokens as f64 * hidden as f64,
             // Adam mixed precision: read grad(2) + p16(2) + m(4) + v(4) +
             // master(4); write p16(2) + m(4) + v(4) + master(4) = 30 B/param,
             // independent of activation precision.
@@ -255,8 +251,7 @@ mod tests {
         let small = KernelKind::gemm(64, 64, 64);
         let big = KernelKind::gemm(8192, 8192, 8192);
         assert!(
-            small.flop_efficiency(Datapath::TensorCore)
-                < big.flop_efficiency(Datapath::TensorCore)
+            small.flop_efficiency(Datapath::TensorCore) < big.flop_efficiency(Datapath::TensorCore)
         );
         assert!(big.flop_efficiency(Datapath::TensorCore) > 0.7);
     }

@@ -37,7 +37,7 @@ mod precision;
 pub mod roofline;
 mod sku;
 
-pub use calibration::ContentionProfile;
+pub use calibration::{ContentionProfile, CALIBRATION_VERSION};
 pub use dvfs::{DvfsGovernor, Enforcement, PowerLimit, ThrottleDecision};
 pub use kernel::KernelKind;
 pub use power::PowerProfile;

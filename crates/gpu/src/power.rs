@@ -101,9 +101,7 @@ impl PowerProfile {
     /// Compute power scales with `f^alpha`; memory and communication power
     /// live on separate clock domains and do not.
     pub fn instantaneous(&self, u: &Utilization, freq_factor: f64) -> f64 {
-        self.idle_w
-            + self.core_dynamic(u) * freq_factor.powf(self.alpha)
-            + self.uncore_dynamic(u)
+        self.idle_w + self.core_dynamic(u) * freq_factor.powf(self.alpha) + self.uncore_dynamic(u)
     }
 
     /// Core-clock-scaled dynamic power at full frequency.

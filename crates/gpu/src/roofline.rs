@@ -37,7 +37,9 @@ impl KernelDemand {
 
     /// Roofline duration at the given frequency and bandwidth fractions.
     pub fn duration(&self, freq_factor: f64, bw_fraction: f64) -> f64 {
-        self.compute_time(freq_factor).max(self.memory_time(bw_fraction)) + self.launch_s
+        self.compute_time(freq_factor)
+            .max(self.memory_time(bw_fraction))
+            + self.launch_s
     }
 
     /// Whether the kernel is compute-bound at full frequency and bandwidth.
@@ -144,23 +146,53 @@ mod tests {
     fn tensor_core_is_faster_for_large_gemms() {
         let h100 = GpuSku::h100();
         let tv = isolated_duration(&big_gemm(), &h100, Precision::Fp32, Datapath::Vector, 1.0);
-        let tt = isolated_duration(&big_gemm(), &h100, Precision::Tf32, Datapath::TensorCore, 1.0);
+        let tt = isolated_duration(
+            &big_gemm(),
+            &h100,
+            Precision::Tf32,
+            Datapath::TensorCore,
+            1.0,
+        );
         assert!(tt < tv, "tensor core {tt} should beat vector {tv}");
     }
 
     #[test]
     fn fp16_is_faster_than_fp32_on_tensor_cores() {
         let h100 = GpuSku::h100();
-        let t32 = isolated_duration(&big_gemm(), &h100, Precision::Tf32, Datapath::TensorCore, 1.0);
-        let t16 = isolated_duration(&big_gemm(), &h100, Precision::Fp16, Datapath::TensorCore, 1.0);
+        let t32 = isolated_duration(
+            &big_gemm(),
+            &h100,
+            Precision::Tf32,
+            Datapath::TensorCore,
+            1.0,
+        );
+        let t16 = isolated_duration(
+            &big_gemm(),
+            &h100,
+            Precision::Fp16,
+            Datapath::TensorCore,
+            1.0,
+        );
         assert!(t16 < t32);
     }
 
     #[test]
     fn frequency_scaling_slows_compute_bound_kernels_proportionally() {
         let h100 = GpuSku::h100();
-        let full = isolated_duration(&big_gemm(), &h100, Precision::Fp16, Datapath::TensorCore, 1.0);
-        let half = isolated_duration(&big_gemm(), &h100, Precision::Fp16, Datapath::TensorCore, 0.5);
+        let full = isolated_duration(
+            &big_gemm(),
+            &h100,
+            Precision::Fp16,
+            Datapath::TensorCore,
+            1.0,
+        );
+        let half = isolated_duration(
+            &big_gemm(),
+            &h100,
+            Precision::Fp16,
+            Datapath::TensorCore,
+            0.5,
+        );
         let ratio = half / full;
         assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
     }
@@ -180,7 +212,12 @@ mod tests {
 
     #[test]
     fn tf32_is_coerced_onto_tensor_cores() {
-        let d = demand(&big_gemm(), &GpuSku::a100(), Precision::Tf32, Datapath::Vector);
+        let d = demand(
+            &big_gemm(),
+            &GpuSku::a100(),
+            Precision::Tf32,
+            Datapath::Vector,
+        );
         assert!(d.on_tensor_core);
     }
 
@@ -240,7 +277,10 @@ mod tests {
             assert!(pair[1].1 >= pair[0].1, "attainable FLOPs must not drop");
         }
         let peak = sku.fp16_tensor_tflops * 1e3;
-        assert!((curve.last().unwrap().1 - peak).abs() < 1e-6, "saturates at peak");
+        assert!(
+            (curve.last().unwrap().1 - peak).abs() < 1e-6,
+            "saturates at peak"
+        );
         // Below the balance point the curve is bandwidth-limited.
         assert!(curve[0].1 < peak / 100.0);
     }

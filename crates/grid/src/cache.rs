@@ -1,0 +1,432 @@
+//! Content-addressed result cache: an in-memory tier plus an optional
+//! on-disk tier.
+//!
+//! Entries are addressed by the FNV-1a digest of a *descriptor* — a
+//! canonical string spelling out every input that can change the result
+//! (for experiment cells: SKU, topology size, model, strategy, batch,
+//! precision, datapath, caps, overlap policy, and the calibration-constant
+//! version). The cache stores the descriptor alongside the value and
+//! verifies it on every lookup, so a digest collision degrades to a miss,
+//! never to a wrong answer.
+//!
+//! The disk tier is one file per entry under a user-chosen directory,
+//! written with the hand-rolled byte codec in this module (the workspace
+//! takes no serialization dependency). Files are written to a temp name
+//! and renamed into place, so concurrent writers and readers — including
+//! several sweep processes sharing one `--cache` directory — only ever see
+//! whole entries.
+
+use crate::hash::fnv1a_64;
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Magic prefix of every cache file (`OLABGRD` + format version).
+const MAGIC: &[u8; 8] = b"OLABGRD1";
+
+/// A little-endian byte writer for cache payloads.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// A fresh, empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its exact bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// The accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// A checked little-endian reader over a cache payload.
+///
+/// Every getter returns `None` on underrun or malformed data instead of
+/// panicking: a truncated or foreign file must read as "absent", not crash
+/// a sweep.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.buf.len() < n {
+            return None;
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Some(head)
+    }
+
+    /// Reads a `u8`.
+    pub fn get_u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn get_f64(&mut self) -> Option<f64> {
+        self.get_u64().map(f64::from_bits)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Option<String> {
+        let len = self.get_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// A value the cache can hold: cloneable across threads and round-trippable
+/// through the byte codec for the disk tier.
+pub trait CacheValue: Clone + Send {
+    /// Serializes `self` into the writer.
+    fn encode(&self, w: &mut Writer);
+    /// Deserializes a value; `None` on malformed input.
+    fn decode(r: &mut Reader<'_>) -> Option<Self>
+    where
+        Self: Sized;
+}
+
+/// Which tier (if any) served a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheTier {
+    /// Served from the in-process map.
+    Memory,
+    /// Served from (and promoted out of) the on-disk tier.
+    Disk,
+}
+
+/// Lifetime hit/miss/store counters of one cache instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups served by the in-memory tier.
+    pub memory_hits: u64,
+    /// Lookups served by the disk tier.
+    pub disk_hits: u64,
+    /// Lookups served by neither tier.
+    pub misses: u64,
+    /// Values inserted (one per computed cell).
+    pub stores: u64,
+}
+
+impl CacheCounters {
+    /// All hits, both tiers.
+    pub fn hits(&self) -> u64 {
+        self.memory_hits + self.disk_hits
+    }
+
+    /// Hit fraction over all lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits() + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
+}
+
+/// The two-tier content-addressed cache.
+#[derive(Debug)]
+pub struct ResultCache<V> {
+    memory: Mutex<HashMap<u64, (String, V)>>,
+    disk_dir: Option<PathBuf>,
+    memory_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+}
+
+impl<V: CacheValue> ResultCache<V> {
+    /// An in-memory-only cache.
+    pub fn in_memory() -> Self {
+        ResultCache {
+            memory: Mutex::new(HashMap::new()),
+            disk_dir: None,
+            memory_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache backed by `dir` (created if absent) in addition to memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `create_dir_all` failure when the directory can
+    /// neither be found nor created.
+    pub fn with_disk(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let mut cache = Self::in_memory();
+        cache.disk_dir = Some(dir);
+        Ok(cache)
+    }
+
+    /// The key for a descriptor: its FNV-1a 64 digest.
+    pub fn key_of(descriptor: &str) -> u64 {
+        fnv1a_64(descriptor.as_bytes())
+    }
+
+    /// Looks `descriptor` up, memory tier first. A disk hit is promoted
+    /// into memory. Returns the value and the tier that served it.
+    pub fn lookup(&self, descriptor: &str) -> Option<(V, CacheTier)> {
+        let key = Self::key_of(descriptor);
+        {
+            let memory = self.memory.lock().expect("cache map poisoned");
+            if let Some((stored, value)) = memory.get(&key) {
+                if stored == descriptor {
+                    self.memory_hits.fetch_add(1, Ordering::Relaxed);
+                    return Some((value.clone(), CacheTier::Memory));
+                }
+            }
+        }
+        if let Some(value) = self.disk_lookup(key, descriptor) {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            self.memory
+                .lock()
+                .expect("cache map poisoned")
+                .insert(key, (descriptor.to_string(), value.clone()));
+            return Some((value, CacheTier::Disk));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Stores a computed value under `descriptor` in every configured tier.
+    /// Disk write failures are swallowed: a read-only cache directory costs
+    /// persistence, not the sweep.
+    pub fn insert(&self, descriptor: &str, value: V) {
+        let key = Self::key_of(descriptor);
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        if let Some(dir) = &self.disk_dir {
+            let _ = write_entry(dir, key, descriptor, &value);
+        }
+        self.memory
+            .lock()
+            .expect("cache map poisoned")
+            .insert(key, (descriptor.to_string(), value));
+    }
+
+    /// Entries currently resident in the memory tier.
+    pub fn len(&self) -> usize {
+        self.memory.lock().expect("cache map poisoned").len()
+    }
+
+    /// True when the memory tier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The disk directory, when a disk tier is configured.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk_dir.as_deref()
+    }
+
+    /// A snapshot of the hit/miss/store counters.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            memory_hits: self.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+        }
+    }
+
+    fn disk_lookup(&self, key: u64, descriptor: &str) -> Option<V> {
+        let dir = self.disk_dir.as_ref()?;
+        let bytes = fs::read(entry_path(dir, key)).ok()?;
+        let mut r = Reader::new(&bytes);
+        if r.take(MAGIC.len())? != MAGIC {
+            return None;
+        }
+        if r.get_u64()? != key || r.get_str()? != descriptor {
+            return None;
+        }
+        V::decode(&mut r)
+    }
+}
+
+fn entry_path(dir: &Path, key: u64) -> PathBuf {
+    dir.join(format!("{key:016x}.cell"))
+}
+
+fn write_entry<V: CacheValue>(dir: &Path, key: u64, descriptor: &str, value: &V) -> io::Result<()> {
+    let mut w = Writer::new();
+    w.buf.extend_from_slice(MAGIC);
+    w.put_u64(key);
+    w.put_str(descriptor);
+    value.encode(&mut w);
+    // Unique temp name per writer so concurrent processes cannot interleave
+    // partial writes; rename is atomic on POSIX.
+    let tmp = dir.join(format!("{key:016x}.{}.tmp", std::process::id()));
+    fs::write(&tmp, w.into_bytes())?;
+    fs::rename(&tmp, entry_path(dir, key))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    impl CacheValue for (u64, f64) {
+        fn encode(&self, w: &mut Writer) {
+            w.put_u64(self.0);
+            w.put_f64(self.1);
+        }
+        fn decode(r: &mut Reader<'_>) -> Option<Self> {
+            Some((r.get_u64()?, r.get_f64()?))
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("olab-grid-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn codec_round_trips_all_primitives() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(1234);
+        w.put_u64(u64::MAX);
+        w.put_f64(-0.125);
+        w.put_str("sweep cell");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8(), Some(7));
+        assert_eq!(r.get_u32(), Some(1234));
+        assert_eq!(r.get_u64(), Some(u64::MAX));
+        assert_eq!(r.get_f64(), Some(-0.125));
+        assert_eq!(r.get_str().as_deref(), Some("sweep cell"));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncated_payload_reads_as_none() {
+        let mut w = Writer::new();
+        w.put_str("only half of a string survi");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..bytes.len() - 3]);
+        assert_eq!(r.get_str(), None);
+    }
+
+    #[test]
+    fn memory_tier_hits_and_counts() {
+        let cache: ResultCache<(u64, f64)> = ResultCache::in_memory();
+        assert!(cache.lookup("cell a").is_none());
+        cache.insert("cell a", (1, 2.0));
+        assert_eq!(cache.lookup("cell a"), Some(((1, 2.0), CacheTier::Memory)));
+        let c = cache.counters();
+        assert_eq!((c.memory_hits, c.misses, c.stores), (1, 1, 1));
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disk_tier_survives_a_new_cache_instance() {
+        let dir = temp_dir("disk");
+        {
+            let cache: ResultCache<(u64, f64)> = ResultCache::with_disk(&dir).unwrap();
+            cache.insert("persisted", (42, 0.5));
+        }
+        let cache: ResultCache<(u64, f64)> = ResultCache::with_disk(&dir).unwrap();
+        assert_eq!(
+            cache.lookup("persisted"),
+            Some(((42, 0.5), CacheTier::Disk))
+        );
+        // Promoted: the second lookup is a memory hit.
+        assert_eq!(
+            cache.lookup("persisted"),
+            Some(((42, 0.5), CacheTier::Memory))
+        );
+        let c = cache.counters();
+        assert_eq!((c.disk_hits, c.memory_hits), (1, 1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_or_foreign_files_degrade_to_misses() {
+        let dir = temp_dir("corrupt");
+        let cache: ResultCache<(u64, f64)> = ResultCache::with_disk(&dir).unwrap();
+        cache.insert("victim", (9, 9.0));
+        let key = ResultCache::<(u64, f64)>::key_of("victim");
+        let path = entry_path(&dir, key);
+        fs::write(&path, b"not a cache file at all").unwrap();
+
+        let fresh: ResultCache<(u64, f64)> = ResultCache::with_disk(&dir).unwrap();
+        assert!(fresh.lookup("victim").is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn descriptor_is_verified_not_just_the_digest() {
+        // Simulate a digest collision by planting an entry whose file name
+        // matches but whose descriptor differs: must miss.
+        let dir = temp_dir("collide");
+        let cache: ResultCache<(u64, f64)> = ResultCache::with_disk(&dir).unwrap();
+        cache.insert("original descriptor", (3, 1.5));
+        let key = ResultCache::<(u64, f64)>::key_of("other descriptor");
+        let orig = ResultCache::<(u64, f64)>::key_of("original descriptor");
+        fs::rename(entry_path(&dir, orig), entry_path(&dir, key)).unwrap();
+
+        let fresh: ResultCache<(u64, f64)> = ResultCache::with_disk(&dir).unwrap();
+        assert!(fresh.lookup("other descriptor").is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,107 @@
+//! Stable content hashing for cache keys.
+//!
+//! `std::hash::DefaultHasher` makes no stability promise across Rust
+//! releases, and the disk tier of the result cache must be readable by
+//! future builds. FNV-1a over a canonical byte encoding is stable by
+//! construction, trivially portable, and plenty for the cache's key space
+//! (hundreds-to-thousands of cells against a 64-bit digest; the cache
+//! additionally stores the full descriptor and verifies it on lookup, so
+//! even a collision cannot serve wrong results).
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a 64-bit hasher with typed write helpers.
+///
+/// Writers length- or tag-prefix nothing themselves: callers hashing
+/// variable-length runs should include their own delimiters (the grid
+/// cache hashes a single canonical descriptor string, which embeds field
+/// names and separators, so ambiguity cannot arise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl StableHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        StableHasher { state: FNV_OFFSET }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Absorbs a string's UTF-8 bytes.
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_bytes(s.as_bytes())
+    }
+
+    /// Absorbs a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Absorbs an `f64` by exact bit pattern (no rounding, `-0.0 != 0.0`).
+    pub fn write_f64(&mut self, v: f64) -> &mut Self {
+        self.write_u64(v.to_bits())
+    }
+
+    /// The 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot FNV-1a 64 of a byte slice.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_published_fnv1a_vectors() {
+        // Reference vectors from the FNV specification (Noll's test suite).
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn same_input_same_digest() {
+        let digest = |s: &str| {
+            let mut h = StableHasher::new();
+            h.write_str(s).write_u64(7).write_f64(0.25);
+            h.finish()
+        };
+        assert_eq!(digest("cell"), digest("cell"));
+        assert_ne!(digest("cell"), digest("cell2"));
+    }
+
+    #[test]
+    fn f64_hash_is_exact_bits() {
+        let mut a = StableHasher::new();
+        let mut b = StableHasher::new();
+        a.write_f64(0.0);
+        b.write_f64(-0.0);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,261 @@
+//! # olab-grid — the parallel sweep-execution engine
+//!
+//! Every figure regenerator, ablation, and CLI sweep in overlap-lab walks a
+//! grid of independent, deterministic simulation cells. This crate is the
+//! single execution engine behind all of them:
+//!
+//! * [`pool::Pool`] — a std-only work-stealing worker pool
+//!   (`std::thread::scope` + per-worker deques) that fans cells out across
+//!   cores while collecting results in input order;
+//! * [`cache::ResultCache`] — a content-addressed result cache keyed by the
+//!   stable FNV-1a digest ([`hash`]) of a canonical cell descriptor, with an
+//!   in-memory tier and an optional on-disk tier (hand-rolled byte codec,
+//!   zero dependencies) so repeated invocations skip already-simulated
+//!   cells;
+//! * [`telemetry::SweepStats`] — cells/s, cache hit rate, and wall-clock
+//!   vs. cumulative simulated time, surfaced in every report;
+//! * [`Executor`] — the composition: look up each cell, simulate only the
+//!   misses, populate both tiers, and return outputs in input order.
+//!
+//! ## Determinism guarantee
+//!
+//! The simulator is deterministic, so a parallel sweep must be
+//! *bit-identical* to a serial one. The engine guarantees its half of that
+//! contract structurally: cells never share mutable state, the pool
+//! neither reorders nor duplicates work, and outputs are collected by input
+//! index. `tests/integration_grid.rs` in `olab-core` pins the end-to-end
+//! invariant against the paper's main grid.
+//!
+//! The crate is deliberately generic — it knows nothing about experiments.
+//! A cell is anything implementing [`GridJob`]: it names itself via a
+//! canonical [`GridJob::descriptor`] (which must cover *every* input that
+//! can change the result, including calibration-constant versions) and
+//! computes a [`cache::CacheValue`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod hash;
+pub mod pool;
+pub mod telemetry;
+
+pub use cache::{CacheCounters, CacheTier, CacheValue, Reader, ResultCache, Writer};
+pub use hash::{fnv1a_64, StableHasher};
+pub use pool::Pool;
+pub use telemetry::SweepStats;
+
+use std::io;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One independent, deterministic unit of sweep work.
+pub trait GridJob: Sync {
+    /// The computed result.
+    type Output: CacheValue;
+
+    /// The canonical content descriptor of this cell. Two jobs with equal
+    /// descriptors **must** compute identical outputs; any input that can
+    /// change the output (configuration fields, calibration versions,
+    /// schema revisions) must appear in it.
+    fn descriptor(&self) -> String;
+
+    /// Computes the result. Must be deterministic and side-effect free.
+    fn execute(&self) -> Self::Output;
+}
+
+/// How one cell of a sweep was resolved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CellSource {
+    Hit(CacheTier),
+    Computed {
+        /// Wall-clock spent simulating this cell, seconds.
+        cell_s: f64,
+    },
+}
+
+/// The outputs of one sweep, in input order, plus its telemetry.
+#[derive(Debug, Clone)]
+pub struct SweepRun<V> {
+    /// Per-cell outputs, index-aligned with the submitted jobs.
+    pub outputs: Vec<V>,
+    /// Throughput and cache statistics.
+    pub stats: SweepStats,
+}
+
+/// The sweep engine: a worker pool over a shared result cache.
+#[derive(Debug)]
+pub struct Executor<V> {
+    pool: Pool,
+    cache: ResultCache<V>,
+}
+
+impl<V: CacheValue> Executor<V> {
+    /// An engine with `available_parallelism` workers and an in-memory
+    /// cache.
+    pub fn new() -> Self {
+        Executor {
+            pool: Pool::with_available_parallelism(),
+            cache: ResultCache::in_memory(),
+        }
+    }
+
+    /// Overrides the worker count (`1` forces a fully serial sweep).
+    pub fn with_jobs(mut self, workers: usize) -> Self {
+        self.pool = Pool::new(workers);
+        self
+    }
+
+    /// Adds a disk tier under `dir` to the cache.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the directory cannot be created.
+    pub fn with_disk_cache(mut self, dir: impl Into<PathBuf>) -> io::Result<Self> {
+        self.cache = ResultCache::with_disk(dir)?;
+        Ok(self)
+    }
+
+    /// The worker pool in use.
+    pub fn pool(&self) -> &Pool {
+        &self.pool
+    }
+
+    /// The cache in use (for counter inspection in tests and telemetry).
+    pub fn cache(&self) -> &ResultCache<V> {
+        &self.cache
+    }
+
+    /// Runs every job — cache lookups first, simulations for the misses —
+    /// and returns outputs in input order with sweep telemetry.
+    pub fn run<J: GridJob<Output = V>>(&self, jobs: &[J]) -> SweepRun<V> {
+        let start = Instant::now();
+        let resolved = self.pool.map(jobs, |job| {
+            let descriptor = job.descriptor();
+            if let Some((value, tier)) = self.cache.lookup(&descriptor) {
+                return (value, CellSource::Hit(tier));
+            }
+            let cell_start = Instant::now();
+            let value = job.execute();
+            let cell_s = cell_start.elapsed().as_secs_f64();
+            self.cache.insert(&descriptor, value.clone());
+            (value, CellSource::Computed { cell_s })
+        });
+
+        let mut stats = SweepStats {
+            cells: jobs.len(),
+            workers: self.pool.workers(),
+            wall_s: start.elapsed().as_secs_f64(),
+            ..SweepStats::default()
+        };
+        let mut outputs = Vec::with_capacity(resolved.len());
+        for (value, source) in resolved {
+            match source {
+                CellSource::Hit(CacheTier::Memory) => stats.memory_hits += 1,
+                CellSource::Hit(CacheTier::Disk) => stats.disk_hits += 1,
+                CellSource::Computed { cell_s } => {
+                    stats.simulated += 1;
+                    stats.cumulative_cell_s += cell_s;
+                }
+            }
+            outputs.push(value);
+        }
+        SweepRun { outputs, stats }
+    }
+}
+
+impl<V: CacheValue> Default for Executor<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A toy job: squares its input, counting real executions.
+    struct Square<'a> {
+        x: u64,
+        executions: &'a AtomicUsize,
+    }
+
+    impl CacheValue for u64 {
+        fn encode(&self, w: &mut Writer) {
+            w.put_u64(*self);
+        }
+        fn decode(r: &mut Reader<'_>) -> Option<Self> {
+            r.get_u64()
+        }
+    }
+
+    impl GridJob for Square<'_> {
+        type Output = u64;
+        fn descriptor(&self) -> String {
+            format!("square x={}", self.x)
+        }
+        fn execute(&self) -> u64 {
+            self.executions.fetch_add(1, Ordering::SeqCst);
+            self.x * self.x
+        }
+    }
+
+    fn jobs<'a>(xs: &[u64], executions: &'a AtomicUsize) -> Vec<Square<'a>> {
+        xs.iter().map(|&x| Square { x, executions }).collect()
+    }
+
+    #[test]
+    fn outputs_come_back_in_input_order() {
+        let executions = AtomicUsize::new(0);
+        let xs: Vec<u64> = (0..100).rev().collect();
+        let run = Executor::new().with_jobs(8).run(&jobs(&xs, &executions));
+        let expect: Vec<u64> = xs.iter().map(|x| x * x).collect();
+        assert_eq!(run.outputs, expect);
+        assert_eq!(run.stats.cells, 100);
+        assert_eq!(run.stats.simulated, 100);
+    }
+
+    #[test]
+    fn second_sweep_is_all_memory_hits() {
+        let executions = AtomicUsize::new(0);
+        let xs: Vec<u64> = (0..20).collect();
+        let engine = Executor::new().with_jobs(4);
+        let cold = engine.run(&jobs(&xs, &executions));
+        let warm = engine.run(&jobs(&xs, &executions));
+        assert_eq!(cold.outputs, warm.outputs);
+        assert_eq!(executions.load(Ordering::SeqCst), 20, "no recomputation");
+        assert_eq!(warm.stats.simulated, 0);
+        assert_eq!(warm.stats.memory_hits, 20);
+        assert!((warm.stats.hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disk_tier_feeds_a_fresh_engine() {
+        let dir = std::env::temp_dir().join(format!("olab-grid-exec-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let executions = AtomicUsize::new(0);
+        let xs: Vec<u64> = (0..10).collect();
+        {
+            let engine = Executor::new().with_disk_cache(&dir).unwrap();
+            engine.run(&jobs(&xs, &executions));
+        }
+        let engine = Executor::new().with_disk_cache(&dir).unwrap();
+        let warm = engine.run(&jobs(&xs, &executions));
+        assert_eq!(executions.load(Ordering::SeqCst), 10);
+        assert_eq!(warm.stats.disk_hits, 10);
+        assert_eq!(warm.stats.simulated, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_cells_in_one_sweep_share_no_ordering_hazard() {
+        // Duplicates may race (both simulate) but must both return the
+        // right answer in the right slots.
+        let executions = AtomicUsize::new(0);
+        let xs = vec![3, 3, 3, 3, 3, 3, 3, 3];
+        let run = Executor::new().with_jobs(4).run(&jobs(&xs, &executions));
+        assert_eq!(run.outputs, vec![9; 8]);
+        assert_eq!(run.stats.simulated + run.stats.memory_hits, 8);
+    }
+}

@@ -1,0 +1,201 @@
+//! A std-only work-stealing worker pool for embarrassingly parallel maps.
+//!
+//! Sweep cells are independent deterministic simulations of wildly varying
+//! cost (a 13B-parameter FSDP cell simulates ~50× longer than a 1.3B
+//! pipeline cell), so static partitioning leaves workers idle. Each worker
+//! owns a deque seeded round-robin; it pops work from its own front and,
+//! when empty, steals from the *back* of the fullest other deque — the
+//! classic work-stealing discipline, built only on `std::thread` and
+//! `Mutex<VecDeque>` (the deques are touched once per cell, so lock traffic
+//! is negligible next to a cell's multi-millisecond simulation).
+//!
+//! Results are collected by input index, so `map` always returns outputs in
+//! input order regardless of which worker computed what — the determinism
+//! anchor the grid executor's bit-identical-to-serial guarantee rests on.
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// A fixed-width worker pool.
+///
+/// The pool holds no threads between calls: [`Pool::map`] spawns scoped
+/// workers and joins them before returning, so borrowed items and closures
+/// need no `'static` bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    workers: usize,
+}
+
+impl Pool {
+    /// A pool with exactly `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        Pool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A pool sized to the machine: `std::thread::available_parallelism`,
+    /// falling back to 1 where the platform cannot say.
+    pub fn with_available_parallelism() -> Self {
+        Self::new(std::thread::available_parallelism().map_or(1, NonZeroUsize::get))
+    }
+
+    /// Number of worker threads this pool runs.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Applies `f` to every item, in parallel, returning results in input
+    /// order.
+    ///
+    /// `f` must be deterministic for the pool to preserve the grid
+    /// subsystem's parallel-equals-serial guarantee; the pool itself never
+    /// reorders, drops, or duplicates items.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let workers = self.workers.min(items.len());
+        if workers <= 1 {
+            return items.iter().map(&f).collect();
+        }
+
+        // Round-robin initial distribution of item indices.
+        let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| Mutex::new((w..items.len()).step_by(workers).collect()))
+            .collect();
+
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let tx = tx.clone();
+                let deques = &deques;
+                let f = &f;
+                scope.spawn(move || {
+                    while let Some(idx) = next_item(deques, w) {
+                        // A worker dies with the pool if the main thread
+                        // already panicked and dropped the receiver.
+                        if tx.send((idx, f(&items[idx]))).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+
+            let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+            for (idx, result) in rx {
+                results[idx] = Some(result);
+            }
+            results
+                .into_iter()
+                .map(|r| r.expect("worker delivered every index"))
+                .collect()
+        })
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Self::with_available_parallelism()
+    }
+}
+
+/// Pops the next index for worker `w`: its own front first, then a steal
+/// from the back of the fullest other deque.
+fn next_item(deques: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+    if let Some(idx) = deques[w].lock().expect("pool deque poisoned").pop_front() {
+        return Some(idx);
+    }
+    loop {
+        let victim = deques
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != w)
+            .max_by_key(|(_, d)| d.lock().expect("pool deque poisoned").len())?;
+        // Bind before matching: a guard in a match scrutinee lives to the
+        // end of the match, and the None arm below re-locks every deque.
+        let stolen = victim.1.lock().expect("pool deque poisoned").pop_back();
+        match stolen {
+            Some(idx) => return Some(idx),
+            // Raced with the victim draining its own deque; rescan, and
+            // stop once every deque is empty.
+            None => {
+                if deques
+                    .iter()
+                    .all(|d| d.lock().expect("pool deque poisoned").is_empty())
+                {
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = Pool::new(8).map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_matches_serial_for_every_width() {
+        let items: Vec<u64> = (0..50).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for workers in [1, 2, 3, 7, 64] {
+            assert_eq!(Pool::new(workers).map(&items, |&x| x * x + 1), serial);
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        let items: Vec<usize> = (0..100).collect();
+        Pool::new(4).map(&items, |&i| counters[i].fetch_add(1, Ordering::SeqCst));
+        assert!(counters.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn uneven_items_are_stolen_not_serialized() {
+        // One pathological item must not stop the other workers from
+        // draining the rest of the queue in parallel: total wall-clock
+        // stays near the slowest item, not the sum.
+        let items: Vec<u64> = (0..16).collect();
+        let start = std::time::Instant::now();
+        Pool::new(4).map(&items, |&x| {
+            std::thread::sleep(std::time::Duration::from_millis(if x == 0 {
+                80
+            } else {
+                5
+            }));
+        });
+        let wall = start.elapsed();
+        assert!(
+            wall < std::time::Duration::from_millis(160),
+            "stealing failed, wall {wall:?}"
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_work() {
+        let pool = Pool::new(4);
+        assert_eq!(pool.map(&[] as &[u64], |&x| x), Vec::<u64>::new());
+        assert_eq!(pool.map(&[9u64], |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        assert_eq!(Pool::new(0).workers(), 1);
+        assert!(Pool::with_available_parallelism().workers() >= 1);
+    }
+}

@@ -142,9 +142,7 @@ pub fn footprint(
     // Embedding/head states live on one stage under pipelining; fold them in
     // everywhere for a slightly conservative estimate.
     let state_params = match sharding {
-        Sharding::Pipeline { .. } => {
-            layers_here * layer_params + cfg.embedding_params() as f64
-        }
+        Sharding::Pipeline { .. } => layers_here * layer_params + cfg.embedding_params() as f64,
         _ => params,
     };
 

@@ -33,8 +33,18 @@ fn backward_of(kernel: &KernelKind) -> Vec<KernelKind> {
             KernelKind::Gemm { m: k, n, k: m }, // dW = X^T * dY
         ],
         KernelKind::BatchedGemm { batch, m, n, k } => vec![
-            KernelKind::BatchedGemm { batch, m, n: k, k: n },
-            KernelKind::BatchedGemm { batch, m: k, n, k: m },
+            KernelKind::BatchedGemm {
+                batch,
+                m,
+                n: k,
+                k: n,
+            },
+            KernelKind::BatchedGemm {
+                batch,
+                m: k,
+                n,
+                k: m,
+            },
         ],
         KernelKind::Elementwise {
             elems,
@@ -70,36 +80,45 @@ pub fn layer_kernels(cfg: &TransformerConfig, batch: u64, seq: u64) -> LayerKern
     let hd = cfg.head_dim();
     let bh = batch * u64::from(cfg.heads);
 
-    let mut forward: Vec<KernelKind> = Vec::new();
-
-    // Attention block.
-    forward.push(KernelKind::LayerNorm { elems: t * h });
-    forward.push(KernelKind::Gemm { m: t, n: 3 * h, k: h }); // fused QKV
-    forward.push(KernelKind::BatchedGemm {
-        batch: bh,
-        m: seq,
-        n: seq,
-        k: hd,
-    }); // scores
-    forward.push(KernelKind::Softmax {
-        rows: bh * seq,
-        cols: seq,
-    });
-    forward.push(KernelKind::BatchedGemm {
-        batch: bh,
-        m: seq,
-        n: hd,
-        k: seq,
-    }); // context
-    forward.push(KernelKind::Gemm { m: t, n: h, k: h }); // output projection
-    forward.push(KernelKind::Elementwise {
-        elems: t * h,
-        flops_per_elem: 1,
-        streams: 3,
-    }); // residual
-
-    // MLP block.
-    forward.push(KernelKind::LayerNorm { elems: t * h });
+    // Attention block, then the MLP pre-norm; the family-specific MLP
+    // kernels are appended below.
+    let mut forward: Vec<KernelKind> = vec![
+        KernelKind::LayerNorm { elems: t * h },
+        // fused QKV
+        KernelKind::Gemm {
+            m: t,
+            n: 3 * h,
+            k: h,
+        },
+        // scores
+        KernelKind::BatchedGemm {
+            batch: bh,
+            m: seq,
+            n: seq,
+            k: hd,
+        },
+        KernelKind::Softmax {
+            rows: bh * seq,
+            cols: seq,
+        },
+        // context
+        KernelKind::BatchedGemm {
+            batch: bh,
+            m: seq,
+            n: hd,
+            k: seq,
+        },
+        // output projection
+        KernelKind::Gemm { m: t, n: h, k: h },
+        // residual
+        KernelKind::Elementwise {
+            elems: t * h,
+            flops_per_elem: 1,
+            streams: 3,
+        },
+        // MLP pre-norm
+        KernelKind::LayerNorm { elems: t * h },
+    ];
     match cfg.family {
         Family::Gpt => {
             forward.push(KernelKind::Gemm {
@@ -160,7 +179,9 @@ pub fn embedding_kernels(cfg: &TransformerConfig, batch: u64, seq: u64) -> Vec<K
 pub fn head_kernels(cfg: &TransformerConfig, batch: u64, seq: u64) -> LayerKernels {
     let t = batch * seq;
     let forward = vec![
-        KernelKind::LayerNorm { elems: t * cfg.hidden },
+        KernelKind::LayerNorm {
+            elems: t * cfg.hidden,
+        },
         KernelKind::Gemm {
             m: t,
             n: cfg.vocab,
@@ -255,9 +276,10 @@ mod tests {
     fn head_gemm_touches_the_full_vocabulary() {
         let cfg = ModelPreset::Gpt3Xl.config();
         let head = head_kernels(&cfg, 2, 128);
-        let has_vocab_gemm = head.forward.iter().any(
-            |k| matches!(k, KernelKind::Gemm { n, .. } if *n == cfg.vocab),
-        );
+        let has_vocab_gemm = head
+            .forward
+            .iter()
+            .any(|k| matches!(k, KernelKind::Gemm { n, .. } if *n == cfg.vocab));
         assert!(has_vocab_gemm);
     }
 

@@ -40,7 +40,10 @@ pub fn share_bandwidth(topology: &Topology, flows: &[Flow]) -> Vec<f64> {
     let n = topology.n_gpus();
     for f in flows {
         assert!(f.src != f.dst, "flow endpoints must differ");
-        assert!(f.src.index() < n && f.dst.index() < n, "flow endpoint out of range");
+        assert!(
+            f.src.index() < n && f.dst.index() < n,
+            "flow endpoint out of range"
+        );
     }
 
     // Resource ids: 0..n injection, n..2n ejection, then mesh links, then
@@ -106,8 +109,8 @@ pub fn share_bandwidth(topology: &Topology, flows: &[Flow]) -> Vec<f64> {
 
         // Fair share at the tightest resource among active flows.
         let mut best_share = f64::INFINITY;
-        for r in 0..n_resources {
-            if remaining[r].is_infinite() {
+        for (r, &rem) in remaining.iter().enumerate().take(n_resources) {
+            if rem.is_infinite() {
                 continue;
             }
             let users = active
@@ -115,7 +118,7 @@ pub fn share_bandwidth(topology: &Topology, flows: &[Flow]) -> Vec<f64> {
                 .filter(|&&i| flow_resources[i].contains(&r))
                 .count();
             if users > 0 {
-                best_share = best_share.min(remaining[r] / users as f64);
+                best_share = best_share.min(rem / users as f64);
             }
         }
 
@@ -152,15 +155,15 @@ pub fn share_bandwidth(topology: &Topology, flows: &[Flow]) -> Vec<f64> {
 
         // Freeze the flows crossing the bottleneck at the fair share.
         let mut bottleneck = None;
-        for r in 0..n_resources {
-            if remaining[r].is_infinite() {
+        for (r, &rem) in remaining.iter().enumerate().take(n_resources) {
+            if rem.is_infinite() {
                 continue;
             }
             let users = active
                 .iter()
                 .filter(|&&i| flow_resources[i].contains(&r))
                 .count();
-            if users > 0 && (remaining[r] / users as f64 - best_share).abs() < 1e-9 {
+            if users > 0 && (rem / users as f64 - best_share).abs() < 1e-9 {
                 bottleneck = Some(r);
                 break;
             }
@@ -230,7 +233,9 @@ mod tests {
     #[test]
     fn mesh_source_can_saturate_all_links_in_parallel() {
         let t = Topology::full_mesh(4, 150.0, 6.0);
-        let flows: Vec<Flow> = (1..4).map(|d| Flow::saturating(GpuId(0), GpuId(d))).collect();
+        let flows: Vec<Flow> = (1..4)
+            .map(|d| Flow::saturating(GpuId(0), GpuId(d)))
+            .collect();
         let rates = share_bandwidth(&t, &flows);
         let total: f64 = rates.iter().sum();
         assert!((total - 150.0).abs() < 1e-6, "aggregate {total}");
@@ -257,7 +262,9 @@ mod tests {
     #[test]
     fn many_to_one_is_limited_by_the_ejection_port() {
         let t = Topology::nvswitch(4, 300.0, 5.0);
-        let flows: Vec<Flow> = (1..4).map(|s| Flow::saturating(GpuId(s), GpuId(0))).collect();
+        let flows: Vec<Flow> = (1..4)
+            .map(|s| Flow::saturating(GpuId(s), GpuId(0)))
+            .collect();
         let rates = share_bandwidth(&t, &flows);
         for r in &rates {
             assert!((r - 100.0).abs() < 1e-6, "rate {r}");

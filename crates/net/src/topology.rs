@@ -82,7 +82,10 @@ impl Topology {
     ) -> Self {
         assert!(nodes >= 2, "multi-node needs at least two nodes");
         assert!(gpus_per_node >= 1, "each node needs at least one GPU");
-        assert!(per_gpu_gbs > 0.0 && nic_gbs > 0.0, "bandwidths must be positive");
+        assert!(
+            per_gpu_gbs > 0.0 && nic_gbs > 0.0,
+            "bandwidths must be positive"
+        );
         Topology {
             kind: TopologyKind::TwoLevel,
             n_gpus: nodes * gpus_per_node,

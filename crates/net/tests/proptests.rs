@@ -13,10 +13,10 @@ struct RandomFlow {
 
 fn random_flows(n_gpus: u16) -> impl Strategy<Value = Vec<RandomFlow>> {
     proptest::collection::vec(
-        (0..n_gpus, 0..n_gpus, 1.0f64..1000.0).prop_filter_map(
-            "distinct endpoints",
-            |(src, dst, demand)| (src != dst).then_some(RandomFlow { src, dst, demand }),
-        ),
+        (0..n_gpus, 0..n_gpus, 1.0f64..1000.0)
+            .prop_filter_map("distinct endpoints", |(src, dst, demand)| {
+                (src != dst).then_some(RandomFlow { src, dst, demand })
+            }),
         1..12,
     )
 }

@@ -78,8 +78,16 @@ impl std::fmt::Display for FsdpOverlap {
         write!(
             f,
             "ag:{} rs:{}",
-            if self.prefetch_all_gather { "ovl" } else { "seq" },
-            if self.overlap_reduce_scatter { "ovl" } else { "seq" }
+            if self.prefetch_all_gather {
+                "ovl"
+            } else {
+                "seq"
+            },
+            if self.overlap_reduce_scatter {
+                "ovl"
+            } else {
+                "seq"
+            }
         )
     }
 }
@@ -160,9 +168,8 @@ pub fn fsdp_timeline(
     let layers = plan.model.layers as usize;
     let mut b = ScheduleBuilder::new(n, mode);
 
-    let compute_op = |k: &olab_gpu::KernelKind| {
-        Op::Compute(ComputeOp::new(*k, plan.precision, plan.datapath))
-    };
+    let compute_op =
+        |k: &olab_gpu::KernelKind| Op::Compute(ComputeOp::new(*k, plan.precision, plan.datapath));
     let collective_op = |c: Collective| {
         let algo = Algorithm::auto_for(c.kind, c.bytes, &c.group, topo);
         Op::Comm(lower(&c, algo, sku, topo, plan.precision))
@@ -224,7 +231,11 @@ pub fn fsdp_timeline(
                 group.clone(),
                 collective_op(Collective::all_gather(layer_bytes, group.clone())),
             );
-            let lookback = if plan.overlap.prefetch_all_gather { 2 } else { 1 };
+            let lookback = if plan.overlap.prefetch_all_gather {
+                2
+            } else {
+                1
+            };
             if i >= lookback {
                 spec.deps.extend(f_last[i - lookback].iter().copied());
             }

@@ -99,19 +99,34 @@ pub fn moe_timeline(
     // scores, softmax, context, proj, residual).
     let attn_fwd: Vec<KernelKind> = dense.forward[..7].to_vec();
     let router = vec![
-        KernelKind::Gemm { m: t, n: u64::from(plan.experts), k: h },
-        KernelKind::Softmax { rows: t, cols: u64::from(plan.experts) },
+        KernelKind::Gemm {
+            m: t,
+            n: u64::from(plan.experts),
+            k: h,
+        },
+        KernelKind::Softmax {
+            rows: t,
+            cols: u64::from(plan.experts),
+        },
     ];
     // One chunk's expert FFN (tokens are balanced across ranks, so each
     // rank computes `chunk_tokens` tokens' worth of expert work).
-    let expert_chunk = vec![
-        KernelKind::Gemm { m: chunk_tokens, n: plan.model.ffn_hidden, k: h },
+    let expert_chunk = [
+        KernelKind::Gemm {
+            m: chunk_tokens,
+            n: plan.model.ffn_hidden,
+            k: h,
+        },
         KernelKind::Elementwise {
             elems: chunk_tokens * plan.model.ffn_hidden,
             flops_per_elem: 8,
             streams: 2,
         },
-        KernelKind::Gemm { m: chunk_tokens, n: h, k: plan.model.ffn_hidden },
+        KernelKind::Gemm {
+            m: chunk_tokens,
+            n: h,
+            k: plan.model.ffn_hidden,
+        },
     ];
 
     let push_kernels = |b: &mut ScheduleBuilder,
@@ -140,7 +155,8 @@ pub fn moe_timeline(
     let mut barrier: Vec<TaskId> = Vec::new();
     let mut moe_layer_sequence: Vec<bool> = Vec::new();
     for i in 0..layers {
-        moe_layer_sequence.push(plan.moe_every > 0 && (i as u32 + 1) % plan.moe_every == 0);
+        moe_layer_sequence
+            .push(plan.moe_every > 0 && (i as u32 + 1).is_multiple_of(plan.moe_every));
     }
 
     for pass in ["f", "b"] {
@@ -153,8 +169,12 @@ pub fn moe_timeline(
         for &i in &layer_order {
             // Attention block (dense backward cost modeled by repetition).
             for rep in 0..cost {
-                barrier =
-                    push_kernels(&mut b, &format!("L{i}.{pass}{rep}.attn"), &attn_fwd, &barrier);
+                barrier = push_kernels(
+                    &mut b,
+                    &format!("L{i}.{pass}{rep}.attn"),
+                    &attn_fwd,
+                    &barrier,
+                );
             }
             if moe_layer_sequence[i] {
                 barrier = push_kernels(&mut b, &format!("L{i}.{pass}.router"), &router, &barrier);
@@ -197,7 +217,11 @@ pub fn moe_timeline(
                     spec.deps.extend(done.iter().copied());
                     combines.push(b.push(spec));
                 }
-                let residual = KernelKind::Elementwise { elems: t * h, flops_per_elem: 1, streams: 3 };
+                let residual = KernelKind::Elementwise {
+                    elems: t * h,
+                    flops_per_elem: 1,
+                    streams: 3,
+                };
                 barrier = push_kernels(
                     &mut b,
                     &format!("L{i}.{pass}.res"),
@@ -217,15 +241,11 @@ pub fn moe_timeline(
 
     // Data-parallel gradient sync for the replicated (non-expert) weights.
     let dense_params: u64 = plan.model.layer_params() / 2 * u64::from(plan.model.layers);
-    let mut spec = TaskSpec::collective(
-        "ar.dense",
-        group.clone(),
-        {
-            let c = Collective::all_reduce(dense_params * plan.precision.bytes(), group.clone());
-            let algo = Algorithm::auto(c.kind, c.bytes, c.group_size());
-            Op::Comm(lower(&c, algo, sku, topo, plan.precision))
-        },
-    );
+    let mut spec = TaskSpec::collective("ar.dense", group.clone(), {
+        let c = Collective::all_reduce(dense_params * plan.precision.bytes(), group.clone());
+        let algo = Algorithm::auto(c.kind, c.bytes, c.group_size());
+        Op::Comm(lower(&c, algo, sku, topo, plan.precision))
+    });
     spec.deps.extend(barrier.iter().copied());
     let sync = b.push(spec);
 
@@ -234,7 +254,9 @@ pub fn moe_timeline(
         let mut opt = TaskSpec::compute(
             format!("adam.{gpu}"),
             *gpu,
-            compute_op(&KernelKind::AdamStep { params: shard_params }),
+            compute_op(&KernelKind::AdamStep {
+                params: shard_params,
+            }),
         );
         opt.deps.push(sync);
         b.push(opt);
@@ -302,8 +324,18 @@ mod tests {
                 .sum();
             (bytes, flops)
         };
-        let (b1, f1) = sum(&moe_timeline(&plan(1), &sku, &topo, ExecutionMode::Overlapped));
-        let (b4, f4) = sum(&moe_timeline(&plan(4), &sku, &topo, ExecutionMode::Overlapped));
+        let (b1, f1) = sum(&moe_timeline(
+            &plan(1),
+            &sku,
+            &topo,
+            ExecutionMode::Overlapped,
+        ));
+        let (b4, f4) = sum(&moe_timeline(
+            &plan(4),
+            &sku,
+            &topo,
+            ExecutionMode::Overlapped,
+        ));
         assert!((b1 / b4 - 1.0).abs() < 0.01, "bytes {b1} vs {b4}");
         assert!((f1 / f4 - 1.0).abs() < 0.01, "flops {f1} vs {f4}");
     }

@@ -77,7 +77,10 @@ impl PipelinePlan {
     /// Panics if `batch_total` is not divisible by `microbatches`.
     pub fn microbatch_size(&self) -> u64 {
         assert!(
-            self.microbatches > 0 && self.batch_total % u64::from(self.microbatches) == 0,
+            self.microbatches > 0
+                && self
+                    .batch_total
+                    .is_multiple_of(u64::from(self.microbatches)),
             "batch {} must divide into {} microbatches",
             self.batch_total,
             self.microbatches
@@ -209,7 +212,10 @@ pub fn pipeline_timeline(
         if s == 0 {
             chunks.push(&emb);
         }
-        chunks.extend(std::iter::repeat(&layer.forward[..]).take(stage_layer_count(plan, s)));
+        chunks.extend(std::iter::repeat_n(
+            &layer.forward[..],
+            stage_layer_count(plan, s),
+        ));
         if s == s_count - 1 {
             chunks.push(&head.forward);
         }
@@ -220,17 +226,20 @@ pub fn pipeline_timeline(
         if s == s_count - 1 {
             chunks.push(&head.backward);
         }
-        chunks.extend(std::iter::repeat(&bwd_kernels[..]).take(stage_layer_count(plan, s)));
+        chunks.extend(std::iter::repeat_n(
+            &bwd_kernels[..],
+            stage_layer_count(plan, s),
+        ));
         chunks
     };
 
     // Pushes the compute of one (stage, microbatch) cell; returns last task.
     let push_cell = |b: &mut ScheduleBuilder,
-                         stage: usize,
-                         m: usize,
-                         chunks: &[&[KernelKind]],
-                         label: &str,
-                         first_dep: Option<TaskId>|
+                     stage: usize,
+                     m: usize,
+                     chunks: &[&[KernelKind]],
+                     label: &str,
+                     first_dep: Option<TaskId>|
      -> TaskId {
         let gpu = GpuId(stage as u16);
         let mut last = None;
@@ -274,9 +283,7 @@ pub fn pipeline_timeline(
                 let op = programs[s][cursor[s]];
                 let ready = match op {
                     StageOp::Forward(m) => s == 0 || fwd_send[s - 1][m].is_some(),
-                    StageOp::Backward(m) => {
-                        s == s_count - 1 || bwd_send[s + 1][m].is_some()
-                    }
+                    StageOp::Backward(m) => s == s_count - 1 || bwd_send[s + 1][m].is_some(),
                 };
                 if !ready {
                     continue;
@@ -342,8 +349,8 @@ pub fn pipeline_timeline(
             Op::Comm(lower(&c, algo, sku, topo, plan.precision)),
         );
         for s in [0, s_count - 1] {
-            for m in 0..m_count {
-                spec.deps.push(bwd_done[s][m].expect("backward emitted"));
+            for done in bwd_done[s].iter().take(m_count) {
+                spec.deps.push(done.expect("backward emitted"));
             }
         }
         embed_sync = Some(b.push(spec));
@@ -423,7 +430,11 @@ mod tests {
         // Stage 0 warms up with (stages-1) forwards.
         assert_eq!(
             &programs[0][..3],
-            &[StageOp::Forward(0), StageOp::Forward(1), StageOp::Forward(2)]
+            &[
+                StageOp::Forward(0),
+                StageOp::Forward(1),
+                StageOp::Forward(2)
+            ]
         );
         // Every program covers each microbatch exactly once per direction.
         for program in &programs {

@@ -75,27 +75,76 @@ fn tp_layer(cfg: &TransformerConfig, ranks: u64, batch: u64, seq: u64) -> TpLaye
 
     let attn_forward = vec![
         KernelKind::LayerNorm { elems: t * h },
-        KernelKind::Gemm { m: t, n: 3 * h / ranks, k: h }, // col-parallel QKV
-        KernelKind::BatchedGemm { batch: bh, m: seq, n: seq, k: hd },
-        KernelKind::Softmax { rows: bh * seq, cols: seq },
-        KernelKind::BatchedGemm { batch: bh, m: seq, n: hd, k: seq },
-        KernelKind::Gemm { m: t, n: h, k: h / ranks }, // row-parallel proj
+        KernelKind::Gemm {
+            m: t,
+            n: 3 * h / ranks,
+            k: h,
+        }, // col-parallel QKV
+        KernelKind::BatchedGemm {
+            batch: bh,
+            m: seq,
+            n: seq,
+            k: hd,
+        },
+        KernelKind::Softmax {
+            rows: bh * seq,
+            cols: seq,
+        },
+        KernelKind::BatchedGemm {
+            batch: bh,
+            m: seq,
+            n: hd,
+            k: seq,
+        },
+        KernelKind::Gemm {
+            m: t,
+            n: h,
+            k: h / ranks,
+        }, // row-parallel proj
     ];
     let mlp_forward = match cfg.family {
         Family::Gpt => vec![
             KernelKind::LayerNorm { elems: t * h },
-            KernelKind::Gemm { m: t, n: ffn_local, k: h },
-            KernelKind::Elementwise { elems: t * ffn_local, flops_per_elem: 8, streams: 2 },
-            KernelKind::Gemm { m: t, n: h, k: ffn_local },
+            KernelKind::Gemm {
+                m: t,
+                n: ffn_local,
+                k: h,
+            },
+            KernelKind::Elementwise {
+                elems: t * ffn_local,
+                flops_per_elem: 8,
+                streams: 2,
+            },
+            KernelKind::Gemm {
+                m: t,
+                n: h,
+                k: ffn_local,
+            },
         ],
         Family::Llama => vec![
             KernelKind::LayerNorm { elems: t * h },
-            KernelKind::Gemm { m: t, n: 2 * ffn_local, k: h },
-            KernelKind::Elementwise { elems: t * ffn_local, flops_per_elem: 6, streams: 3 },
-            KernelKind::Gemm { m: t, n: h, k: ffn_local },
+            KernelKind::Gemm {
+                m: t,
+                n: 2 * ffn_local,
+                k: h,
+            },
+            KernelKind::Elementwise {
+                elems: t * ffn_local,
+                flops_per_elem: 6,
+                streams: 3,
+            },
+            KernelKind::Gemm {
+                m: t,
+                n: h,
+                k: ffn_local,
+            },
         ],
     };
-    let residual = KernelKind::Elementwise { elems: t * h, flops_per_elem: 1, streams: 3 };
+    let residual = KernelKind::Elementwise {
+        elems: t * h,
+        flops_per_elem: 1,
+        streams: 3,
+    };
 
     // Backward: dgrad = dY·Wᵀ per GEMM, wgrad = Xᵀ·dY; non-GEMM kernels'
     // backward goes into the dgrad half (it is on the gradient path).
@@ -109,8 +158,18 @@ fn tp_layer(cfg: &TransformerConfig, ranks: u64, batch: u64, seq: u64) -> TpLaye
                     wgrad.push(KernelKind::Gemm { m: k, n, k: m });
                 }
                 KernelKind::BatchedGemm { batch, m, n, k } => {
-                    dgrad.push(KernelKind::BatchedGemm { batch, m, n: k, k: n });
-                    wgrad.push(KernelKind::BatchedGemm { batch, m: k, n, k: m });
+                    dgrad.push(KernelKind::BatchedGemm {
+                        batch,
+                        m,
+                        n: k,
+                        k: n,
+                    });
+                    wgrad.push(KernelKind::BatchedGemm {
+                        batch,
+                        m: k,
+                        n,
+                        k: m,
+                    });
                 }
                 other => dgrad.push(other),
             }
@@ -192,19 +251,23 @@ pub fn tensor_timeline(
         }
         last
     };
-    let push_allreduce =
-        |b: &mut ScheduleBuilder, label: &str, deps: &[TaskId]| -> TaskId {
-            let mut spec = TaskSpec::collective(label, group.clone(), allreduce(act_bytes));
-            spec.deps.extend_from_slice(deps);
-            b.push(spec)
-        };
+    let push_allreduce = |b: &mut ScheduleBuilder, label: &str, deps: &[TaskId]| -> TaskId {
+        let mut spec = TaskSpec::collective(label, group.clone(), allreduce(act_bytes));
+        spec.deps.extend_from_slice(deps);
+        b.push(spec)
+    };
 
     // ---- Forward ----
     // Forward all-reduces are on the critical path: the residual add needs
     // the reduced activations.
     let mut fwd_barrier: Vec<TaskId> = Vec::new(); // carried dependency between blocks
     for i in 0..layers {
-        let attn = push_kernels(&mut b, &format!("L{i}.f.attn"), &layer.attn_forward, &fwd_barrier);
+        let attn = push_kernels(
+            &mut b,
+            &format!("L{i}.f.attn"),
+            &layer.attn_forward,
+            &fwd_barrier,
+        );
         let ar1 = push_allreduce(&mut b, &format!("ar.f1.L{i}"), &attn);
         let res1 = push_kernels(
             &mut b,
@@ -254,8 +317,12 @@ pub fn tensor_timeline(
             &[ar_b2],
         );
         let ar_b1 = push_allreduce(&mut b, &format!("ar.b1.L{i}"), &attn_dgrad);
-        let _attn_wgrad =
-            push_kernels(&mut b, &format!("L{i}.b.attn.wgrad"), &layer.attn_wgrad, &[]);
+        let _attn_wgrad = push_kernels(
+            &mut b,
+            &format!("L{i}.b.attn.wgrad"),
+            &layer.attn_wgrad,
+            &[],
+        );
         bwd_barrier = vec![ar_b1];
         // Next layer's backward must also follow this layer's wgrads only
         // through stream order (same compute stream), which is implicit.
@@ -267,7 +334,9 @@ pub fn tensor_timeline(
         let mut spec = TaskSpec::compute(
             format!("adam.{gpu}"),
             *gpu,
-            compute_op(&KernelKind::AdamStep { params: shard_params }),
+            compute_op(&KernelKind::AdamStep {
+                params: shard_params,
+            }),
         );
         spec.deps.extend(bwd_barrier.iter().copied());
         b.push(spec);
@@ -323,7 +392,11 @@ mod tests {
         let l4 = tp_layer(&cfg, 4, 8, 256);
         let l2 = tp_layer(&cfg, 2, 8, 256);
         let flops = |l: &TpLayer| -> f64 {
-            l.attn_forward.iter().chain(&l.mlp_forward).map(|k| k.flops()).sum()
+            l.attn_forward
+                .iter()
+                .chain(&l.mlp_forward)
+                .map(|k| k.flops())
+                .sum()
         };
         // Per-rank FLOPs roughly halve going from 2 to 4 ranks (LayerNorms
         // and attention softmax stay replicated/sharded differently).
@@ -335,7 +408,12 @@ mod tests {
     fn dgrad_and_wgrad_halves_cover_the_backward() {
         let cfg = ModelPreset::Gpt3Xl.config();
         let l = tp_layer(&cfg, 4, 8, 256);
-        let fwd: f64 = l.attn_forward.iter().chain(&l.mlp_forward).map(|k| k.flops()).sum();
+        let fwd: f64 = l
+            .attn_forward
+            .iter()
+            .chain(&l.mlp_forward)
+            .map(|k| k.flops())
+            .sum();
         let bwd: f64 = l
             .mlp_dgrad
             .iter()

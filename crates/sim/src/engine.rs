@@ -93,9 +93,7 @@ impl<M: RateModel> Engine<M> {
                     let Some(&head) = queues[q].front() else {
                         continue;
                     };
-                    if status[head.index()] != Status::Pending
-                        || deps_left[head.index()] != 0
-                    {
+                    if status[head.index()] != Status::Pending || deps_left[head.index()] != 0 {
                         continue;
                     }
                     let spec = &workload.tasks()[head.index()];
@@ -349,9 +347,7 @@ mod tests {
         // gpu0 computes 2 tasks before reaching the collective; gpu1 none.
         let a = w.push(TaskSpec::compute("a0", GpuId(0), ()));
         let b = w.push(TaskSpec::compute("a1", GpuId(0), ()).after(a));
-        let ar = w.push(
-            TaskSpec::collective("ar", vec![GpuId(0), GpuId(1)], ()).after(b),
-        );
+        let ar = w.push(TaskSpec::collective("ar", vec![GpuId(0), GpuId(1)], ()).after(b));
         let trace = Engine::new(ConstantRate::default()).run(&w).unwrap();
         let rec = trace.record(ar).unwrap();
         assert!((rec.start.as_secs() - 2.0).abs() < 1e-9);

@@ -1,6 +1,6 @@
 //! Engine error type.
 
-use crate::{TaskId, SimTime};
+use crate::{SimTime, TaskId};
 use std::error::Error;
 use std::fmt;
 
@@ -61,7 +61,10 @@ impl fmt::Display for SimError {
                 write!(f, "rate model produced invalid rate {rate} for {task}")
             }
             SimError::InvalidPower { gpu, watts } => {
-                write!(f, "rate model produced invalid power {watts} W for gpu{gpu}")
+                write!(
+                    f,
+                    "rate model produced invalid power {watts} W for gpu{gpu}"
+                )
             }
         }
     }

@@ -71,6 +71,7 @@ mod engine;
 mod error;
 mod ids;
 mod rate;
+pub mod rng;
 mod task;
 mod time;
 mod trace;
@@ -81,6 +82,7 @@ pub use engine::Engine;
 pub use error::SimError;
 pub use ids::{GpuId, StreamKind, TaskId};
 pub use rate::{ConstantRate, RateModel, RunningTask};
+pub use rng::SeededRng;
 pub use task::{TaskSpec, Workload};
 pub use time::SimTime;
 pub use trace::{GpuActivity, PowerSegment, SimTrace, TaskRecord, Window};

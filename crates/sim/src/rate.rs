@@ -86,7 +86,12 @@ impl Default for ConstantRate {
 impl RateModel for ConstantRate {
     type Payload = ();
 
-    fn assign_rates(&mut self, running: &[RunningTask<'_, ()>], rates: &mut [f64], power: &mut [f64]) {
+    fn assign_rates(
+        &mut self,
+        running: &[RunningTask<'_, ()>],
+        rates: &mut [f64],
+        power: &mut [f64],
+    ) {
         for (i, task) in running.iter().enumerate() {
             rates[i] = 1.0 / self.duration_secs;
             for gpu in task.participants {

@@ -207,7 +207,10 @@ mod tests {
         assert!((activity.average_power() - 300.0).abs() < 1e-9);
         assert!((activity.energy_joules() - 900.0).abs() < 1e-9);
         assert!((activity.overlap_time().as_secs() - 1.0).abs() < 1e-12);
-        assert_eq!(activity.busy_time(StreamKind::Comm), SimTime::from_secs(1.0));
+        assert_eq!(
+            activity.busy_time(StreamKind::Comm),
+            SimTime::from_secs(1.0)
+        );
     }
 
     #[test]
@@ -226,11 +229,13 @@ mod tests {
             end: SimTime::from_secs(2.0),
             coactive: SimTime::ZERO,
         }];
-        let trace = SimTrace::new(records, vec![GpuActivity::default(); 2], SimTime::from_secs(2.0));
-        assert!((trace.stream_time(StreamKind::Comm).as_secs() - 4.0).abs() < 1e-12);
-        assert!(
-            (trace.stream_time_on(GpuId(0), StreamKind::Comm).as_secs() - 2.0).abs() < 1e-12
+        let trace = SimTrace::new(
+            records,
+            vec![GpuActivity::default(); 2],
+            SimTime::from_secs(2.0),
         );
+        assert!((trace.stream_time(StreamKind::Comm).as_secs() - 4.0).abs() < 1e-12);
+        assert!((trace.stream_time_on(GpuId(0), StreamKind::Comm).as_secs() - 2.0).abs() < 1e-12);
         assert_eq!(trace.stream_time(StreamKind::Compute), SimTime::ZERO);
     }
 }

@@ -41,10 +41,7 @@ pub fn verify_trace<P>(workload: &Workload<P>, trace: &SimTrace) -> Vec<String> 
             if dep_rec.end.as_secs() > rec.start.as_secs() + EPS {
                 violations.push(format!(
                     "{}: starts at {} before dependency {} ends at {}",
-                    rec.label,
-                    rec.start,
-                    dep_rec.label,
-                    dep_rec.end
+                    rec.label, rec.start, dep_rec.label, dep_rec.end
                 ));
             }
         }
@@ -55,9 +52,7 @@ pub fn verify_trace<P>(workload: &Workload<P>, trace: &SimTrace) -> Vec<String> 
             let mut last_end = 0.0f64;
             let mut last_label = "";
             for (i, spec) in workload.tasks().iter().enumerate() {
-                if spec.stream != stream
-                    || !spec.participants.iter().any(|p| p.index() == g)
-                {
+                if spec.stream != stream || !spec.participants.iter().any(|p| p.index() == g) {
                     continue;
                 }
                 let rec = &records[i];

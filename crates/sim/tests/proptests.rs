@@ -1,9 +1,7 @@
 //! Property-based tests: random forward DAGs must run to completion and the
 //! resulting trace must satisfy the engine's accounting identities.
 
-use olab_sim::{
-    Engine, GpuId, RateModel, RunningTask, SimTime, StreamKind, TaskSpec, Workload,
-};
+use olab_sim::{Engine, GpuId, RateModel, RunningTask, SimTime, StreamKind, TaskSpec, Workload};
 use proptest::prelude::*;
 
 /// Payload carrying the isolated duration of the task in seconds.

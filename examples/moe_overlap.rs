@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let machine = Machine::stock(sku.clone(), 4);
     let topo = machine.config().topology.clone();
 
-    println!("MoE GPT-3 XL (8 experts, every 2nd layer) on 4x{}\n", sku.name);
+    println!(
+        "MoE GPT-3 XL (8 experts, every 2nd layer) on 4x{}\n",
+        sku.name
+    );
     println!(
         "{:<8} {:>12} {:>14} {:>14} {:>12}",
         "chunks", "E2E (ms)", "a2a total (ms)", "a2a hidden", "vs chunks=1"

@@ -45,8 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n-- stage-0 power trace (20 ms sampling) --");
     let sampled = run.gpus[0].power.sample(Sampler::amd_smi());
     let windows = &run.gpus[0].overlap_windows;
-    let in_overlap =
-        |t: f64| windows.iter().any(|&(a, b)| t >= a && t < b);
+    let in_overlap = |t: f64| windows.iter().any(|&(a, b)| t >= a && t < b);
     for s in sampled.samples.iter().take(40) {
         let bar_len = (s.watts / tdp * 40.0).round() as usize;
         println!(
@@ -54,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             s.time_s * 1e3,
             s.watts / tdp,
             "#".repeat(bar_len.min(60)),
-            if in_overlap(s.time_s) { "  <- overlap" } else { "" }
+            if in_overlap(s.time_s) {
+                "  <- overlap"
+            } else {
+                ""
+            }
         );
     }
 

@@ -12,13 +12,7 @@ use olab_models::ModelPreset;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // GPT-3 2.7B, FSDP across 4 H100s, per-GPU batch 8, FP16 on tensor
     // cores — one cell of the paper's Fig. 4/5/6 grid.
-    let experiment = Experiment::new(
-        SkuKind::H100,
-        4,
-        ModelPreset::Gpt3_2_7B,
-        Strategy::Fsdp,
-        8,
-    );
+    let experiment = Experiment::new(SkuKind::H100, 4, ModelPreset::Gpt3_2_7B, Strategy::Fsdp, 8);
     println!("experiment: {experiment}");
 
     let report = experiment.run()?;
@@ -27,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n-- performance --");
     println!("activation policy:        {:?}", report.activation_policy);
     println!("E2E ideal (Eq. 4):        {:8.1} ms", m.e2e_ideal_s * 1e3);
-    println!("E2E overlapped:           {:8.1} ms", m.e2e_overlapped_s * 1e3);
+    println!(
+        "E2E overlapped:           {:8.1} ms",
+        m.e2e_overlapped_s * 1e3
+    );
     println!(
         "E2E sequential:           {:8.1} ms (derived via Eq. 5: {:.1} ms)",
         m.e2e_sequential_measured_s * 1e3,

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_accumulation-c42c2302bb04ca50.d: crates/bench/src/bin/ablation_accumulation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_accumulation-c42c2302bb04ca50.rmeta: crates/bench/src/bin/ablation_accumulation.rs Cargo.toml
+
+crates/bench/src/bin/ablation_accumulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_accumulation-d0c8a322855810ad.d: crates/bench/src/bin/ablation_accumulation.rs
+
+/root/repo/target/debug/deps/ablation_accumulation-d0c8a322855810ad: crates/bench/src/bin/ablation_accumulation.rs
+
+crates/bench/src/bin/ablation_accumulation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_adaptive-b7e91442edbdb046.d: crates/bench/src/bin/ablation_adaptive.rs
+
+/root/repo/target/debug/deps/ablation_adaptive-b7e91442edbdb046: crates/bench/src/bin/ablation_adaptive.rs
+
+crates/bench/src/bin/ablation_adaptive.rs:

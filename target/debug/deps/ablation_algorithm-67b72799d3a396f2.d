@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_algorithm-67b72799d3a396f2.d: crates/bench/src/bin/ablation_algorithm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_algorithm-67b72799d3a396f2.rmeta: crates/bench/src/bin/ablation_algorithm.rs Cargo.toml
+
+crates/bench/src/bin/ablation_algorithm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

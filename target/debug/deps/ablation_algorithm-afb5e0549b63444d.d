@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_algorithm-afb5e0549b63444d.d: crates/bench/src/bin/ablation_algorithm.rs
+
+/root/repo/target/debug/deps/ablation_algorithm-afb5e0549b63444d: crates/bench/src/bin/ablation_algorithm.rs
+
+crates/bench/src/bin/ablation_algorithm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_bandwidth-c3af029c271ddf73.d: crates/bench/src/bin/ablation_bandwidth.rs
+
+/root/repo/target/debug/deps/ablation_bandwidth-c3af029c271ddf73: crates/bench/src/bin/ablation_bandwidth.rs
+
+crates/bench/src/bin/ablation_bandwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_channels-51bb7785d5b465a2.d: crates/bench/src/bin/ablation_channels.rs
+
+/root/repo/target/debug/deps/ablation_channels-51bb7785d5b465a2: crates/bench/src/bin/ablation_channels.rs
+
+crates/bench/src/bin/ablation_channels.rs:

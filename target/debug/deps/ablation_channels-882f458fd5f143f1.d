@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_channels-882f458fd5f143f1.d: crates/bench/src/bin/ablation_channels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_channels-882f458fd5f143f1.rmeta: crates/bench/src/bin/ablation_channels.rs Cargo.toml
+
+crates/bench/src/bin/ablation_channels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

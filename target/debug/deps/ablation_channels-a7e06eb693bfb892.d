@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_channels-a7e06eb693bfb892.d: crates/bench/src/bin/ablation_channels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_channels-a7e06eb693bfb892.rmeta: crates/bench/src/bin/ablation_channels.rs Cargo.toml
+
+crates/bench/src/bin/ablation_channels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

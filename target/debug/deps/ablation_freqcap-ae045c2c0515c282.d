@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_freqcap-ae045c2c0515c282.d: crates/bench/src/bin/ablation_freqcap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_freqcap-ae045c2c0515c282.rmeta: crates/bench/src/bin/ablation_freqcap.rs Cargo.toml
+
+crates/bench/src/bin/ablation_freqcap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_freqcap-c49c149333c024e3.d: crates/bench/src/bin/ablation_freqcap.rs
+
+/root/repo/target/debug/deps/ablation_freqcap-c49c149333c024e3: crates/bench/src/bin/ablation_freqcap.rs
+
+crates/bench/src/bin/ablation_freqcap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_multinode-07565c744b53605c.d: crates/bench/src/bin/ablation_multinode.rs
+
+/root/repo/target/debug/deps/ablation_multinode-07565c744b53605c: crates/bench/src/bin/ablation_multinode.rs
+
+crates/bench/src/bin/ablation_multinode.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_multinode-1cdb1a2c57578c62.d: crates/bench/src/bin/ablation_multinode.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_multinode-1cdb1a2c57578c62.rmeta: crates/bench/src/bin/ablation_multinode.rs Cargo.toml
+
+crates/bench/src/bin/ablation_multinode.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_multinode-3629ccb48c003863.d: crates/bench/src/bin/ablation_multinode.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_multinode-3629ccb48c003863.rmeta: crates/bench/src/bin/ablation_multinode.rs Cargo.toml
+
+crates/bench/src/bin/ablation_multinode.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

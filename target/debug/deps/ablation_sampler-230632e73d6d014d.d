@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sampler-230632e73d6d014d.d: crates/bench/src/bin/ablation_sampler.rs
+
+/root/repo/target/debug/deps/ablation_sampler-230632e73d6d014d: crates/bench/src/bin/ablation_sampler.rs
+
+crates/bench/src/bin/ablation_sampler.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_sampler-e1e29c97ff559028.d: crates/bench/src/bin/ablation_sampler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_sampler-e1e29c97ff559028.rmeta: crates/bench/src/bin/ablation_sampler.rs Cargo.toml
+
+crates/bench/src/bin/ablation_sampler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_schedule-0934d6d04de9d1e5.d: crates/bench/src/bin/ablation_schedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_schedule-0934d6d04de9d1e5.rmeta: crates/bench/src/bin/ablation_schedule.rs Cargo.toml
+
+crates/bench/src/bin/ablation_schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_schedule-9ac60607b4f095e1.d: crates/bench/src/bin/ablation_schedule.rs
+
+/root/repo/target/debug/deps/ablation_schedule-9ac60607b4f095e1: crates/bench/src/bin/ablation_schedule.rs
+
+crates/bench/src/bin/ablation_schedule.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_seqlen-5bb1af833efc52f6.d: crates/bench/src/bin/ablation_seqlen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_seqlen-5bb1af833efc52f6.rmeta: crates/bench/src/bin/ablation_seqlen.rs Cargo.toml
+
+crates/bench/src/bin/ablation_seqlen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_seqlen-d82a5a225ae835f6.d: crates/bench/src/bin/ablation_seqlen.rs
+
+/root/repo/target/debug/deps/ablation_seqlen-d82a5a225ae835f6: crates/bench/src/bin/ablation_seqlen.rs
+
+crates/bench/src/bin/ablation_seqlen.rs:

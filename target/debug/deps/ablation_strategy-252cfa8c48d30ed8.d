@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_strategy-252cfa8c48d30ed8.d: crates/bench/src/bin/ablation_strategy.rs
+
+/root/repo/target/debug/deps/ablation_strategy-252cfa8c48d30ed8: crates/bench/src/bin/ablation_strategy.rs
+
+crates/bench/src/bin/ablation_strategy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_strategy-7a9e128c04bb8383.d: crates/bench/src/bin/ablation_strategy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_strategy-7a9e128c04bb8383.rmeta: crates/bench/src/bin/ablation_strategy.rs Cargo.toml
+
+crates/bench/src/bin/ablation_strategy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-33ae930204d43b62.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-33ae930204d43b62: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-12bd7ed3b08892cf.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-12bd7ed3b08892cf: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-4e9279f2252803a6.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-4e9279f2252803a6: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

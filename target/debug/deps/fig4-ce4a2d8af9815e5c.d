@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-ce4a2d8af9815e5c.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-ce4a2d8af9815e5c: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-35709eefc0fc5165.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-35709eefc0fc5165: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

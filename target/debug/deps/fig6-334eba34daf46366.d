@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-334eba34daf46366.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-334eba34daf46366: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

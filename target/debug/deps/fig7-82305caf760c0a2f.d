@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-82305caf760c0a2f.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-82305caf760c0a2f: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-0599e8191254bb98.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-0599e8191254bb98: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/headline-01370a81868899a4.d: crates/bench/src/bin/headline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheadline-01370a81868899a4.rmeta: crates/bench/src/bin/headline.rs Cargo.toml
+
+crates/bench/src/bin/headline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/headline-880e16c8406e087f.d: crates/bench/src/bin/headline.rs
+
+/root/repo/target/debug/deps/headline-880e16c8406e087f: crates/bench/src/bin/headline.rs
+
+crates/bench/src/bin/headline.rs:

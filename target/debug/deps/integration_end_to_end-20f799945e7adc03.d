@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_end_to_end-20f799945e7adc03.d: crates/core/../../tests/integration_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_end_to_end-20f799945e7adc03.rmeta: crates/core/../../tests/integration_end_to_end.rs Cargo.toml
+
+crates/core/../../tests/integration_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_end_to_end-4e85beb66d4bdcf0.d: crates/core/../../tests/integration_end_to_end.rs
+
+/root/repo/target/debug/deps/integration_end_to_end-4e85beb66d4bdcf0: crates/core/../../tests/integration_end_to_end.rs
+
+crates/core/../../tests/integration_end_to_end.rs:

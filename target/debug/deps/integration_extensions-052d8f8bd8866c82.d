@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_extensions-052d8f8bd8866c82.d: crates/core/../../tests/integration_extensions.rs
+
+/root/repo/target/debug/deps/integration_extensions-052d8f8bd8866c82: crates/core/../../tests/integration_extensions.rs
+
+crates/core/../../tests/integration_extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_grid-b81c97597f6d32df.d: crates/core/../../tests/integration_grid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_grid-b81c97597f6d32df.rmeta: crates/core/../../tests/integration_grid.rs Cargo.toml
+
+crates/core/../../tests/integration_grid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

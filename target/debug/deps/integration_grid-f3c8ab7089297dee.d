@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_grid-f3c8ab7089297dee.d: crates/core/../../tests/integration_grid.rs
+
+/root/repo/target/debug/deps/integration_grid-f3c8ab7089297dee: crates/core/../../tests/integration_grid.rs
+
+crates/core/../../tests/integration_grid.rs:

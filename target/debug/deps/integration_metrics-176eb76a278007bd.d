@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_metrics-176eb76a278007bd.d: crates/core/../../tests/integration_metrics.rs
+
+/root/repo/target/debug/deps/integration_metrics-176eb76a278007bd: crates/core/../../tests/integration_metrics.rs
+
+crates/core/../../tests/integration_metrics.rs:

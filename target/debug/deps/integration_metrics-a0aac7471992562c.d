@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_metrics-a0aac7471992562c.d: crates/core/../../tests/integration_metrics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_metrics-a0aac7471992562c.rmeta: crates/core/../../tests/integration_metrics.rs Cargo.toml
+
+crates/core/../../tests/integration_metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

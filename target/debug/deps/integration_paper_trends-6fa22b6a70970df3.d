@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_paper_trends-6fa22b6a70970df3.d: crates/core/../../tests/integration_paper_trends.rs
+
+/root/repo/target/debug/deps/integration_paper_trends-6fa22b6a70970df3: crates/core/../../tests/integration_paper_trends.rs
+
+crates/core/../../tests/integration_paper_trends.rs:

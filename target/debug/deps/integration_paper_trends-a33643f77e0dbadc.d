@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_paper_trends-a33643f77e0dbadc.d: crates/core/../../tests/integration_paper_trends.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_paper_trends-a33643f77e0dbadc.rmeta: crates/core/../../tests/integration_paper_trends.rs Cargo.toml
+
+crates/core/../../tests/integration_paper_trends.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

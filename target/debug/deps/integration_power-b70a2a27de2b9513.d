@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_power-b70a2a27de2b9513.d: crates/core/../../tests/integration_power.rs
+
+/root/repo/target/debug/deps/integration_power-b70a2a27de2b9513: crates/core/../../tests/integration_power.rs
+
+crates/core/../../tests/integration_power.rs:

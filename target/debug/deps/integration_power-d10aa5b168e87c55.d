@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_power-d10aa5b168e87c55.d: crates/core/../../tests/integration_power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_power-d10aa5b168e87c55.rmeta: crates/core/../../tests/integration_power.rs Cargo.toml
+
+crates/core/../../tests/integration_power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

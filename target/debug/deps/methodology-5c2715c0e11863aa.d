@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/methodology-5c2715c0e11863aa.d: crates/bench/src/bin/methodology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmethodology-5c2715c0e11863aa.rmeta: crates/bench/src/bin/methodology.rs Cargo.toml
+
+crates/bench/src/bin/methodology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/methodology-8b7b8dde57b7d76c.d: crates/bench/src/bin/methodology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmethodology-8b7b8dde57b7d76c.rmeta: crates/bench/src/bin/methodology.rs Cargo.toml
+
+crates/bench/src/bin/methodology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

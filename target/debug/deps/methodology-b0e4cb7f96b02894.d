@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/methodology-b0e4cb7f96b02894.d: crates/bench/src/bin/methodology.rs
+
+/root/repo/target/debug/deps/methodology-b0e4cb7f96b02894: crates/bench/src/bin/methodology.rs
+
+crates/bench/src/bin/methodology.rs:

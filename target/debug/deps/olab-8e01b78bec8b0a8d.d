@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/olab-8e01b78bec8b0a8d.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolab-8e01b78bec8b0a8d.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/olab-b902c532135cbe78.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/olab-b902c532135cbe78: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

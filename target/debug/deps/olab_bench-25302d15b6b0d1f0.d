@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/olab_bench-25302d15b6b0d1f0.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolab_bench-25302d15b6b0d1f0.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/olab_bench-704c2724d0a8bc11.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/olab_bench-704c2724d0a8bc11: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/olab_bench-9ca2240ca6d1af2a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libolab_bench-9ca2240ca6d1af2a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libolab_bench-9ca2240ca6d1af2a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/olab_ccl-6820479ec9a48228.d: crates/ccl/src/lib.rs crates/ccl/src/algorithm.rs crates/ccl/src/channels.rs crates/ccl/src/collective.rs crates/ccl/src/lowering.rs
+
+/root/repo/target/debug/deps/libolab_ccl-6820479ec9a48228.rlib: crates/ccl/src/lib.rs crates/ccl/src/algorithm.rs crates/ccl/src/channels.rs crates/ccl/src/collective.rs crates/ccl/src/lowering.rs
+
+/root/repo/target/debug/deps/libolab_ccl-6820479ec9a48228.rmeta: crates/ccl/src/lib.rs crates/ccl/src/algorithm.rs crates/ccl/src/channels.rs crates/ccl/src/collective.rs crates/ccl/src/lowering.rs
+
+crates/ccl/src/lib.rs:
+crates/ccl/src/algorithm.rs:
+crates/ccl/src/channels.rs:
+crates/ccl/src/collective.rs:
+crates/ccl/src/lowering.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/olab_ccl-8f7d3c2373dda14d.d: crates/ccl/src/lib.rs crates/ccl/src/algorithm.rs crates/ccl/src/channels.rs crates/ccl/src/collective.rs crates/ccl/src/lowering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolab_ccl-8f7d3c2373dda14d.rmeta: crates/ccl/src/lib.rs crates/ccl/src/algorithm.rs crates/ccl/src/channels.rs crates/ccl/src/collective.rs crates/ccl/src/lowering.rs Cargo.toml
+
+crates/ccl/src/lib.rs:
+crates/ccl/src/algorithm.rs:
+crates/ccl/src/channels.rs:
+crates/ccl/src/collective.rs:
+crates/ccl/src/lowering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

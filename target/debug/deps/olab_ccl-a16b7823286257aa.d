@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/olab_ccl-a16b7823286257aa.d: crates/ccl/src/lib.rs crates/ccl/src/algorithm.rs crates/ccl/src/channels.rs crates/ccl/src/collective.rs crates/ccl/src/lowering.rs
+
+/root/repo/target/debug/deps/olab_ccl-a16b7823286257aa: crates/ccl/src/lib.rs crates/ccl/src/algorithm.rs crates/ccl/src/channels.rs crates/ccl/src/collective.rs crates/ccl/src/lowering.rs
+
+crates/ccl/src/lib.rs:
+crates/ccl/src/algorithm.rs:
+crates/ccl/src/channels.rs:
+crates/ccl/src/collective.rs:
+crates/ccl/src/lowering.rs:

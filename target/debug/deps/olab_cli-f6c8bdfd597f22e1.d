@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/olab_cli-f6c8bdfd597f22e1.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/olab_cli-f6c8bdfd597f22e1: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/olab_core-a3255ad6ec1ea87b.d: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/analytic.rs crates/core/src/chrome_trace.rs crates/core/src/executor.rs crates/core/src/experiment.rs crates/core/src/machine.rs crates/core/src/metrics.rs crates/core/src/microbench.rs crates/core/src/registry.rs crates/core/src/report.rs crates/core/src/sweep.rs
+
+/root/repo/target/debug/deps/olab_core-a3255ad6ec1ea87b: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/analytic.rs crates/core/src/chrome_trace.rs crates/core/src/executor.rs crates/core/src/experiment.rs crates/core/src/machine.rs crates/core/src/metrics.rs crates/core/src/microbench.rs crates/core/src/registry.rs crates/core/src/report.rs crates/core/src/sweep.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adaptive.rs:
+crates/core/src/analytic.rs:
+crates/core/src/chrome_trace.rs:
+crates/core/src/executor.rs:
+crates/core/src/experiment.rs:
+crates/core/src/machine.rs:
+crates/core/src/metrics.rs:
+crates/core/src/microbench.rs:
+crates/core/src/registry.rs:
+crates/core/src/report.rs:
+crates/core/src/sweep.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/olab_core-ebac895639998bd7.d: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/analytic.rs crates/core/src/chrome_trace.rs crates/core/src/executor.rs crates/core/src/experiment.rs crates/core/src/machine.rs crates/core/src/metrics.rs crates/core/src/microbench.rs crates/core/src/registry.rs crates/core/src/report.rs crates/core/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolab_core-ebac895639998bd7.rmeta: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/analytic.rs crates/core/src/chrome_trace.rs crates/core/src/executor.rs crates/core/src/experiment.rs crates/core/src/machine.rs crates/core/src/metrics.rs crates/core/src/microbench.rs crates/core/src/registry.rs crates/core/src/report.rs crates/core/src/sweep.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/adaptive.rs:
+crates/core/src/analytic.rs:
+crates/core/src/chrome_trace.rs:
+crates/core/src/executor.rs:
+crates/core/src/experiment.rs:
+crates/core/src/machine.rs:
+crates/core/src/metrics.rs:
+crates/core/src/microbench.rs:
+crates/core/src/registry.rs:
+crates/core/src/report.rs:
+crates/core/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

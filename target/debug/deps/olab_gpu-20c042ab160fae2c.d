@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/olab_gpu-20c042ab160fae2c.d: crates/gpu/src/lib.rs crates/gpu/src/calibration.rs crates/gpu/src/dvfs.rs crates/gpu/src/kernel.rs crates/gpu/src/power.rs crates/gpu/src/precision.rs crates/gpu/src/roofline.rs crates/gpu/src/sku.rs
+
+/root/repo/target/debug/deps/olab_gpu-20c042ab160fae2c: crates/gpu/src/lib.rs crates/gpu/src/calibration.rs crates/gpu/src/dvfs.rs crates/gpu/src/kernel.rs crates/gpu/src/power.rs crates/gpu/src/precision.rs crates/gpu/src/roofline.rs crates/gpu/src/sku.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/calibration.rs:
+crates/gpu/src/dvfs.rs:
+crates/gpu/src/kernel.rs:
+crates/gpu/src/power.rs:
+crates/gpu/src/precision.rs:
+crates/gpu/src/roofline.rs:
+crates/gpu/src/sku.rs:

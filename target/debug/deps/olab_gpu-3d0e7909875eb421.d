@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/olab_gpu-3d0e7909875eb421.d: crates/gpu/src/lib.rs crates/gpu/src/calibration.rs crates/gpu/src/dvfs.rs crates/gpu/src/kernel.rs crates/gpu/src/power.rs crates/gpu/src/precision.rs crates/gpu/src/roofline.rs crates/gpu/src/sku.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolab_gpu-3d0e7909875eb421.rmeta: crates/gpu/src/lib.rs crates/gpu/src/calibration.rs crates/gpu/src/dvfs.rs crates/gpu/src/kernel.rs crates/gpu/src/power.rs crates/gpu/src/precision.rs crates/gpu/src/roofline.rs crates/gpu/src/sku.rs Cargo.toml
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/calibration.rs:
+crates/gpu/src/dvfs.rs:
+crates/gpu/src/kernel.rs:
+crates/gpu/src/power.rs:
+crates/gpu/src/precision.rs:
+crates/gpu/src/roofline.rs:
+crates/gpu/src/sku.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/olab_gpu-8fa6e233abc0e3be.d: crates/gpu/src/lib.rs crates/gpu/src/calibration.rs crates/gpu/src/dvfs.rs crates/gpu/src/kernel.rs crates/gpu/src/power.rs crates/gpu/src/precision.rs crates/gpu/src/roofline.rs crates/gpu/src/sku.rs
+
+/root/repo/target/debug/deps/libolab_gpu-8fa6e233abc0e3be.rlib: crates/gpu/src/lib.rs crates/gpu/src/calibration.rs crates/gpu/src/dvfs.rs crates/gpu/src/kernel.rs crates/gpu/src/power.rs crates/gpu/src/precision.rs crates/gpu/src/roofline.rs crates/gpu/src/sku.rs
+
+/root/repo/target/debug/deps/libolab_gpu-8fa6e233abc0e3be.rmeta: crates/gpu/src/lib.rs crates/gpu/src/calibration.rs crates/gpu/src/dvfs.rs crates/gpu/src/kernel.rs crates/gpu/src/power.rs crates/gpu/src/precision.rs crates/gpu/src/roofline.rs crates/gpu/src/sku.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/calibration.rs:
+crates/gpu/src/dvfs.rs:
+crates/gpu/src/kernel.rs:
+crates/gpu/src/power.rs:
+crates/gpu/src/precision.rs:
+crates/gpu/src/roofline.rs:
+crates/gpu/src/sku.rs:

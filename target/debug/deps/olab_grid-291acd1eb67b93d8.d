@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/olab_grid-291acd1eb67b93d8.d: crates/grid/src/lib.rs crates/grid/src/cache.rs crates/grid/src/hash.rs crates/grid/src/pool.rs crates/grid/src/telemetry.rs
+
+/root/repo/target/debug/deps/olab_grid-291acd1eb67b93d8: crates/grid/src/lib.rs crates/grid/src/cache.rs crates/grid/src/hash.rs crates/grid/src/pool.rs crates/grid/src/telemetry.rs
+
+crates/grid/src/lib.rs:
+crates/grid/src/cache.rs:
+crates/grid/src/hash.rs:
+crates/grid/src/pool.rs:
+crates/grid/src/telemetry.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/olab_grid-4d2110e8fa9908ba.d: crates/grid/src/lib.rs crates/grid/src/cache.rs crates/grid/src/hash.rs crates/grid/src/pool.rs crates/grid/src/telemetry.rs
+
+/root/repo/target/debug/deps/libolab_grid-4d2110e8fa9908ba.rlib: crates/grid/src/lib.rs crates/grid/src/cache.rs crates/grid/src/hash.rs crates/grid/src/pool.rs crates/grid/src/telemetry.rs
+
+/root/repo/target/debug/deps/libolab_grid-4d2110e8fa9908ba.rmeta: crates/grid/src/lib.rs crates/grid/src/cache.rs crates/grid/src/hash.rs crates/grid/src/pool.rs crates/grid/src/telemetry.rs
+
+crates/grid/src/lib.rs:
+crates/grid/src/cache.rs:
+crates/grid/src/hash.rs:
+crates/grid/src/pool.rs:
+crates/grid/src/telemetry.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/olab_grid-a2de24a7d14cd858.d: crates/grid/src/lib.rs crates/grid/src/cache.rs crates/grid/src/hash.rs crates/grid/src/pool.rs crates/grid/src/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolab_grid-a2de24a7d14cd858.rmeta: crates/grid/src/lib.rs crates/grid/src/cache.rs crates/grid/src/hash.rs crates/grid/src/pool.rs crates/grid/src/telemetry.rs Cargo.toml
+
+crates/grid/src/lib.rs:
+crates/grid/src/cache.rs:
+crates/grid/src/hash.rs:
+crates/grid/src/pool.rs:
+crates/grid/src/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/olab_models-40664ead3fcf76a3.d: crates/models/src/lib.rs crates/models/src/config.rs crates/models/src/memory.rs crates/models/src/ops.rs
+
+/root/repo/target/debug/deps/libolab_models-40664ead3fcf76a3.rlib: crates/models/src/lib.rs crates/models/src/config.rs crates/models/src/memory.rs crates/models/src/ops.rs
+
+/root/repo/target/debug/deps/libolab_models-40664ead3fcf76a3.rmeta: crates/models/src/lib.rs crates/models/src/config.rs crates/models/src/memory.rs crates/models/src/ops.rs
+
+crates/models/src/lib.rs:
+crates/models/src/config.rs:
+crates/models/src/memory.rs:
+crates/models/src/ops.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/olab_models-4985e3b379bee070.d: crates/models/src/lib.rs crates/models/src/config.rs crates/models/src/memory.rs crates/models/src/ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolab_models-4985e3b379bee070.rmeta: crates/models/src/lib.rs crates/models/src/config.rs crates/models/src/memory.rs crates/models/src/ops.rs Cargo.toml
+
+crates/models/src/lib.rs:
+crates/models/src/config.rs:
+crates/models/src/memory.rs:
+crates/models/src/ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/olab_models-eb4e1201bbb53d32.d: crates/models/src/lib.rs crates/models/src/config.rs crates/models/src/memory.rs crates/models/src/ops.rs
+
+/root/repo/target/debug/deps/olab_models-eb4e1201bbb53d32: crates/models/src/lib.rs crates/models/src/config.rs crates/models/src/memory.rs crates/models/src/ops.rs
+
+crates/models/src/lib.rs:
+crates/models/src/config.rs:
+crates/models/src/memory.rs:
+crates/models/src/ops.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/olab_net-0ad3964a3badcf03.d: crates/net/src/lib.rs crates/net/src/flow.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/libolab_net-0ad3964a3badcf03.rlib: crates/net/src/lib.rs crates/net/src/flow.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/libolab_net-0ad3964a3badcf03.rmeta: crates/net/src/lib.rs crates/net/src/flow.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/flow.rs:
+crates/net/src/topology.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/olab_net-bd9895e5b6a9c8a1.d: crates/net/src/lib.rs crates/net/src/flow.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/olab_net-bd9895e5b6a9c8a1: crates/net/src/lib.rs crates/net/src/flow.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/flow.rs:
+crates/net/src/topology.rs:

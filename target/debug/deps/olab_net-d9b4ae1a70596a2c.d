@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/olab_net-d9b4ae1a70596a2c.d: crates/net/src/lib.rs crates/net/src/flow.rs crates/net/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolab_net-d9b4ae1a70596a2c.rmeta: crates/net/src/lib.rs crates/net/src/flow.rs crates/net/src/topology.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/flow.rs:
+crates/net/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

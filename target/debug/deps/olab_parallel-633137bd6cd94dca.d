@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/olab_parallel-633137bd6cd94dca.d: crates/parallel/src/lib.rs crates/parallel/src/builder.rs crates/parallel/src/fsdp.rs crates/parallel/src/mode.rs crates/parallel/src/moe.rs crates/parallel/src/op.rs crates/parallel/src/pipeline.rs crates/parallel/src/tensor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolab_parallel-633137bd6cd94dca.rmeta: crates/parallel/src/lib.rs crates/parallel/src/builder.rs crates/parallel/src/fsdp.rs crates/parallel/src/mode.rs crates/parallel/src/moe.rs crates/parallel/src/op.rs crates/parallel/src/pipeline.rs crates/parallel/src/tensor.rs Cargo.toml
+
+crates/parallel/src/lib.rs:
+crates/parallel/src/builder.rs:
+crates/parallel/src/fsdp.rs:
+crates/parallel/src/mode.rs:
+crates/parallel/src/moe.rs:
+crates/parallel/src/op.rs:
+crates/parallel/src/pipeline.rs:
+crates/parallel/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

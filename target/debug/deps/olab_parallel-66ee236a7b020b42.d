@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/olab_parallel-66ee236a7b020b42.d: crates/parallel/src/lib.rs crates/parallel/src/builder.rs crates/parallel/src/fsdp.rs crates/parallel/src/mode.rs crates/parallel/src/moe.rs crates/parallel/src/op.rs crates/parallel/src/pipeline.rs crates/parallel/src/tensor.rs
+
+/root/repo/target/debug/deps/olab_parallel-66ee236a7b020b42: crates/parallel/src/lib.rs crates/parallel/src/builder.rs crates/parallel/src/fsdp.rs crates/parallel/src/mode.rs crates/parallel/src/moe.rs crates/parallel/src/op.rs crates/parallel/src/pipeline.rs crates/parallel/src/tensor.rs
+
+crates/parallel/src/lib.rs:
+crates/parallel/src/builder.rs:
+crates/parallel/src/fsdp.rs:
+crates/parallel/src/mode.rs:
+crates/parallel/src/moe.rs:
+crates/parallel/src/op.rs:
+crates/parallel/src/pipeline.rs:
+crates/parallel/src/tensor.rs:

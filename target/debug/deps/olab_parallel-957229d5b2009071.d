@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/olab_parallel-957229d5b2009071.d: crates/parallel/src/lib.rs crates/parallel/src/builder.rs crates/parallel/src/fsdp.rs crates/parallel/src/mode.rs crates/parallel/src/moe.rs crates/parallel/src/op.rs crates/parallel/src/pipeline.rs crates/parallel/src/tensor.rs
+
+/root/repo/target/debug/deps/libolab_parallel-957229d5b2009071.rlib: crates/parallel/src/lib.rs crates/parallel/src/builder.rs crates/parallel/src/fsdp.rs crates/parallel/src/mode.rs crates/parallel/src/moe.rs crates/parallel/src/op.rs crates/parallel/src/pipeline.rs crates/parallel/src/tensor.rs
+
+/root/repo/target/debug/deps/libolab_parallel-957229d5b2009071.rmeta: crates/parallel/src/lib.rs crates/parallel/src/builder.rs crates/parallel/src/fsdp.rs crates/parallel/src/mode.rs crates/parallel/src/moe.rs crates/parallel/src/op.rs crates/parallel/src/pipeline.rs crates/parallel/src/tensor.rs
+
+crates/parallel/src/lib.rs:
+crates/parallel/src/builder.rs:
+crates/parallel/src/fsdp.rs:
+crates/parallel/src/mode.rs:
+crates/parallel/src/moe.rs:
+crates/parallel/src/op.rs:
+crates/parallel/src/pipeline.rs:
+crates/parallel/src/tensor.rs:

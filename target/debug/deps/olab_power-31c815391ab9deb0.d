@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/olab_power-31c815391ab9deb0.d: crates/power/src/lib.rs crates/power/src/sampler.rs crates/power/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolab_power-31c815391ab9deb0.rmeta: crates/power/src/lib.rs crates/power/src/sampler.rs crates/power/src/trace.rs Cargo.toml
+
+crates/power/src/lib.rs:
+crates/power/src/sampler.rs:
+crates/power/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/olab_power-956b5253646dcfd8.d: crates/power/src/lib.rs crates/power/src/sampler.rs crates/power/src/trace.rs
+
+/root/repo/target/debug/deps/libolab_power-956b5253646dcfd8.rlib: crates/power/src/lib.rs crates/power/src/sampler.rs crates/power/src/trace.rs
+
+/root/repo/target/debug/deps/libolab_power-956b5253646dcfd8.rmeta: crates/power/src/lib.rs crates/power/src/sampler.rs crates/power/src/trace.rs
+
+crates/power/src/lib.rs:
+crates/power/src/sampler.rs:
+crates/power/src/trace.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/olab_power-cc8ef6b9b213ad25.d: crates/power/src/lib.rs crates/power/src/sampler.rs crates/power/src/trace.rs
+
+/root/repo/target/debug/deps/olab_power-cc8ef6b9b213ad25: crates/power/src/lib.rs crates/power/src/sampler.rs crates/power/src/trace.rs
+
+crates/power/src/lib.rs:
+crates/power/src/sampler.rs:
+crates/power/src/trace.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/olab_sim-281695abf498006e.d: crates/sim/src/lib.rs crates/sim/src/critical.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/ids.rs crates/sim/src/rate.rs crates/sim/src/rng.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs crates/sim/src/verify.rs
+
+/root/repo/target/debug/deps/olab_sim-281695abf498006e: crates/sim/src/lib.rs crates/sim/src/critical.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/ids.rs crates/sim/src/rate.rs crates/sim/src/rng.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs crates/sim/src/verify.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/critical.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/ids.rs:
+crates/sim/src/rate.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/task.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:
+crates/sim/src/verify.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/olab_sim-511aac86530a3019.d: crates/sim/src/lib.rs crates/sim/src/critical.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/ids.rs crates/sim/src/rate.rs crates/sim/src/rng.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs crates/sim/src/verify.rs
+
+/root/repo/target/debug/deps/libolab_sim-511aac86530a3019.rlib: crates/sim/src/lib.rs crates/sim/src/critical.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/ids.rs crates/sim/src/rate.rs crates/sim/src/rng.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs crates/sim/src/verify.rs
+
+/root/repo/target/debug/deps/libolab_sim-511aac86530a3019.rmeta: crates/sim/src/lib.rs crates/sim/src/critical.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/ids.rs crates/sim/src/rate.rs crates/sim/src/rng.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs crates/sim/src/verify.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/critical.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/ids.rs:
+crates/sim/src/rate.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/task.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:
+crates/sim/src/verify.rs:

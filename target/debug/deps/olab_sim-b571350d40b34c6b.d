@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/olab_sim-b571350d40b34c6b.d: crates/sim/src/lib.rs crates/sim/src/critical.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/ids.rs crates/sim/src/rate.rs crates/sim/src/rng.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs crates/sim/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolab_sim-b571350d40b34c6b.rmeta: crates/sim/src/lib.rs crates/sim/src/critical.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/ids.rs crates/sim/src/rate.rs crates/sim/src/rng.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs crates/sim/src/verify.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/critical.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/ids.rs:
+crates/sim/src/rate.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/task.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:
+crates/sim/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

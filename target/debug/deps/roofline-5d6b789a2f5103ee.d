@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roofline-5d6b789a2f5103ee.d: crates/bench/src/bin/roofline.rs
+
+/root/repo/target/debug/deps/roofline-5d6b789a2f5103ee: crates/bench/src/bin/roofline.rs
+
+crates/bench/src/bin/roofline.rs:

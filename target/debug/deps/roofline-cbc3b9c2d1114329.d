@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/roofline-cbc3b9c2d1114329.d: crates/bench/src/bin/roofline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroofline-cbc3b9c2d1114329.rmeta: crates/bench/src/bin/roofline.rs Cargo.toml
+
+crates/bench/src/bin/roofline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

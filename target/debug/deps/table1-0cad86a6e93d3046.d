@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-0cad86a6e93d3046.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-0cad86a6e93d3046: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

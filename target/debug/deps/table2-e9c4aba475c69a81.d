@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-e9c4aba475c69a81.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-e9c4aba475c69a81: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/critical_path-3b851cfc2f715b2a.d: crates/core/../../examples/critical_path.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcritical_path-3b851cfc2f715b2a.rmeta: crates/core/../../examples/critical_path.rs Cargo.toml
+
+crates/core/../../examples/critical_path.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/critical_path-e51796a5ea52aaad.d: crates/core/../../examples/critical_path.rs
+
+/root/repo/target/debug/examples/critical_path-e51796a5ea52aaad: crates/core/../../examples/critical_path.rs
+
+crates/core/../../examples/critical_path.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fsdp_training-b4588b8320cf79d9.d: crates/core/../../examples/fsdp_training.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfsdp_training-b4588b8320cf79d9.rmeta: crates/core/../../examples/fsdp_training.rs Cargo.toml
+
+crates/core/../../examples/fsdp_training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

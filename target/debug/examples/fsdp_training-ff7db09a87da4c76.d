@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fsdp_training-ff7db09a87da4c76.d: crates/core/../../examples/fsdp_training.rs
+
+/root/repo/target/debug/examples/fsdp_training-ff7db09a87da4c76: crates/core/../../examples/fsdp_training.rs
+
+crates/core/../../examples/fsdp_training.rs:

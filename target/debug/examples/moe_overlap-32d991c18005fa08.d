@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/moe_overlap-32d991c18005fa08.d: crates/core/../../examples/moe_overlap.rs
+
+/root/repo/target/debug/examples/moe_overlap-32d991c18005fa08: crates/core/../../examples/moe_overlap.rs
+
+crates/core/../../examples/moe_overlap.rs:

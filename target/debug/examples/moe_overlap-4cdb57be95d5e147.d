@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/moe_overlap-4cdb57be95d5e147.d: crates/core/../../examples/moe_overlap.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmoe_overlap-4cdb57be95d5e147.rmeta: crates/core/../../examples/moe_overlap.rs Cargo.toml
+
+crates/core/../../examples/moe_overlap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

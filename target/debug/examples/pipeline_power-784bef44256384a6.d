@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipeline_power-784bef44256384a6.d: crates/core/../../examples/pipeline_power.rs
+
+/root/repo/target/debug/examples/pipeline_power-784bef44256384a6: crates/core/../../examples/pipeline_power.rs
+
+crates/core/../../examples/pipeline_power.rs:

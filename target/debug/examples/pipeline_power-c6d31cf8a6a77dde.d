@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pipeline_power-c6d31cf8a6a77dde.d: crates/core/../../examples/pipeline_power.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpipeline_power-c6d31cf8a6a77dde.rmeta: crates/core/../../examples/pipeline_power.rs Cargo.toml
+
+crates/core/../../examples/pipeline_power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

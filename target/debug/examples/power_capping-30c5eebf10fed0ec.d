@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/power_capping-30c5eebf10fed0ec.d: crates/core/../../examples/power_capping.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpower_capping-30c5eebf10fed0ec.rmeta: crates/core/../../examples/power_capping.rs Cargo.toml
+
+crates/core/../../examples/power_capping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

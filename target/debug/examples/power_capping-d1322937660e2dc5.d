@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_capping-d1322937660e2dc5.d: crates/core/../../examples/power_capping.rs
+
+/root/repo/target/debug/examples/power_capping-d1322937660e2dc5: crates/core/../../examples/power_capping.rs
+
+crates/core/../../examples/power_capping.rs:

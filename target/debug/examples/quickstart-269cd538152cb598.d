@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-269cd538152cb598.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-269cd538152cb598: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_accumulation-b8e2b3f96e385487.d: crates/bench/src/bin/ablation_accumulation.rs
+
+/root/repo/target/release/deps/ablation_accumulation-b8e2b3f96e385487: crates/bench/src/bin/ablation_accumulation.rs
+
+crates/bench/src/bin/ablation_accumulation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_adaptive-fbacd04582822ecb.d: crates/bench/src/bin/ablation_adaptive.rs
+
+/root/repo/target/release/deps/ablation_adaptive-fbacd04582822ecb: crates/bench/src/bin/ablation_adaptive.rs
+
+crates/bench/src/bin/ablation_adaptive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_algorithm-7eb0ea8c6d367e9d.d: crates/bench/src/bin/ablation_algorithm.rs
+
+/root/repo/target/release/deps/ablation_algorithm-7eb0ea8c6d367e9d: crates/bench/src/bin/ablation_algorithm.rs
+
+crates/bench/src/bin/ablation_algorithm.rs:

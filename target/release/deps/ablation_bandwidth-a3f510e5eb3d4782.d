@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_bandwidth-a3f510e5eb3d4782.d: crates/bench/src/bin/ablation_bandwidth.rs
+
+/root/repo/target/release/deps/ablation_bandwidth-a3f510e5eb3d4782: crates/bench/src/bin/ablation_bandwidth.rs
+
+crates/bench/src/bin/ablation_bandwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_channels-6774074ac5b9ada2.d: crates/bench/src/bin/ablation_channels.rs
+
+/root/repo/target/release/deps/ablation_channels-6774074ac5b9ada2: crates/bench/src/bin/ablation_channels.rs
+
+crates/bench/src/bin/ablation_channels.rs:

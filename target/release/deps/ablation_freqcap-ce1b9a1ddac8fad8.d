@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_freqcap-ce1b9a1ddac8fad8.d: crates/bench/src/bin/ablation_freqcap.rs
+
+/root/repo/target/release/deps/ablation_freqcap-ce1b9a1ddac8fad8: crates/bench/src/bin/ablation_freqcap.rs
+
+crates/bench/src/bin/ablation_freqcap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_multinode-61392408f931c076.d: crates/bench/src/bin/ablation_multinode.rs
+
+/root/repo/target/release/deps/ablation_multinode-61392408f931c076: crates/bench/src/bin/ablation_multinode.rs
+
+crates/bench/src/bin/ablation_multinode.rs:

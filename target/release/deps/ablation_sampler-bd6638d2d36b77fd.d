@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_sampler-bd6638d2d36b77fd.d: crates/bench/src/bin/ablation_sampler.rs
+
+/root/repo/target/release/deps/ablation_sampler-bd6638d2d36b77fd: crates/bench/src/bin/ablation_sampler.rs
+
+crates/bench/src/bin/ablation_sampler.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_schedule-1c740d587fb69502.d: crates/bench/src/bin/ablation_schedule.rs
+
+/root/repo/target/release/deps/ablation_schedule-1c740d587fb69502: crates/bench/src/bin/ablation_schedule.rs
+
+crates/bench/src/bin/ablation_schedule.rs:

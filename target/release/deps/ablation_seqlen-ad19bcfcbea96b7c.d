@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_seqlen-ad19bcfcbea96b7c.d: crates/bench/src/bin/ablation_seqlen.rs
+
+/root/repo/target/release/deps/ablation_seqlen-ad19bcfcbea96b7c: crates/bench/src/bin/ablation_seqlen.rs
+
+crates/bench/src/bin/ablation_seqlen.rs:

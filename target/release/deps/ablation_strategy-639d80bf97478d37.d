@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_strategy-639d80bf97478d37.d: crates/bench/src/bin/ablation_strategy.rs
+
+/root/repo/target/release/deps/ablation_strategy-639d80bf97478d37: crates/bench/src/bin/ablation_strategy.rs
+
+crates/bench/src/bin/ablation_strategy.rs:

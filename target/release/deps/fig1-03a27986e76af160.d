@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-03a27986e76af160.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-03a27986e76af160: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

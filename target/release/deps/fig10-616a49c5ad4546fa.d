@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-616a49c5ad4546fa.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-616a49c5ad4546fa: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-e74e1e99cc6513b5.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-e74e1e99cc6513b5: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-08a360737448fb3c.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-08a360737448fb3c: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-cbfe5e782cb083a5.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-cbfe5e782cb083a5: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

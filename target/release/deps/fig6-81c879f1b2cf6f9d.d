@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-81c879f1b2cf6f9d.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-81c879f1b2cf6f9d: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-d109bc85f32faf45.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-d109bc85f32faf45: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-4ead68f25a23050a.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-4ead68f25a23050a: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-e82990515c437c78.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-e82990515c437c78: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/headline-1e783e32109ddfca.d: crates/bench/src/bin/headline.rs
+
+/root/repo/target/release/deps/headline-1e783e32109ddfca: crates/bench/src/bin/headline.rs
+
+crates/bench/src/bin/headline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/methodology-16826d01c839db09.d: crates/bench/src/bin/methodology.rs
+
+/root/repo/target/release/deps/methodology-16826d01c839db09: crates/bench/src/bin/methodology.rs
+
+crates/bench/src/bin/methodology.rs:

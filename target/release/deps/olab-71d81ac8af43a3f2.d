@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/olab-71d81ac8af43a3f2.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/olab-71d81ac8af43a3f2: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

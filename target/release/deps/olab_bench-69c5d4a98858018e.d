@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/olab_bench-69c5d4a98858018e.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libolab_bench-69c5d4a98858018e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libolab_bench-69c5d4a98858018e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

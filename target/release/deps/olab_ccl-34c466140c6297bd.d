@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/olab_ccl-34c466140c6297bd.d: crates/ccl/src/lib.rs crates/ccl/src/algorithm.rs crates/ccl/src/channels.rs crates/ccl/src/collective.rs crates/ccl/src/lowering.rs
+
+/root/repo/target/release/deps/libolab_ccl-34c466140c6297bd.rlib: crates/ccl/src/lib.rs crates/ccl/src/algorithm.rs crates/ccl/src/channels.rs crates/ccl/src/collective.rs crates/ccl/src/lowering.rs
+
+/root/repo/target/release/deps/libolab_ccl-34c466140c6297bd.rmeta: crates/ccl/src/lib.rs crates/ccl/src/algorithm.rs crates/ccl/src/channels.rs crates/ccl/src/collective.rs crates/ccl/src/lowering.rs
+
+crates/ccl/src/lib.rs:
+crates/ccl/src/algorithm.rs:
+crates/ccl/src/channels.rs:
+crates/ccl/src/collective.rs:
+crates/ccl/src/lowering.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/olab_core-82fda0cc04fa70e5.d: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/analytic.rs crates/core/src/chrome_trace.rs crates/core/src/executor.rs crates/core/src/experiment.rs crates/core/src/machine.rs crates/core/src/metrics.rs crates/core/src/microbench.rs crates/core/src/registry.rs crates/core/src/report.rs crates/core/src/sweep.rs
+
+/root/repo/target/release/deps/libolab_core-82fda0cc04fa70e5.rlib: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/analytic.rs crates/core/src/chrome_trace.rs crates/core/src/executor.rs crates/core/src/experiment.rs crates/core/src/machine.rs crates/core/src/metrics.rs crates/core/src/microbench.rs crates/core/src/registry.rs crates/core/src/report.rs crates/core/src/sweep.rs
+
+/root/repo/target/release/deps/libolab_core-82fda0cc04fa70e5.rmeta: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/analytic.rs crates/core/src/chrome_trace.rs crates/core/src/executor.rs crates/core/src/experiment.rs crates/core/src/machine.rs crates/core/src/metrics.rs crates/core/src/microbench.rs crates/core/src/registry.rs crates/core/src/report.rs crates/core/src/sweep.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adaptive.rs:
+crates/core/src/analytic.rs:
+crates/core/src/chrome_trace.rs:
+crates/core/src/executor.rs:
+crates/core/src/experiment.rs:
+crates/core/src/machine.rs:
+crates/core/src/metrics.rs:
+crates/core/src/microbench.rs:
+crates/core/src/registry.rs:
+crates/core/src/report.rs:
+crates/core/src/sweep.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/olab_gpu-5f36d58db2fb7262.d: crates/gpu/src/lib.rs crates/gpu/src/calibration.rs crates/gpu/src/dvfs.rs crates/gpu/src/kernel.rs crates/gpu/src/power.rs crates/gpu/src/precision.rs crates/gpu/src/roofline.rs crates/gpu/src/sku.rs
+
+/root/repo/target/release/deps/libolab_gpu-5f36d58db2fb7262.rlib: crates/gpu/src/lib.rs crates/gpu/src/calibration.rs crates/gpu/src/dvfs.rs crates/gpu/src/kernel.rs crates/gpu/src/power.rs crates/gpu/src/precision.rs crates/gpu/src/roofline.rs crates/gpu/src/sku.rs
+
+/root/repo/target/release/deps/libolab_gpu-5f36d58db2fb7262.rmeta: crates/gpu/src/lib.rs crates/gpu/src/calibration.rs crates/gpu/src/dvfs.rs crates/gpu/src/kernel.rs crates/gpu/src/power.rs crates/gpu/src/precision.rs crates/gpu/src/roofline.rs crates/gpu/src/sku.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/calibration.rs:
+crates/gpu/src/dvfs.rs:
+crates/gpu/src/kernel.rs:
+crates/gpu/src/power.rs:
+crates/gpu/src/precision.rs:
+crates/gpu/src/roofline.rs:
+crates/gpu/src/sku.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/olab_grid-7ba9b5c1ed64015a.d: crates/grid/src/lib.rs crates/grid/src/cache.rs crates/grid/src/hash.rs crates/grid/src/pool.rs crates/grid/src/telemetry.rs
+
+/root/repo/target/release/deps/libolab_grid-7ba9b5c1ed64015a.rlib: crates/grid/src/lib.rs crates/grid/src/cache.rs crates/grid/src/hash.rs crates/grid/src/pool.rs crates/grid/src/telemetry.rs
+
+/root/repo/target/release/deps/libolab_grid-7ba9b5c1ed64015a.rmeta: crates/grid/src/lib.rs crates/grid/src/cache.rs crates/grid/src/hash.rs crates/grid/src/pool.rs crates/grid/src/telemetry.rs
+
+crates/grid/src/lib.rs:
+crates/grid/src/cache.rs:
+crates/grid/src/hash.rs:
+crates/grid/src/pool.rs:
+crates/grid/src/telemetry.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/olab_models-5c840d1baa8a821d.d: crates/models/src/lib.rs crates/models/src/config.rs crates/models/src/memory.rs crates/models/src/ops.rs
+
+/root/repo/target/release/deps/libolab_models-5c840d1baa8a821d.rlib: crates/models/src/lib.rs crates/models/src/config.rs crates/models/src/memory.rs crates/models/src/ops.rs
+
+/root/repo/target/release/deps/libolab_models-5c840d1baa8a821d.rmeta: crates/models/src/lib.rs crates/models/src/config.rs crates/models/src/memory.rs crates/models/src/ops.rs
+
+crates/models/src/lib.rs:
+crates/models/src/config.rs:
+crates/models/src/memory.rs:
+crates/models/src/ops.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/olab_net-4ab8e95279eaf2ac.d: crates/net/src/lib.rs crates/net/src/flow.rs crates/net/src/topology.rs
+
+/root/repo/target/release/deps/libolab_net-4ab8e95279eaf2ac.rlib: crates/net/src/lib.rs crates/net/src/flow.rs crates/net/src/topology.rs
+
+/root/repo/target/release/deps/libolab_net-4ab8e95279eaf2ac.rmeta: crates/net/src/lib.rs crates/net/src/flow.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/flow.rs:
+crates/net/src/topology.rs:

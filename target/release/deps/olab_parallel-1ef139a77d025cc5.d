@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/olab_parallel-1ef139a77d025cc5.d: crates/parallel/src/lib.rs crates/parallel/src/builder.rs crates/parallel/src/fsdp.rs crates/parallel/src/mode.rs crates/parallel/src/moe.rs crates/parallel/src/op.rs crates/parallel/src/pipeline.rs crates/parallel/src/tensor.rs
+
+/root/repo/target/release/deps/libolab_parallel-1ef139a77d025cc5.rlib: crates/parallel/src/lib.rs crates/parallel/src/builder.rs crates/parallel/src/fsdp.rs crates/parallel/src/mode.rs crates/parallel/src/moe.rs crates/parallel/src/op.rs crates/parallel/src/pipeline.rs crates/parallel/src/tensor.rs
+
+/root/repo/target/release/deps/libolab_parallel-1ef139a77d025cc5.rmeta: crates/parallel/src/lib.rs crates/parallel/src/builder.rs crates/parallel/src/fsdp.rs crates/parallel/src/mode.rs crates/parallel/src/moe.rs crates/parallel/src/op.rs crates/parallel/src/pipeline.rs crates/parallel/src/tensor.rs
+
+crates/parallel/src/lib.rs:
+crates/parallel/src/builder.rs:
+crates/parallel/src/fsdp.rs:
+crates/parallel/src/mode.rs:
+crates/parallel/src/moe.rs:
+crates/parallel/src/op.rs:
+crates/parallel/src/pipeline.rs:
+crates/parallel/src/tensor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/olab_power-4c0c61ab2aaa7554.d: crates/power/src/lib.rs crates/power/src/sampler.rs crates/power/src/trace.rs
+
+/root/repo/target/release/deps/libolab_power-4c0c61ab2aaa7554.rlib: crates/power/src/lib.rs crates/power/src/sampler.rs crates/power/src/trace.rs
+
+/root/repo/target/release/deps/libolab_power-4c0c61ab2aaa7554.rmeta: crates/power/src/lib.rs crates/power/src/sampler.rs crates/power/src/trace.rs
+
+crates/power/src/lib.rs:
+crates/power/src/sampler.rs:
+crates/power/src/trace.rs:

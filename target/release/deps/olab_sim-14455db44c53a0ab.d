@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/olab_sim-14455db44c53a0ab.d: crates/sim/src/lib.rs crates/sim/src/critical.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/ids.rs crates/sim/src/rate.rs crates/sim/src/rng.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs crates/sim/src/verify.rs
+
+/root/repo/target/release/deps/libolab_sim-14455db44c53a0ab.rlib: crates/sim/src/lib.rs crates/sim/src/critical.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/ids.rs crates/sim/src/rate.rs crates/sim/src/rng.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs crates/sim/src/verify.rs
+
+/root/repo/target/release/deps/libolab_sim-14455db44c53a0ab.rmeta: crates/sim/src/lib.rs crates/sim/src/critical.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/ids.rs crates/sim/src/rate.rs crates/sim/src/rng.rs crates/sim/src/task.rs crates/sim/src/time.rs crates/sim/src/trace.rs crates/sim/src/verify.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/critical.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/ids.rs:
+crates/sim/src/rate.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/task.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:
+crates/sim/src/verify.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/roofline-628e1b1f4c3fe5b6.d: crates/bench/src/bin/roofline.rs
+
+/root/repo/target/release/deps/roofline-628e1b1f4c3fe5b6: crates/bench/src/bin/roofline.rs
+
+crates/bench/src/bin/roofline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-c7b5edffe16f1e9b.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-c7b5edffe16f1e9b: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-5e4d078f5c532e5d.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-5e4d078f5c532e5d: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -97,8 +97,8 @@ fn pipeline_uses_point_to_point_fsdp_uses_collectives() {
 
 #[test]
 fn eight_gpu_nodes_work_like_four_gpu_nodes() {
-    let exp = Experiment::new(SkuKind::H100, 8, ModelPreset::Gpt3Xl, Strategy::Fsdp, 8)
-        .with_seq(256);
+    let exp =
+        Experiment::new(SkuKind::H100, 8, ModelPreset::Gpt3Xl, Strategy::Fsdp, 8).with_seq(256);
     let r = exp.run().expect("8-GPU node runs");
     assert_eq!(r.overlapped.gpus.len(), 8);
     // More ranks shard the same model further: per-layer all-gathers move

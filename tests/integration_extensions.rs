@@ -30,9 +30,15 @@ fn tensor_parallel_comm_scales_with_tokens_fsdp_comm_does_not() {
     // (constant). Comparing 32 samples/iteration at seq 1024: TP moves more
     // bytes than FSDP; and quadrupling TP's batch roughly quadruples its
     // comm while FSDP's stays flat.
-    let tp_32 = Experiment::new(SkuKind::H100, 4, ModelPreset::Gpt3_2_7B, Strategy::TensorParallel, 32)
-        .run()
-        .unwrap();
+    let tp_32 = Experiment::new(
+        SkuKind::H100,
+        4,
+        ModelPreset::Gpt3_2_7B,
+        Strategy::TensorParallel,
+        32,
+    )
+    .run()
+    .unwrap();
     let fsdp_32 = Experiment::new(SkuKind::H100, 4, ModelPreset::Gpt3_2_7B, Strategy::Fsdp, 8)
         .run()
         .unwrap();
@@ -43,9 +49,15 @@ fn tensor_parallel_comm_scales_with_tokens_fsdp_comm_does_not() {
         fsdp_32.overlapped.comm_s()
     );
 
-    let tp_8 = Experiment::new(SkuKind::H100, 4, ModelPreset::Gpt3_2_7B, Strategy::TensorParallel, 8)
-        .run()
-        .unwrap();
+    let tp_8 = Experiment::new(
+        SkuKind::H100,
+        4,
+        ModelPreset::Gpt3_2_7B,
+        Strategy::TensorParallel,
+        8,
+    )
+    .run()
+    .unwrap();
     let growth = tp_32.overlapped.comm_s() / tp_8.overlapped.comm_s();
     assert!((2.5..4.5).contains(&growth), "TP comm growth {growth}");
 }
@@ -95,8 +107,8 @@ fn moe_chunking_reduces_e2e_on_slow_fabrics() {
 
 #[test]
 fn gradient_accumulation_cuts_reduce_traffic() {
-    let base = Experiment::new(SkuKind::Mi250, 4, ModelPreset::Gpt3Xl, Strategy::Fsdp, 8)
-        .with_seq(512);
+    let base =
+        Experiment::new(SkuKind::Mi250, 4, ModelPreset::Gpt3Xl, Strategy::Fsdp, 8).with_seq(512);
     let plain = base.clone().run().unwrap();
     let accum = base.with_grad_accum(2).run().unwrap();
     // Two micro-steps double the compute but keep one reduce-scatter pass:
@@ -121,8 +133,8 @@ fn adaptive_scheduler_latency_choice_is_never_worse_than_default() {
 
 #[test]
 fn adaptive_energy_choice_saves_energy_on_mi250() {
-    let exp = Experiment::new(SkuKind::Mi250, 4, ModelPreset::Gpt3Xl, Strategy::Fsdp, 8)
-        .with_seq(256);
+    let exp =
+        Experiment::new(SkuKind::Mi250, 4, ModelPreset::Gpt3Xl, Strategy::Fsdp, 8).with_seq(256);
     let choice = tune_fsdp(&exp, Objective::Energy).unwrap();
     assert!(
         choice.gain_over_default() > 0.02,
@@ -134,8 +146,14 @@ fn adaptive_energy_choice_saves_energy_on_mi250() {
 #[test]
 fn tp_head_divisibility_is_enforced() {
     // 3 GPUs cannot split 32 heads.
-    let exp = Experiment::new(SkuKind::H100, 3, ModelPreset::Gpt3Xl, Strategy::TensorParallel, 8)
-        .with_seq(256);
+    let exp = Experiment::new(
+        SkuKind::H100,
+        3,
+        ModelPreset::Gpt3Xl,
+        Strategy::TensorParallel,
+        8,
+    )
+    .with_seq(256);
     let result = std::panic::catch_unwind(|| exp.run());
     assert!(result.is_err(), "indivisible heads must be rejected");
 }

@@ -10,8 +10,14 @@ fn fsdp(sku: SkuKind, model: ModelPreset, batch: u64) -> Experiment {
 }
 
 fn pp(sku: SkuKind, model: ModelPreset, batch: u64) -> Experiment {
-    Experiment::new(sku, 4, model, Strategy::Pipeline { microbatch_size: 4 }, batch)
-        .with_seq(512)
+    Experiment::new(
+        sku,
+        4,
+        model,
+        Strategy::Pipeline { microbatch_size: 4 },
+        batch,
+    )
+    .with_seq(512)
 }
 
 /// Takeaway 1: strategies with complex collectives (FSDP) overlap more and
@@ -102,7 +108,9 @@ fn memory_gates_match_the_paper() {
 /// cannot reach the ideal.
 #[test]
 fn takeaway3_overlap_between_ideal_and_sequential() {
-    let r = fsdp(SkuKind::Mi250, ModelPreset::Gpt3_2_7B, 8).run().unwrap();
+    let r = fsdp(SkuKind::Mi250, ModelPreset::Gpt3_2_7B, 8)
+        .run()
+        .unwrap();
     assert!(r.metrics.e2e_ideal_s < r.metrics.e2e_overlapped_s);
     assert!(r.metrics.e2e_overlapped_s < r.metrics.e2e_sequential_measured_s);
     assert!(r.metrics.overlap_vs_ideal() > 0.01);
@@ -126,7 +134,9 @@ fn takeaway4_overlap_raises_peak_power() {
 /// roughly doubles iteration time (the paper reports up to 107%).
 #[test]
 fn takeaway5_power_caps_amplify_slowdowns() {
-    let stock = fsdp(SkuKind::A100, ModelPreset::Gpt3_2_7B, 8).run().unwrap();
+    let stock = fsdp(SkuKind::A100, ModelPreset::Gpt3_2_7B, 8)
+        .run()
+        .unwrap();
     let capped = fsdp(SkuKind::A100, ModelPreset::Gpt3_2_7B, 8)
         .with_power_cap(100.0)
         .run()
@@ -154,7 +164,9 @@ fn takeaway7_fp16_increases_overlap_and_slowdown() {
         .with_datapath(Datapath::Vector)
         .run()
         .unwrap();
-    let fp16 = fsdp(SkuKind::H100, ModelPreset::Gpt3_2_7B, 8).run().unwrap();
+    let fp16 = fsdp(SkuKind::H100, ModelPreset::Gpt3_2_7B, 8)
+        .run()
+        .unwrap();
     assert!(fp16.metrics.overlap_ratio > fp32.metrics.overlap_ratio);
     assert!(fp16.metrics.compute_slowdown > fp32.metrics.compute_slowdown);
     assert!(fp16.metrics.e2e_overlapped_s < fp32.metrics.e2e_overlapped_s);

@@ -76,7 +76,11 @@ fn all_samplers_agree_on_average_power() {
     let r = mi250_report();
     let gpu = &r.overlapped.gpus[0];
     let exact = gpu.power.average();
-    for sampler in [Sampler::nvml(), Sampler::amd_smi(), Sampler::rocm_smi_fine()] {
+    for sampler in [
+        Sampler::nvml(),
+        Sampler::amd_smi(),
+        Sampler::rocm_smi_fine(),
+    ] {
         let avg = gpu.power.sample(sampler).average().unwrap();
         // Window-averaged readings conserve energy up to the ragged final
         // window.
@@ -92,7 +96,10 @@ fn amd_peak_power_exceeds_nvidia_relative_to_tdp_under_overlap() {
     // The MI250's heavier contention shows up as hotter overlap phases.
     let mi = mi250_report();
     let mi_ratio = mi.metrics.peak_power_w / mi.tdp_w();
-    assert!(mi_ratio > 0.9, "MI250 peak should approach TDP, got {mi_ratio}");
+    assert!(
+        mi_ratio > 0.9,
+        "MI250 peak should approach TDP, got {mi_ratio}"
+    );
 }
 
 #[test]
