@@ -1,0 +1,102 @@
+//! Conformance gate: runs the closed-form oracle over every full-length
+//! registry grid plus a randomized-seed metamorphic pass, and exits
+//! non-zero on any divergence. CI runs this after the figure regenerators
+//! so a code change that silently bends a paper trend fails the build.
+//!
+//! * `OLAB_ORACLE_SEED` — base seed for the randomized metamorphic pass
+//!   (default 0; CI passes `$GITHUB_RUN_ID` so every run probes new cells).
+//! * `OLAB_ORACLE_SMOKE_SEEDS` — number of random seeds (default 20).
+//! * `OLAB_ORACLE_REPORT` — path to write the divergence report to on
+//!   failure (uploaded as a CI artifact).
+
+use olab_core::{registry, Experiment};
+use olab_grid::Pool;
+use olab_oracle::{check_cell, check_collective_relations, check_experiment_relations};
+use std::fmt::Write as _;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Every experiment the figure binaries run, at full length, deduplicated.
+fn full_grid() -> Vec<Experiment> {
+    let mut cells: Vec<Experiment> = Vec::new();
+    cells.extend(registry::main_grid());
+    cells.extend(registry::fig1a());
+    cells.extend(registry::fig1b());
+    cells.push(registry::fig7());
+    cells.extend(registry::fig9());
+    for (a, b) in registry::fig10() {
+        cells.push(a);
+        cells.push(b);
+    }
+    for (a, b) in registry::fig11() {
+        cells.push(a);
+        cells.push(b);
+    }
+    cells.sort_by_key(Experiment::label);
+    cells.dedup_by_key(|e| e.label());
+    cells
+}
+
+fn main() {
+    let pool = Pool::with_available_parallelism();
+    let mut report = String::new();
+    let mut failed = false;
+
+    // Fixed-seed conformance: the full registry grid against the oracles.
+    let cells = full_grid();
+    let results = pool.map(&cells, |exp| (exp.label(), check_cell(exp)));
+    let mut feasible = 0usize;
+    let mut skipped = 0usize;
+    for (label, outcome) in &results {
+        match outcome {
+            Ok(r) if r.is_clean() => feasible += 1,
+            Ok(r) => {
+                failed = true;
+                feasible += 1;
+                let _ = writeln!(report, "{label}:\n{r}");
+            }
+            Err(_) => skipped += 1, // out of memory: the paper's missing bars
+        }
+    }
+    println!(
+        "conformance: {feasible} cells clean, {skipped} infeasible (expected), \
+         {} divergent",
+        results.len() - feasible - skipped
+    );
+
+    // Randomized metamorphic smoke: a fresh slice of the seed space.
+    let base = env_u64("OLAB_ORACLE_SEED", 0);
+    let count = env_u64("OLAB_ORACLE_SMOKE_SEEDS", 20);
+    let seeds: Vec<u64> = (0..count).map(|i| base.wrapping_add(i)).collect();
+    for seed in &seeds {
+        for failure in check_collective_relations(*seed) {
+            failed = true;
+            let _ = writeln!(report, "{failure}");
+        }
+    }
+    let outcomes = pool.map(&seeds, |&seed| check_experiment_relations(seed));
+    let smoke_feasible = outcomes.iter().filter(|o| o.feasible).count();
+    for failure in outcomes.into_iter().flat_map(|o| o.failures) {
+        failed = true;
+        let _ = writeln!(report, "{failure}");
+    }
+    println!("metamorphic smoke: {smoke_feasible}/{count} seeds feasible (base seed {base})");
+
+    if failed {
+        eprint!("{report}");
+        if let Ok(path) = std::env::var("OLAB_ORACLE_REPORT") {
+            if let Err(e) = std::fs::write(&path, &report) {
+                eprintln!("could not write divergence report to {path}: {e}");
+            } else {
+                eprintln!("divergence report written to {path}");
+            }
+        }
+        std::process::exit(1);
+    }
+    println!("conformance: all oracles and metamorphic relations hold");
+}

@@ -18,6 +18,7 @@
 //! | `fig11`   | Fig. 11 — tensor cores (TF32) vs FP32 vector |
 //! | `headline`| the abstract's aggregate statistics |
 //! | `ablation_*` | design-space studies beyond the paper |
+//! | `conformance` | closed-form-oracle gate over every grid above (exits 1 on divergence) |
 //!
 //! Run any of them with `cargo run --release -p olab-bench --bin <name>`.
 //! Criterion benches (`cargo bench`) measure the simulator itself.

@@ -36,6 +36,16 @@ impl CommOp {
         self.latency_s + self.wire_bytes_per_rank / self.wire_rate_bytes_per_sec
     }
 
+    /// The bandwidth (beta) term of the alpha-beta cost alone: wire bytes
+    /// over wire rate, without the fixed latency. Together with
+    /// [`CommOp::latency_s`] this decomposes
+    /// [`CommOp::isolated_duration_s`] exactly, which lets differential
+    /// checks (the conformance oracle) attribute a divergence to the alpha
+    /// or the beta term.
+    pub fn wire_time_s(&self) -> f64 {
+        self.wire_bytes_per_rank / self.wire_rate_bytes_per_sec
+    }
+
     /// Effective bus bandwidth of the isolated collective, in GB/s
     /// (`wire bytes / time` — the number `nccl-tests` reports as `busbw`).
     pub fn isolated_busbw_gbs(&self) -> f64 {
@@ -231,6 +241,16 @@ mod tests {
         // 0.50 point-to-point efficiency = 25 GB/s.
         let gbs = op.wire_rate_bytes_per_sec / 1e9;
         assert!((gbs - 25.0).abs() < 0.5, "got {gbs} GB/s");
+    }
+
+    #[test]
+    fn alpha_beta_terms_decompose_the_isolated_duration() {
+        let (sku, topo) = h100_node();
+        let ar = Collective::all_reduce(1 << 26, group(4));
+        let op = lower(&ar, Algorithm::Ring, &sku, &topo, Precision::Fp16);
+        let recomposed = op.latency_s + op.wire_time_s();
+        assert!((recomposed - op.isolated_duration_s()).abs() < 1e-15);
+        assert!(op.wire_time_s() > 0.0 && op.latency_s > 0.0);
     }
 
     #[test]

@@ -209,6 +209,12 @@ impl Experiment {
         match self.strategy {
             Strategy::Fsdp | Strategy::TensorParallel => Ok(0),
             Strategy::Pipeline { microbatch_size } => {
+                if microbatch_size > self.batch {
+                    return Err(ExperimentError::InvalidConfig(format!(
+                        "microbatch size {microbatch_size} exceeds batch {}",
+                        self.batch
+                    )));
+                }
                 if microbatch_size == 0 || !self.batch.is_multiple_of(microbatch_size) {
                     return Err(ExperimentError::InvalidConfig(format!(
                         "batch {} not divisible by microbatch size {microbatch_size}",
@@ -224,6 +230,21 @@ impl Experiment {
     /// exactly as the training frameworks would (keep activations if they
     /// fit, otherwise checkpoint).
     pub fn validate(&self) -> Result<ActivationPolicy, ExperimentError> {
+        if self.n_gpus == 0 {
+            return Err(ExperimentError::InvalidConfig(
+                "node must have at least one GPU".into(),
+            ));
+        }
+        if self.batch == 0 {
+            return Err(ExperimentError::InvalidConfig(
+                "batch size must be positive".into(),
+            ));
+        }
+        if self.seq == 0 {
+            return Err(ExperimentError::InvalidConfig(
+                "sequence length must be positive".into(),
+            ));
+        }
         let cfg = self.model.config();
         let sku = self.sku.sku();
         let (sharding, batch) = match self.strategy {
@@ -589,6 +610,79 @@ mod tests {
         assert_eq!(a.metrics.e2e_overlapped_s, b.metrics.e2e_overlapped_s);
         let c = exp.run_jittered(8, 0.05).unwrap();
         assert_ne!(a.metrics.e2e_overlapped_s, c.metrics.e2e_overlapped_s);
+    }
+
+    #[test]
+    fn zero_batch_is_a_typed_error() {
+        for strategy in [
+            Strategy::Fsdp,
+            Strategy::TensorParallel,
+            Strategy::Pipeline { microbatch_size: 2 },
+        ] {
+            let e = Experiment::new(SkuKind::A100, 4, ModelPreset::Gpt3Xl, strategy, 0);
+            assert!(
+                matches!(e.run(), Err(ExperimentError::InvalidConfig(_))),
+                "{strategy:?} must reject batch 0"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_seq_is_a_typed_error() {
+        let e = small(SkuKind::A100, Strategy::Fsdp).with_seq(0);
+        assert!(matches!(e.run(), Err(ExperimentError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn zero_gpus_is_a_typed_error() {
+        let e = Experiment::new(SkuKind::A100, 0, ModelPreset::Gpt3Xl, Strategy::Fsdp, 8);
+        assert!(matches!(e.run(), Err(ExperimentError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn microbatch_larger_than_batch_is_a_typed_error() {
+        let e = Experiment::new(
+            SkuKind::A100,
+            4,
+            ModelPreset::Gpt3Xl,
+            Strategy::Pipeline {
+                microbatch_size: 16,
+            },
+            8,
+        );
+        match e.run() {
+            Err(ExperimentError::InvalidConfig(msg)) => {
+                assert!(msg.contains("exceeds batch"), "message: {msg}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seq_length_one_produces_finite_metrics() {
+        // The degenerate single-token sequence must run without panicking
+        // and without NaN/inf leaking into any derived metric.
+        for strategy in [Strategy::Fsdp, Strategy::Pipeline { microbatch_size: 2 }] {
+            let r = small(SkuKind::H100, strategy)
+                .with_seq(1)
+                .run()
+                .expect("seq=1 must run");
+            let m = &r.metrics;
+            for (name, v) in [
+                ("compute_slowdown", m.compute_slowdown),
+                ("overlap_ratio", m.overlap_ratio),
+                ("e2e_overlapped_s", m.e2e_overlapped_s),
+                ("e2e_ideal_s", m.e2e_ideal_s),
+                ("e2e_sequential_derived_s", m.e2e_sequential_derived_s),
+                ("e2e_sequential_measured_s", m.e2e_sequential_measured_s),
+                ("avg_power_w", m.avg_power_w),
+                ("peak_power_w", m.peak_power_w),
+                ("energy_j", m.energy_j),
+            ] {
+                assert!(v.is_finite(), "{strategy:?}: {name} = {v} is not finite");
+            }
+            assert!(m.e2e_overlapped_s > 0.0);
+        }
     }
 
     #[test]

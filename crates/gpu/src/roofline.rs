@@ -105,6 +105,30 @@ pub fn isolated_duration(
     demand(kernel, sku, precision, datapath).duration(freq_factor, 1.0)
 }
 
+/// A hard lower bound on a kernel's execution time: the roofline evaluated
+/// at *datasheet* peaks — full boost clock, no efficiency derating, no
+/// launch overhead. No contention model, DVFS governor, or efficiency
+/// calibration can legitimately produce a faster kernel, which makes this
+/// the anchor the conformance oracle checks simulated timings against.
+pub fn lower_bound_duration(
+    kernel: &KernelKind,
+    sku: &GpuSku,
+    precision: Precision,
+    datapath: Datapath,
+) -> f64 {
+    let d = demand(kernel, sku, precision, datapath);
+    let effective_path = if !kernel.uses_matrix_math() {
+        Datapath::Vector
+    } else if precision.requires_tensor_core() {
+        Datapath::TensorCore
+    } else {
+        datapath
+    };
+    let peak_flops = sku.peak_tflops(precision, effective_path) * 1e12;
+    let peak_bytes = sku.mem_bw_gbs * 1e9;
+    (d.flops / peak_flops).max(d.bytes / peak_bytes)
+}
+
 /// The machine-balance point: the arithmetic intensity (FLOP/byte) at
 /// which a kernel transitions from memory-bound to compute-bound on this
 /// SKU/precision/datapath, at nominal efficiencies.
@@ -283,6 +307,34 @@ mod tests {
         );
         // Below the balance point the curve is bandwidth-limited.
         assert!(curve[0].1 < peak / 100.0);
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_isolated_duration() {
+        let kernels = [
+            big_gemm(),
+            KernelKind::gemm(128, 128, 128),
+            KernelKind::Elementwise {
+                elems: 1 << 24,
+                flops_per_elem: 1,
+                streams: 2,
+            },
+            KernelKind::LayerNorm { elems: 1 << 20 },
+        ];
+        for sku in [GpuSku::a100(), GpuSku::h100(), GpuSku::mi210()] {
+            for k in &kernels {
+                for path in [Datapath::Vector, Datapath::TensorCore] {
+                    let lb = lower_bound_duration(k, &sku, Precision::Fp16, path);
+                    let iso = isolated_duration(k, &sku, Precision::Fp16, path, 1.0);
+                    assert!(lb > 0.0, "bound must be positive");
+                    assert!(
+                        lb <= iso * (1.0 + 1e-12),
+                        "lower bound {lb} exceeds isolated {iso} for {k:?} on {}",
+                        sku.name
+                    );
+                }
+            }
+        }
     }
 
     #[test]

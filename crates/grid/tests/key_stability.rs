@@ -1,0 +1,111 @@
+//! Unit tests for cache-key hashing: the digest must be stable across
+//! builds (the disk tier outlives the process), must change whenever the
+//! descriptor's field order or embedded schema version changes, and must
+//! never let two differently-shaped descriptors alias.
+//!
+//! Previously these properties were only exercised indirectly through
+//! `tests/integration_grid.rs`; here they are pinned at the unit level.
+
+use olab_grid::{fnv1a_64, CacheValue, Reader, ResultCache, StableHasher, Writer};
+
+#[derive(Debug, Clone, PartialEq)]
+struct Unit;
+
+impl CacheValue for Unit {
+    fn encode(&self, _w: &mut Writer) {}
+    fn decode(_r: &mut Reader<'_>) -> Option<Self> {
+        Some(Unit)
+    }
+}
+
+fn key(descriptor: &str) -> u64 {
+    ResultCache::<Unit>::key_of(descriptor)
+}
+
+#[test]
+fn key_is_pinned_across_builds() {
+    // The disk tier's file names embed this digest; if the hash function
+    // ever changes, every existing cache directory silently goes cold.
+    // Golden values computed from the FNV-1a 64 definition.
+    assert_eq!(key(""), 0xcbf2_9ce4_8422_2325);
+    assert_eq!(key("a"), 0xaf63_dc4c_8601_ec8c);
+    assert_eq!(
+        key("v1|cal1|A100x4 GPT-3 XL FSDP b8"),
+        fnv1a_64(b"v1|cal1|A100x4 GPT-3 XL FSDP b8"),
+    );
+}
+
+#[test]
+fn field_reordering_changes_the_key() {
+    // The descriptor is a canonical string: the same fields spelled in a
+    // different order must be a different key, so any drift in the
+    // descriptor-building code invalidates the cache instead of serving
+    // results computed under the old layout.
+    let a = key("sku=A100 n=4 batch=8 seq=1024");
+    let b = key("sku=A100 batch=8 n=4 seq=1024");
+    assert_ne!(a, b);
+
+    // The same holds at the StableHasher level for typed writes.
+    let mut h1 = StableHasher::new();
+    h1.write_str("batch")
+        .write_u64(8)
+        .write_str("seq")
+        .write_u64(1024);
+    let mut h2 = StableHasher::new();
+    h2.write_str("seq")
+        .write_u64(1024)
+        .write_str("batch")
+        .write_u64(8);
+    assert_ne!(h1.finish(), h2.finish());
+}
+
+#[test]
+fn version_bump_changes_the_key() {
+    // Schema and calibration versions are embedded in the descriptor; a
+    // bump in either must address a fresh cache slot.
+    let base = key("v1|cal1|A100x4 GPT-3 XL FSDP b8");
+    assert_ne!(base, key("v2|cal1|A100x4 GPT-3 XL FSDP b8"));
+    assert_ne!(base, key("v1|cal2|A100x4 GPT-3 XL FSDP b8"));
+}
+
+#[test]
+fn adjacent_field_boundaries_do_not_alias() {
+    // FNV-1a hashes a flat byte stream, so "ab"+"c" and "a"+"bc" would
+    // collide if descriptors didn't embed their own delimiters. The
+    // canonical descriptors do (e.g. `field=value` + separators); pin both
+    // facts so nobody removes the delimiters thinking they're cosmetic.
+    let mut h1 = StableHasher::new();
+    h1.write_str("ab").write_str("c");
+    let mut h2 = StableHasher::new();
+    h2.write_str("a").write_str("bc");
+    assert_eq!(h1.finish(), h2.finish(), "raw concatenation aliases");
+
+    assert_ne!(key("batch=1 seq=24"), key("batch=12 seq=4"));
+}
+
+#[test]
+fn numeric_formatting_is_part_of_the_key() {
+    // f64 fields are written via their exact bit pattern when hashed in
+    // binary, and via their canonical decimal form in descriptors. Either
+    // way, distinct values must produce distinct keys.
+    let mut h1 = StableHasher::new();
+    h1.write_f64(0.1);
+    let mut h2 = StableHasher::new();
+    h2.write_f64(0.1 + 1e-17); // same printed "0.1", different bits? keep exact
+    if (0.1f64).to_bits() == (0.1 + 1e-17f64).to_bits() {
+        // Values that round to the same bits must hash identically.
+        assert_eq!(h1.finish(), h2.finish());
+    } else {
+        assert_ne!(h1.finish(), h2.finish());
+    }
+    assert_ne!(key("cap=300"), key("cap=300.0"));
+}
+
+#[test]
+fn same_descriptor_always_hits_regardless_of_value_identity() {
+    let cache: ResultCache<Unit> = ResultCache::in_memory();
+    cache.insert("cell", Unit);
+    assert!(cache.lookup("cell").is_some());
+    assert!(cache.lookup("cell ").is_none(), "whitespace is significant");
+    assert!(cache.lookup("Cell").is_none(), "case is significant");
+}

@@ -1,0 +1,38 @@
+//! # olab-oracle — conformance oracle for the overlap-lab simulator
+//!
+//! Property-based differential verification of the simulator against
+//! closed-form models, organized as three pillars:
+//!
+//! * [`gen`] — seeded, shrinkable random generators for workload DAGs
+//!   and experiment grid cells, usable from plain `#[test]`s without the
+//!   feature-gated `proptest` dependency;
+//! * [`oracles`] — expected values re-derived *independently* of the
+//!   production code paths (collective bytes-on-wire and step counts,
+//!   roofline latency bounds, energy as the integral of power, makespan
+//!   lower bounds), compared against simulator output within documented
+//!   tolerance bands, with a human-readable [`oracles::DivergenceReport`]
+//!   that names the worst-offending quantity;
+//! * [`metamorphic`] — relations that must hold between *pairs* of runs:
+//!   doubling link bandwidth never increases collective time, adding a
+//!   GPU never shrinks all-reduce bytes per rank, raising a power cap
+//!   never increases makespan, scaling sequence length moves the compute
+//!   share monotonically.
+//!
+//! The integration suite (`tests/conformance.rs`) fans the oracle across
+//! the full registry grid on the `olab-grid` pool, so a code change that
+//! silently bends a paper trend fails CI with a report pointing at the
+//! first cell and quantity that diverged. See `docs/VERIFICATION.md` for
+//! the tolerance-band rationale and local reproduction instructions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod metamorphic;
+pub mod oracles;
+
+pub use gen::{random_experiment, random_plan, shrink_experiment, shrink_plan, Gen, WorkloadPlan};
+pub use metamorphic::{check_collective_relations, check_experiment_relations, RelationOutcome};
+pub use oracles::{
+    check_cell, check_comm_op, check_kernel, Divergence, DivergenceReport, Tolerance,
+};

@@ -1,0 +1,252 @@
+//! Metamorphic relations: properties that must hold between *pairs* of
+//! runs even where no closed form exists for either run alone.
+//!
+//! * **R1** — doubling every link's bandwidth never increases a
+//!   collective's isolated time.
+//! * **R2** — adding a GPU never shrinks the all-reduce bytes each rank
+//!   must move (`2S(n-1)/n` is monotone in `n`).
+//! * **R3** — raising a power cap never increases the makespan (queue
+//!   order is fixed, so faster rates can only finish earlier).
+//! * **R4** — doubling the sequence length never lowers the compute share
+//!   of an FSDP cell (FSDP's collective volume is parameter-, not
+//!   activation-, sized, while attention FLOPs grow superlinearly).
+//!   R4 is FSDP-only by design: TP and PP activations travel over the
+//!   wire, so their comm time scales with `seq` too.
+
+use crate::gen::{random_experiment, Gen};
+use crate::oracles::Tolerance;
+use olab_ccl::{lower, Algorithm, Collective, CollectiveKind};
+use olab_core::{execute, Experiment, ExperimentError, RunResult, Strategy};
+use olab_gpu::{GpuSku, Precision};
+use olab_net::Topology;
+use olab_parallel::ExecutionMode;
+use olab_sim::GpuId;
+
+/// The outcome of running the experiment-level relations for one seed.
+#[derive(Debug, Clone)]
+pub struct RelationOutcome {
+    /// The seed the cell came from.
+    pub seed: u64,
+    /// False when the base cell was infeasible (out of memory — the
+    /// paper's missing bars); such seeds are skipped, not failed.
+    pub feasible: bool,
+    /// Human-readable descriptions of every relation that broke.
+    pub failures: Vec<String>,
+}
+
+impl RelationOutcome {
+    fn infeasible(seed: u64) -> Self {
+        RelationOutcome {
+            seed,
+            feasible: false,
+            failures: Vec::new(),
+        }
+    }
+}
+
+/// Relations R1 and R2 over one random collective. Cheap (no simulation);
+/// returns the failures, empty when all hold.
+pub fn check_collective_relations(seed: u64) -> Vec<String> {
+    let mut g = Gen::new(seed ^ 0x5851_f42d_4c95_7f2d);
+    let mut failures = Vec::new();
+
+    let n = 2 + g.below(7) as usize; // 2..=8 ranks
+    let bytes = 1u64 << (10 + g.below(16)); // 1 KiB .. 32 MiB
+    let kind = *g.pick(&[
+        CollectiveKind::AllReduce,
+        CollectiveKind::AllGather,
+        CollectiveKind::ReduceScatter,
+        CollectiveKind::Broadcast,
+        CollectiveKind::AllToAll,
+    ]);
+    let group: Vec<GpuId> = (0..n as u16).map(GpuId).collect();
+    let coll = Collective::new(kind, bytes, group);
+    let algo = Algorithm::auto(kind, bytes, n);
+    let sku = GpuSku::h100();
+    let bw_gbs = 100.0 + g.unit() * 400.0;
+    let lat_us = 1.0 + g.unit() * 9.0;
+
+    // R1: doubling link bandwidth never increases collective time.
+    let slow = lower(
+        &coll,
+        algo,
+        &sku,
+        &Topology::nvswitch(n, bw_gbs, lat_us),
+        Precision::Fp16,
+    );
+    let fast = lower(
+        &coll,
+        algo,
+        &sku,
+        &Topology::nvswitch(n, 2.0 * bw_gbs, lat_us),
+        Precision::Fp16,
+    );
+    let tol = Tolerance::TIGHT.allowance(slow.isolated_duration_s());
+    if fast.isolated_duration_s() > slow.isolated_duration_s() + tol {
+        failures.push(format!(
+            "seed {seed}: R1 broken for {coll}: doubling {bw_gbs:.0} GB/s links \
+             raised isolated time {:.6e} -> {:.6e}",
+            slow.isolated_duration_s(),
+            fast.isolated_duration_s()
+        ));
+    }
+
+    // R2: adding a GPU never shrinks all-reduce bytes per rank.
+    let at = |ranks: usize| {
+        olab_ccl::wire_bytes_per_rank(CollectiveKind::AllReduce, Algorithm::Ring, bytes, ranks)
+    };
+    let independent = |ranks: f64| 2.0 * bytes as f64 * (ranks - 1.0) / ranks;
+    for ranks in 2..=8usize {
+        if at(ranks + 1) + 1e-9 < at(ranks) {
+            failures.push(format!(
+                "seed {seed}: R2 broken: all-reduce wire bytes shrank going \
+                 {ranks} -> {} ranks ({} -> {})",
+                ranks + 1,
+                at(ranks),
+                at(ranks + 1)
+            ));
+        }
+        if (at(ranks) - independent(ranks as f64)).abs() > 1e-6 {
+            failures.push(format!(
+                "seed {seed}: R2 oracle mismatch at {ranks} ranks: {} vs 2S(n-1)/n = {}",
+                at(ranks),
+                independent(ranks as f64)
+            ));
+        }
+    }
+    failures
+}
+
+/// Runs only the overlapped timeline of a cell (the quantity every
+/// experiment-level relation compares), skipping the sequential and ideal
+/// runs a full [`Experiment::run`] would also pay for.
+fn overlapped_run(exp: &Experiment) -> Result<RunResult, ExperimentError> {
+    let policy = exp.validate()?;
+    let workload = exp.timeline(ExecutionMode::Overlapped, policy)?;
+    Ok(execute(&workload, &exp.machine())?)
+}
+
+fn compute_share(run: &RunResult) -> f64 {
+    let total = run.compute_s() + run.comm_s();
+    if total > 0.0 {
+        run.compute_s() / total
+    } else {
+        0.0
+    }
+}
+
+/// Relations R3 and R4 over one random grid cell. Each feasible seed
+/// costs three to four small simulations.
+pub fn check_experiment_relations(seed: u64) -> RelationOutcome {
+    let exp = random_experiment(seed);
+    let base = match overlapped_run(&exp) {
+        Ok(run) => run,
+        Err(_) => return RelationOutcome::infeasible(seed),
+    };
+    let mut failures = Vec::new();
+    let tol = Tolerance::LOOSE; // DVFS epochs quantize the governor's response
+
+    // R3: raising a power cap never increases the makespan. The chain is
+    // 60% TDP -> 90% TDP -> uncapped.
+    let tdp = exp.sku.sku().tdp_w;
+    let capped_60 = overlapped_run(&exp.clone().with_power_cap(0.6 * tdp));
+    let capped_90 = overlapped_run(&exp.clone().with_power_cap(0.9 * tdp));
+    match (capped_60, capped_90) {
+        (Ok(lo), Ok(hi)) => {
+            if hi.e2e_s > lo.e2e_s + tol.allowance(lo.e2e_s) {
+                failures.push(format!(
+                    "seed {seed}: R3 broken for {}: raising the cap 60% -> 90% TDP \
+                     slowed e2e {:.6e} -> {:.6e}",
+                    exp.label(),
+                    lo.e2e_s,
+                    hi.e2e_s
+                ));
+            }
+            if base.e2e_s > hi.e2e_s + tol.allowance(hi.e2e_s) {
+                failures.push(format!(
+                    "seed {seed}: R3 broken for {}: removing the 90% TDP cap \
+                     slowed e2e {:.6e} -> {:.6e}",
+                    exp.label(),
+                    hi.e2e_s,
+                    base.e2e_s
+                ));
+            }
+        }
+        _ => failures.push(format!(
+            "seed {seed}: R3 could not run: capping a feasible cell made it fail"
+        )),
+    }
+
+    // R4 (FSDP only): doubling seq never lowers the compute share.
+    // (The end-to-end time itself is NOT monotone in seq: extra compute
+    // realigns rendezvous and contention windows and can shave a percent
+    // or two off e2e, so only the share — the paper's trend axis — is a
+    // sound relation.)
+    if matches!(exp.strategy, Strategy::Fsdp) {
+        match overlapped_run(&exp.clone().with_seq(exp.seq * 2)) {
+            Ok(doubled) => {
+                if compute_share(&doubled) + tol.rel < compute_share(&base) {
+                    failures.push(format!(
+                        "seed {seed}: R4 broken for {}: doubling seq {} -> {} dropped \
+                         the compute share {:.4} -> {:.4}",
+                        exp.label(),
+                        exp.seq,
+                        exp.seq * 2,
+                        compute_share(&base),
+                        compute_share(&doubled)
+                    ));
+                }
+            }
+            Err(ExperimentError::OutOfMemory { .. }) => {} // longer seq can OOM; skip
+            Err(e) => failures.push(format!("seed {seed}: R4 run failed: {e}")),
+        }
+    }
+
+    RelationOutcome {
+        seed,
+        feasible: true,
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collective_relations_hold_on_a_spot_check() {
+        for seed in 0..25 {
+            let failures = check_collective_relations(seed);
+            assert!(failures.is_empty(), "{}", failures.join("\n"));
+        }
+    }
+
+    #[test]
+    fn experiment_relations_hold_on_a_spot_check() {
+        let mut feasible = 0;
+        for seed in 0..6 {
+            let outcome = check_experiment_relations(seed);
+            if outcome.feasible {
+                feasible += 1;
+            }
+            assert!(
+                outcome.failures.is_empty(),
+                "{}",
+                outcome.failures.join("\n")
+            );
+        }
+        assert!(feasible >= 2, "only {feasible}/6 seeds feasible");
+    }
+
+    #[test]
+    fn infeasible_seeds_are_skips_not_failures() {
+        // Whatever the seed mix, an infeasible outcome must carry no
+        // failures so suites can filter on `feasible` alone.
+        for seed in 0..30 {
+            let outcome = check_experiment_relations(seed);
+            if !outcome.feasible {
+                assert!(outcome.failures.is_empty());
+            }
+        }
+    }
+}

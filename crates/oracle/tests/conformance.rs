@@ -1,0 +1,101 @@
+//! The conformance suite: every registry-grid cell the figure binaries
+//! consume is checked against the closed-form oracles, and the
+//! metamorphic relations are exercised over 100+ seeded random cells.
+//!
+//! Cells are shortened to seq 256 here to keep the suite in CI budget;
+//! the `conformance` bench binary runs the full-length grids.
+
+use olab_core::registry;
+use olab_core::Experiment;
+use olab_grid::Pool;
+use olab_oracle::{check_cell, check_collective_relations, check_experiment_relations};
+
+/// Every experiment the figure regenerators run, shortened for test speed.
+fn figure_grid() -> Vec<Experiment> {
+    let mut cells: Vec<Experiment> = Vec::new();
+    cells.extend(registry::main_grid());
+    cells.extend(registry::fig1a());
+    cells.extend(registry::fig1b());
+    cells.push(registry::fig7());
+    cells.extend(registry::fig9());
+    for (a, b) in registry::fig10() {
+        cells.push(a);
+        cells.push(b);
+    }
+    for (a, b) in registry::fig11() {
+        cells.push(a);
+        cells.push(b);
+    }
+    let mut cells: Vec<Experiment> = cells
+        .into_iter()
+        .map(|e| {
+            let seq = e.seq.min(256);
+            e.with_seq(seq)
+        })
+        .collect();
+    // The shortened grids repeat cells across figures; dedup by label so
+    // the pool does each distinct cell once.
+    cells.sort_by_key(Experiment::label);
+    cells.dedup_by_key(|e| e.label());
+    cells
+}
+
+#[test]
+fn every_registry_cell_agrees_with_the_closed_form_oracles() {
+    let cells = figure_grid();
+    assert!(cells.len() >= 100, "grid shrank to {} cells", cells.len());
+
+    let results = Pool::with_available_parallelism().map(&cells, |exp| match check_cell(exp) {
+        Ok(report) => Some((exp.label(), report)),
+        // Out-of-memory cells are the paper's intentionally missing bars.
+        Err(_) => None,
+    });
+
+    let feasible: Vec<_> = results.into_iter().flatten().collect();
+    assert!(
+        feasible.len() >= 100,
+        "only {} feasible cells — the grid lost coverage",
+        feasible.len()
+    );
+
+    let dirty: Vec<String> = feasible
+        .iter()
+        .filter(|(_, report)| !report.is_clean())
+        .map(|(label, report)| format!("{label}:\n{report}"))
+        .collect();
+    assert!(
+        dirty.is_empty(),
+        "{} of {} cells diverged from the closed-form oracles:\n{}",
+        dirty.len(),
+        feasible.len(),
+        dirty.join("\n")
+    );
+}
+
+#[test]
+fn metamorphic_relations_hold_over_100_seeded_experiments() {
+    // Collective-level relations are cheap: run plenty.
+    for seed in 0..200u64 {
+        let failures = check_collective_relations(seed);
+        assert!(failures.is_empty(), "{}", failures.join("\n"));
+    }
+
+    // Experiment-level relations simulate; fan them across the pool. 140
+    // seeds leave slack for out-of-memory skips above the 100 floor.
+    let seeds: Vec<u64> = (0..140).collect();
+    let outcomes =
+        Pool::with_available_parallelism().map(&seeds, |&seed| check_experiment_relations(seed));
+
+    let feasible = outcomes.iter().filter(|o| o.feasible).count();
+    assert!(
+        feasible >= 100,
+        "only {feasible}/140 seeds produced a feasible cell"
+    );
+    let failures: Vec<String> = outcomes.into_iter().flat_map(|o| o.failures).collect();
+    assert!(
+        failures.is_empty(),
+        "{} metamorphic failures:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}

@@ -74,6 +74,25 @@ impl PowerTrace {
         energy / (b - a)
     }
 
+    /// Energy delivered within `[a, b)`, joules (0 if the interval is
+    /// empty or lies outside the trace). The windowed complement of
+    /// [`PowerTrace::energy_j`]: summing `energy_over` across a partition
+    /// of `[0, duration_s)` reproduces the total exactly.
+    pub fn energy_over(&self, a: f64, b: f64) -> f64 {
+        if b <= a {
+            return 0.0;
+        }
+        let mut energy = 0.0;
+        for (t0, t1, w) in &self.segments {
+            let lo = t0.max(a);
+            let hi = t1.min(b);
+            if hi > lo {
+                energy += w * (hi - lo);
+            }
+        }
+        energy
+    }
+
     /// Peak instantaneous draw within `[a, b)`, watts.
     pub fn peak_over(&self, a: f64, b: f64) -> f64 {
         self.segments
@@ -194,6 +213,22 @@ mod tests {
         assert!((t.average_over(0.0, 0.095) - 100.0).abs() < 1e-9);
         assert_eq!(t.average_over(1.0, 2.0), 0.0);
         assert_eq!(t.average_over(0.5, 0.5), 0.0);
+    }
+
+    #[test]
+    fn energy_over_partitions_sum_to_total() {
+        let t = spike_trace();
+        // Exact windowed integrals.
+        assert!((t.energy_over(0.0, 0.095) - 9.5).abs() < 1e-9);
+        assert!((t.energy_over(0.095, 0.100) - 3.0).abs() < 1e-9);
+        // A partition of the full span reproduces energy_j.
+        let parts =
+            t.energy_over(0.0, 0.03) + t.energy_over(0.03, 0.097) + t.energy_over(0.097, 1.0);
+        assert!((parts - t.energy_j()).abs() < 1e-9);
+        // Degenerate and out-of-range windows are zero.
+        assert_eq!(t.energy_over(0.5, 0.5), 0.0);
+        assert_eq!(t.energy_over(2.0, 1.0), 0.0);
+        assert_eq!(t.energy_over(5.0, 6.0), 0.0);
     }
 
     #[test]

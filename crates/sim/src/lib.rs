@@ -86,4 +86,4 @@ pub use rng::SeededRng;
 pub use task::{TaskSpec, Workload};
 pub use time::SimTime;
 pub use trace::{GpuActivity, PowerSegment, SimTrace, TaskRecord, Window};
-pub use verify::verify_trace;
+pub use verify::{verify_trace, Violation};
