@@ -6,12 +6,16 @@
 //! * `OLAB_ORACLE_SEED` — base seed for the randomized metamorphic pass
 //!   (default 0; CI passes `$GITHUB_RUN_ID` so every run probes new cells).
 //! * `OLAB_ORACLE_SMOKE_SEEDS` — number of random seeds (default 20).
+//! * `OLAB_ORACLE_FAULT_SEEDS` — number of fault-scenario seeds for the
+//!   fault metamorphic relations (default 10).
 //! * `OLAB_ORACLE_REPORT` — path to write the divergence report to on
 //!   failure (uploaded as a CI artifact).
 
 use olab_core::{registry, Experiment};
 use olab_grid::Pool;
-use olab_oracle::{check_cell, check_collective_relations, check_experiment_relations};
+use olab_oracle::{
+    check_cell, check_collective_relations, check_experiment_relations, check_fault_relations,
+};
 use std::fmt::Write as _;
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -86,6 +90,18 @@ fn main() {
         let _ = writeln!(report, "{failure}");
     }
     println!("metamorphic smoke: {smoke_feasible}/{count} seeds feasible (base seed {base})");
+
+    // Fault-scenario smoke: the fault-free-lower-bound and
+    // throttle-widening relations over a fresh slice of scenario seeds.
+    let fault_count = env_u64("OLAB_ORACLE_FAULT_SEEDS", 10);
+    let fault_seeds: Vec<u64> = (0..fault_count).map(|i| base.wrapping_add(i)).collect();
+    let fault_outcomes = pool.map(&fault_seeds, |&seed| check_fault_relations(seed));
+    let fault_feasible = fault_outcomes.iter().filter(|o| o.feasible).count();
+    for failure in fault_outcomes.into_iter().flat_map(|o| o.failures) {
+        failed = true;
+        let _ = writeln!(report, "{failure}");
+    }
+    println!("fault smoke: {fault_feasible}/{fault_count} seeds feasible (base seed {base})");
 
     if failed {
         eprint!("{report}");

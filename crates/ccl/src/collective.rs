@@ -1,5 +1,6 @@
 //! Logical collective operations.
 
+use crate::CclError;
 use olab_sim::GpuId;
 use std::fmt;
 
@@ -61,20 +62,42 @@ pub struct Collective {
 }
 
 impl Collective {
+    /// Creates a collective, validating the group with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// [`CclError::GroupTooSmall`] for fewer than 2 distinct ranks,
+    /// [`CclError::NotPairwise`] for a point-to-point group that is not
+    /// exactly 2, and [`CclError::ZeroBytes`] for an empty payload.
+    pub fn try_new(
+        kind: CollectiveKind,
+        bytes: u64,
+        mut group: Vec<GpuId>,
+    ) -> Result<Self, CclError> {
+        group.sort_unstable();
+        group.dedup();
+        if group.len() < 2 {
+            return Err(CclError::GroupTooSmall { got: group.len() });
+        }
+        if kind == CollectiveKind::PointToPoint && group.len() != 2 {
+            return Err(CclError::NotPairwise { got: group.len() });
+        }
+        if bytes == 0 {
+            return Err(CclError::ZeroBytes);
+        }
+        Ok(Collective { kind, bytes, group })
+    }
+
     /// Creates a collective, validating the group.
     ///
     /// # Panics
     ///
-    /// Panics if the group has fewer than 2 distinct ranks, or if a
-    /// point-to-point group does not have exactly 2.
-    pub fn new(kind: CollectiveKind, bytes: u64, mut group: Vec<GpuId>) -> Self {
-        group.sort_unstable();
-        group.dedup();
-        assert!(group.len() >= 2, "collective group needs at least 2 ranks");
-        if kind == CollectiveKind::PointToPoint {
-            assert_eq!(group.len(), 2, "point-to-point takes exactly 2 ranks");
+    /// Panics where [`Collective::try_new`] would error.
+    pub fn new(kind: CollectiveKind, bytes: u64, group: Vec<GpuId>) -> Self {
+        match Self::try_new(kind, bytes, group) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
         }
-        Collective { kind, bytes, group }
     }
 
     /// An all-reduce of `bytes` over `group`.
@@ -140,6 +163,23 @@ mod tests {
     #[should_panic(expected = "at least 2 ranks")]
     fn singleton_group_is_rejected() {
         Collective::all_reduce(8, vec![GpuId(0)]);
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        assert_eq!(
+            Collective::try_new(CollectiveKind::AllReduce, 8, vec![GpuId(0), GpuId(0)]),
+            Err(CclError::GroupTooSmall { got: 1 })
+        );
+        assert_eq!(
+            Collective::try_new(CollectiveKind::PointToPoint, 8, group(3)),
+            Err(CclError::NotPairwise { got: 3 })
+        );
+        assert_eq!(
+            Collective::try_new(CollectiveKind::AllGather, 0, group(2)),
+            Err(CclError::ZeroBytes)
+        );
+        assert!(Collective::try_new(CollectiveKind::AllReduce, 8, group(2)).is_ok());
     }
 
     #[test]

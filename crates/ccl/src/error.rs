@@ -1,0 +1,89 @@
+//! Typed errors for malformed or unservable collectives.
+//!
+//! Construction and lowering historically panicked on malformed configs;
+//! the panicking entry points remain (tests and quick scripts rely on
+//! them) but now delegate to `try_` variants returning these errors, so
+//! robust callers — the experiment validator, the fault layer's degraded
+//! re-lowering — can route failures through `ExperimentError` instead of
+//! unwinding.
+
+use olab_net::Link;
+use olab_sim::GpuId;
+use std::fmt;
+
+/// Why a collective could not be constructed or lowered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CclError {
+    /// Fewer than two distinct ranks after deduplication.
+    GroupTooSmall {
+        /// Distinct ranks supplied.
+        got: usize,
+    },
+    /// A point-to-point group that is not exactly two ranks.
+    NotPairwise {
+        /// Distinct ranks supplied.
+        got: usize,
+    },
+    /// The collective moves no data.
+    ZeroBytes,
+    /// A rank lies outside the topology.
+    GroupExceedsTopology {
+        /// The offending rank.
+        rank: GpuId,
+        /// Endpoints in the topology.
+        n_gpus: usize,
+    },
+    /// No surviving path after excluding a dead link (graceful degradation
+    /// is impossible; the collective must abort).
+    MissingLink(Link),
+}
+
+impl fmt::Display for CclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CclError::GroupTooSmall { got } => {
+                write!(f, "collective group needs at least 2 ranks (got {got})")
+            }
+            CclError::NotPairwise { got } => {
+                write!(f, "point-to-point takes exactly 2 ranks (got {got})")
+            }
+            CclError::ZeroBytes => write!(f, "collective moves zero bytes"),
+            CclError::GroupExceedsTopology { rank, n_gpus } => write!(
+                f,
+                "collective group exceeds topology (rank gpu{} outside {n_gpus} GPUs)",
+                rank.index()
+            ),
+            CclError::MissingLink(link) => {
+                write!(f, "no surviving path for collective: link {link} is dead")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CclError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_keep_the_historical_panic_phrases() {
+        // `Collective::new` / `lower` panic with `Display` of these errors;
+        // downstream `should_panic(expected = ...)` tests match substrings.
+        assert!(CclError::GroupTooSmall { got: 1 }
+            .to_string()
+            .contains("at least 2 ranks"));
+        assert!(CclError::NotPairwise { got: 3 }
+            .to_string()
+            .contains("exactly 2 ranks"));
+        assert!(CclError::GroupExceedsTopology {
+            rank: GpuId(9),
+            n_gpus: 4
+        }
+        .to_string()
+        .contains("collective group exceeds topology"));
+        assert!(CclError::MissingLink(Link::new(GpuId(0), GpuId(1)))
+            .to_string()
+            .contains("gpu0<->gpu1"));
+    }
+}

@@ -36,9 +36,13 @@
 mod algorithm;
 mod channels;
 mod collective;
+mod error;
 mod lowering;
+mod watchdog;
 
 pub use algorithm::{wire_bytes_per_rank, Algorithm};
 pub use channels::channel_count;
 pub use collective::{Collective, CollectiveKind};
-pub use lowering::{lower, CommOp};
+pub use error::CclError;
+pub use lowering::{lower, try_lower, CommOp};
+pub use watchdog::{adjudicate, relower_degraded, FailAction, WatchdogConfig, WatchdogVerdict};

@@ -1,6 +1,6 @@
 //! Lowering logical collectives to resource demands.
 
-use crate::{channel_count, wire_bytes_per_rank, Algorithm, Collective, CollectiveKind};
+use crate::{channel_count, wire_bytes_per_rank, Algorithm, CclError, Collective, CollectiveKind};
 use olab_gpu::{GpuSku, Precision};
 use olab_net::Topology;
 use std::fmt;
@@ -74,7 +74,8 @@ impl fmt::Display for CommOp {
 ///
 /// # Panics
 ///
-/// Panics if the group does not fit in the topology.
+/// Panics where [`try_lower`] would error (group outside the topology,
+/// zero payload).
 pub fn lower(
     collective: &Collective,
     algorithm: Algorithm,
@@ -82,14 +83,39 @@ pub fn lower(
     topology: &Topology,
     precision: Precision,
 ) -> CommOp {
+    match try_lower(collective, algorithm, sku, topology, precision) {
+        Ok(op) => op,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible variant of [`lower`] with typed errors.
+///
+/// # Errors
+///
+/// [`CclError::GroupExceedsTopology`] when a rank lies outside the
+/// topology, [`CclError::ZeroBytes`] when the collective moves no data.
+pub fn try_lower(
+    collective: &Collective,
+    algorithm: Algorithm,
+    sku: &GpuSku,
+    topology: &Topology,
+    precision: Precision,
+) -> Result<CommOp, CclError> {
     let n = collective.group_size();
-    assert!(
-        collective
-            .group
-            .iter()
-            .all(|g| g.index() < topology.n_gpus()),
-        "collective group exceeds topology"
-    );
+    if let Some(&rank) = collective
+        .group
+        .iter()
+        .find(|g| g.index() >= topology.n_gpus())
+    {
+        return Err(CclError::GroupExceedsTopology {
+            rank,
+            n_gpus: topology.n_gpus(),
+        });
+    }
+    if collective.bytes == 0 {
+        return Err(CclError::ZeroBytes);
+    }
     let profile = sku.contention();
 
     let wire = wire_bytes_per_rank(collective.kind, algorithm, collective.bytes, n);
@@ -146,7 +172,7 @@ pub fn lower(
         0.0
     };
 
-    CommOp {
+    Ok(CommOp {
         collective: collective.clone(),
         algorithm,
         wire_bytes_per_rank: wire,
@@ -156,7 +182,7 @@ pub fn lower(
         reduction_flops_per_rank: reduction_flops,
         sm_fraction,
         channels,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -293,6 +319,38 @@ mod tests {
         let single = Topology::nvswitch(8, 450.0, 4.0);
         let algo = Algorithm::auto_for(CollectiveKind::AllReduce, 1 << 28, &group, &single);
         assert_eq!(algo, Algorithm::Ring);
+    }
+
+    #[test]
+    fn try_lower_reports_typed_errors_and_lower_panics_with_them() {
+        let (sku, topo) = h100_node();
+        let out_of_range = Collective::all_reduce(8, vec![GpuId(0), GpuId(9)]);
+        assert!(matches!(
+            try_lower(&out_of_range, Algorithm::Ring, &sku, &topo, Precision::Fp16),
+            Err(CclError::GroupExceedsTopology {
+                rank: GpuId(9),
+                n_gpus: 4
+            })
+        ));
+        // Zero-byte collectives cannot be built, but a hand-rolled one must
+        // still be rejected at lowering time.
+        let zeroed = Collective {
+            kind: CollectiveKind::AllReduce,
+            bytes: 0,
+            group: group(4),
+        };
+        assert_eq!(
+            try_lower(&zeroed, Algorithm::Ring, &sku, &topo, Precision::Fp16),
+            Err(CclError::ZeroBytes)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "collective group exceeds topology")]
+    fn lower_panics_when_the_group_exceeds_the_topology() {
+        let (sku, topo) = h100_node();
+        let c = Collective::all_reduce(8, vec![GpuId(0), GpuId(9)]);
+        lower(&c, Algorithm::Ring, &sku, &topo, Precision::Fp16);
     }
 
     #[test]

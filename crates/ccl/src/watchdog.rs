@@ -1,0 +1,253 @@
+//! NCCL-style watchdog semantics for stalled collectives.
+//!
+//! Real NCCL arms a watchdog per communicator: if a collective makes no
+//! progress for `NCCL_TIMEOUT` (torch's `timeout=` on `init_process_group`),
+//! the watchdog fires and — depending on `NCCL_ASYNC_ERROR_HANDLING` /
+//! `TORCH_NCCL_ABORT_IN_DESTROY` era knobs — the job either aborts or the
+//! framework tears the communicator down and rebuilds it on the surviving
+//! devices. This module models that control loop analytically:
+//!
+//! * a per-collective **timeout** starts when the collective stops making
+//!   progress (a link outage in the fault timeline),
+//! * up to `max_retries` **retries** follow, spaced by exponential backoff
+//!   (`backoff_base_s * 2^k`),
+//! * on exhaustion the configured [`FailAction`] applies: **abort** the run
+//!   and report, or **degrade** — re-lower the collective onto the
+//!   surviving ring (excluding the dead link) after paying a communicator
+//!   rebuild cost.
+//!
+//! Everything is closed-form over the outage window, so a fault timeline
+//! fixed up front yields a deterministic verdict per stall — the property
+//! the seeded fault scenarios rely on.
+
+use crate::{CclError, CommOp};
+use olab_net::{Link, Topology};
+
+/// What to do when a collective exhausts its retry budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailAction {
+    /// Abort the run and surface a typed error (NCCL's default crash).
+    Abort,
+    /// Rebuild the communicator on the surviving topology and continue at
+    /// the degraded rate.
+    Degrade,
+}
+
+/// Watchdog configuration, mirroring NCCL's timeout/abort knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatchdogConfig {
+    /// Seconds of no progress before the watchdog fires (`NCCL_TIMEOUT`).
+    pub timeout_s: f64,
+    /// Retries after the first timeout before giving up.
+    pub max_retries: u32,
+    /// Backoff before retry `k` is `backoff_base_s * 2^k`.
+    pub backoff_base_s: f64,
+    /// Action on retry exhaustion.
+    pub on_exhaustion: FailAction,
+    /// Fixed communicator-rebuild cost on degradation, seconds.
+    pub rebuild_base_s: f64,
+    /// Per-rank communicator-rebuild cost (bootstrap is O(ranks)), seconds.
+    pub rebuild_per_rank_s: f64,
+}
+
+impl WatchdogConfig {
+    /// A degrading watchdog with the given timeout and default retry and
+    /// rebuild costs.
+    pub fn degrade(timeout_s: f64) -> Self {
+        WatchdogConfig {
+            timeout_s,
+            max_retries: 3,
+            backoff_base_s: timeout_s * 0.25,
+            on_exhaustion: FailAction::Degrade,
+            rebuild_base_s: timeout_s * 0.5,
+            rebuild_per_rank_s: timeout_s * 0.05,
+        }
+    }
+
+    /// An aborting watchdog (same schedule, crash on exhaustion).
+    pub fn abort(timeout_s: f64) -> Self {
+        WatchdogConfig {
+            on_exhaustion: FailAction::Abort,
+            ..Self::degrade(timeout_s)
+        }
+    }
+
+    /// Total stalled seconds before the budget is exhausted: the first
+    /// timeout plus, per retry, its backoff and another timeout.
+    pub fn patience_s(&self) -> f64 {
+        let mut t = self.timeout_s;
+        for k in 0..self.max_retries {
+            t += self.backoff_base_s * 2f64.powi(k as i32) + self.timeout_s;
+        }
+        t
+    }
+
+    /// Communicator rebuild cost for a group of `ranks`, seconds.
+    pub fn rebuild_s(&self, ranks: usize) -> f64 {
+        self.rebuild_base_s + self.rebuild_per_rank_s * ranks as f64
+    }
+}
+
+/// The watchdog's resolution of one stall, with absolute times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WatchdogVerdict {
+    /// The outage ended inside the retry budget; progress resumes at `at`
+    /// (the later of the recovery and the retry that observes it).
+    Resumed {
+        /// When progress resumes, seconds.
+        at: f64,
+        /// Retries spent before the successful attempt.
+        retries: u32,
+    },
+    /// The budget ran out while the link was still down.
+    Exhausted {
+        /// When the final attempt timed out, seconds.
+        give_up_at: f64,
+        /// Retries spent (always `max_retries`).
+        retries: u32,
+    },
+}
+
+/// Adjudicates a stall that began at `stall_start` against an outage that
+/// ends at `outage_end` (`None` = the link is dead for good).
+pub fn adjudicate(
+    stall_start: f64,
+    outage_end: Option<f64>,
+    cfg: &WatchdogConfig,
+) -> WatchdogVerdict {
+    let mut attempt_start = stall_start;
+    for attempt in 0..=cfg.max_retries {
+        let deadline = attempt_start + cfg.timeout_s;
+        if let Some(end) = outage_end {
+            if end <= deadline {
+                return WatchdogVerdict::Resumed {
+                    at: end.max(attempt_start),
+                    retries: attempt,
+                };
+            }
+        }
+        attempt_start = deadline + cfg.backoff_base_s * 2f64.powi(attempt as i32);
+    }
+    WatchdogVerdict::Exhausted {
+        give_up_at: stall_start + cfg.patience_s(),
+        retries: cfg.max_retries,
+    }
+}
+
+/// Re-lowers a collective onto the topology surviving a dead link: the
+/// rebuilt ring excludes `dead`, so the wire rate drops by the topology's
+/// surviving-bandwidth factor, one extra hop of latency is paid on the
+/// rerouted segment, and a channel is retired.
+///
+/// # Errors
+///
+/// [`CclError::MissingLink`] when no bandwidth survives (e.g. the only
+/// link of a two-GPU mesh died) — degradation is impossible and the caller
+/// must abort.
+pub fn relower_degraded(op: &CommOp, dead: Link, topology: &Topology) -> Result<CommOp, CclError> {
+    let n = op.collective.group_size();
+    let healthy = topology.ring_busbw_gbs(n);
+    let degraded = topology.degraded_ring_busbw_gbs(n, dead);
+    if degraded <= 0.0 || degraded.is_nan() {
+        return Err(CclError::MissingLink(dead));
+    }
+    let mut out = op.clone();
+    out.wire_rate_bytes_per_sec = op.wire_rate_bytes_per_sec * degraded / healthy;
+    out.latency_s = op.latency_s + topology.latency_s();
+    out.channels = op.channels.saturating_sub(1).max(1);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lower, Algorithm, Collective};
+    use olab_gpu::{GpuSku, Precision};
+    use olab_sim::GpuId;
+
+    fn cfg() -> WatchdogConfig {
+        WatchdogConfig::degrade(1.0)
+    }
+
+    #[test]
+    fn patience_sums_timeouts_and_backoffs() {
+        // 4 timeouts of 1 s + backoffs 0.25, 0.5, 1.0.
+        assert!((cfg().patience_s() - 5.75).abs() < 1e-12);
+        let single = WatchdogConfig {
+            max_retries: 0,
+            ..cfg()
+        };
+        assert!((single.patience_s() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_outages_resume_without_retries() {
+        match adjudicate(10.0, Some(10.5), &cfg()) {
+            WatchdogVerdict::Resumed { at, retries } => {
+                assert!((at - 10.5).abs() < 1e-12);
+                assert_eq!(retries, 0);
+            }
+            v => panic!("unexpected {v:?}"),
+        }
+    }
+
+    #[test]
+    fn recovery_during_backoff_waits_for_the_retry() {
+        // Outage ends at 11.1: after the first deadline (11.0) but inside
+        // the 0.25 s backoff. The retry starting at 11.25 observes it.
+        match adjudicate(10.0, Some(11.1), &cfg()) {
+            WatchdogVerdict::Resumed { at, retries } => {
+                assert!((at - 11.25).abs() < 1e-12);
+                assert_eq!(retries, 1);
+            }
+            v => panic!("unexpected {v:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_links_exhaust_the_budget() {
+        match adjudicate(10.0, None, &cfg()) {
+            WatchdogVerdict::Exhausted {
+                give_up_at,
+                retries,
+            } => {
+                assert!((give_up_at - 15.75).abs() < 1e-12);
+                assert_eq!(retries, 3);
+            }
+            v => panic!("unexpected {v:?}"),
+        }
+        // Long outages behave like dead links.
+        assert!(matches!(
+            adjudicate(10.0, Some(100.0), &cfg()),
+            WatchdogVerdict::Exhausted { .. }
+        ));
+    }
+
+    #[test]
+    fn degraded_relowering_slows_the_ring_and_drops_a_channel() {
+        let sku = GpuSku::h100();
+        let topo = olab_net::Topology::nvswitch(4, sku.link_bw_unidir_gbs, sku.link_latency_us);
+        let group: Vec<GpuId> = (0..4).map(GpuId).collect();
+        let ar = Collective::all_reduce(1 << 28, group);
+        let op = lower(&ar, Algorithm::Ring, &sku, &topo, Precision::Fp16);
+        let dead = Link::new(GpuId(1), GpuId(2));
+        let degraded = relower_degraded(&op, dead, &topo).unwrap();
+        assert!(degraded.wire_rate_bytes_per_sec < op.wire_rate_bytes_per_sec);
+        assert!(degraded.latency_s > op.latency_s);
+        assert_eq!(degraded.channels, op.channels - 1);
+        assert!(degraded.isolated_duration_s() > op.isolated_duration_s());
+    }
+
+    #[test]
+    fn two_gpu_mesh_cannot_degrade() {
+        let sku = GpuSku::mi250();
+        let topo = olab_net::Topology::full_mesh(2, sku.link_bw_unidir_gbs, sku.link_latency_us);
+        let pair = Collective::all_reduce(1 << 20, vec![GpuId(0), GpuId(1)]);
+        let op = lower(&pair, Algorithm::Ring, &sku, &topo, Precision::Fp16);
+        let dead = Link::new(GpuId(0), GpuId(1));
+        assert_eq!(
+            relower_degraded(&op, dead, &topo),
+            Err(CclError::MissingLink(dead))
+        );
+    }
+}

@@ -105,6 +105,31 @@ pub struct SweepArgs {
     pub cache: Option<String>,
 }
 
+/// Faults-sweep arguments: which scenarios to inject and how to react.
+#[derive(Debug, Clone)]
+pub struct FaultsArgs {
+    /// Fault seeds to sweep (`--seeds a,b,c` or a single `--seed N`).
+    pub seeds: Vec<u64>,
+    /// Severities to sweep (`--severity mild|moderate|severe|all`).
+    pub severities: Vec<olab_faults::Severity>,
+    /// Abort on watchdog exhaustion instead of degrading
+    /// (`--action degrade|abort`).
+    pub abort: bool,
+    /// Worker threads (`--jobs N`; `1` forces a serial sweep).
+    pub jobs: Option<usize>,
+}
+
+impl Default for FaultsArgs {
+    fn default() -> Self {
+        FaultsArgs {
+            seeds: vec![1],
+            severities: olab_faults::Severity::ALL.to_vec(),
+            abort: false,
+            jobs: None,
+        }
+    }
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone)]
 pub enum Command {
@@ -120,6 +145,8 @@ pub enum Command {
     Tune(RunArgs, Objective),
     /// `olab chrome ...` — emit a chrome://tracing JSON timeline.
     Chrome(RunArgs),
+    /// `olab faults ... [--seeds a,b] [--severity all] [--action degrade]`.
+    Faults(RunArgs, FaultsArgs),
     /// `olab help` / no arguments.
     Help,
 }
@@ -178,6 +205,19 @@ fn parse_datapath(s: &str) -> Result<Datapath, CliError> {
         "tensor" | "tensorcore" => Ok(Datapath::TensorCore),
         "vector" => Ok(Datapath::Vector),
         other => Err(CliError(format!("unknown datapath '{other}'"))),
+    }
+}
+
+fn parse_severities(s: &str) -> Result<Vec<olab_faults::Severity>, CliError> {
+    use olab_faults::Severity;
+    match s.to_ascii_lowercase().as_str() {
+        "mild" => Ok(vec![Severity::Mild]),
+        "moderate" => Ok(vec![Severity::Moderate]),
+        "severe" => Ok(vec![Severity::Severe]),
+        "all" => Ok(Severity::ALL.to_vec()),
+        other => Err(CliError(format!(
+            "unknown severity '{other}' (expected mild|moderate|severe|all)"
+        ))),
     }
 }
 
@@ -316,6 +356,37 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             reject_unknown(&rest)?;
             Ok(Command::Chrome(args))
         }
+        "faults" => {
+            let (mut args, rest) = parse_run_args(&pairs)?;
+            args.csv = csv;
+            let mut faults = FaultsArgs::default();
+            let mut unknown = Vec::new();
+            for (flag, value) in rest {
+                match flag {
+                    "--seed" => faults.seeds = vec![num(flag, value)?],
+                    "--seeds" => {
+                        faults.seeds = value
+                            .split(',')
+                            .map(|v| num("--seeds", v.trim()))
+                            .collect::<Result<Vec<u64>, _>>()?;
+                    }
+                    "--severity" => faults.severities = parse_severities(value)?,
+                    "--action" => match value.to_ascii_lowercase().as_str() {
+                        "degrade" => faults.abort = false,
+                        "abort" => faults.abort = true,
+                        other => {
+                            return Err(CliError(format!(
+                                "unknown action '{other}' (expected degrade|abort)"
+                            )))
+                        }
+                    },
+                    "--jobs" => faults.jobs = Some(num(flag, value)?),
+                    _ => unknown.push((flag, value)),
+                }
+            }
+            reject_unknown(&unknown)?;
+            Ok(Command::Faults(args, faults))
+        }
         "tune" => {
             let (mut args, rest) = parse_run_args(&pairs)?;
             args.csv = csv;
@@ -332,7 +403,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             Ok(Command::Tune(args, objective))
         }
         other => Err(CliError(format!(
-            "unknown command '{other}' (expected run|sweep|trace|tune|chrome|list|help)"
+            "unknown command '{other}' (expected run|sweep|trace|tune|chrome|faults|list|help)"
         ))),
     }
 }
@@ -417,6 +488,35 @@ mod tests {
         assert!(parse(&argv("run --sku q100")).is_err());
         assert!(parse(&argv("frobnicate")).is_err());
         assert!(parse(&argv("run --batch")).is_err());
+    }
+
+    #[test]
+    fn faults_parses_scenario_flags() {
+        let cmd = parse(&argv(
+            "faults --sku a100 --seeds 3,5 --severity severe --action abort --jobs 2",
+        ))
+        .unwrap();
+        let Command::Faults(args, faults) = cmd else {
+            panic!("expected faults");
+        };
+        assert_eq!(args.sku, SkuKind::A100);
+        assert_eq!(faults.seeds, vec![3, 5]);
+        assert_eq!(faults.severities, vec![olab_faults::Severity::Severe]);
+        assert!(faults.abort);
+        assert_eq!(faults.jobs, Some(2));
+    }
+
+    #[test]
+    fn faults_defaults_sweep_all_severities_for_one_seed() {
+        let cmd = parse(&argv("faults")).unwrap();
+        let Command::Faults(_, faults) = cmd else {
+            panic!("expected faults");
+        };
+        assert_eq!(faults.seeds, vec![1]);
+        assert_eq!(faults.severities.len(), 3);
+        assert!(!faults.abort);
+        assert!(parse(&argv("faults --severity extreme")).is_err());
+        assert!(parse(&argv("faults --action panic")).is_err());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Subcommand implementations (each returns the text to print).
 
-use crate::args::{CliError, RunArgs, SweepArgs};
+use crate::args::{CliError, FaultsArgs, RunArgs, SweepArgs};
 use olab_core::adaptive::{tune_fsdp, Objective};
 use olab_core::report::{ms, pct, Table};
 use olab_core::Sweep;
@@ -22,6 +22,8 @@ USAGE:
   olab trace [flags] [--interval-ms 1]         sampled power trace (CSV-ish)
   olab tune  [flags] [--objective energy]      adaptive overlap search (FSDP)
   olab chrome [flags]                          chrome://tracing JSON timeline
+  olab faults [flags] [--seeds 1,2,3]          resilience sweep under injected faults
+              [--severity mild|moderate|severe|all] [--action degrade|abort] [--jobs N]
 
 FLAGS (shared):
   --sku a100|h100|mi210|mi250     --gpus N             --model gpt3-2.7b|...
@@ -203,6 +205,97 @@ pub fn chrome(args: &RunArgs) -> Result<String, CliError> {
     ))
 }
 
+/// `olab faults`: sweep fault scenarios over one experiment and tabulate
+/// the resilience scorecard of each `(seed, severity)` cell.
+pub fn faults(args: &RunArgs, faults_args: &FaultsArgs) -> Result<String, CliError> {
+    use olab_faults::{CachedFaultCell, FaultCell, FaultScenarioSpec};
+
+    let base = args.experiment();
+    let mut cells = Vec::new();
+    for &seed in &faults_args.seeds {
+        for &severity in &faults_args.severities {
+            let spec = if faults_args.abort {
+                FaultScenarioSpec::abort(seed, severity)
+            } else {
+                FaultScenarioSpec::degrade(seed, severity)
+            };
+            cells.push(FaultCell::new(base.clone(), spec));
+        }
+    }
+
+    let mut engine = olab_grid::Executor::new();
+    if let Some(jobs) = faults_args.jobs {
+        engine = engine.with_jobs(jobs);
+    }
+    let outcome = engine.run(&cells);
+    eprintln!("{}", outcome.stats);
+
+    let mut table = Table::new([
+        "Seed",
+        "Severity",
+        "E2E fault-free",
+        "E2E faulty",
+        "Time lost",
+        "Stall",
+        "Retries",
+        "Degraded",
+        "ECC",
+        "Overlap eff",
+    ]);
+    for (cell, result) in cells.iter().zip(outcome.outputs) {
+        let cached = result.map_err(|p| CliError(format!("faults sweep: {p}")))?;
+        let seed = cell.spec.seed.to_string();
+        let severity = cell.spec.severity.to_string();
+        match cached {
+            CachedFaultCell::Ok(m) => table.row([
+                seed,
+                severity,
+                ms(m.fault_free_e2e_s),
+                ms(m.faulty_e2e_s),
+                ms(m.time_lost_s),
+                ms(m.stall_s),
+                m.retries.to_string(),
+                m.degraded_collectives.to_string(),
+                m.ecc_kernels.to_string(),
+                pct(m.overlap_efficiency),
+            ]),
+            CachedFaultCell::Aborted {
+                at_s,
+                collective,
+                retries,
+            } => table.row([
+                seed,
+                severity,
+                "-".into(),
+                format!("aborted at {}", ms(at_s)),
+                "-".into(),
+                "-".into(),
+                retries.to_string(),
+                "-".into(),
+                "-".into(),
+                format!("'{collective}' unreachable"),
+            ]),
+            CachedFaultCell::Infeasible(msg) => table.row([
+                seed,
+                severity,
+                msg,
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
+        };
+    }
+    Ok(if args.csv {
+        table.to_csv()
+    } else {
+        table.to_markdown()
+    })
+}
+
 /// `olab tune`.
 pub fn tune(args: &RunArgs, objective: Objective) -> Result<String, CliError> {
     let choice = tune_fsdp(&args.experiment(), objective)?;
@@ -241,7 +334,7 @@ mod tests {
     #[test]
     fn help_mentions_every_subcommand() {
         let h = help();
-        for cmd in ["run", "sweep", "trace", "tune", "list"] {
+        for cmd in ["run", "sweep", "trace", "tune", "faults", "list"] {
             assert!(h.contains(cmd), "{cmd}");
         }
     }
@@ -334,6 +427,44 @@ mod tests {
         let out = chrome(&args).unwrap();
         assert!(out.trim_start().starts_with('['));
         assert!(out.contains("\"ph\": \"X\""));
+    }
+
+    #[test]
+    fn faults_renders_one_row_per_scenario() {
+        let args = RunArgs {
+            seq: 256,
+            model: olab_models::ModelPreset::Gpt3Xl,
+            ..Default::default()
+        };
+        let faults_args = FaultsArgs {
+            seeds: vec![1, 2],
+            severities: vec![olab_faults::Severity::Mild, olab_faults::Severity::Severe],
+            abort: false,
+            jobs: Some(2),
+        };
+        let out = faults(&args, &faults_args).unwrap();
+        assert_eq!(out.lines().count(), 6, "header + separator + 4 rows");
+        assert!(out.contains("severe"));
+    }
+
+    #[test]
+    fn faults_serial_and_parallel_render_identically() {
+        let args = RunArgs {
+            seq: 256,
+            model: olab_models::ModelPreset::Gpt3Xl,
+            ..Default::default()
+        };
+        let mut serial = FaultsArgs {
+            seeds: vec![7],
+            ..Default::default()
+        };
+        serial.jobs = Some(1);
+        let mut parallel = serial.clone();
+        parallel.jobs = Some(4);
+        assert_eq!(
+            faults(&args, &serial).unwrap(),
+            faults(&args, &parallel).unwrap()
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@
 pub mod args;
 pub mod commands;
 
-pub use args::{parse, CliError, Command, RunArgs, SweepArgs};
+pub use args::{parse, CliError, Command, FaultsArgs, RunArgs, SweepArgs};
 
 /// Entry point shared by the binary and the tests.
 ///
@@ -35,6 +35,7 @@ pub fn main_with(args: &[String]) -> Result<String, CliError> {
         Command::Trace(run, interval_ms) => commands::trace(&run, interval_ms),
         Command::Tune(run, objective) => commands::tune(&run, objective),
         Command::Chrome(run) => commands::chrome(&run),
+        Command::Faults(run, faults) => commands::faults(&run, &faults),
         Command::Help => Ok(commands::help()),
     }
 }

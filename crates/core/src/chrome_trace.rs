@@ -23,11 +23,33 @@ fn escape(s: &str) -> String {
     out
 }
 
+/// An extra interval to render alongside the task events — fault windows,
+/// watchdog stalls, communicator rebuilds. Annotations live in their own
+/// trace process (pid = number of GPUs), one thread per `track`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceAnnotation {
+    /// Event label shown in the viewer.
+    pub name: String,
+    /// Row the event is drawn on (e.g. `"throttle"`, `"link"`, `"watchdog"`).
+    pub track: String,
+    /// Interval start, seconds.
+    pub start_s: f64,
+    /// Interval end, seconds.
+    pub end_s: f64,
+}
+
 /// Renders a trace as Chrome-trace JSON (an array of complete events).
 ///
 /// Durations are emitted in microseconds (the format's native unit). Tasks
 /// spanning several GPUs (collectives) appear once per participant.
 pub fn to_chrome_trace(trace: &SimTrace) -> String {
+    to_chrome_trace_annotated(trace, &[])
+}
+
+/// Like [`to_chrome_trace`], with extra annotation intervals rendered in a
+/// dedicated process below the GPUs. With an empty slice the output is
+/// byte-identical to [`to_chrome_trace`].
+pub fn to_chrome_trace_annotated(trace: &SimTrace, notes: &[TraceAnnotation]) -> String {
     let mut out = String::from("[\n");
     let mut first = true;
     for record in trace.records() {
@@ -53,6 +75,33 @@ pub fn to_chrome_trace(trace: &SimTrace) -> String {
             );
         }
     }
+    // Annotations render in their own process, one thread per track, in
+    // order of first appearance.
+    let fault_pid = trace.gpus().len();
+    let mut tracks: Vec<&str> = Vec::new();
+    for note in notes {
+        let tid = match tracks.iter().position(|t| *t == note.track) {
+            Some(i) => i,
+            None => {
+                tracks.push(&note.track);
+                tracks.len() - 1
+            }
+        };
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "  {{\"name\": \"{}\", \"cat\": \"fault\", \"ph\": \"X\", \
+             \"ts\": {:.3}, \"dur\": {:.3}, \"pid\": {}, \"tid\": {}}}",
+            escape(&note.name),
+            note.start_s * 1e6,
+            (note.end_s - note.start_s).max(0.0) * 1e6,
+            fault_pid,
+            tid
+        );
+    }
     // Thread name metadata so the viewer labels the rows.
     for (g, _) in trace.gpus().iter().enumerate() {
         for (tid, name) in [(0, "compute"), (1, "comm")] {
@@ -66,6 +115,18 @@ pub fn to_chrome_trace(trace: &SimTrace) -> String {
                  \"tid\": {tid}, \"args\": {{\"name\": \"gpu{g}/{name}\"}}}}"
             );
         }
+    }
+    for (tid, track) in tracks.iter().enumerate() {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "  {{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {fault_pid}, \
+             \"tid\": {tid}, \"args\": {{\"name\": \"faults/{}\"}}}}",
+            escape(track)
+        );
     }
     out.push_str("\n]\n");
     out
@@ -125,6 +186,42 @@ mod tests {
         let json = to_chrome_trace(&sample_trace());
         assert!(json.contains("gpu0/compute"));
         assert!(json.contains("gpu3/comm"));
+    }
+
+    #[test]
+    fn no_annotations_is_byte_identical_to_plain_export() {
+        let trace = sample_trace();
+        assert_eq!(
+            to_chrome_trace(&trace),
+            to_chrome_trace_annotated(&trace, &[])
+        );
+    }
+
+    #[test]
+    fn annotations_render_in_their_own_process() {
+        let trace = sample_trace();
+        let notes = vec![
+            TraceAnnotation {
+                name: "throttle gpu1 x0.65".into(),
+                track: "throttle".into(),
+                start_s: 0.1,
+                end_s: 0.2,
+            },
+            TraceAnnotation {
+                name: "watchdog stall".into(),
+                track: "watchdog".into(),
+                start_s: 0.15,
+                end_s: 0.3,
+            },
+        ];
+        let json = to_chrome_trace_annotated(&trace, &notes);
+        let fault_pid = trace.gpus().len();
+        assert!(json.contains(&format!("\"pid\": {fault_pid}, \"tid\": 0")));
+        assert!(json.contains("faults/throttle"));
+        assert!(json.contains("faults/watchdog"));
+        assert!(json.contains("\"cat\": \"fault\""));
+        // Still balanced and well-formed.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

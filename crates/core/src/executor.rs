@@ -93,7 +93,22 @@ impl RunResult {
 /// Propagates [`SimError`] from the engine (malformed DAG, deadlock, or a
 /// misbehaving rate model).
 pub fn execute(workload: &Workload<Op>, machine: &Machine) -> Result<RunResult, SimError> {
-    let trace = Engine::new(machine.clone()).run(workload)?;
+    execute_model(workload, machine.clone())
+}
+
+/// Runs a schedule on any [`RateModel`] pricing [`Op`] payloads — the hook
+/// that lets wrappers (fault injectors, what-if models) reuse the standard
+/// per-GPU statistics pipeline. Pass `&mut model` to inspect the model's
+/// state after the run.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn execute_model<M>(workload: &Workload<Op>, model: M) -> Result<RunResult, SimError>
+where
+    M: olab_sim::RateModel<Payload = Op>,
+{
+    let trace = Engine::new(model).run(workload)?;
     let n = workload.n_gpus();
     let mut gpus = Vec::with_capacity(n);
     for g in 0..n {

@@ -85,6 +85,12 @@ impl From<SimError> for ExperimentError {
     }
 }
 
+impl From<olab_ccl::CclError> for ExperimentError {
+    fn from(e: olab_ccl::CclError) -> Self {
+        ExperimentError::InvalidConfig(e.to_string())
+    }
+}
+
 /// One experiment: a (SKU, model, strategy, batch, precision, datapath,
 /// power limit) cell, run in all three execution modes.
 #[derive(Debug, Clone)]

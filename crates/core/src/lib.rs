@@ -57,7 +57,8 @@ pub mod registry;
 pub mod report;
 pub mod sweep;
 
-pub use executor::{execute, GpuRunStats, RunResult};
+pub use chrome_trace::{to_chrome_trace, to_chrome_trace_annotated, TraceAnnotation};
+pub use executor::{execute, execute_model, GpuRunStats, RunResult};
 pub use experiment::{Experiment, ExperimentError, ExperimentReport, MultiRunStats, Strategy};
 pub use machine::{Jitter, Machine, MachineConfig};
 pub use metrics::OverlapMetrics;

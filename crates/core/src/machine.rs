@@ -86,6 +86,11 @@ pub struct Machine {
     power_profile: PowerProfile,
     contention: ContentionProfile,
     rng: Option<SeededRng>,
+    /// Transient per-GPU frequency caps in `(0, 1]` (empty = none). Fault
+    /// layers update these at epoch boundaries to model thermal throttle
+    /// windows; the governor then prices both the slower clock and its
+    /// lower dynamic power.
+    gpu_freq_caps: Vec<f64>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -128,7 +133,15 @@ impl Machine {
             power_profile,
             contention,
             rng,
+            gpu_freq_caps: Vec::new(),
         }
+    }
+
+    /// Replaces the transient per-GPU frequency caps: `caps[g]` caps GPU
+    /// `g`'s clock factor this epoch (values `>= 1.0` and missing entries
+    /// mean uncapped; an empty vector clears all caps).
+    pub fn set_gpu_freq_caps(&mut self, caps: Vec<f64>) {
+        self.gpu_freq_caps = caps;
     }
 
     /// The same machine with per-epoch measurement noise.
@@ -253,12 +266,16 @@ impl RateModel for Machine {
             }
             util.mem = util.mem.clamp(0.0, 1.0);
 
+            let governor = match self.gpu_freq_caps.get(g) {
+                Some(&cap) if cap < 1.0 => self.config.governor.capped(cap),
+                _ => self.config.governor,
+            };
             if contended {
-                let decision = self.config.governor.decide(&self.power_profile, &util);
+                let decision = governor.decide(&self.power_profile, &util);
                 epoch.freq = decision.freq_factor;
                 epoch.power_w = decision.power_w;
             } else {
-                epoch.freq = self.config.governor.max_freq_factor;
+                epoch.freq = governor.max_freq_factor;
                 epoch.power_w = self.power_profile.instantaneous(&util, epoch.freq);
             }
             epochs[g] = epoch;
@@ -433,6 +450,28 @@ mod tests {
             t_capped > 1.3 * t_stock,
             "150 W cap must slow the A100 GEMM: {t_capped} vs {t_stock}"
         );
+    }
+
+    #[test]
+    fn per_gpu_freq_caps_slow_only_the_capped_gpu() {
+        let healthy = h100_machine();
+        let mut throttled = h100_machine();
+        throttled.set_gpu_freq_caps(vec![0.5, 1.0, 1.0, 1.0]);
+
+        let durations = |m: &Machine| {
+            let mut w = Workload::new(4);
+            w.push(TaskSpec::compute("g0", GpuId(0), gemm_op()));
+            w.push(TaskSpec::compute("g1", GpuId(1), gemm_op()));
+            let trace = Engine::new(m.clone()).run(&w).unwrap();
+            (
+                trace.records()[0].duration().as_secs(),
+                trace.records()[1].duration().as_secs(),
+            )
+        };
+        let (h0, h1) = durations(&healthy);
+        let (t0, t1) = durations(&throttled);
+        assert!(t0 > 1.5 * h0, "capped GPU must slow: {t0} vs {h0}");
+        assert!((t1 - h1).abs() < 1e-12, "uncapped GPU must be untouched");
     }
 
     #[test]

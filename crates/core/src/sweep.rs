@@ -83,6 +83,9 @@ pub enum CellError {
     InvalidConfig(String),
     /// The simulation failed.
     Sim(String),
+    /// The cell's worker panicked mid-sweep; the panic was isolated to
+    /// this slot (and never cached) instead of aborting the sweep.
+    Panic(String),
 }
 
 impl fmt::Display for CellError {
@@ -99,6 +102,7 @@ impl fmt::Display for CellError {
             ),
             CellError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             CellError::Sim(msg) => write!(f, "simulation failed: {msg}"),
+            CellError::Panic(msg) => write!(f, "cell panicked: {msg}"),
         }
     }
 }
@@ -210,6 +214,10 @@ impl CacheValue for CachedCell {
                 w.put_u8(3);
                 w.put_str(msg);
             }
+            Err(CellError::Panic(msg)) => {
+                w.put_u8(4);
+                w.put_str(msg);
+            }
         }
     }
 
@@ -231,6 +239,7 @@ impl CacheValue for CachedCell {
             })),
             2 => Some(Err(CellError::InvalidConfig(r.get_str()?))),
             3 => Some(Err(CellError::Sim(r.get_str()?))),
+            4 => Some(Err(CellError::Panic(r.get_str()?))),
             _ => None,
         };
         outcome.map(CachedCell)
@@ -385,7 +394,13 @@ impl Sweep {
     pub fn run(&self, cells: &[Experiment]) -> SweepOutcome {
         let SweepRun { outputs, stats } = self.engine.run(cells);
         SweepOutcome {
-            cells: outputs.into_iter().map(|cell| cell.0).collect(),
+            cells: outputs
+                .into_iter()
+                .map(|slot| match slot {
+                    Ok(cell) => cell.0,
+                    Err(panic) => Err(CellError::Panic(panic.message)),
+                })
+                .collect(),
             stats,
         }
     }
@@ -484,6 +499,7 @@ mod tests {
                 "batch 8 not divisible".into(),
             ))),
             CachedCell(Err(CellError::Sim("deadlock".into()))),
+            CachedCell(Err(CellError::Panic("index out of bounds".into()))),
         ];
         for outcome in outcomes {
             let mut w = Writer::new();

@@ -1,0 +1,411 @@
+//! Seeded fault scenarios: a deterministic timeline of hardware misbehavior.
+//!
+//! A [`FaultScenarioSpec`] (seed + severity + exhaustion policy) expands into
+//! a [`FaultTimeline`] — concrete throttle windows, link faults, and an ECC
+//! model — sized relative to the fault-free makespan of the run it will be
+//! injected into. Expansion consumes the seeded RNG in a fixed order, so the
+//! same `(cell, spec)` pair always produces the identical timeline and
+//! therefore a bit-identical faulty simulation.
+
+use olab_ccl::{FailAction, WatchdogConfig};
+use olab_net::{ring_links, Link};
+use olab_sim::{GpuId, SeededRng};
+use std::fmt;
+
+/// Version of the fault-scenario expansion. Part of every fault-cell cache
+/// descriptor, so changing the expansion invalidates cached faulty cells
+/// instead of silently serving results from the old model.
+pub const FAULT_SCHEMA_VERSION: u32 = 1;
+
+/// How hard the scenario hits the node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Severity {
+    /// One shallow throttle window and one degraded link; no outages.
+    Mild,
+    /// Deeper throttles, a degraded link, and one transient link outage
+    /// short enough for the watchdog to ride out with retries.
+    Moderate,
+    /// Deep throttles, a degraded link, a transient outage, and one link
+    /// that dies for good — the watchdog must degrade or abort.
+    Severe,
+}
+
+impl Severity {
+    /// All severities, mildest first.
+    pub const ALL: [Severity; 3] = [Severity::Mild, Severity::Moderate, Severity::Severe];
+
+    fn throttle_count(self) -> usize {
+        match self {
+            Severity::Mild => 1,
+            Severity::Moderate => 2,
+            Severity::Severe => 3,
+        }
+    }
+
+    fn throttle_factor(self) -> f64 {
+        match self {
+            Severity::Mild => 0.8,
+            Severity::Moderate => 0.65,
+            Severity::Severe => 0.5,
+        }
+    }
+
+    fn link_bw_factor(self) -> f64 {
+        match self {
+            Severity::Mild => 0.6,
+            Severity::Moderate => 0.4,
+            Severity::Severe => 0.25,
+        }
+    }
+
+    fn has_transient_outage(self) -> bool {
+        !matches!(self, Severity::Mild)
+    }
+
+    fn has_dead_link(self) -> bool {
+        matches!(self, Severity::Severe)
+    }
+
+    fn ecc_rate(self) -> f64 {
+        match self {
+            Severity::Mild => 0.05,
+            Severity::Moderate => 0.10,
+            Severity::Severe => 0.20,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Mild => write!(f, "mild"),
+            Severity::Moderate => write!(f, "moderate"),
+            Severity::Severe => write!(f, "severe"),
+        }
+    }
+}
+
+/// A fault scenario: everything needed to expand a deterministic timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultScenarioSpec {
+    /// RNG seed (same seed ⇒ identical timeline ⇒ bit-identical run).
+    pub seed: u64,
+    /// Scenario severity.
+    pub severity: Severity,
+    /// What the watchdog does when a collective exhausts its retries.
+    pub on_exhaustion: FailAction,
+}
+
+impl FaultScenarioSpec {
+    /// A degrading scenario (NCCL-rebuilds-the-communicator semantics).
+    pub fn degrade(seed: u64, severity: Severity) -> Self {
+        FaultScenarioSpec {
+            seed,
+            severity,
+            on_exhaustion: FailAction::Degrade,
+        }
+    }
+
+    /// An aborting scenario (NCCL's default crash-on-timeout semantics).
+    pub fn abort(seed: u64, severity: Severity) -> Self {
+        FaultScenarioSpec {
+            seed,
+            severity,
+            on_exhaustion: FailAction::Abort,
+        }
+    }
+
+    /// Canonical cache-descriptor fragment: covers every input of the
+    /// timeline expansion plus the expansion version, so faulty cells can
+    /// never collide with fault-free cells or with each other.
+    pub fn descriptor(&self) -> String {
+        format!(
+            "faults schema={FAULT_SCHEMA_VERSION} seed={} severity={} action={:?}",
+            self.seed, self.severity, self.on_exhaustion
+        )
+    }
+}
+
+/// A transient per-GPU DVFS/thermal throttle window `[start_s, end_s)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThrottleWindow {
+    /// The straggler GPU.
+    pub gpu: usize,
+    /// Window start, seconds.
+    pub start_s: f64,
+    /// Window end, seconds.
+    pub end_s: f64,
+    /// Clock cap inside the window, fraction of boost in `(0, 1]`.
+    pub freq_factor: f64,
+}
+
+impl ThrottleWindow {
+    /// Whether the window is active at `now` (half-open, with a small
+    /// tolerance so epochs starting exactly on a boundary land in the new
+    /// regime despite floating-point accumulation).
+    pub fn active_at(&self, now: f64) -> bool {
+        now >= self.start_s - EDGE_TOL && now < self.end_s - EDGE_TOL
+    }
+}
+
+/// A time-windowed link fault: degraded bandwidth (`0 < bw_factor < 1`) or
+/// an outage (`bw_factor == 0`). `end_s == None` means the link is dead for
+/// the rest of the run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFault {
+    /// The afflicted link.
+    pub link: Link,
+    /// Fault onset, seconds.
+    pub start_s: f64,
+    /// Fault end, seconds (`None` = permanent).
+    pub end_s: Option<f64>,
+    /// Surviving bandwidth fraction (`0.0` = no progress at all).
+    pub bw_factor: f64,
+}
+
+impl LinkFault {
+    /// Whether this fault is a full outage (collectives crossing the link
+    /// make no progress while it is active).
+    pub fn is_outage(&self) -> bool {
+        self.bw_factor <= 0.0
+    }
+
+    /// Whether the fault is active at `now` (same edge tolerance as
+    /// [`ThrottleWindow::active_at`]).
+    pub fn active_at(&self, now: f64) -> bool {
+        now >= self.start_s - EDGE_TOL && self.end_s.is_none_or(|e| now < e - EDGE_TOL)
+    }
+}
+
+/// Tolerance for window-edge comparisons: epochs start within floating-point
+/// error of the boundary the engine clamped to, and must land in the *new*
+/// regime.
+pub(crate) const EDGE_TOL: f64 = 1e-9;
+
+/// ECC-retry model: a seeded fraction of compute kernels pay a fixed
+/// re-execution latency (DRAM ECC double-bit retries re-run the affected
+/// launch).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EccFaults {
+    /// Selection seed (kernels are chosen by a pure hash, not by draw
+    /// order, so selection is stable under any epoch interleaving).
+    pub seed: u64,
+    /// Fraction of compute kernels affected, in `[0, 1]`.
+    pub rate: f64,
+    /// Fixed extra latency per affected kernel, seconds.
+    pub retry_s: f64,
+}
+
+/// The fully-expanded, deterministic fault timeline for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultTimeline {
+    /// Straggler windows (transient per-GPU clock caps).
+    pub throttles: Vec<ThrottleWindow>,
+    /// Link degradations and outages.
+    pub link_faults: Vec<LinkFault>,
+    /// ECC-retry model for compute kernels.
+    pub ecc: EccFaults,
+    /// Watchdog governing stalled collectives.
+    pub watchdog: WatchdogConfig,
+    /// The fault-free makespan the windows were sized against, seconds.
+    pub horizon_s: f64,
+}
+
+impl FaultTimeline {
+    /// Expands a spec into concrete fault windows over a node of `n_gpus`,
+    /// sized relative to `horizon_s` (the fault-free makespan).
+    ///
+    /// All RNG draws happen in a fixed order regardless of `n_gpus`
+    /// parity or severity, so the timeline is a pure function of
+    /// `(spec, n_gpus, horizon_s)`.
+    pub fn generate(spec: &FaultScenarioSpec, n_gpus: usize, horizon_s: f64) -> Self {
+        let h = horizon_s.max(1e-9);
+        let mut rng = SeededRng::seed_from_u64(spec.seed);
+        let sev = spec.severity;
+
+        let timeout_s = 0.02 * h;
+        let watchdog = match spec.on_exhaustion {
+            FailAction::Degrade => WatchdogConfig::degrade(timeout_s),
+            FailAction::Abort => WatchdogConfig::abort(timeout_s),
+        };
+
+        let mut throttles = Vec::new();
+        for _ in 0..sev.throttle_count() {
+            let gpu =
+                ((rng.next_f64() * n_gpus.max(1) as f64) as usize).min(n_gpus.saturating_sub(1));
+            let start_s = (0.10 + 0.50 * rng.next_f64()) * h;
+            throttles.push(ThrottleWindow {
+                gpu,
+                start_s,
+                end_s: start_s + 0.15 * h,
+                freq_factor: sev.throttle_factor(),
+            });
+        }
+
+        let group: Vec<GpuId> = (0..n_gpus.min(u16::MAX as usize) as u16)
+            .map(GpuId)
+            .collect();
+        let links = ring_links(&group);
+        let pick_link = |rng: &mut SeededRng| -> Option<Link> {
+            if links.is_empty() {
+                let _ = rng.next_f64(); // keep the draw order severity-independent
+                return None;
+            }
+            Some(links[((rng.next_f64() * links.len() as f64) as usize).min(links.len() - 1)])
+        };
+
+        let mut link_faults = Vec::new();
+        // One degraded-bandwidth window at every severity.
+        let degraded = pick_link(&mut rng);
+        let degraded_start = (0.10 + 0.40 * rng.next_f64()) * h;
+        if let Some(link) = degraded {
+            link_faults.push(LinkFault {
+                link,
+                start_s: degraded_start,
+                end_s: Some(degraded_start + 0.20 * h),
+                bw_factor: sev.link_bw_factor(),
+            });
+        }
+        // A transient outage the watchdog can retry through.
+        let flap = pick_link(&mut rng);
+        let flap_start = (0.15 + 0.40 * rng.next_f64()) * h;
+        if sev.has_transient_outage() {
+            if let Some(link) = flap {
+                link_faults.push(LinkFault {
+                    link,
+                    start_s: flap_start,
+                    end_s: Some(flap_start + 0.4 * watchdog.patience_s()),
+                    bw_factor: 0.0,
+                });
+            }
+        }
+        // A permanent outage that exhausts the retry budget.
+        let dead = pick_link(&mut rng);
+        let dead_start = (0.30 + 0.30 * rng.next_f64()) * h;
+        if sev.has_dead_link() {
+            if let Some(link) = dead {
+                link_faults.push(LinkFault {
+                    link,
+                    start_s: dead_start,
+                    end_s: None,
+                    bw_factor: 0.0,
+                });
+            }
+        }
+
+        FaultTimeline {
+            throttles,
+            link_faults,
+            ecc: EccFaults {
+                seed: spec.seed,
+                rate: sev.ecc_rate(),
+                retry_s: 0.01 * h,
+            },
+            watchdog,
+            horizon_s: h,
+        }
+    }
+
+    /// The combined clock cap on `gpu` at `now` (1.0 = uncapped).
+    pub fn freq_cap_at(&self, gpu: usize, now: f64) -> f64 {
+        self.throttles
+            .iter()
+            .filter(|w| w.gpu == gpu && w.active_at(now))
+            .map(|w| w.freq_factor)
+            .fold(1.0, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> FaultScenarioSpec {
+        FaultScenarioSpec::degrade(42, Severity::Severe)
+    }
+
+    #[test]
+    fn same_seed_expands_to_the_identical_timeline() {
+        let a = FaultTimeline::generate(&spec(), 4, 2.0);
+        let b = FaultTimeline::generate(&spec(), 4, 2.0);
+        assert_eq!(a, b);
+        let c = FaultTimeline::generate(&FaultScenarioSpec::degrade(43, Severity::Severe), 4, 2.0);
+        assert_ne!(a, c, "a different seed must move the windows");
+    }
+
+    #[test]
+    fn severity_ladders_monotonically() {
+        let mild = FaultTimeline::generate(&FaultScenarioSpec::degrade(1, Severity::Mild), 4, 1.0);
+        let severe =
+            FaultTimeline::generate(&FaultScenarioSpec::degrade(1, Severity::Severe), 4, 1.0);
+        assert!(mild.throttles.len() < severe.throttles.len());
+        assert!(mild.link_faults.iter().all(|f| !f.is_outage()));
+        assert!(severe.link_faults.iter().any(|f| f.end_s.is_none()));
+    }
+
+    #[test]
+    fn windows_scale_with_the_horizon() {
+        let short = FaultTimeline::generate(&spec(), 4, 1.0);
+        let long = FaultTimeline::generate(&spec(), 4, 10.0);
+        assert!((long.throttles[0].start_s / short.throttles[0].start_s - 10.0).abs() < 1e-9);
+        assert!((long.watchdog.timeout_s / short.watchdog.timeout_s - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_gpu_nodes_get_no_link_faults() {
+        let t = FaultTimeline::generate(&spec(), 1, 1.0);
+        assert!(t.link_faults.is_empty());
+        assert_eq!(t.throttles.iter().map(|w| w.gpu).max(), Some(0));
+    }
+
+    #[test]
+    fn freq_caps_compose_within_overlapping_windows() {
+        let t = FaultTimeline {
+            throttles: vec![
+                ThrottleWindow {
+                    gpu: 0,
+                    start_s: 1.0,
+                    end_s: 3.0,
+                    freq_factor: 0.8,
+                },
+                ThrottleWindow {
+                    gpu: 0,
+                    start_s: 2.0,
+                    end_s: 4.0,
+                    freq_factor: 0.5,
+                },
+            ],
+            link_faults: vec![],
+            ecc: EccFaults {
+                seed: 0,
+                rate: 0.0,
+                retry_s: 0.0,
+            },
+            watchdog: WatchdogConfig::degrade(1.0),
+            horizon_s: 5.0,
+        };
+        assert_eq!(t.freq_cap_at(0, 0.5), 1.0);
+        assert_eq!(t.freq_cap_at(0, 1.5), 0.8);
+        assert_eq!(t.freq_cap_at(0, 2.5), 0.5);
+        assert_eq!(t.freq_cap_at(0, 3.5), 0.5);
+        assert_eq!(t.freq_cap_at(1, 2.5), 1.0, "other GPUs untouched");
+    }
+
+    #[test]
+    fn descriptor_separates_every_spec_axis() {
+        let base = spec().descriptor();
+        assert_ne!(
+            base,
+            FaultScenarioSpec::degrade(43, Severity::Severe).descriptor()
+        );
+        assert_ne!(
+            base,
+            FaultScenarioSpec::degrade(42, Severity::Mild).descriptor()
+        );
+        assert_ne!(
+            base,
+            FaultScenarioSpec::abort(42, Severity::Severe).descriptor()
+        );
+        assert!(base.contains("schema=1"));
+    }
+}

@@ -105,6 +105,20 @@ impl DvfsGovernor {
         }
     }
 
+    /// This governor with an additional transient frequency cap composed
+    /// onto it (thermal throttle windows, straggler injection): the
+    /// effective cap is the minimum of the existing cap and `factor`,
+    /// clamped to `(0, 1]`. The power limit is untouched, so the throttled
+    /// clock also pays the matching (lower) dynamic power.
+    pub fn capped(&self, factor: f64) -> Self {
+        DvfsGovernor {
+            limit: self.limit,
+            max_freq_factor: self
+                .max_freq_factor
+                .min(factor.clamp(f64::MIN_POSITIVE, 1.0)),
+        }
+    }
+
     /// Picks the highest legal frequency for the utilization this epoch.
     ///
     /// Solves `idle + uncore + core·f^alpha = threshold` for `f`, clamped to
@@ -243,6 +257,21 @@ mod tests {
             assert!(!d.throttled, "{kind}");
             assert!((d.power_w - sku.idle_w).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn transient_caps_compose_and_lower_power() {
+        let a100 = GpuSku::a100();
+        let gov = DvfsGovernor::stock(a100.tdp_w);
+        let throttled = gov.capped(0.7);
+        assert_eq!(throttled.max_freq_factor, 0.7);
+        // Composing keeps the tighter of the two caps.
+        assert_eq!(throttled.capped(0.9).max_freq_factor, 0.7);
+        assert_eq!(gov.capped(1.0), gov);
+        let full = gov.decide(&a100.power(), &busy());
+        let slow = throttled.decide(&a100.power(), &busy());
+        assert!(slow.freq_factor < full.freq_factor);
+        assert!(slow.power_w < full.power_w);
     }
 
     #[test]

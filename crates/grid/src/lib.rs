@@ -42,7 +42,7 @@ pub mod telemetry;
 
 pub use cache::{CacheCounters, CacheTier, CacheValue, Reader, ResultCache, Writer};
 pub use hash::{fnv1a_64, StableHasher};
-pub use pool::Pool;
+pub use pool::{Pool, WorkerPanic};
 pub use telemetry::SweepStats;
 
 use std::io;
@@ -75,10 +75,14 @@ enum CellSource {
 }
 
 /// The outputs of one sweep, in input order, plus its telemetry.
+///
+/// A cell whose closure panicked occupies its slot with the captured
+/// [`WorkerPanic`] instead of aborting the sweep; everything else completes
+/// normally.
 #[derive(Debug, Clone)]
 pub struct SweepRun<V> {
     /// Per-cell outputs, index-aligned with the submitted jobs.
-    pub outputs: Vec<V>,
+    pub outputs: Vec<Result<V, WorkerPanic>>,
     /// Throughput and cache statistics.
     pub stats: SweepStats,
 }
@@ -130,7 +134,10 @@ impl<V: CacheValue> Executor<V> {
     /// and returns outputs in input order with sweep telemetry.
     pub fn run<J: GridJob<Output = V>>(&self, jobs: &[J]) -> SweepRun<V> {
         let start = Instant::now();
-        let resolved = self.pool.map(jobs, |job| {
+        // `try_map`, not `map`: a panicking cell fails only its own slot.
+        // The panic escapes `execute` before the insert, so the cache never
+        // learns a poisoned descriptor — a retry re-executes the cell.
+        let resolved = self.pool.try_map(jobs, |job| {
             let descriptor = job.descriptor();
             if let Some((value, tier)) = self.cache.lookup(&descriptor) {
                 return (value, CellSource::Hit(tier));
@@ -149,16 +156,24 @@ impl<V: CacheValue> Executor<V> {
             ..SweepStats::default()
         };
         let mut outputs = Vec::with_capacity(resolved.len());
-        for (value, source) in resolved {
-            match source {
-                CellSource::Hit(CacheTier::Memory) => stats.memory_hits += 1,
-                CellSource::Hit(CacheTier::Disk) => stats.disk_hits += 1,
-                CellSource::Computed { cell_s } => {
-                    stats.simulated += 1;
-                    stats.cumulative_cell_s += cell_s;
+        for slot in resolved {
+            match slot {
+                Ok((value, source)) => {
+                    match source {
+                        CellSource::Hit(CacheTier::Memory) => stats.memory_hits += 1,
+                        CellSource::Hit(CacheTier::Disk) => stats.disk_hits += 1,
+                        CellSource::Computed { cell_s } => {
+                            stats.simulated += 1;
+                            stats.cumulative_cell_s += cell_s;
+                        }
+                    }
+                    outputs.push(Ok(value));
+                }
+                Err(panic) => {
+                    stats.panicked += 1;
+                    outputs.push(Err(panic));
                 }
             }
-            outputs.push(value);
         }
         SweepRun { outputs, stats }
     }
@@ -210,7 +225,7 @@ mod tests {
         let executions = AtomicUsize::new(0);
         let xs: Vec<u64> = (0..100).rev().collect();
         let run = Executor::new().with_jobs(8).run(&jobs(&xs, &executions));
-        let expect: Vec<u64> = xs.iter().map(|x| x * x).collect();
+        let expect: Vec<Result<u64, WorkerPanic>> = xs.iter().map(|x| Ok(x * x)).collect();
         assert_eq!(run.outputs, expect);
         assert_eq!(run.stats.cells, 100);
         assert_eq!(run.stats.simulated, 100);
@@ -255,7 +270,51 @@ mod tests {
         let executions = AtomicUsize::new(0);
         let xs = vec![3, 3, 3, 3, 3, 3, 3, 3];
         let run = Executor::new().with_jobs(4).run(&jobs(&xs, &executions));
-        assert_eq!(run.outputs, vec![9; 8]);
+        assert_eq!(run.outputs, vec![Ok(9); 8]);
         assert_eq!(run.stats.simulated + run.stats.memory_hits, 8);
+    }
+
+    /// A toy job that panics for one input, squaring the rest.
+    struct Volatile {
+        x: u64,
+    }
+
+    impl GridJob for Volatile {
+        type Output = u64;
+        fn descriptor(&self) -> String {
+            format!("volatile x={}", self.x)
+        }
+        fn execute(&self) -> u64 {
+            if self.x == 7 {
+                panic!("cell x=7 blew up");
+            }
+            self.x * self.x
+        }
+    }
+
+    #[test]
+    fn a_panicking_cell_fails_its_slot_and_is_never_cached() {
+        let xs: Vec<u64> = (0..16).collect();
+        let make = || xs.iter().map(|&x| Volatile { x }).collect::<Vec<_>>();
+        let engine = Executor::new().with_jobs(4);
+        let run = engine.run(&make());
+        assert_eq!(run.stats.panicked, 1);
+        assert_eq!(run.stats.simulated, 15);
+        for (i, slot) in run.outputs.iter().enumerate() {
+            if i == 7 {
+                let p = slot.as_ref().unwrap_err();
+                assert!(p.message.contains("cell x=7 blew up"), "got {p}");
+            } else {
+                assert_eq!(*slot.as_ref().unwrap(), (i as u64) * (i as u64));
+            }
+        }
+        assert!(run.stats.summary().contains("1 panicked"));
+
+        // The panicked descriptor was never cached: a second sweep retries
+        // it (and panics again), while the 15 good cells hit memory.
+        let warm = engine.run(&make());
+        assert_eq!(warm.stats.memory_hits, 15);
+        assert_eq!(warm.stats.panicked, 1);
+        assert_eq!(warm.stats.simulated, 0);
     }
 }

@@ -14,9 +14,40 @@
 //! anchor the grid executor's bit-identical-to-serial guarantee rests on.
 
 use std::collections::VecDeque;
+use std::fmt;
 use std::num::NonZeroUsize;
+use std::panic::AssertUnwindSafe;
 use std::sync::mpsc;
 use std::sync::Mutex;
+
+/// A panic captured from one item's closure by [`Pool::try_map`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// The panic payload rendered to text (`&str`/`String` payloads; other
+    /// payload types get a placeholder).
+    pub message: String,
+}
+
+impl WorkerPanic {
+    fn from_payload(payload: Box<dyn std::any::Any + Send>) -> Self {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        WorkerPanic { message }
+    }
+}
+
+impl fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "worker panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
 
 /// A fixed-width worker pool.
 ///
@@ -59,9 +90,34 @@ impl Pool {
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
+        self.try_map(items, f)
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => v,
+                Err(p) => panic!("{p}"),
+            })
+            .collect()
+    }
+
+    /// Like [`Pool::map`], but a panicking closure fails only that item's
+    /// result slot instead of tearing down the whole sweep: the panic is
+    /// caught on the worker, rendered into a [`WorkerPanic`], and returned
+    /// in input order alongside the successes. The worker thread survives
+    /// and moves on to its next item.
+    pub fn try_map<T, R, F>(&self, items: &[T], f: F) -> Vec<Result<R, WorkerPanic>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let call = |item: &T| {
+            std::panic::catch_unwind(AssertUnwindSafe(|| f(item)))
+                .map_err(WorkerPanic::from_payload)
+        };
+
         let workers = self.workers.min(items.len());
         if workers <= 1 {
-            return items.iter().map(&f).collect();
+            return items.iter().map(call).collect();
         }
 
         // Round-robin initial distribution of item indices.
@@ -69,17 +125,17 @@ impl Pool {
             .map(|w| Mutex::new((w..items.len()).step_by(workers).collect()))
             .collect();
 
-        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        let (tx, rx) = mpsc::channel::<(usize, Result<R, WorkerPanic>)>();
         std::thread::scope(|scope| {
             for w in 0..workers {
                 let tx = tx.clone();
                 let deques = &deques;
-                let f = &f;
+                let call = &call;
                 scope.spawn(move || {
                     while let Some(idx) = next_item(deques, w) {
                         // A worker dies with the pool if the main thread
                         // already panicked and dropped the receiver.
-                        if tx.send((idx, f(&items[idx]))).is_err() {
+                        if tx.send((idx, call(&items[idx]))).is_err() {
                             break;
                         }
                     }
@@ -87,7 +143,8 @@ impl Pool {
             }
             drop(tx);
 
-            let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+            let mut results: Vec<Option<Result<R, WorkerPanic>>> =
+                (0..items.len()).map(|_| None).collect();
             for (idx, result) in rx {
                 results[idx] = Some(result);
             }
@@ -197,5 +254,34 @@ mod tests {
     fn zero_workers_clamps_to_one() {
         assert_eq!(Pool::new(0).workers(), 1);
         assert!(Pool::with_available_parallelism().workers() >= 1);
+    }
+
+    #[test]
+    fn a_panic_mid_sweep_fails_only_that_slot() {
+        let items: Vec<u64> = (0..32).collect();
+        for workers in [1, 4] {
+            let out = Pool::new(workers).try_map(&items, |&x| {
+                if x == 13 {
+                    panic!("unlucky item {x}");
+                }
+                x * 2
+            });
+            assert_eq!(out.len(), items.len());
+            for (i, r) in out.iter().enumerate() {
+                if i == 13 {
+                    let p = r.as_ref().unwrap_err();
+                    assert!(p.message.contains("unlucky item 13"), "got {p}");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i as u64 * 2, "slot {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked: boom")]
+    fn map_repropagates_worker_panics() {
+        let items: Vec<u64> = (0..8).collect();
+        Pool::new(2).map(&items, |&x| if x == 3 { panic!("boom") } else { x });
     }
 }

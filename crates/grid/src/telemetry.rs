@@ -14,6 +14,8 @@ pub struct SweepStats {
     pub memory_hits: usize,
     /// Cells served by the disk cache tier.
     pub disk_hits: usize,
+    /// Cells whose closure panicked (isolated by the pool, not cached).
+    pub panicked: usize,
     /// Worker threads used.
     pub workers: usize,
     /// Wall-clock time of the whole sweep, seconds.
@@ -81,7 +83,11 @@ impl fmt::Display for SweepStats {
             self.cumulative_cell_s,
             self.wall_s,
             self.speedup(),
-        )
+        )?;
+        if self.panicked > 0 {
+            write!(f, ", {} panicked", self.panicked)?;
+        }
+        Ok(())
     }
 }
 
@@ -95,6 +101,7 @@ mod tests {
             simulated: 4,
             memory_hits: 5,
             disk_hits: 1,
+            panicked: 0,
             workers: 8,
             wall_s: 2.0,
             cumulative_cell_s: 12.0,
@@ -130,5 +137,11 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing '{needle}' in '{text}'");
         }
+        assert!(!text.contains("panicked"), "quiet when nothing panicked");
+        let noisy = SweepStats {
+            panicked: 2,
+            ..stats()
+        };
+        assert!(noisy.summary().contains("2 panicked"));
     }
 }

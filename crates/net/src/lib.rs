@@ -33,4 +33,4 @@ mod flow;
 mod topology;
 
 pub use flow::{share_bandwidth, Flow};
-pub use topology::{Topology, TopologyKind};
+pub use topology::{ring_links, Link, Topology, TopologyKind};

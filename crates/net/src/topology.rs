@@ -25,6 +25,74 @@ impl fmt::Display for TopologyKind {
     }
 }
 
+/// An undirected fabric link between two endpoints, stored smaller id
+/// first so `Link::new(a, b) == Link::new(b, a)`. Fault scenarios use
+/// links to name what degrades or dies; healthy topologies never need
+/// them (all pairs are reachable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Link {
+    a: GpuId,
+    b: GpuId,
+}
+
+impl Link {
+    /// The link between two distinct endpoints (order-insensitive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x == y`.
+    pub fn new(x: GpuId, y: GpuId) -> Self {
+        assert!(x != y, "a link needs distinct endpoints");
+        if x.index() <= y.index() {
+            Link { a: x, b: y }
+        } else {
+            Link { a: y, b: x }
+        }
+    }
+
+    /// The two endpoints, smaller id first.
+    pub fn endpoints(&self) -> (GpuId, GpuId) {
+        (self.a, self.b)
+    }
+
+    /// Whether `gpu` is one of the endpoints.
+    pub fn touches(&self, gpu: GpuId) -> bool {
+        self.a == gpu || self.b == gpu
+    }
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gpu{}<->gpu{}", self.a.index(), self.b.index())
+    }
+}
+
+/// The links a ring over `group` crosses: consecutive pairs of the sorted
+/// ranks plus the wrap-around closure (collective libraries build rings in
+/// rank order). A two-rank group yields the single pair once.
+pub fn ring_links(group: &[GpuId]) -> Vec<Link> {
+    let mut ranks: Vec<GpuId> = group.to_vec();
+    ranks.sort_unstable_by_key(|g| g.index());
+    ranks.dedup();
+    if ranks.len() < 2 {
+        return Vec::new();
+    }
+    if ranks.len() == 2 {
+        return vec![Link::new(ranks[0], ranks[1])];
+    }
+    (0..ranks.len())
+        .map(|i| Link::new(ranks[i], ranks[(i + 1) % ranks.len()]))
+        .collect()
+}
+
+/// Lanes a switched-fabric port is striped across (NVLink-style bonded
+/// sublinks): losing one lane costs `1/SWITCHED_PORT_LANES` of the port.
+const SWITCHED_PORT_LANES: f64 = 12.0;
+
+/// Rails per node NIC on two-level fabrics (dual-rail assumption): a dead
+/// cross-node link halves the surviving NIC bandwidth.
+const NIC_RAILS: f64 = 2.0;
+
 /// A GPU interconnect (single node, or multi-node for the scale-out
 /// extension).
 #[derive(Debug, Clone, PartialEq)]
@@ -200,6 +268,53 @@ impl Topology {
         }
     }
 
+    /// Whether the fabric connects `a` and `b` — `false` (never a panic)
+    /// for equal or out-of-range endpoints. All three healthy topologies
+    /// connect every valid pair; fault layers use this as the base-line
+    /// validity check before applying their own dead-link sets.
+    pub fn has_link(&self, a: GpuId, b: GpuId) -> bool {
+        a != b && a.index() < self.n_gpus && b.index() < self.n_gpus
+    }
+
+    /// Bus bandwidth of a ring over `group_size` GPUs that must avoid (or
+    /// reroute around) one `dead` link, GB/s.
+    ///
+    /// * **Switched** — the switch reroutes, but the affected port loses
+    ///   one of its [`SWITCHED_PORT_LANES`] bonded lanes.
+    /// * **Full mesh** — one of each endpoint's `n - 1` striped peer links
+    ///   is gone; with only two GPUs there is no surviving path and the
+    ///   bandwidth is 0 (callers must treat that as a missing link).
+    /// * **Two-level** — an intra-node death behaves like the switched
+    ///   case; a cross-node death drops one of the [`NIC_RAILS`] NIC rails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group size is invalid or a dead-link endpoint is out
+    /// of range.
+    pub fn degraded_ring_busbw_gbs(&self, group_size: usize, dead: Link) -> f64 {
+        let (a, b) = dead.endpoints();
+        assert!(
+            a.index() < self.n_gpus && b.index() < self.n_gpus,
+            "dead link endpoint out of range"
+        );
+        let healthy = self.ring_busbw_gbs(group_size);
+        let factor = match self.kind {
+            TopologyKind::Switched => (SWITCHED_PORT_LANES - 1.0) / SWITCHED_PORT_LANES,
+            TopologyKind::FullMesh => {
+                let peers = self.n_gpus as f64 - 1.0;
+                (peers - 1.0) / peers
+            }
+            TopologyKind::TwoLevel => {
+                if self.node_of(a) == self.node_of(b) {
+                    (SWITCHED_PORT_LANES - 1.0) / SWITCHED_PORT_LANES
+                } else {
+                    (NIC_RAILS - 1.0) / NIC_RAILS
+                }
+            }
+        };
+        healthy * factor
+    }
+
     /// Bisection bandwidth of the node, GB/s (for reporting).
     pub fn bisection_bw_gbs(&self) -> f64 {
         match self.kind {
@@ -313,6 +428,51 @@ mod tests {
     #[should_panic(expected = "at least two nodes")]
     fn single_node_multi_node_is_rejected() {
         Topology::multi_node(1, 4, 450.0, 4.0, 50.0, 10.0);
+    }
+
+    #[test]
+    fn links_are_order_insensitive_and_display() {
+        let l = Link::new(GpuId(3), GpuId(1));
+        assert_eq!(l, Link::new(GpuId(1), GpuId(3)));
+        assert_eq!(l.endpoints(), (GpuId(1), GpuId(3)));
+        assert!(l.touches(GpuId(3)) && !l.touches(GpuId(0)));
+        assert_eq!(l.to_string(), "gpu1<->gpu3");
+    }
+
+    #[test]
+    fn ring_links_close_the_cycle_without_duplicates() {
+        let two = ring_links(&[GpuId(2), GpuId(0)]);
+        assert_eq!(two, vec![Link::new(GpuId(0), GpuId(2))]);
+        let four = ring_links(&[GpuId(3), GpuId(0), GpuId(1), GpuId(2)]);
+        assert_eq!(four.len(), 4);
+        assert!(four.contains(&Link::new(GpuId(3), GpuId(0))), "wrap link");
+        assert!(ring_links(&[GpuId(5)]).is_empty());
+    }
+
+    #[test]
+    fn has_link_is_total_and_never_panics() {
+        let t = Topology::nvswitch(4, 300.0, 5.0);
+        assert!(t.has_link(GpuId(0), GpuId(3)));
+        assert!(!t.has_link(GpuId(1), GpuId(1)));
+        assert!(!t.has_link(GpuId(0), GpuId(4)));
+    }
+
+    #[test]
+    fn degraded_ring_loses_a_lane_a_stripe_or_a_rail() {
+        let dead = Link::new(GpuId(0), GpuId(1));
+        let sw = Topology::nvswitch(4, 300.0, 5.0);
+        assert!((sw.degraded_ring_busbw_gbs(4, dead) - 300.0 * 11.0 / 12.0).abs() < 1e-9);
+        let mesh = Topology::full_mesh(4, 150.0, 6.0);
+        assert!((mesh.degraded_ring_busbw_gbs(4, dead) - 150.0 * 2.0 / 3.0).abs() < 1e-9);
+        // A two-GPU mesh has no surviving path.
+        assert_eq!(
+            Topology::full_mesh(2, 100.0, 6.0).degraded_ring_busbw_gbs(2, dead),
+            0.0
+        );
+        let multi = Topology::multi_node(2, 4, 450.0, 4.0, 50.0, 10.0);
+        let cross = Link::new(GpuId(0), GpuId(4));
+        assert!((multi.degraded_ring_busbw_gbs(8, cross) - 25.0).abs() < 1e-9);
+        assert!((multi.degraded_ring_busbw_gbs(8, dead) - 50.0 * 11.0 / 12.0).abs() < 1e-9);
     }
 
     #[test]

@@ -32,7 +32,9 @@ pub mod metamorphic;
 pub mod oracles;
 
 pub use gen::{random_experiment, random_plan, shrink_experiment, shrink_plan, Gen, WorkloadPlan};
-pub use metamorphic::{check_collective_relations, check_experiment_relations, RelationOutcome};
+pub use metamorphic::{
+    check_collective_relations, check_experiment_relations, check_fault_relations, RelationOutcome,
+};
 pub use oracles::{
     check_cell, check_comm_op, check_kernel, Divergence, DivergenceReport, Tolerance,
 };

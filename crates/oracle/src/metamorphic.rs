@@ -209,6 +209,101 @@ pub fn check_experiment_relations(seed: u64) -> RelationOutcome {
     }
 }
 
+/// Fault relations F1 and F2 for one seeded cell.
+///
+/// * **F1** — the fault-free run lower-bounds the makespan of the same
+///   cell under *any* fault scenario: injected stalls, throttles and
+///   degradations can only add time. Checked at every severity of the
+///   seed's scenario.
+/// * **F2** — widening a throttle window never decreases the makespan
+///   (more of the run spent at a lower clock can only slow it down).
+///
+/// Scenario seeds that abort (a dead link with no surviving path on a
+/// 2-GPU ring) have no final makespan to compare and are skipped for F1,
+/// exactly as out-of-memory cells are skipped elsewhere.
+pub fn check_fault_relations(seed: u64) -> RelationOutcome {
+    use olab_core::execute_model;
+    use olab_faults::{
+        run_with_faults, FaultError, FaultScenarioSpec, FaultTimeline, FaultyMachine, Severity,
+    };
+
+    let exp = random_experiment(seed);
+    let base = match overlapped_run(&exp) {
+        Ok(run) => run,
+        Err(_) => return RelationOutcome::infeasible(seed),
+    };
+    let mut failures = Vec::new();
+    let tol = Tolerance::LOOSE;
+
+    // F1: fault-free lower-bounds every severity of the seed's scenario.
+    for severity in Severity::ALL {
+        match run_with_faults(&exp, &FaultScenarioSpec::degrade(seed, severity)) {
+            Ok(report) => {
+                let m = &report.metrics;
+                if m.faulty_e2e_s + tol.allowance(m.fault_free_e2e_s) < m.fault_free_e2e_s {
+                    failures.push(format!(
+                        "seed {seed}: F1 broken for {} at {severity}: faults sped the \
+                         run up {:.6e} -> {:.6e}",
+                        exp.label(),
+                        m.fault_free_e2e_s,
+                        m.faulty_e2e_s
+                    ));
+                }
+            }
+            Err(FaultError::Aborted(_)) => {} // no surviving path: no makespan to bound
+            Err(FaultError::Experiment(e)) => {
+                failures.push(format!(
+                    "seed {seed}: F1 could not run: a feasible cell failed under faults: {e}"
+                ));
+            }
+        }
+    }
+
+    // F2: widening every throttle window never decreases the makespan.
+    // Mild scenarios carry no outages, so the comparison isolates the
+    // throttle axis.
+    let spec = FaultScenarioSpec::degrade(seed, Severity::Mild);
+    let narrow_tl = FaultTimeline::generate(&spec, exp.n_gpus, base.e2e_s);
+    let workload = exp
+        .validate()
+        .and_then(|policy| exp.timeline(ExecutionMode::Overlapped, policy));
+    match workload {
+        Ok(workload) => {
+            let machine = exp.machine();
+            let mut wide_tl = narrow_tl.clone();
+            for w in &mut wide_tl.throttles {
+                w.start_s = (w.start_s - 0.10 * base.e2e_s).max(0.0);
+                w.end_s += 0.20 * base.e2e_s;
+            }
+            let narrow = execute_model(&workload, FaultyMachine::new(machine.clone(), narrow_tl));
+            let wide = execute_model(&workload, FaultyMachine::new(machine, wide_tl));
+            match (narrow, wide) {
+                (Ok(n), Ok(w)) => {
+                    if w.e2e_s + tol.allowance(n.e2e_s) < n.e2e_s {
+                        failures.push(format!(
+                            "seed {seed}: F2 broken for {}: widening the throttle windows \
+                             sped the run up {:.6e} -> {:.6e}",
+                            exp.label(),
+                            n.e2e_s,
+                            w.e2e_s
+                        ));
+                    }
+                }
+                _ => failures.push(format!(
+                    "seed {seed}: F2 could not run: fault injection broke the engine"
+                )),
+            }
+        }
+        Err(e) => failures.push(format!("seed {seed}: F2 could not build the workload: {e}")),
+    }
+
+    RelationOutcome {
+        seed,
+        feasible: true,
+        failures,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +321,23 @@ mod tests {
         let mut feasible = 0;
         for seed in 0..6 {
             let outcome = check_experiment_relations(seed);
+            if outcome.feasible {
+                feasible += 1;
+            }
+            assert!(
+                outcome.failures.is_empty(),
+                "{}",
+                outcome.failures.join("\n")
+            );
+        }
+        assert!(feasible >= 2, "only {feasible}/6 seeds feasible");
+    }
+
+    #[test]
+    fn fault_relations_hold_on_a_spot_check() {
+        let mut feasible = 0;
+        for seed in 0..6 {
+            let outcome = check_fault_relations(seed);
             if outcome.feasible {
                 feasible += 1;
             }

@@ -8,7 +8,9 @@
 use olab_core::registry;
 use olab_core::Experiment;
 use olab_grid::Pool;
-use olab_oracle::{check_cell, check_collective_relations, check_experiment_relations};
+use olab_oracle::{
+    check_cell, check_collective_relations, check_experiment_relations, check_fault_relations,
+};
 
 /// Every experiment the figure regenerators run, shortened for test speed.
 fn figure_grid() -> Vec<Experiment> {
@@ -95,6 +97,29 @@ fn metamorphic_relations_hold_over_100_seeded_experiments() {
     assert!(
         failures.is_empty(),
         "{} metamorphic failures:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn fault_relations_hold_over_seeded_scenarios() {
+    // Each seed runs the cell fault-free plus at every severity (F1) and
+    // twice more with narrow/wide throttle windows (F2) — five to six
+    // simulations per seed, so 40 seeds is the CI-budget sweet spot.
+    let seeds: Vec<u64> = (0..40).collect();
+    let outcomes =
+        Pool::with_available_parallelism().map(&seeds, |&seed| check_fault_relations(seed));
+
+    let feasible = outcomes.iter().filter(|o| o.feasible).count();
+    assert!(
+        feasible >= 25,
+        "only {feasible}/40 seeds produced a feasible cell"
+    );
+    let failures: Vec<String> = outcomes.into_iter().flat_map(|o| o.failures).collect();
+    assert!(
+        failures.is_empty(),
+        "{} fault-relation failures:\n{}",
         failures.len(),
         failures.join("\n")
     );

@@ -19,8 +19,10 @@ enum Status {
 ///
 /// The engine is deterministic: identical workloads and models produce
 /// identical traces. Each iteration of the main loop ("epoch") runs until the
-/// earliest completion among running tasks, so the number of epochs is
-/// bounded by the number of tasks.
+/// earliest completion among running tasks — or, for time-varying models,
+/// until the model's [`next_boundary`](RateModel::next_boundary) — so the
+/// number of epochs is bounded by the number of tasks plus the number of
+/// distinct model boundaries.
 #[derive(Debug)]
 pub struct Engine<M> {
     model: M,
@@ -137,7 +139,8 @@ impl<M: RateModel> Engine<M> {
             rates.resize(running.len(), 0.0);
             power.clear();
             power.resize(n_gpus, 0.0);
-            self.model.assign_rates(&views, &mut rates, &mut power);
+            self.model
+                .assign_rates_at(now.as_secs(), &views, &mut rates, &mut power);
 
             for (i, &rate) in rates.iter().enumerate() {
                 if !(rate.is_finite() && rate > 0.0) {
@@ -164,6 +167,22 @@ impl<M: RateModel> Engine<M> {
                 }
             }
             debug_assert!(dt.is_finite());
+
+            // A time-varying model may change rates before the earliest
+            // completion; clamp the epoch to the model's next boundary and
+            // re-solve there instead of retiring anything. Boundaries at or
+            // before `now` (within floating-point slack) are stale and
+            // ignored, which keeps a model that repeats an old boundary from
+            // stalling the loop.
+            let mut completes = true;
+            if let Some(boundary) = self.model.next_boundary(now.as_secs()) {
+                let until = boundary - now.as_secs();
+                let eps = 1e-12f64.max(now.as_secs() * 1e-12);
+                if until > eps && until < dt {
+                    dt = until;
+                    completes = false;
+                }
+            }
 
             // Per-device stream occupancy during this epoch.
             let mut stream_busy = vec![[false; 2]; n_gpus];
@@ -199,7 +218,7 @@ impl<M: RateModel> Engine<M> {
                     coactive[id.index()] += epoch;
                 }
                 remaining[id.index()] = (remaining[id.index()] - rates[i] * dt).max(0.0);
-                if i == argmin {
+                if completes && i == argmin {
                     remaining[id.index()] = 0.0;
                 }
             }
@@ -391,6 +410,100 @@ mod tests {
         w.push(TaskSpec::compute("a", GpuId(0), ()));
         let err = Engine::new(Broken).run(&w).unwrap_err();
         assert!(matches!(err, SimError::InvalidRate { rate, .. } if rate == 0.0));
+    }
+
+    /// Rate 1.0 before `switch_at`, `late_rate` after; boundary reported at
+    /// `switch_at`. Exercises the fault-injection hook points.
+    struct SteppedRate {
+        switch_at: f64,
+        late_rate: f64,
+    }
+
+    impl RateModel for SteppedRate {
+        type Payload = ();
+        fn assign_rates(
+            &mut self,
+            _running: &[RunningTask<'_, ()>],
+            _rates: &mut [f64],
+            _power: &mut [f64],
+        ) {
+            unreachable!("engine must call assign_rates_at");
+        }
+        fn assign_rates_at(
+            &mut self,
+            now: f64,
+            running: &[RunningTask<'_, ()>],
+            rates: &mut [f64],
+            _power: &mut [f64],
+        ) {
+            let rate = if now < self.switch_at {
+                1.0
+            } else {
+                self.late_rate
+            };
+            for r in rates.iter_mut().take(running.len()) {
+                *r = rate;
+            }
+        }
+        fn next_boundary(&mut self, now: f64) -> Option<f64> {
+            (now < self.switch_at).then_some(self.switch_at)
+        }
+    }
+
+    #[test]
+    fn model_boundary_splits_the_epoch_and_rates_are_requeried() {
+        // One 1.0-unit task: rate 1.0 until t=0.4 (0.4 done), then rate 0.5
+        // for the remaining 0.6 units -> finishes at 0.4 + 1.2 = 1.6 s.
+        let mut w = unit_workload();
+        w.push(TaskSpec::compute("a", GpuId(0), ()));
+        let trace = Engine::new(SteppedRate {
+            switch_at: 0.4,
+            late_rate: 0.5,
+        })
+        .run(&w)
+        .unwrap();
+        assert!((trace.makespan().as_secs() - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boundary_beyond_completion_does_not_delay_retirement() {
+        let mut w = unit_workload();
+        w.push(TaskSpec::compute("a", GpuId(0), ()));
+        let trace = Engine::new(SteppedRate {
+            switch_at: 10.0,
+            late_rate: 0.5,
+        })
+        .run(&w)
+        .unwrap();
+        assert!((trace.makespan().as_secs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stale_boundaries_are_ignored() {
+        // Always reports a boundary at t=0; after the first epoch that is in
+        // the past and must not stall the loop or block retirement.
+        struct Stale;
+        impl RateModel for Stale {
+            type Payload = ();
+            fn assign_rates(
+                &mut self,
+                running: &[RunningTask<'_, ()>],
+                rates: &mut [f64],
+                _power: &mut [f64],
+            ) {
+                for r in rates.iter_mut().take(running.len()) {
+                    *r = 1.0;
+                }
+            }
+            fn next_boundary(&mut self, _now: f64) -> Option<f64> {
+                Some(0.0)
+            }
+        }
+        let mut w = unit_workload();
+        w.push(TaskSpec::compute("a", GpuId(0), ()));
+        w.push(TaskSpec::compute("b", GpuId(0), ()));
+        let trace = Engine::new(Stale).run(&w).unwrap();
+        assert!((trace.makespan().as_secs() - 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -49,6 +49,39 @@ pub trait RateModel {
         rates: &mut [f64],
         power: &mut [f64],
     );
+
+    /// Time-aware variant of [`assign_rates`](RateModel::assign_rates).
+    ///
+    /// `now` is the simulation time at the start of the epoch, in seconds.
+    /// Models whose physics depend on wall-clock position (fault windows,
+    /// scheduled throttles) override this; the default ignores `now` and
+    /// delegates, so stationary models need not change.
+    fn assign_rates_at(
+        &mut self,
+        now: f64,
+        running: &[RunningTask<'_, Self::Payload>],
+        rates: &mut [f64],
+        power: &mut [f64],
+    ) {
+        let _ = now;
+        self.assign_rates(running, rates, power)
+    }
+
+    /// The next instant strictly after `now` at which this model's rates
+    /// change for a reason *other than* a task completing (a fault window
+    /// opening or closing, a watchdog deadline, ...).
+    ///
+    /// The engine clamps each epoch to the earlier of the next task
+    /// completion and this boundary, re-querying rates at the boundary so a
+    /// piecewise-constant external timeline is honored exactly. Stationary
+    /// models keep the default `None`. Boundaries at or before `now` are
+    /// ignored by the engine, so returning a stale boundary is safe (but
+    /// each *distinct* boundary must eventually advance, or the model set is
+    /// malformed).
+    fn next_boundary(&mut self, now: f64) -> Option<f64> {
+        let _ = now;
+        None
+    }
 }
 
 impl<M: RateModel + ?Sized> RateModel for &mut M {
@@ -61,6 +94,20 @@ impl<M: RateModel + ?Sized> RateModel for &mut M {
         power: &mut [f64],
     ) {
         (**self).assign_rates(running, rates, power)
+    }
+
+    fn assign_rates_at(
+        &mut self,
+        now: f64,
+        running: &[RunningTask<'_, Self::Payload>],
+        rates: &mut [f64],
+        power: &mut [f64],
+    ) {
+        (**self).assign_rates_at(now, running, rates, power)
+    }
+
+    fn next_boundary(&mut self, now: f64) -> Option<f64> {
+        (**self).next_boundary(now)
     }
 }
 
