@@ -93,7 +93,7 @@ impl RunArgs {
 }
 
 /// Sweep-specific arguments: the batch list plus the grid-engine knobs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SweepArgs {
     /// Batch sizes to sweep.
     pub batches: Vec<u64>,
@@ -103,6 +103,26 @@ pub struct SweepArgs {
     /// Persistent result-cache directory (`--cache DIR`). `None` defers
     /// to `OLAB_CACHE_DIR` or memory-only caching.
     pub cache: Option<String>,
+    /// Live progress + run artifacts (`--observe`).
+    pub observe: bool,
+    /// Artifact directory for `--observe` (`--out-dir DIR`).
+    pub out_dir: Option<String>,
+    /// Counter sampling cadence for artifacts, ms of simulated time
+    /// (`--sample-ms X`).
+    pub sample_ms: f64,
+}
+
+impl Default for SweepArgs {
+    fn default() -> Self {
+        SweepArgs {
+            batches: Vec::new(),
+            jobs: None,
+            cache: None,
+            observe: false,
+            out_dir: None,
+            sample_ms: 100.0,
+        }
+    }
 }
 
 /// Faults-sweep arguments: which scenarios to inject and how to react.
@@ -117,6 +137,13 @@ pub struct FaultsArgs {
     pub abort: bool,
     /// Worker threads (`--jobs N`; `1` forces a serial sweep).
     pub jobs: Option<usize>,
+    /// Live progress + run artifacts (`--observe`).
+    pub observe: bool,
+    /// Artifact directory for `--observe` (`--out-dir DIR`).
+    pub out_dir: Option<String>,
+    /// Counter sampling cadence for artifacts, ms of simulated time
+    /// (`--sample-ms X`).
+    pub sample_ms: f64,
 }
 
 impl Default for FaultsArgs {
@@ -126,6 +153,46 @@ impl Default for FaultsArgs {
             severities: olab_faults::Severity::ALL.to_vec(),
             abort: false,
             jobs: None,
+            observe: false,
+            out_dir: None,
+            sample_ms: 100.0,
+        }
+    }
+}
+
+/// `observe`-subcommand arguments: which cell to observe and where the
+/// run artifact goes.
+#[derive(Debug, Clone)]
+pub struct ObserveArgs {
+    /// Named registry cell overriding the shared flags (`--cell fig7`).
+    pub cell: Option<String>,
+    /// Artifact directory (`--out-dir DIR`). Without it the manifest is
+    /// printed to stdout and nothing is written.
+    pub out_dir: Option<String>,
+    /// Counter sampling cadence, ms of simulated time (`--sample-ms X`).
+    pub sample_ms: f64,
+    /// Worker threads for the auxiliary runs (`--jobs N`).
+    pub jobs: Option<usize>,
+    /// Observe the cell under an injected fault scenario
+    /// (`--fault-seed N`).
+    pub fault_seed: Option<u64>,
+    /// Fault severity for `--fault-seed` (`--severity mild|moderate|severe`).
+    pub severity: olab_faults::Severity,
+    /// Abort on watchdog exhaustion instead of degrading
+    /// (`--action degrade|abort`).
+    pub abort: bool,
+}
+
+impl Default for ObserveArgs {
+    fn default() -> Self {
+        ObserveArgs {
+            cell: None,
+            out_dir: None,
+            sample_ms: 100.0,
+            jobs: None,
+            fault_seed: None,
+            severity: olab_faults::Severity::Moderate,
+            abort: false,
         }
     }
 }
@@ -147,6 +214,8 @@ pub enum Command {
     Chrome(RunArgs),
     /// `olab faults ... [--seeds a,b] [--severity all] [--action degrade]`.
     Faults(RunArgs, FaultsArgs),
+    /// `olab observe ... [--cell fig7] [--out-dir DIR] [--sample-ms 100]`.
+    Observe(RunArgs, ObserveArgs),
     /// `olab help` / no arguments.
     Help,
 }
@@ -281,14 +350,20 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         return Ok(Command::Help);
     };
 
-    // Split "--flag value" pairs; "--csv" is a bare flag.
+    // Split "--flag value" pairs; "--csv" and "--observe" are bare flags.
     let mut pairs: Vec<(&str, &str)> = Vec::new();
     let mut csv = false;
+    let mut observe = false;
     let mut i = 1;
     while i < argv.len() {
         let flag = argv[i].as_str();
         if flag == "--csv" {
             csv = true;
+            i += 1;
+            continue;
+        }
+        if flag == "--observe" {
+            observe = true;
             i += 1;
             continue;
         }
@@ -304,8 +379,12 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
 
     match sub.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
-        "list" => Ok(Command::List),
+        "list" => {
+            reject_observe("list", observe)?;
+            Ok(Command::List)
+        }
         "run" => {
+            reject_observe("run", observe)?;
             let (mut args, rest) = parse_run_args(&pairs)?;
             args.csv = csv;
             reject_unknown(&rest)?;
@@ -316,6 +395,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             args.csv = csv;
             let mut sweep = SweepArgs {
                 batches: vec![8, 16, 32],
+                observe,
                 ..SweepArgs::default()
             };
             let mut unknown = Vec::new();
@@ -329,6 +409,8 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     }
                     "--jobs" => sweep.jobs = Some(num(flag, value)?),
                     "--cache" => sweep.cache = Some(value.to_string()),
+                    "--out-dir" => sweep.out_dir = Some(value.to_string()),
+                    "--sample-ms" => sweep.sample_ms = positive_ms(flag, value)?,
                     _ => unknown.push((flag, value)),
                 }
             }
@@ -336,6 +418,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             Ok(Command::Sweep(args, sweep))
         }
         "trace" => {
+            reject_observe("trace", observe)?;
             let (mut args, rest) = parse_run_args(&pairs)?;
             args.csv = csv;
             let mut interval = 1.0;
@@ -351,6 +434,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             Ok(Command::Trace(args, interval))
         }
         "chrome" => {
+            reject_observe("chrome", observe)?;
             let (mut args, rest) = parse_run_args(&pairs)?;
             args.csv = csv;
             reject_unknown(&rest)?;
@@ -359,7 +443,10 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         "faults" => {
             let (mut args, rest) = parse_run_args(&pairs)?;
             args.csv = csv;
-            let mut faults = FaultsArgs::default();
+            let mut faults = FaultsArgs {
+                observe,
+                ..FaultsArgs::default()
+            };
             let mut unknown = Vec::new();
             for (flag, value) in rest {
                 match flag {
@@ -371,23 +458,47 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                             .collect::<Result<Vec<u64>, _>>()?;
                     }
                     "--severity" => faults.severities = parse_severities(value)?,
-                    "--action" => match value.to_ascii_lowercase().as_str() {
-                        "degrade" => faults.abort = false,
-                        "abort" => faults.abort = true,
-                        other => {
-                            return Err(CliError(format!(
-                                "unknown action '{other}' (expected degrade|abort)"
-                            )))
-                        }
-                    },
+                    "--action" => faults.abort = parse_action(value)?,
                     "--jobs" => faults.jobs = Some(num(flag, value)?),
+                    "--out-dir" => faults.out_dir = Some(value.to_string()),
+                    "--sample-ms" => faults.sample_ms = positive_ms(flag, value)?,
                     _ => unknown.push((flag, value)),
                 }
             }
             reject_unknown(&unknown)?;
             Ok(Command::Faults(args, faults))
         }
+        "observe" => {
+            let (mut args, rest) = parse_run_args(&pairs)?;
+            args.csv = csv;
+            let mut obs = ObserveArgs::default();
+            let mut unknown = Vec::new();
+            for (flag, value) in rest {
+                match flag {
+                    "--cell" => obs.cell = Some(value.to_ascii_lowercase()),
+                    "--out-dir" => obs.out_dir = Some(value.to_string()),
+                    "--sample-ms" => obs.sample_ms = positive_ms(flag, value)?,
+                    "--jobs" => obs.jobs = Some(num(flag, value)?),
+                    "--fault-seed" => obs.fault_seed = Some(num(flag, value)?),
+                    "--severity" => {
+                        let all = parse_severities(value)?;
+                        let [one] = all.as_slice() else {
+                            return Err(CliError(
+                                "--severity: observe takes a single severity, not 'all'"
+                                    .to_string(),
+                            ));
+                        };
+                        obs.severity = *one;
+                    }
+                    "--action" => obs.abort = parse_action(value)?,
+                    _ => unknown.push((flag, value)),
+                }
+            }
+            reject_unknown(&unknown)?;
+            Ok(Command::Observe(args, obs))
+        }
         "tune" => {
+            reject_observe("tune", observe)?;
             let (mut args, rest) = parse_run_args(&pairs)?;
             args.csv = csv;
             let mut objective = Objective::Latency;
@@ -403,9 +514,40 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             Ok(Command::Tune(args, objective))
         }
         other => Err(CliError(format!(
-            "unknown command '{other}' (expected run|sweep|trace|tune|chrome|faults|list|help)"
+            "unknown command '{other}' \
+             (expected run|sweep|trace|tune|chrome|faults|observe|list|help)"
         ))),
     }
+}
+
+/// `--observe` is only meaningful where a sweep runs (sweep, faults).
+fn reject_observe(sub: &str, observe: bool) -> Result<(), CliError> {
+    if observe {
+        return Err(CliError(format!(
+            "--observe is not supported by '{sub}' (use sweep, faults, or the observe subcommand)"
+        )));
+    }
+    Ok(())
+}
+
+/// Parses `--action degrade|abort` into the `abort` boolean.
+fn parse_action(value: &str) -> Result<bool, CliError> {
+    match value.to_ascii_lowercase().as_str() {
+        "degrade" => Ok(false),
+        "abort" => Ok(true),
+        other => Err(CliError(format!(
+            "unknown action '{other}' (expected degrade|abort)"
+        ))),
+    }
+}
+
+/// Parses a strictly-positive millisecond value (`--sample-ms`).
+fn positive_ms(flag: &str, value: &str) -> Result<f64, CliError> {
+    let ms: f64 = num(flag, value)?;
+    if !ms.is_finite() || ms <= 0.0 {
+        return Err(CliError(format!("{flag}: '{value}' must be > 0")));
+    }
+    Ok(ms)
 }
 
 fn reject_unknown(rest: &[(&str, &str)]) -> Result<(), CliError> {
@@ -517,6 +659,66 @@ mod tests {
         assert!(!faults.abort);
         assert!(parse(&argv("faults --severity extreme")).is_err());
         assert!(parse(&argv("faults --action panic")).is_err());
+    }
+
+    #[test]
+    fn observe_parses_cell_and_artifact_flags() {
+        let cmd = parse(&argv(
+            "observe --cell fig7 --out-dir /tmp/x --sample-ms 50 --jobs 2",
+        ))
+        .unwrap();
+        let Command::Observe(_, obs) = cmd else {
+            panic!("expected observe");
+        };
+        assert_eq!(obs.cell.as_deref(), Some("fig7"));
+        assert_eq!(obs.out_dir.as_deref(), Some("/tmp/x"));
+        assert_eq!(obs.sample_ms, 50.0);
+        assert_eq!(obs.jobs, Some(2));
+        assert!(obs.fault_seed.is_none());
+    }
+
+    #[test]
+    fn observe_parses_fault_scenarios_and_rejects_bad_values() {
+        let cmd = parse(&argv(
+            "observe --fault-seed 3 --severity severe --action abort",
+        ))
+        .unwrap();
+        let Command::Observe(_, obs) = cmd else {
+            panic!("expected observe");
+        };
+        assert_eq!(obs.fault_seed, Some(3));
+        assert_eq!(obs.severity, olab_faults::Severity::Severe);
+        assert!(obs.abort);
+        assert!(parse(&argv("observe --severity all")).is_err());
+        assert!(parse(&argv("observe --sample-ms 0")).is_err());
+        assert!(parse(&argv("observe --sample-ms -5")).is_err());
+    }
+
+    #[test]
+    fn sweep_and_faults_accept_observe_flags() {
+        let cmd = parse(&argv("sweep --observe --out-dir /tmp/s --sample-ms 25")).unwrap();
+        let Command::Sweep(_, sweep) = cmd else {
+            panic!("expected sweep");
+        };
+        assert!(sweep.observe);
+        assert_eq!(sweep.out_dir.as_deref(), Some("/tmp/s"));
+        assert_eq!(sweep.sample_ms, 25.0);
+
+        let cmd = parse(&argv("faults --observe")).unwrap();
+        let Command::Faults(_, faults) = cmd else {
+            panic!("expected faults");
+        };
+        assert!(faults.observe);
+        assert_eq!(faults.out_dir, None);
+        assert_eq!(faults.sample_ms, 100.0);
+    }
+
+    #[test]
+    fn observe_flag_is_rejected_on_non_sweep_subcommands() {
+        for sub in ["run", "trace", "chrome", "tune", "list"] {
+            let err = parse(&argv(&format!("{sub} --observe"))).unwrap_err();
+            assert!(err.0.contains("--observe"), "{sub}: {err}");
+        }
     }
 
     #[test]

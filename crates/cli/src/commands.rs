@@ -1,13 +1,15 @@
 //! Subcommand implementations (each returns the text to print).
 
-use crate::args::{CliError, FaultsArgs, RunArgs, SweepArgs};
+use crate::args::{CliError, FaultsArgs, ObserveArgs, RunArgs, SweepArgs};
 use olab_core::adaptive::{tune_fsdp, Objective};
 use olab_core::report::{ms, pct, Table};
 use olab_core::Sweep;
 use olab_gpu::GpuSku;
 use olab_models::ModelPreset;
+use olab_obs::{JsonlProgress, MultiSink, ObserveConfig, StderrProgress};
 use olab_power::Sampler;
 use std::fmt::Write as _;
+use std::path::Path;
 
 /// `olab help`.
 pub fn help() -> String {
@@ -19,11 +21,16 @@ USAGE:
   olab run   [flags]                           one experiment, full metrics
   olab sweep [flags] --batches 8,16,32         batch sweep table
              [--jobs N] [--cache DIR]          parallel workers, result cache
+             [--observe] [--out-dir DIR]       live progress, per-cell run artifacts
   olab trace [flags] [--interval-ms 1]         sampled power trace (CSV-ish)
   olab tune  [flags] [--objective energy]      adaptive overlap search (FSDP)
   olab chrome [flags]                          chrome://tracing JSON timeline
   olab faults [flags] [--seeds 1,2,3]          resilience sweep under injected faults
               [--severity mild|moderate|severe|all] [--action degrade|abort] [--jobs N]
+              [--observe] [--out-dir DIR]      live progress, per-cell run artifacts
+  olab observe [flags] [--cell fig7]           one observed cell, full run artifact
+               [--out-dir DIR] [--sample-ms 100] [--jobs N]
+               [--fault-seed N] [--severity mild|moderate|severe] [--action degrade|abort]
 
 FLAGS (shared):
   --sku a100|h100|mi210|mi250     --gpus N             --model gpt3-2.7b|...
@@ -31,6 +38,10 @@ FLAGS (shared):
   --seq N                         --precision fp16|bf16|fp32|tf32
   --datapath tensor|vector        --power-cap WATTS    --freq-cap 0.0-1.0
   --grad-accum K                  --csv
+
+An observed cell leaves a self-describing artifact directory:
+manifest.json, metrics.csv, counters.csv (simulated NVML series),
+trace.json (Perfetto, with counter tracks), events.jsonl.
 "
     .to_string()
 }
@@ -131,8 +142,27 @@ pub fn sweep(args: &RunArgs, sweep_args: &SweepArgs) -> Result<String, CliError>
             a.experiment()
         })
         .collect();
-    let outcome = engine.run(&grid);
+    let sinks = progress_sinks(sweep_args.observe, sweep_args.out_dir.as_deref())?;
+    let outcome = if sinks.is_empty() {
+        engine.run(&grid)
+    } else {
+        engine.run_with_progress(&grid, Some(&sinks))
+    };
     outcome.log_stats();
+    if sweep_args.observe {
+        if let Some(dir) = &sweep_args.out_dir {
+            let cfg = ObserveConfig {
+                sample_ms: sweep_args.sample_ms,
+                jobs: 1,
+            };
+            for (i, exp) in grid.iter().enumerate() {
+                match olab_obs::observe_cell(exp, &cfg) {
+                    Ok(artifact) => write_artifact(dir, i, &artifact)?,
+                    Err(e) => eprintln!("[olab] cell {i} ({}) not observed: {e}", exp.label()),
+                }
+            }
+        }
+    }
 
     let mut table = Table::new([
         "Batch",
@@ -227,8 +257,32 @@ pub fn faults(args: &RunArgs, faults_args: &FaultsArgs) -> Result<String, CliErr
     if let Some(jobs) = faults_args.jobs {
         engine = engine.with_jobs(jobs);
     }
-    let outcome = engine.run(&cells);
+    let sinks = progress_sinks(faults_args.observe, faults_args.out_dir.as_deref())?;
+    let outcome = if sinks.is_empty() {
+        engine.run(&cells)
+    } else {
+        engine.run_with_progress(&cells, Some(&sinks))
+    };
     eprintln!("{}", outcome.stats);
+    if faults_args.observe {
+        if let Some(dir) = &faults_args.out_dir {
+            let cfg = ObserveConfig {
+                sample_ms: faults_args.sample_ms,
+                jobs: 1,
+            };
+            for (i, cell) in cells.iter().enumerate() {
+                match olab_obs::observe_fault_cell(&base, &cell.spec, &cfg) {
+                    Ok(artifact) => write_artifact(dir, i, &artifact)?,
+                    Err(e) => {
+                        eprintln!(
+                            "[olab] fault cell {i} ({}) not observed: {e}",
+                            cell.spec.descriptor()
+                        )
+                    }
+                }
+            }
+        }
+    }
 
     let mut table = Table::new([
         "Seed",
@@ -296,6 +350,88 @@ pub fn faults(args: &RunArgs, faults_args: &FaultsArgs) -> Result<String, CliErr
     })
 }
 
+/// `olab observe`: run one cell with full observability and leave a
+/// self-describing artifact directory (manifest, metrics, counter series,
+/// Perfetto trace with counter tracks, event log). With `--fault-seed`
+/// the cell runs under an injected fault scenario; aborted runs still
+/// leave a complete record. Without `--out-dir` the manifest is printed
+/// and nothing is written.
+pub fn observe(args: &RunArgs, obs: &ObserveArgs) -> Result<String, CliError> {
+    use olab_faults::FaultScenarioSpec;
+
+    let exp = match obs.cell.as_deref() {
+        None => args.experiment(),
+        Some("fig7") => olab_core::registry::fig7(),
+        Some(other) => {
+            return Err(CliError(format!(
+                "unknown cell '{other}' (expected fig7, or describe one with the shared flags)"
+            )))
+        }
+    };
+    let cfg = ObserveConfig {
+        sample_ms: obs.sample_ms,
+        jobs: obs.jobs.unwrap_or(1),
+    };
+    let artifact = match obs.fault_seed {
+        None => olab_obs::observe_cell(&exp, &cfg)?,
+        Some(seed) => {
+            let spec = if obs.abort {
+                FaultScenarioSpec::abort(seed, obs.severity)
+            } else {
+                FaultScenarioSpec::degrade(seed, obs.severity)
+            };
+            olab_obs::observe_fault_cell(&exp, &spec, &cfg)
+                .map_err(|e| CliError(format!("fault cell failed: {e}")))?
+        }
+    };
+    match &obs.out_dir {
+        Some(dir) => {
+            let paths = artifact
+                .write_to(Path::new(dir))
+                .map_err(|e| CliError(format!("--out-dir {dir}: {e}")))?;
+            let mut out = String::new();
+            for p in &paths {
+                let _ = writeln!(out, "wrote {}", p.display());
+            }
+            Ok(out)
+        }
+        None => Ok(artifact.manifest.to_json() + "\n"),
+    }
+}
+
+/// Builds the live-progress fan-out for `--observe`: a stderr status line
+/// plus, when `--out-dir` is given, a `progress.jsonl` stream inside it.
+/// The progress feed is wall-clock ordered — it is deliberately outside
+/// the determinism guarantee the artifacts carry.
+fn progress_sinks(observe: bool, out_dir: Option<&str>) -> Result<MultiSink, CliError> {
+    let mut sinks = MultiSink::new();
+    if !observe {
+        return Ok(sinks);
+    }
+    sinks.push(Box::new(StderrProgress::new(1)));
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| CliError(format!("--out-dir {dir}: {e}")))?;
+        let path = Path::new(dir).join("progress.jsonl");
+        let file = std::fs::File::create(&path)
+            .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
+        sinks.push(Box::new(JsonlProgress::new(file)));
+    }
+    Ok(sinks)
+}
+
+/// Writes one cell's artifact under `DIR/cell-NNN/`.
+fn write_artifact(
+    dir: &str,
+    index: usize,
+    artifact: &olab_obs::RunArtifact,
+) -> Result<(), CliError> {
+    let cell_dir = Path::new(dir).join(format!("cell-{index:03}"));
+    artifact
+        .write_to(&cell_dir)
+        .map_err(|e| CliError(format!("{}: {e}", cell_dir.display())))?;
+    Ok(())
+}
+
 /// `olab tune`.
 pub fn tune(args: &RunArgs, objective: Objective) -> Result<String, CliError> {
     let choice = tune_fsdp(&args.experiment(), objective)?;
@@ -334,8 +470,11 @@ mod tests {
     #[test]
     fn help_mentions_every_subcommand() {
         let h = help();
-        for cmd in ["run", "sweep", "trace", "tune", "faults", "list"] {
+        for cmd in ["run", "sweep", "trace", "tune", "faults", "observe", "list"] {
             assert!(h.contains(cmd), "{cmd}");
+        }
+        for flag in ["--observe", "--out-dir", "--sample-ms", "--fault-seed"] {
+            assert!(h.contains(flag), "{flag}");
         }
     }
 
@@ -362,7 +501,7 @@ mod tests {
         SweepArgs {
             batches: batches.to_vec(),
             jobs: Some(2),
-            cache: None,
+            ..Default::default()
         }
     }
 
@@ -439,8 +578,8 @@ mod tests {
         let faults_args = FaultsArgs {
             seeds: vec![1, 2],
             severities: vec![olab_faults::Severity::Mild, olab_faults::Severity::Severe],
-            abort: false,
             jobs: Some(2),
+            ..Default::default()
         };
         let out = faults(&args, &faults_args).unwrap();
         assert_eq!(out.lines().count(), 6, "header + separator + 4 rows");
@@ -465,6 +604,113 @@ mod tests {
             faults(&args, &serial).unwrap(),
             faults(&args, &parallel).unwrap()
         );
+    }
+
+    fn small_args() -> RunArgs {
+        RunArgs {
+            seq: 256,
+            model: olab_models::ModelPreset::Gpt3Xl,
+            ..Default::default()
+        }
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("olab-cli-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn observe_writes_a_complete_artifact_dir() {
+        let dir = temp_dir("observe");
+        let _ = std::fs::remove_dir_all(&dir);
+        let obs = ObserveArgs {
+            out_dir: Some(dir.display().to_string()),
+            sample_ms: 10.0,
+            ..Default::default()
+        };
+        let out = observe(&small_args(), &obs).unwrap();
+        for name in olab_obs::ARTIFACT_FILES {
+            assert!(out.contains(name), "output mentions {name}");
+            let meta = std::fs::metadata(dir.join(name)).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(meta.len() > 0, "{name} is empty");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn observe_fault_cell_leaves_a_record() {
+        let dir = temp_dir("observe-fault");
+        let _ = std::fs::remove_dir_all(&dir);
+        let obs = ObserveArgs {
+            out_dir: Some(dir.display().to_string()),
+            sample_ms: 10.0,
+            fault_seed: Some(2),
+            severity: olab_faults::Severity::Severe,
+            ..Default::default()
+        };
+        observe(&small_args(), &obs).unwrap();
+        let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+        assert!(manifest.contains("\"fault\""));
+        assert!(manifest.contains("\"seed\": 2"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn observe_without_out_dir_prints_the_manifest() {
+        let obs = ObserveArgs {
+            sample_ms: 10.0,
+            ..Default::default()
+        };
+        let out = observe(&small_args(), &obs).unwrap();
+        assert!(out.contains("\"kind\": \"experiment\""));
+        assert!(out.contains("\"sample_ms\": 10"));
+    }
+
+    #[test]
+    fn observe_rejects_unknown_cells() {
+        let obs = ObserveArgs {
+            cell: Some("fig99".to_string()),
+            ..Default::default()
+        };
+        assert!(observe(&small_args(), &obs).is_err());
+    }
+
+    #[test]
+    fn sweep_observe_writes_progress_and_cell_artifacts() {
+        let dir = temp_dir("sweep-observe");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sa = sweep_args(&[4, 8]);
+        sa.observe = true;
+        sa.out_dir = Some(dir.display().to_string());
+        sa.sample_ms = 10.0;
+        sweep(&small_args(), &sa).unwrap();
+        let progress = std::fs::read_to_string(dir.join("progress.jsonl")).unwrap();
+        assert_eq!(progress.lines().count(), 2);
+        for cell in ["cell-000", "cell-001"] {
+            for name in olab_obs::ARTIFACT_FILES {
+                assert!(dir.join(cell).join(name).exists(), "{cell}/{name}");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn faults_observe_writes_cell_artifacts() {
+        let dir = temp_dir("faults-observe");
+        let _ = std::fs::remove_dir_all(&dir);
+        let fa = FaultsArgs {
+            seeds: vec![1],
+            severities: vec![olab_faults::Severity::Mild],
+            jobs: Some(1),
+            observe: true,
+            out_dir: Some(dir.display().to_string()),
+            sample_ms: 10.0,
+            ..Default::default()
+        };
+        faults(&small_args(), &fa).unwrap();
+        assert!(dir.join("progress.jsonl").exists());
+        let manifest = std::fs::read_to_string(dir.join("cell-000/manifest.json")).unwrap();
+        assert!(manifest.contains("\"fault\""));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //!            --jobs 8 --cache ~/.cache/olab   # parallel + persistent results
 //! olab trace --sku mi250 --model llama2-13b --batch 8 --interval-ms 1
 //! olab tune  --sku mi250 --model gpt3-2.7b --batch 8 --objective energy
+//! olab observe --cell fig7 --out-dir runs/fig7  # self-describing run artifact
 //! ```
 //!
 //! The argument parser is hand-rolled (the workspace keeps its dependency
@@ -19,7 +20,7 @@
 pub mod args;
 pub mod commands;
 
-pub use args::{parse, CliError, Command, FaultsArgs, RunArgs, SweepArgs};
+pub use args::{parse, CliError, Command, FaultsArgs, ObserveArgs, RunArgs, SweepArgs};
 
 /// Entry point shared by the binary and the tests.
 ///
@@ -36,6 +37,7 @@ pub fn main_with(args: &[String]) -> Result<String, CliError> {
         Command::Tune(run, objective) => commands::tune(&run, objective),
         Command::Chrome(run) => commands::chrome(&run),
         Command::Faults(run, faults) => commands::faults(&run, &faults),
+        Command::Observe(run, obs) => commands::observe(&run, &obs),
         Command::Help => Ok(commands::help()),
     }
 }

@@ -4,24 +4,9 @@
 //! PyTorch profiler traces look, so the overlap windows are immediately
 //! visible.
 
+use crate::fmtutil::json_escape as escape;
 use olab_sim::{SimTrace, StreamKind};
 use std::fmt::Write as _;
-
-/// Escapes a string for embedding in a JSON literal.
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
 
 /// An extra interval to render alongside the task events — fault windows,
 /// watchdog stalls, communicator rebuilds. Annotations live in their own
@@ -38,6 +23,19 @@ pub struct TraceAnnotation {
     pub end_s: f64,
 }
 
+/// A sampled per-GPU counter series rendered as a Perfetto counter track
+/// (`"ph": "C"` events) under the GPU's task timeline — the simulated
+/// equivalent of the power/occupancy curves the paper reads from NVML.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterTrack {
+    /// Counter name shown on the track (e.g. `"power_w"`).
+    pub name: String,
+    /// Device the track belongs to (trace pid).
+    pub gpu: usize,
+    /// `(time_s, value)` samples, ascending in time.
+    pub points: Vec<(f64, f64)>,
+}
+
 /// Renders a trace as Chrome-trace JSON (an array of complete events).
 ///
 /// Durations are emitted in microseconds (the format's native unit). Tasks
@@ -50,6 +48,17 @@ pub fn to_chrome_trace(trace: &SimTrace) -> String {
 /// dedicated process below the GPUs. With an empty slice the output is
 /// byte-identical to [`to_chrome_trace`].
 pub fn to_chrome_trace_annotated(trace: &SimTrace, notes: &[TraceAnnotation]) -> String {
+    to_chrome_trace_full(trace, notes, &[])
+}
+
+/// Like [`to_chrome_trace_annotated`], with Perfetto counter tracks
+/// appended after the task and annotation events. With empty slices the
+/// output is byte-identical to [`to_chrome_trace`].
+pub fn to_chrome_trace_full(
+    trace: &SimTrace,
+    notes: &[TraceAnnotation],
+    counters: &[CounterTrack],
+) -> String {
     let mut out = String::from("[\n");
     let mut first = true;
     for record in trace.records() {
@@ -128,6 +137,25 @@ pub fn to_chrome_trace_annotated(trace: &SimTrace, notes: &[TraceAnnotation]) ->
             escape(track)
         );
     }
+    // Counter tracks: one "ph": "C" event per sample, keyed by counter
+    // name within the GPU's process so Perfetto draws a curve per track.
+    for track in counters {
+        let name = escape(&track.name);
+        for &(t_s, value) in &track.points {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "  {{\"name\": \"{name}\", \"cat\": \"counter\", \"ph\": \"C\", \
+                 \"ts\": {:.3}, \"pid\": {}, \"args\": {{\"{name}\": {:.6}}}}}",
+                t_s * 1e6,
+                track.gpu,
+                value
+            );
+        }
+    }
     out.push_str("\n]\n");
     out
 }
@@ -166,10 +194,7 @@ mod tests {
         let json = to_chrome_trace(&sample_trace());
         assert!(json.trim_start().starts_with('['));
         assert!(json.trim_end().ends_with(']'));
-        // Balanced braces (no naive truncation).
-        let opens = json.matches('{').count();
-        let closes = json.matches('}').count();
-        assert_eq!(opens, closes);
+        crate::fmtutil::validate_json(&json).expect("plain export must parse");
     }
 
     #[test]
@@ -220,13 +245,56 @@ mod tests {
         assert!(json.contains("faults/throttle"));
         assert!(json.contains("faults/watchdog"));
         assert!(json.contains("\"cat\": \"fault\""));
-        // Still balanced and well-formed.
-        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        crate::fmtutil::validate_json(&json).expect("annotated export must parse");
     }
 
     #[test]
     fn escape_handles_quotes_and_controls() {
         assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(escape("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn empty_counters_are_byte_identical_to_annotated_export() {
+        let trace = sample_trace();
+        let notes = vec![TraceAnnotation {
+            name: "throttle gpu1 x0.65".into(),
+            track: "throttle".into(),
+            start_s: 0.1,
+            end_s: 0.2,
+        }];
+        assert_eq!(
+            to_chrome_trace_annotated(&trace, &notes),
+            to_chrome_trace_full(&trace, &notes, &[])
+        );
+    }
+
+    #[test]
+    fn counter_tracks_render_as_counter_events_and_parse() {
+        let trace = sample_trace();
+        let notes = vec![TraceAnnotation {
+            name: "stall \"ar\"".into(),
+            track: "watchdog".into(),
+            start_s: 0.05,
+            end_s: 0.1,
+        }];
+        let counters = vec![
+            CounterTrack {
+                name: "power_w".into(),
+                gpu: 0,
+                points: vec![(0.0, 310.5), (0.1, 655.25)],
+            },
+            CounterTrack {
+                name: "sm_occupancy".into(),
+                gpu: 1,
+                points: vec![(0.0, 0.75)],
+            },
+        ];
+        let json = to_chrome_trace_full(&trace, &notes, &counters);
+        crate::fmtutil::validate_json(&json).expect("full export must parse");
+        assert_eq!(json.matches("\"ph\": \"C\"").count(), 3);
+        assert!(json.contains("\"args\": {\"power_w\": 655.250000}"));
+        assert!(json.contains("\"args\": {\"sm_occupancy\": 0.750000}"));
+        assert!(json.contains("\"cat\": \"counter\""));
     }
 }

@@ -3,7 +3,9 @@
 use crate::Machine;
 use olab_parallel::Op;
 use olab_power::PowerTrace;
-use olab_sim::{Engine, GpuId, SimError, SimTrace, StreamKind, Workload};
+use olab_sim::{
+    Engine, EngineObserver, GpuId, NullObserver, SimError, SimTrace, StreamKind, Workload,
+};
 
 /// Per-GPU statistics of one run.
 #[derive(Debug, Clone)]
@@ -96,6 +98,20 @@ pub fn execute(workload: &Workload<Op>, machine: &Machine) -> Result<RunResult, 
     execute_model(workload, machine.clone())
 }
 
+/// Like [`execute`], driving an [`EngineObserver`] through the run so
+/// telemetry sinks see task edges and per-epoch counters as they happen.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn execute_observed<O: EngineObserver>(
+    workload: &Workload<Op>,
+    machine: &Machine,
+    obs: &mut O,
+) -> Result<RunResult, SimError> {
+    execute_model_observed(workload, machine.clone(), obs)
+}
+
 /// Runs a schedule on any [`RateModel`] pricing [`Op`] payloads — the hook
 /// that lets wrappers (fault injectors, what-if models) reuse the standard
 /// per-GPU statistics pipeline. Pass `&mut model` to inspect the model's
@@ -108,7 +124,25 @@ pub fn execute_model<M>(workload: &Workload<Op>, model: M) -> Result<RunResult, 
 where
     M: olab_sim::RateModel<Payload = Op>,
 {
-    let trace = Engine::new(model).run(workload)?;
+    execute_model_observed(workload, model, &mut NullObserver)
+}
+
+/// Like [`execute_model`], driving an [`EngineObserver`] through the run —
+/// the instrumented path under the `olab-obs` telemetry layer.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn execute_model_observed<M, O>(
+    workload: &Workload<Op>,
+    model: M,
+    obs: &mut O,
+) -> Result<RunResult, SimError>
+where
+    M: olab_sim::RateModel<Payload = Op>,
+    O: EngineObserver,
+{
+    let trace = Engine::new(model).run_observed(workload, obs)?;
     let n = workload.n_gpus();
     let mut gpus = Vec::with_capacity(n);
     for g in 0..n {

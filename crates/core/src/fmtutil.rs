@@ -1,0 +1,301 @@
+//! Shared text-format helpers for the exporters: JSON string escaping
+//! (Chrome traces, manifests, event logs), CSV cell escaping (report
+//! tables, counter series), and a minimal JSON well-formedness checker
+//! used by tests and smoke gates to validate exporter output end-to-end.
+
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding inside a JSON string literal (without
+/// the surrounding quotes): `"` and `\` are backslash-escaped and control
+/// characters become `\uXXXX`. All other characters — including non-ASCII
+/// UTF-8 — pass through unchanged, which JSON permits.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes one CSV cell: cells containing a comma, a double quote, or a
+/// line break are wrapped in double quotes with embedded quotes doubled
+/// (RFC 4180); everything else is returned verbatim.
+pub fn csv_escape(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') || cell.contains('\r') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Checks that `s` is one well-formed JSON value (object, array, string,
+/// number, `true`/`false`/`null`) with nothing but whitespace after it.
+///
+/// This is a validator, not a parser: it builds no value tree and exists
+/// so tests and CI smoke steps can assert that hand-assembled exporter
+/// output (Chrome traces with counter tracks, manifests, JSONL lines)
+/// actually parses — catching escaping and comma regressions substring
+/// assertions miss.
+///
+/// # Errors
+///
+/// A human-readable description of the first defect, with its byte
+/// offset.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, "true"),
+        Some(b'f') => literal(b, pos, "false"),
+        Some(b'n') => literal(b, pos, "null"),
+        Some(c) if *c == b'-' || c.is_ascii_digit() => number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:#04x} at {pos:?}", pos = *pos)),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("malformed literal at byte {}", *pos))
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {}", *pos));
+        }
+        string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {}", *pos));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // opening '"'
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => match b.get(*pos + 1) {
+                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 2,
+                Some(b'u') => {
+                    let hex = b
+                        .get(*pos + 2..*pos + 6)
+                        .ok_or_else(|| format!("truncated \\u escape at byte {}", *pos))?;
+                    if !hex.iter().all(u8::is_ascii_hexdigit) {
+                        return Err(format!("bad \\u escape at byte {}", *pos));
+                    }
+                    *pos += 6;
+                }
+                _ => return Err(format!("bad escape at byte {}", *pos)),
+            },
+            c if c < 0x20 => {
+                return Err(format!("raw control character at byte {}", *pos));
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut digits = 0;
+    while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+        *pos += 1;
+        digits += 1;
+    }
+    if digits == 0 {
+        return Err(format!("malformed number at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let mut frac = 0;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+            frac += 1;
+        }
+        if frac == 0 {
+            return Err(format!("malformed fraction at byte {start}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let mut exp = 0;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+            exp += 1;
+        }
+        if exp == 0 {
+            return Err(format!("malformed exponent at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escape_handles_quotes_backslashes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+        assert_eq!(json_escape("tab\there"), "tab\\u0009here");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn json_escape_passes_utf8_through() {
+        assert_eq!(json_escape("gpu⇄link µs"), "gpu⇄link µs");
+        assert_eq!(json_escape("日本語"), "日本語");
+    }
+
+    #[test]
+    fn json_escaped_strings_validate() {
+        for raw in ["plain", "q\"q", "back\\slash", "ctl\n\t\r", "µ⇄日本語"] {
+            let doc = format!("{{\"k\": \"{}\"}}", json_escape(raw));
+            validate_json(&doc).unwrap_or_else(|e| panic!("{doc}: {e}"));
+        }
+    }
+
+    #[test]
+    fn csv_escape_wraps_commas_quotes_and_newlines() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_escape("two\nlines"), "\"two\nlines\"");
+        assert_eq!(csv_escape("µ-日本語"), "µ-日本語");
+    }
+
+    #[test]
+    fn validator_accepts_wellformed_values() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "false",
+            "0",
+            "-12.5e-3",
+            "\"s\"",
+            "[1, 2.5, \"x\", {\"a\": [true, null]}]",
+            "  {\"k\": \"v\"}  ",
+            "\"esc \\\" \\\\ \\u00e9\"",
+        ] {
+            validate_json(ok).unwrap_or_else(|e| panic!("{ok}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_values() {
+        for bad in [
+            "",
+            "{",
+            "[1, 2",
+            "{\"k\": }",
+            "{\"k\" 1}",
+            "{k: 1}",
+            "[1,]",
+            "\"unterminated",
+            "\"raw\ncontrol\"",
+            "\"bad \\x escape\"",
+            "\"bad \\u00 escape\"",
+            "01 extra",
+            "1.",
+            "-",
+            "1e",
+            "{} {}",
+            "nul",
+        ] {
+            assert!(validate_json(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn validator_reports_byte_offsets() {
+        let err = validate_json("[1, oops]").unwrap_err();
+        assert!(err.contains("4"), "unexpected message: {err}");
+    }
+}

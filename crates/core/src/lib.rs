@@ -50,6 +50,7 @@ pub mod analytic;
 pub mod chrome_trace;
 mod executor;
 mod experiment;
+pub mod fmtutil;
 mod machine;
 mod metrics;
 pub mod microbench;
@@ -57,8 +58,12 @@ pub mod registry;
 pub mod report;
 pub mod sweep;
 
-pub use chrome_trace::{to_chrome_trace, to_chrome_trace_annotated, TraceAnnotation};
-pub use executor::{execute, execute_model, GpuRunStats, RunResult};
+pub use chrome_trace::{
+    to_chrome_trace, to_chrome_trace_annotated, to_chrome_trace_full, CounterTrack, TraceAnnotation,
+};
+pub use executor::{
+    execute, execute_model, execute_model_observed, execute_observed, GpuRunStats, RunResult,
+};
 pub use experiment::{Experiment, ExperimentError, ExperimentReport, MultiRunStats, Strategy};
 pub use machine::{Jitter, Machine, MachineConfig};
 pub use metrics::OverlapMetrics;

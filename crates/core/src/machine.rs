@@ -24,7 +24,7 @@ use olab_gpu::power::Utilization;
 use olab_gpu::{roofline, ContentionProfile, DvfsGovernor, GpuSku, PowerProfile};
 use olab_net::Topology;
 use olab_parallel::Op;
-use olab_sim::{RateModel, RunningTask, SeededRng};
+use olab_sim::{GpuCounters, RateModel, RunningTask, SeededRng};
 
 /// Fraction of datasheet HBM bandwidth usable when compute and
 /// communication interleave access streams.
@@ -91,6 +91,10 @@ pub struct Machine {
     /// windows; the governor then prices both the slower clock and its
     /// lower dynamic power.
     gpu_freq_caps: Vec<f64>,
+    /// Telemetry for the epoch whose rates were last assigned, indexed by
+    /// GPU — what the simulated NVML poll reads through
+    /// [`RateModel::counters`].
+    last_counters: Vec<GpuCounters>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -134,6 +138,7 @@ impl Machine {
             contention,
             rng,
             gpu_freq_caps: Vec::new(),
+            last_counters: Vec::new(),
         }
     }
 
@@ -216,6 +221,8 @@ impl RateModel for Machine {
 
         // Per-GPU epoch state: contention factors, frequency, power.
         let mut epochs: Vec<GpuEpoch> = vec![GpuEpoch::default(); n_gpus];
+        self.last_counters.clear();
+        self.last_counters.resize(n_gpus, GpuCounters::default());
         for g in 0..n_gpus {
             let comm = comm_on[g].and_then(|i| running[i].payload.as_comm());
             let kernel = compute_on[g].and_then(|i| running[i].payload.as_compute());
@@ -243,11 +250,12 @@ impl RateModel for Machine {
 
             // Power components.
             let mut util = Utilization::idle();
+            let mut flop_busy = 0.0;
             if let Some(d) = &demand {
                 let t_flop = d.compute_time(1.0) / epoch.sm_avail;
                 let t_mem = d.memory_time(epoch.compute_bw_fraction);
                 let span = t_flop.max(t_mem) + d.launch_s;
-                let flop_busy = (t_flop / span).clamp(0.0, 1.0);
+                flop_busy = (t_flop / span).clamp(0.0, 1.0);
                 if d.on_tensor_core {
                     util.tensor = flop_busy;
                     util.vector = 0.15 * flop_busy; // address gen, epilogues
@@ -278,6 +286,18 @@ impl RateModel for Machine {
                 epoch.freq = governor.max_freq_factor;
                 epoch.power_w = self.power_profile.instantaneous(&util, epoch.freq);
             }
+
+            // Telemetry: compute kernels occupy their busy share of the
+            // SMs they were granted; a co-resident collective's channel
+            // kernels pin `sm_fraction` on top.
+            let comm_sm = comm.map_or(0.0, |op| op.sm_fraction);
+            self.last_counters[g] = GpuCounters {
+                sm_occupancy: (flop_busy * epoch.sm_avail + comm_sm).clamp(0.0, 1.0),
+                hbm_util: util.mem,
+                link_util: util.comm,
+                freq_factor: epoch.freq,
+                power_w: epoch.power_w,
+            };
             epochs[g] = epoch;
         }
 
@@ -324,6 +344,10 @@ impl RateModel for Machine {
                 self.power_profile.idle_w
             };
         }
+    }
+
+    fn counters(&self, gpu: usize) -> GpuCounters {
+        self.last_counters.get(gpu).copied().unwrap_or_default()
     }
 }
 
@@ -472,6 +496,64 @@ mod tests {
         let (t0, t1) = durations(&throttled);
         assert!(t0 > 1.5 * h0, "capped GPU must slow: {t0} vs {h0}");
         assert!((t1 - h1).abs() < 1e-12, "uncapped GPU must be untouched");
+    }
+
+    #[derive(Default)]
+    struct FirstEpoch {
+        counters: Option<Vec<GpuCounters>>,
+    }
+
+    impl olab_sim::EngineObserver for FirstEpoch {
+        fn on_epoch(&mut self, _start_s: f64, _end_s: f64, counters: &[GpuCounters]) {
+            if self.counters.is_none() {
+                self.counters = Some(counters.to_vec());
+            }
+        }
+    }
+
+    #[test]
+    fn telemetry_counters_track_overlap_contention() {
+        let m = h100_machine();
+        let mut w = Workload::new(4);
+        w.push(TaskSpec::compute("gemm", GpuId(0), gemm_op()));
+        w.push(TaskSpec::new(
+            "ar",
+            (0..4).map(GpuId).collect(),
+            StreamKind::Comm,
+            allreduce_op(&m, 1 << 30),
+        ));
+        let mut obs = FirstEpoch::default();
+        Engine::new(m.clone()).run_observed(&w, &mut obs).unwrap();
+        let counters = obs.counters.expect("at least one epoch");
+        assert_eq!(counters.len(), 4);
+        // gpu0 runs GEMM + collective: all counters engaged.
+        let c0 = &counters[0];
+        assert!(c0.sm_occupancy > 0.5, "occupancy {}", c0.sm_occupancy);
+        assert!(c0.hbm_util > 0.0 && c0.hbm_util <= 1.0);
+        assert!(c0.link_util > 0.0 && c0.link_util <= 1.0);
+        assert!(c0.freq_factor > 0.0 && c0.freq_factor <= 1.0);
+        assert!(c0.power_w > GpuSku::h100().idle_w);
+        // gpu3 only participates in the collective: link busy, SMs only
+        // carry the channel kernels.
+        let c3 = &counters[3];
+        assert!(c3.link_util > 0.0);
+        assert!(c3.sm_occupancy < c0.sm_occupancy);
+    }
+
+    #[test]
+    fn telemetry_counters_are_idle_defaults_for_idle_gpus() {
+        let m = h100_machine();
+        let mut w = Workload::new(4);
+        w.push(TaskSpec::compute("gemm", GpuId(0), gemm_op()));
+        let mut obs = FirstEpoch::default();
+        Engine::new(m.clone()).run_observed(&w, &mut obs).unwrap();
+        let counters = obs.counters.unwrap();
+        let c3 = &counters[3];
+        assert_eq!(c3.sm_occupancy, 0.0);
+        assert_eq!(c3.hbm_util, 0.0);
+        assert_eq!(c3.link_util, 0.0);
+        // Engine fills power with the model's idle draw.
+        assert_eq!(c3.power_w, GpuSku::h100().power().idle_w);
     }
 
     #[test]

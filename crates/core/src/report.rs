@@ -82,18 +82,15 @@ impl Table {
         out
     }
 
-    /// Renders as CSV (comma-separated, quotes around cells with commas).
+    /// Renders as CSV (comma-separated, RFC 4180 quoting via
+    /// [`crate::fmtutil::csv_escape`]).
     pub fn to_csv(&self) -> String {
-        let escape = |cell: &str| -> String {
-            if cell.contains(',') || cell.contains('"') {
-                format!("\"{}\"", cell.replace('"', "\"\""))
-            } else {
-                cell.to_string()
-            }
-        };
         let mut out = String::new();
         let mut write_row = |cells: &[String]| {
-            let line: Vec<String> = cells.iter().map(|c| escape(c)).collect();
+            let line: Vec<String> = cells
+                .iter()
+                .map(|c| crate::fmtutil::csv_escape(c))
+                .collect();
             out.push_str(&line.join(","));
             out.push('\n');
         };

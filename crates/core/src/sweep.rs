@@ -14,7 +14,8 @@
 
 use crate::{Experiment, ExperimentError, ExperimentReport, OverlapMetrics};
 use olab_grid::{
-    CacheCounters, CacheValue, Executor, GridJob, Reader, SweepRun, SweepStats, Writer,
+    CacheCounters, CacheValue, Executor, GridJob, ProgressSink, Reader, SweepRun, SweepStats,
+    Writer,
 };
 use olab_models::memory::ActivationPolicy;
 use std::fmt;
@@ -392,7 +393,19 @@ impl Sweep {
     /// Runs every cell — parallel across the pool, misses simulated,
     /// hits served from cache — returning outcomes in input order.
     pub fn run(&self, cells: &[Experiment]) -> SweepOutcome {
-        let SweepRun { outputs, stats } = self.engine.run(cells);
+        self.run_with_progress(cells, None)
+    }
+
+    /// Like [`Sweep::run`], reporting each resolved cell to `sink` as it
+    /// completes (live progress for long sweeps). Sink time is accounted
+    /// in [`SweepStats::observer_s`], never in the cache/throughput
+    /// numbers; cell outcomes are byte-identical with or without a sink.
+    pub fn run_with_progress(
+        &self,
+        cells: &[Experiment],
+        sink: Option<&dyn ProgressSink>,
+    ) -> SweepOutcome {
+        let SweepRun { outputs, stats } = self.engine.run_with_progress(cells, sink);
         SweepOutcome {
             cells: outputs
                 .into_iter()

@@ -24,7 +24,7 @@ use olab_ccl::{adjudicate, relower_degraded, CommOp, FailAction, WatchdogVerdict
 use olab_core::Machine;
 use olab_net::{ring_links, Link};
 use olab_parallel::Op;
-use olab_sim::{RateModel, RunningTask, TaskId};
+use olab_sim::{GpuCounters, RateModel, RunningTask, TaskId};
 use std::collections::{HashMap, HashSet};
 
 /// Progress rate of a stalled task: effectively zero, but positive so the
@@ -381,6 +381,13 @@ impl RateModel for FaultyMachine {
             // The abort fired inside this epoch's resolution: drain.
             rates.iter_mut().for_each(|r| *r = DRAIN_RATE);
         }
+    }
+
+    fn counters(&self, gpu: usize) -> GpuCounters {
+        // Telemetry comes from the wrapped machine: throttle windows are
+        // already applied as clock caps before pricing, so the base
+        // counters reflect the faulted frequency, power, and utilization.
+        self.base.counters(gpu)
     }
 
     fn next_boundary(&mut self, now: f64) -> Option<f64> {

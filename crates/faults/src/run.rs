@@ -143,48 +143,59 @@ pub struct FaultReport {
     pub stats: FaultStats,
 }
 
+/// The fault windows of `timeline` and the watchdog episodes of `stats`
+/// as Chrome-trace annotations, clipped to `until` seconds.
+///
+/// This is the single source of truth for how faults render in traces:
+/// [`FaultReport::annotations`] uses it with the faulty run's makespan,
+/// and observability tooling reuses it for instrumented fault runs.
+pub fn fault_annotations(
+    timeline: &FaultTimeline,
+    stats: &FaultStats,
+    until: f64,
+) -> Vec<TraceAnnotation> {
+    let mut notes = Vec::new();
+    for w in &timeline.throttles {
+        notes.push(TraceAnnotation {
+            name: format!("gpu{} clock x{:.2}", w.gpu, w.freq_factor),
+            track: "throttle".into(),
+            start_s: w.start_s.min(until),
+            end_s: w.end_s.min(until),
+        });
+    }
+    for l in &timeline.link_faults {
+        let name = if l.is_outage() {
+            format!("{} outage", l.link)
+        } else {
+            format!("{} bw x{:.2}", l.link, l.bw_factor)
+        };
+        notes.push(TraceAnnotation {
+            name,
+            track: "link".into(),
+            start_s: l.start_s.min(until),
+            end_s: l.end_s.unwrap_or(until).min(until),
+        });
+    }
+    for e in &stats.events {
+        let (name, track) = match e.kind {
+            FaultEventKind::Stall => (format!("watchdog stall: {}", e.label), "watchdog"),
+            FaultEventKind::Rebuild => (format!("communicator rebuild: {}", e.label), "watchdog"),
+        };
+        notes.push(TraceAnnotation {
+            name,
+            track: track.into(),
+            start_s: e.start_s.min(until),
+            end_s: e.end_s.min(until),
+        });
+    }
+    notes
+}
+
 impl FaultReport {
     /// The fault windows and watchdog episodes as Chrome-trace annotations,
     /// clipped to the faulty run's makespan.
     pub fn annotations(&self) -> Vec<TraceAnnotation> {
-        let until = self.faulty.e2e_s;
-        let mut notes = Vec::new();
-        for w in &self.timeline.throttles {
-            notes.push(TraceAnnotation {
-                name: format!("gpu{} clock x{:.2}", w.gpu, w.freq_factor),
-                track: "throttle".into(),
-                start_s: w.start_s.min(until),
-                end_s: w.end_s.min(until),
-            });
-        }
-        for l in &self.timeline.link_faults {
-            let name = if l.is_outage() {
-                format!("{} outage", l.link)
-            } else {
-                format!("{} bw x{:.2}", l.link, l.bw_factor)
-            };
-            notes.push(TraceAnnotation {
-                name,
-                track: "link".into(),
-                start_s: l.start_s.min(until),
-                end_s: l.end_s.unwrap_or(until).min(until),
-            });
-        }
-        for e in &self.stats.events {
-            let (name, track) = match e.kind {
-                FaultEventKind::Stall => (format!("watchdog stall: {}", e.label), "watchdog"),
-                FaultEventKind::Rebuild => {
-                    (format!("communicator rebuild: {}", e.label), "watchdog")
-                }
-            };
-            notes.push(TraceAnnotation {
-                name,
-                track: track.into(),
-                start_s: e.start_s.min(until),
-                end_s: e.end_s.min(until),
-            });
-        }
-        notes
+        fault_annotations(&self.timeline, &self.stats, self.faulty.e2e_s)
     }
 
     /// The faulty run as annotated Chrome-trace JSON (fault windows and

@@ -38,15 +38,18 @@
 pub mod cache;
 pub mod hash;
 pub mod pool;
+pub mod progress;
 pub mod telemetry;
 
 pub use cache::{CacheCounters, CacheTier, CacheValue, Reader, ResultCache, Writer};
 pub use hash::{fnv1a_64, StableHasher};
 pub use pool::{Pool, WorkerPanic};
+pub use progress::{CellProgress, CellResolution, ProgressSink};
 pub use telemetry::SweepStats;
 
 use std::io;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// One independent, deterministic unit of sweep work.
@@ -133,26 +136,65 @@ impl<V: CacheValue> Executor<V> {
     /// Runs every job — cache lookups first, simulations for the misses —
     /// and returns outputs in input order with sweep telemetry.
     pub fn run<J: GridJob<Output = V>>(&self, jobs: &[J]) -> SweepRun<V> {
+        self.run_with_progress(jobs, None)
+    }
+
+    /// Like [`Executor::run`], reporting each resolved cell to `sink` as
+    /// it completes (see [`ProgressSink`] for threading and ordering
+    /// semantics). Time spent inside the sink is accumulated into
+    /// [`SweepStats::observer_s`]; with `None` this is exactly
+    /// [`Executor::run`] — no timing, no counting, no overhead.
+    pub fn run_with_progress<J: GridJob<Output = V>>(
+        &self,
+        jobs: &[J],
+        sink: Option<&dyn ProgressSink>,
+    ) -> SweepRun<V> {
         let start = Instant::now();
+        let total = jobs.len();
+        let completed = AtomicUsize::new(0);
+        let observer_ns = AtomicU64::new(0);
+        let indexed: Vec<(usize, &J)> = jobs.iter().enumerate().collect();
         // `try_map`, not `map`: a panicking cell fails only its own slot.
         // The panic escapes `execute` before the insert, so the cache never
         // learns a poisoned descriptor — a retry re-executes the cell.
-        let resolved = self.pool.try_map(jobs, |job| {
+        let resolved = self.pool.try_map(&indexed, |&(index, job)| {
             let descriptor = job.descriptor();
-            if let Some((value, tier)) = self.cache.lookup(&descriptor) {
-                return (value, CellSource::Hit(tier));
+            let (value, source) = match self.cache.lookup(&descriptor) {
+                Some((value, tier)) => (value, CellSource::Hit(tier)),
+                None => {
+                    let cell_start = Instant::now();
+                    let value = job.execute();
+                    let cell_s = cell_start.elapsed().as_secs_f64();
+                    self.cache.insert(&descriptor, value.clone());
+                    (value, CellSource::Computed { cell_s })
+                }
+            };
+            if let Some(sink) = sink {
+                let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                let resolution = match source {
+                    CellSource::Hit(CacheTier::Memory) => CellResolution::MemoryHit,
+                    CellSource::Hit(CacheTier::Disk) => CellResolution::DiskHit,
+                    CellSource::Computed { .. } => CellResolution::Simulated,
+                };
+                let sink_start = Instant::now();
+                sink.on_cell(&CellProgress {
+                    completed: done,
+                    total,
+                    index,
+                    descriptor: &descriptor,
+                    resolution,
+                    wall_s: start.elapsed().as_secs_f64(),
+                });
+                observer_ns.fetch_add(sink_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
             }
-            let cell_start = Instant::now();
-            let value = job.execute();
-            let cell_s = cell_start.elapsed().as_secs_f64();
-            self.cache.insert(&descriptor, value.clone());
-            (value, CellSource::Computed { cell_s })
+            (value, source)
         });
 
         let mut stats = SweepStats {
             cells: jobs.len(),
             workers: self.pool.workers(),
             wall_s: start.elapsed().as_secs_f64(),
+            observer_s: observer_ns.load(Ordering::Relaxed) as f64 * 1e-9,
             ..SweepStats::default()
         };
         let mut outputs = Vec::with_capacity(resolved.len());
@@ -316,5 +358,72 @@ mod tests {
         assert_eq!(warm.stats.memory_hits, 15);
         assert_eq!(warm.stats.panicked, 1);
         assert_eq!(warm.stats.simulated, 0);
+    }
+
+    /// Collects every progress update behind a mutex.
+    #[derive(Default)]
+    struct Collecting {
+        seen: std::sync::Mutex<Vec<(usize, usize, String, CellResolution)>>,
+    }
+
+    impl ProgressSink for Collecting {
+        fn on_cell(&self, p: &CellProgress<'_>) {
+            assert!(p.completed >= 1 && p.completed <= p.total);
+            assert!(p.wall_s >= 0.0);
+            self.seen.lock().unwrap().push((
+                p.completed,
+                p.index,
+                p.descriptor.to_string(),
+                p.resolution,
+            ));
+        }
+    }
+
+    #[test]
+    fn progress_sink_sees_every_cell_exactly_once() {
+        let executions = AtomicUsize::new(0);
+        let xs: Vec<u64> = (0..24).collect();
+        let engine = Executor::new().with_jobs(4);
+        let sink = Collecting::default();
+        let cold = engine.run_with_progress(&jobs(&xs, &executions), Some(&sink));
+        assert_eq!(cold.stats.simulated, 24);
+        assert!(
+            cold.stats.observer_s > 0.0,
+            "sink time must be accounted: {}",
+            cold.stats.observer_s
+        );
+        {
+            let mut seen = sink.seen.lock().unwrap();
+            assert_eq!(seen.len(), 24);
+            // Every input index reported exactly once, each as a miss, and
+            // the completion counter is a permutation of 1..=24.
+            let mut indexes: Vec<usize> = seen.iter().map(|u| u.1).collect();
+            indexes.sort_unstable();
+            assert_eq!(indexes, (0..24).collect::<Vec<_>>());
+            let mut counts: Vec<usize> = seen.iter().map(|u| u.0).collect();
+            counts.sort_unstable();
+            assert_eq!(counts, (1..=24).collect::<Vec<_>>());
+            for (_, index, descriptor, resolution) in seen.iter() {
+                assert_eq!(descriptor, &format!("square x={index}"));
+                assert_eq!(*resolution, CellResolution::Simulated);
+            }
+            seen.clear();
+        }
+
+        // A warm sweep reports the same cells as memory hits.
+        let warm = engine.run_with_progress(&jobs(&xs, &executions), Some(&sink));
+        assert_eq!(warm.stats.memory_hits, 24);
+        let seen = sink.seen.lock().unwrap();
+        assert_eq!(seen.len(), 24);
+        assert!(seen.iter().all(|u| u.3 == CellResolution::MemoryHit));
+    }
+
+    #[test]
+    fn unobserved_sweeps_report_zero_observer_time() {
+        let executions = AtomicUsize::new(0);
+        let xs: Vec<u64> = (0..8).collect();
+        let run = Executor::new().with_jobs(2).run(&jobs(&xs, &executions));
+        assert_eq!(run.stats.observer_s, 0.0);
+        assert!(!run.stats.summary().contains("observers"));
     }
 }

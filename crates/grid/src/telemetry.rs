@@ -23,6 +23,9 @@ pub struct SweepStats {
     /// Sum of per-cell simulation times, seconds (what a serial, uncached
     /// sweep would have spent computing).
     pub cumulative_cell_s: f64,
+    /// Observability overhead: cumulative wall-clock spent inside progress
+    /// sinks across all workers, seconds (0 when no sink is attached).
+    pub observer_s: f64,
 }
 
 impl SweepStats {
@@ -87,6 +90,9 @@ impl fmt::Display for SweepStats {
         if self.panicked > 0 {
             write!(f, ", {} panicked", self.panicked)?;
         }
+        if self.observer_s > 0.0 {
+            write!(f, ", {:.3} s in observers", self.observer_s)?;
+        }
         Ok(())
     }
 }
@@ -105,6 +111,7 @@ mod tests {
             workers: 8,
             wall_s: 2.0,
             cumulative_cell_s: 12.0,
+            observer_s: 0.0,
         }
     }
 
@@ -138,10 +145,13 @@ mod tests {
             assert!(text.contains(needle), "missing '{needle}' in '{text}'");
         }
         assert!(!text.contains("panicked"), "quiet when nothing panicked");
+        assert!(!text.contains("observers"), "quiet when unobserved");
         let noisy = SweepStats {
             panicked: 2,
+            observer_s: 0.25,
             ..stats()
         };
         assert!(noisy.summary().contains("2 panicked"));
+        assert!(noisy.summary().contains("0.250 s in observers"));
     }
 }

@@ -1,0 +1,231 @@
+//! Self-describing run artifacts: one directory per observed cell.
+//!
+//! Every observed run — healthy or faulted — leaves the same five files:
+//!
+//! * `manifest.json` — what ran: cell descriptor, content-addressed cache
+//!   key, schema/calibration versions, sampling cadence, and (for fault
+//!   cells) the scenario seed/severity and any abort. Never a wall-clock
+//!   timestamp: the manifest is part of the deterministic record.
+//! * `metrics.csv` — `metric,value` rows of every derived number.
+//! * `counters.csv` — the simulated-NVML per-GPU counter series.
+//! * `trace.json` — the Chrome/Perfetto trace with counter tracks.
+//! * `events.jsonl` — the typed event log, one JSON object per line.
+
+use olab_core::fmtutil::json_escape;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Version of the artifact directory layout and manifest schema.
+pub const ARTIFACT_SCHEMA_VERSION: u32 = 1;
+
+/// Fault-scenario fields of a manifest (absent for healthy cells).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultManifest {
+    /// Scenario seed.
+    pub seed: u64,
+    /// Scenario severity label.
+    pub severity: String,
+    /// Fault-schema version the scenario expanded under.
+    pub fault_schema_version: u32,
+    /// Human-readable abort description when the watchdog killed the run.
+    pub aborted: Option<String>,
+}
+
+/// Everything `manifest.json` records about one observed cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// `"experiment"` or `"fault"`.
+    pub kind: &'static str,
+    /// The cell's display label.
+    pub label: String,
+    /// The canonical cell descriptor (covers every result-changing input).
+    pub descriptor: String,
+    /// FNV-1a 64 of the descriptor — the content address of the cell.
+    pub cell_key: u64,
+    /// Cell wire-schema version baked into the descriptor.
+    pub cell_schema_version: u32,
+    /// Calibration-constant version baked into the descriptor.
+    pub calibration_version: u32,
+    /// Counter sampling cadence, milliseconds of simulated time.
+    pub sample_ms: f64,
+    /// GPUs in the node.
+    pub n_gpus: usize,
+    /// Makespan of the observed run, seconds.
+    pub makespan_s: f64,
+    /// Fault-scenario fields, when this was a fault cell.
+    pub fault: Option<FaultManifest>,
+}
+
+impl Manifest {
+    /// Renders the manifest as pretty-printed JSON (valid per
+    /// [`olab_core::fmtutil::validate_json`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"artifact_schema\": {},", ARTIFACT_SCHEMA_VERSION);
+        let _ = writeln!(out, "  \"kind\": \"{}\",", json_escape(self.kind));
+        let _ = writeln!(out, "  \"label\": \"{}\",", json_escape(&self.label));
+        let _ = writeln!(
+            out,
+            "  \"descriptor\": \"{}\",",
+            json_escape(&self.descriptor)
+        );
+        let _ = writeln!(out, "  \"cell_key\": {},", self.cell_key);
+        let _ = writeln!(out, "  \"cell_schema\": {},", self.cell_schema_version);
+        let _ = writeln!(out, "  \"calibration\": {},", self.calibration_version);
+        let _ = writeln!(out, "  \"sample_ms\": {:.3},", self.sample_ms);
+        let _ = writeln!(out, "  \"n_gpus\": {},", self.n_gpus);
+        let _ = writeln!(out, "  \"makespan_s\": {:.6},", self.makespan_s);
+        match &self.fault {
+            None => out.push_str("  \"fault\": null\n"),
+            Some(f) => {
+                out.push_str("  \"fault\": {\n");
+                let _ = writeln!(out, "    \"seed\": {},", f.seed);
+                let _ = writeln!(out, "    \"severity\": \"{}\",", json_escape(&f.severity));
+                let _ = writeln!(out, "    \"fault_schema\": {},", f.fault_schema_version);
+                match &f.aborted {
+                    None => out.push_str("    \"aborted\": null\n"),
+                    Some(msg) => {
+                        let _ = writeln!(out, "    \"aborted\": \"{}\"", json_escape(msg));
+                    }
+                }
+                out.push_str("  }\n");
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Renders `metric,value` CSV rows with a header.
+pub fn metrics_csv(rows: &[(&str, f64)]) -> String {
+    let mut out = String::from("metric,value\n");
+    for (name, value) in rows {
+        let _ = writeln!(out, "{name},{value:.9}");
+    }
+    out
+}
+
+/// The complete in-memory artifact of one observed cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArtifact {
+    /// The manifest (serialized to `manifest.json`).
+    pub manifest: Manifest,
+    /// `metric,value` rows (`metrics.csv`).
+    pub metrics_csv: String,
+    /// Per-GPU counter series (`counters.csv`).
+    pub counters_csv: String,
+    /// Chrome/Perfetto trace with counter tracks (`trace.json`).
+    pub trace_json: String,
+    /// Typed event log (`events.jsonl`).
+    pub events_jsonl: String,
+}
+
+/// File names every artifact directory contains, in write order.
+pub const ARTIFACT_FILES: [&str; 5] = [
+    "manifest.json",
+    "metrics.csv",
+    "counters.csv",
+    "trace.json",
+    "events.jsonl",
+];
+
+impl RunArtifact {
+    /// Writes the five artifact files under `dir` (created if missing),
+    /// returning their paths in [`ARTIFACT_FILES`] order.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem error creating the directory or writing a file.
+    pub fn write_to(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        fs::create_dir_all(dir)?;
+        let contents = [
+            self.manifest.to_json(),
+            self.metrics_csv.clone(),
+            self.counters_csv.clone(),
+            self.trace_json.clone(),
+            self.events_jsonl.clone(),
+        ];
+        let mut paths = Vec::with_capacity(ARTIFACT_FILES.len());
+        for (name, content) in ARTIFACT_FILES.iter().zip(contents) {
+            let path = dir.join(name);
+            fs::write(&path, content)?;
+            paths.push(path);
+        }
+        Ok(paths)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olab_core::fmtutil::validate_json;
+
+    fn manifest() -> Manifest {
+        Manifest {
+            kind: "fault",
+            label: "MI250x4 LLaMA-2 13B FSDP b8".into(),
+            descriptor: "olab-cell schema=1 \"quoted\"".into(),
+            cell_key: 0xdead_beef,
+            cell_schema_version: 1,
+            calibration_version: 3,
+            sample_ms: 100.0,
+            n_gpus: 4,
+            makespan_s: 1.25,
+            fault: Some(FaultManifest {
+                seed: 7,
+                severity: "Severe".into(),
+                fault_schema_version: 1,
+                aborted: None,
+            }),
+        }
+    }
+
+    #[test]
+    fn manifest_is_valid_json_with_escaped_descriptor() {
+        let json = manifest().to_json();
+        validate_json(&json).unwrap_or_else(|e| panic!("{json}\n{e}"));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"seed\": 7"));
+    }
+
+    #[test]
+    fn healthy_manifest_has_a_null_fault_block() {
+        let mut m = manifest();
+        m.kind = "experiment";
+        m.fault = None;
+        let json = m.to_json();
+        validate_json(&json).expect("valid");
+        assert!(json.contains("\"fault\": null"));
+    }
+
+    #[test]
+    fn metrics_csv_rows_are_fixed_precision() {
+        let csv = metrics_csv(&[("e2e_s", 1.5), ("retries", 3.0)]);
+        assert_eq!(
+            csv,
+            "metric,value\ne2e_s,1.500000000\nretries,3.000000000\n"
+        );
+    }
+
+    #[test]
+    fn write_to_creates_all_five_files() {
+        let dir = std::env::temp_dir().join(format!("olab-obs-artifact-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let artifact = RunArtifact {
+            manifest: manifest(),
+            metrics_csv: "metric,value\n".into(),
+            counters_csv: "gpu,t_ms\n".into(),
+            trace_json: "[]".into(),
+            events_jsonl: String::new(),
+        };
+        let paths = artifact.write_to(&dir).expect("writes");
+        assert_eq!(paths.len(), 5);
+        for (path, name) in paths.iter().zip(ARTIFACT_FILES) {
+            assert!(path.ends_with(name), "{path:?}");
+            assert!(path.exists());
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,255 @@
+//! Simulated-NVML counter sampling: the merged counter timeline polled at
+//! a fixed cadence into deterministic per-GPU time series.
+//!
+//! Sampling mirrors `olab_power::PowerTrace::sample` exactly: window `k`
+//! covers `[k*dt, min((k+1)*dt, makespan))` with boundaries computed as
+//! `k as f64 * dt` (no accumulation drift), the final partial window is
+//! included and averages only the span it covers, zero-duration epochs
+//! carry nothing, and each sample is stamped at the center of its window.
+//! The series is a pure function of the recorded epochs, so the same seed
+//! yields byte-identical `counters.csv` no matter how the sweep around it
+//! was parallelized.
+
+use crate::record::CounterEpoch;
+use olab_core::CounterTrack;
+use olab_sim::GpuCounters;
+use std::fmt::Write as _;
+
+/// One polled sample: every counter of one GPU at one instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CounterSample {
+    /// Sample timestamp (window center), seconds.
+    pub t_s: f64,
+    /// Window-averaged counters.
+    pub counters: GpuCounters,
+}
+
+/// The sampled series of one GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSeries {
+    /// Device index.
+    pub gpu: usize,
+    /// Samples in time order.
+    pub samples: Vec<CounterSample>,
+}
+
+/// The counter column names, in the order they appear in
+/// [`counters_csv`] rows and [`counter_tracks`] output.
+pub const COUNTER_NAMES: [&str; 5] = [
+    "power_w",
+    "sm_occupancy",
+    "hbm_util",
+    "link_util",
+    "freq_factor",
+];
+
+fn fields(c: &GpuCounters) -> [f64; 5] {
+    [
+        c.power_w,
+        c.sm_occupancy,
+        c.hbm_util,
+        c.link_util,
+        c.freq_factor,
+    ]
+}
+
+/// Polls the merged epoch timeline at `interval_s`, returning one series
+/// per GPU (all series share timestamps).
+///
+/// # Panics
+///
+/// Panics when `interval_s` is not a positive finite number — a
+/// zero-interval poll would loop forever, exactly as in
+/// `olab_power::PowerTrace::sample`.
+pub fn sample_epochs(epochs: &[CounterEpoch], n_gpus: usize, interval_s: f64) -> Vec<GpuSeries> {
+    assert!(
+        interval_s.is_finite() && interval_s > 0.0,
+        "invalid sampling interval {interval_s}"
+    );
+    let mut series: Vec<GpuSeries> = (0..n_gpus)
+        .map(|gpu| GpuSeries {
+            gpu,
+            samples: Vec::new(),
+        })
+        .collect();
+    let dur = epochs.last().map_or(0.0, |e| e.end_s);
+    let mut k = 0u64;
+    loop {
+        let t = k as f64 * interval_s;
+        if t >= dur {
+            break;
+        }
+        let end = (t + interval_s).min(dur);
+        let mut sums = vec![[0.0f64; 5]; n_gpus];
+        let mut covered = 0.0;
+        for epoch in epochs {
+            let lo = epoch.start_s.max(t);
+            let hi = epoch.end_s.min(end);
+            if hi <= lo {
+                continue;
+            }
+            let w = hi - lo;
+            covered += w;
+            for (gpu, c) in epoch.counters.iter().enumerate().take(n_gpus) {
+                for (sum, field) in sums[gpu].iter_mut().zip(fields(c)) {
+                    *sum += field * w;
+                }
+            }
+        }
+        let t_mid = (t + end) / 2.0;
+        for (gpu, line) in series.iter_mut().enumerate() {
+            let avg = if covered > 0.0 {
+                let s = sums[gpu];
+                GpuCounters {
+                    power_w: s[0] / covered,
+                    sm_occupancy: s[1] / covered,
+                    hbm_util: s[2] / covered,
+                    link_util: s[3] / covered,
+                    freq_factor: s[4] / covered,
+                }
+            } else {
+                GpuCounters::default()
+            };
+            line.samples.push(CounterSample {
+                t_s: t_mid,
+                counters: avg,
+            });
+        }
+        k += 1;
+    }
+    series
+}
+
+/// Renders the sampled series as CSV: header
+/// `gpu,t_ms,power_w,sm_occupancy,hbm_util,link_util,freq_factor`, rows
+/// grouped by GPU in time order, fixed-precision throughout.
+pub fn counters_csv(series: &[GpuSeries]) -> String {
+    let mut out = String::from("gpu,t_ms");
+    for name in COUNTER_NAMES {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push('\n');
+    for line in series {
+        for s in &line.samples {
+            let _ = write!(out, "{},{:.3}", line.gpu, s.t_s * 1e3);
+            for v in fields(&s.counters) {
+                let _ = write!(out, ",{v:.6}");
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Converts the sampled series into Perfetto counter tracks — one track
+/// per counter per GPU (5 tracks/GPU), named `gpu<N>/<counter>`.
+pub fn counter_tracks(series: &[GpuSeries]) -> Vec<CounterTrack> {
+    let mut tracks = Vec::with_capacity(series.len() * COUNTER_NAMES.len());
+    for line in series {
+        for (i, name) in COUNTER_NAMES.iter().enumerate() {
+            tracks.push(CounterTrack {
+                name: format!("gpu{}/{name}", line.gpu),
+                gpu: line.gpu,
+                points: line
+                    .samples
+                    .iter()
+                    .map(|s| (s.t_s, fields(&s.counters)[i]))
+                    .collect(),
+            });
+        }
+    }
+    tracks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn epoch(start_s: f64, end_s: f64, power: f64, occ: f64) -> CounterEpoch {
+        CounterEpoch {
+            start_s,
+            end_s,
+            counters: vec![GpuCounters {
+                sm_occupancy: occ,
+                hbm_util: 0.5,
+                link_util: 0.25,
+                freq_factor: 1.0,
+                power_w: power,
+            }],
+        }
+    }
+
+    #[test]
+    fn windows_average_over_their_covered_span() {
+        // 0.15 s timeline at dt = 0.1: full window [0, 0.1) then partial
+        // [0.1, 0.15). Power 100 W then 300 W split at t = 0.1.
+        let epochs = vec![epoch(0.0, 0.1, 100.0, 0.2), epoch(0.1, 0.15, 300.0, 0.8)];
+        let series = sample_epochs(&epochs, 1, 0.1);
+        assert_eq!(series.len(), 1);
+        let s = &series[0].samples;
+        assert_eq!(s.len(), 2, "ceil(0.15/0.1) windows");
+        assert!((s[0].t_s - 0.05).abs() < 1e-12);
+        assert!((s[0].counters.power_w - 100.0).abs() < 1e-9);
+        // Final partial window: centered at 0.125, averages only [0.1, 0.15).
+        assert!((s[1].t_s - 0.125).abs() < 1e-12);
+        assert!((s[1].counters.power_w - 300.0).abs() < 1e-9);
+        assert!((s[1].counters.sm_occupancy - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn a_window_straddling_an_edge_blends_time_weighted() {
+        let epochs = vec![epoch(0.0, 0.05, 100.0, 0.0), epoch(0.05, 0.1, 300.0, 1.0)];
+        let series = sample_epochs(&epochs, 1, 0.1);
+        let s = &series[0].samples;
+        assert_eq!(s.len(), 1);
+        assert!((s[0].counters.power_w - 200.0).abs() < 1e-9);
+        assert!((s[0].counters.sm_occupancy - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_timeline_yields_no_samples() {
+        let series = sample_epochs(&[], 2, 0.1);
+        assert_eq!(series.len(), 2);
+        assert!(series.iter().all(|s| s.samples.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sampling interval")]
+    fn zero_interval_is_rejected() {
+        let _ = sample_epochs(&[epoch(0.0, 1.0, 100.0, 0.5)], 1, 0.0);
+    }
+
+    #[test]
+    fn csv_has_the_documented_header_and_one_row_per_sample() {
+        let epochs = vec![epoch(0.0, 0.2, 150.0, 0.4)];
+        let series = sample_epochs(&epochs, 1, 0.1);
+        let csv = counters_csv(&series);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "gpu,t_ms,power_w,sm_occupancy,hbm_util,link_util,freq_factor"
+        );
+        let rows: Vec<&str> = lines.collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0],
+            "0,50.000,150.000000,0.400000,0.500000,0.250000,1.000000"
+        );
+    }
+
+    #[test]
+    fn tracks_cover_every_counter_for_every_gpu() {
+        let epochs = vec![CounterEpoch {
+            start_s: 0.0,
+            end_s: 0.1,
+            counters: vec![GpuCounters::default(); 3],
+        }];
+        let tracks = counter_tracks(&sample_epochs(&epochs, 3, 0.1));
+        assert_eq!(tracks.len(), 3 * COUNTER_NAMES.len());
+        assert!(tracks
+            .iter()
+            .any(|t| t.name == "gpu2/power_w" && t.gpu == 2));
+        assert!(tracks.iter().all(|t| t.points.len() == 1));
+    }
+}

@@ -103,20 +103,43 @@ impl PowerTrace {
     }
 
     /// Samples the trace the way a telemetry tool would: one reading per
-    /// `sampler.interval_s`, each the average over its window. The final
-    /// partial window is included.
+    /// `sampler.interval_s`, each the average over its window.
+    ///
+    /// Boundary semantics (locked in by unit tests, and mirrored by the
+    /// `olab-obs` counter sampler):
+    ///
+    /// * window `k` covers `[k·dt, min((k+1)·dt, duration))` — boundaries
+    ///   are exact multiples of the interval, never accumulated sums, so
+    ///   long traces do not drift;
+    /// * the final partial window is included when the cadence does not
+    ///   divide the trace length, and its reading averages only the
+    ///   covered span;
+    /// * each reading is stamped at the center of its (possibly partial)
+    ///   window;
+    /// * zero-duration segments carry no energy and never affect samples;
+    /// * an empty trace yields no samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sampler's interval is not positive and finite (a
+    /// hand-rolled `Sampler` bypassing [`Sampler::with_interval`]).
     pub fn sample(&self, sampler: Sampler) -> SampledTrace {
         let dur = self.duration_s();
         let dt = sampler.interval_s;
+        assert!(dt.is_finite() && dt > 0.0, "invalid sampling interval {dt}");
         let mut samples = Vec::new();
-        let mut t = 0.0;
-        while t < dur {
+        let mut k = 0u64;
+        loop {
+            let t = k as f64 * dt;
+            if t >= dur {
+                break;
+            }
             let end = (t + dt).min(dur);
             samples.push(PowerSample {
                 time_s: (t + end) / 2.0,
                 watts: self.average_over(t, end),
             });
-            t += dt;
+            k += 1;
         }
         SampledTrace { sampler, samples }
     }
@@ -229,6 +252,72 @@ mod tests {
         assert_eq!(t.energy_over(0.5, 0.5), 0.0);
         assert_eq!(t.energy_over(2.0, 1.0), 0.0);
         assert_eq!(t.energy_over(5.0, 6.0), 0.0);
+    }
+
+    #[test]
+    fn final_partial_window_is_included_and_averages_only_its_span() {
+        // 0.25 s trace, 0.1 s cadence: windows [0,0.1), [0.1,0.2), [0.2,0.25).
+        let t = PowerTrace::from_segments(&[seg(0.0, 0.2, 100.0), seg(0.2, 0.25, 400.0)]);
+        let s = t.sample(Sampler::nvml());
+        assert_eq!(s.samples.len(), 3);
+        let last = s.samples[2];
+        // Center of the partial window, not of a full one.
+        assert!((last.time_s - 0.225).abs() < 1e-12);
+        // Average over [0.2, 0.25) only: all at 400 W, undiluted by the
+        // missing 0.05 s the full window would have had.
+        assert!((last.watts - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cadence_not_dividing_duration_yields_ceil_windows() {
+        // 0.1 s trace at 0.03 s cadence: 3 full windows + 0.01 s partial.
+        let t = PowerTrace::from_segments(&[seg(0.0, 0.1, 100.0)]);
+        let s = t.sample(Sampler::with_interval("odd", 0.03));
+        assert_eq!(s.samples.len(), 4);
+        assert!((s.samples[3].time_s - 0.095).abs() < 1e-12);
+        for sample in &s.samples {
+            assert!((sample.watts - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn window_boundaries_do_not_drift_on_long_traces() {
+        // 10 s at 1 ms cadence: exactly 10_000 windows; an accumulating
+        // `t += dt` loop drifts off the k·dt grid well before this.
+        let t = PowerTrace::from_segments(&[seg(0.0, 10.0, 100.0)]);
+        let s = t.sample(Sampler::rocm_smi_fine());
+        assert_eq!(s.samples.len(), 10_000);
+        let mid = s.samples[9_999];
+        assert!((mid.time_s - 9.9995).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_segments_carry_no_energy_and_do_not_skew_samples() {
+        // A zero-width 999 W glitch between two plateaus.
+        let t = PowerTrace::from_segments(&[
+            seg(0.0, 0.05, 100.0),
+            seg(0.05, 0.05, 999.0),
+            seg(0.05, 0.1, 200.0),
+        ]);
+        assert!((t.average() - 150.0).abs() < 1e-9);
+        assert!((t.energy_j() - 15.0).abs() < 1e-9);
+        let s = t.sample(Sampler::nvml());
+        assert_eq!(s.samples.len(), 1);
+        assert!((s.samples[0].watts - 150.0).abs() < 1e-9);
+        // peak_over ignores the empty segment; peak_instantaneous (a
+        // segment-wise statistic, not a time integral) still reports it.
+        assert_eq!(t.peak_over(0.0, 0.1), 200.0);
+        assert_eq!(t.peak_instantaneous(), 999.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sampling interval")]
+    fn hand_rolled_zero_interval_sampler_is_rejected() {
+        let t = spike_trace();
+        t.sample(Sampler {
+            name: "bad",
+            interval_s: 0.0,
+        });
     }
 
     #[test]

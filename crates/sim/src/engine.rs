@@ -1,5 +1,6 @@
 //! The piecewise-fluid simulation loop.
 
+use crate::obs::{EngineObserver, GpuCounters, NullObserver};
 use crate::rate::{RateModel, RunningTask};
 use crate::trace::{GpuActivity, PowerSegment, SimTrace, TaskRecord, Window};
 use crate::{SimError, SimTime, StreamKind, TaskId, Workload};
@@ -49,6 +50,24 @@ impl<M: RateModel> Engine<M> {
     /// malformed DAGs, and [`SimError::InvalidRate`]/[`SimError::InvalidPower`]
     /// if the rate model misbehaves.
     pub fn run(&mut self, workload: &Workload<M::Payload>) -> Result<SimTrace, SimError> {
+        self.run_observed(workload, &mut NullObserver)
+    }
+
+    /// Runs the workload to completion, driving `obs` through every task
+    /// start/end and epoch (see [`EngineObserver`]).
+    ///
+    /// [`run`](Engine::run) is this with the [`NullObserver`], whose
+    /// `ENABLED = false` compiles the instrumentation away — observed and
+    /// unobserved runs produce identical traces.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Engine::run).
+    pub fn run_observed<O: EngineObserver>(
+        &mut self,
+        workload: &Workload<M::Payload>,
+        obs: &mut O,
+    ) -> Result<SimTrace, SimError> {
         workload.validate()?;
 
         let n = workload.len();
@@ -84,6 +103,7 @@ impl<M: RateModel> Engine<M> {
 
         let mut rates: Vec<f64> = Vec::new();
         let mut power: Vec<f64> = Vec::new();
+        let mut counters: Vec<GpuCounters> = Vec::new();
 
         while done < n {
             // Promote every task that is at the head of all its queues with
@@ -107,6 +127,15 @@ impl<M: RateModel> Engine<M> {
                         start[head.index()] = now;
                         running.push(head);
                         promoted = true;
+                        if O::ENABLED {
+                            obs.on_task_start(
+                                now.as_secs(),
+                                head,
+                                &spec.label,
+                                &spec.participants,
+                                spec.stream,
+                            );
+                        }
                     }
                 }
             }
@@ -196,6 +225,16 @@ impl<M: RateModel> Engine<M> {
             let epoch = SimTime::from_secs(dt);
             let epoch_end = now + epoch;
 
+            if O::ENABLED {
+                counters.clear();
+                for (g, &watts) in power.iter().enumerate() {
+                    let mut c = self.model.counters(g);
+                    c.power_w = watts;
+                    counters.push(c);
+                }
+                obs.on_epoch(now.as_secs(), epoch_end.as_secs(), &counters);
+            }
+
             for (g, busy) in stream_busy.iter().enumerate() {
                 for s in StreamKind::ALL {
                     if busy[s.index()] {
@@ -233,6 +272,15 @@ impl<M: RateModel> Engine<M> {
                     end[id.index()] = now;
                     done += 1;
                     let spec = &workload.tasks()[id.index()];
+                    if O::ENABLED {
+                        obs.on_task_end(
+                            now.as_secs(),
+                            id,
+                            &spec.label,
+                            &spec.participants,
+                            spec.stream,
+                        );
+                    }
                     for gpu in &spec.participants {
                         let q = &mut queues[gpu.index() * 2 + spec.stream.index()];
                         debug_assert_eq!(q.front(), Some(&id));
@@ -516,6 +564,80 @@ mod tests {
         assert_eq!(segs.len(), 1, "equal-power contiguous segments merge");
         assert!((segs[0].window.end.as_secs() - 2.0).abs() < 1e-9);
         assert_eq!(segs[0].watts, 100.0);
+    }
+
+    #[derive(Default)]
+    struct Recording {
+        events: Vec<String>,
+        epoch_s: f64,
+        epochs: usize,
+    }
+
+    impl crate::EngineObserver for Recording {
+        fn on_task_start(
+            &mut self,
+            now_s: f64,
+            _id: TaskId,
+            label: &str,
+            _participants: &[GpuId],
+            _stream: StreamKind,
+        ) {
+            self.events.push(format!("start {label} @{now_s}"));
+        }
+        fn on_task_end(
+            &mut self,
+            now_s: f64,
+            _id: TaskId,
+            label: &str,
+            _participants: &[GpuId],
+            _stream: StreamKind,
+        ) {
+            self.events.push(format!("end {label} @{now_s}"));
+        }
+        fn on_epoch(&mut self, start_s: f64, end_s: f64, counters: &[crate::GpuCounters]) {
+            assert_eq!(counters.len(), 2, "one counter set per device");
+            self.epoch_s += end_s - start_s;
+            self.epochs += 1;
+        }
+    }
+
+    #[test]
+    fn observer_sees_task_edges_and_epochs_covering_the_makespan() {
+        let mut w = unit_workload();
+        w.push(TaskSpec::compute("a", GpuId(0), ()));
+        w.push(TaskSpec::compute("b", GpuId(0), ()));
+        let mut obs = Recording::default();
+        let trace = Engine::new(ConstantRate::default())
+            .run_observed(&w, &mut obs)
+            .unwrap();
+        assert_eq!(
+            obs.events,
+            vec!["start a @0", "end a @1", "start b @1", "end b @2"]
+        );
+        assert!((obs.epoch_s - trace.makespan().as_secs()).abs() < 1e-9);
+        assert_eq!(obs.epochs, 2);
+    }
+
+    #[test]
+    fn observed_and_unobserved_runs_produce_identical_traces() {
+        let mut w = unit_workload();
+        let a = w.push(TaskSpec::compute("a", GpuId(0), ()));
+        w.push(TaskSpec::comm("c", GpuId(0), ()).after(a));
+        w.push(TaskSpec::compute("b", GpuId(1), ()));
+        let plain = Engine::new(ConstantRate::default()).run(&w).unwrap();
+        let mut obs = Recording::default();
+        let observed = Engine::new(ConstantRate::default())
+            .run_observed(&w, &mut obs)
+            .unwrap();
+        assert_eq!(plain.makespan(), observed.makespan());
+        assert_eq!(plain.records().len(), observed.records().len());
+        for (p, o) in plain.records().iter().zip(observed.records()) {
+            assert_eq!(p.start, o.start);
+            assert_eq!(p.end, o.end);
+        }
+        // Epoch counters carry the engine's power and the model default
+        // clock, so the observer's integral matches the trace's.
+        assert!(obs.epochs > 0);
     }
 
     #[test]

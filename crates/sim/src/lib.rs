@@ -70,6 +70,7 @@ pub mod critical;
 mod engine;
 mod error;
 mod ids;
+mod obs;
 mod rate;
 pub mod rng;
 mod task;
@@ -81,6 +82,7 @@ pub use critical::{critical_path, CriticalPath, CriticalStep};
 pub use engine::Engine;
 pub use error::SimError;
 pub use ids::{GpuId, StreamKind, TaskId};
+pub use obs::{EngineObserver, GpuCounters, NullObserver};
 pub use rate::{ConstantRate, RateModel, RunningTask};
 pub use rng::SeededRng;
 pub use task::{TaskSpec, Workload};

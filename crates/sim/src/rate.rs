@@ -1,6 +1,6 @@
 //! The rate-model trait: where domain physics plugs into the engine.
 
-use crate::{GpuId, StreamKind, TaskId};
+use crate::{GpuCounters, GpuId, StreamKind, TaskId};
 
 /// A view of one currently-running task handed to the [`RateModel`].
 #[derive(Debug)]
@@ -82,6 +82,20 @@ pub trait RateModel {
         let _ = now;
         None
     }
+
+    /// Telemetry counters for device `gpu` over the epoch whose rates were
+    /// just assigned — what a simulated NVML poll would read during that
+    /// epoch (SM occupancy, HBM/link utilization, clock factor).
+    ///
+    /// The engine queries this only for observed runs, after
+    /// [`assign_rates_at`](RateModel::assign_rates_at), and overwrites
+    /// [`GpuCounters::power_w`] with the power the model already reported.
+    /// The default reports an idle device at nominal clock, so models
+    /// without telemetry need not change.
+    fn counters(&self, gpu: usize) -> GpuCounters {
+        let _ = gpu;
+        GpuCounters::default()
+    }
 }
 
 impl<M: RateModel + ?Sized> RateModel for &mut M {
@@ -108,6 +122,10 @@ impl<M: RateModel + ?Sized> RateModel for &mut M {
 
     fn next_boundary(&mut self, now: f64) -> Option<f64> {
         (**self).next_boundary(now)
+    }
+
+    fn counters(&self, gpu: usize) -> GpuCounters {
+        (**self).counters(gpu)
     }
 }
 
