@@ -8,6 +8,9 @@
 //! * `OLAB_ORACLE_SMOKE_SEEDS` — number of random seeds (default 20).
 //! * `OLAB_ORACLE_FAULT_SEEDS` — number of fault-scenario seeds for the
 //!   fault metamorphic relations (default 10).
+//! * `OLAB_ORACLE_RESILIENCE_SEEDS` — number of seeds for the recovery
+//!   relations R1–R3 (default 6); the recovery R1/R3 pass additionally
+//!   covers every registry grid cell under its killing scenario.
 //! * `OLAB_ORACLE_REPORT` — path to write the divergence report to on
 //!   failure (uploaded as a CI artifact).
 
@@ -15,6 +18,7 @@ use olab_core::{registry, Experiment};
 use olab_grid::Pool;
 use olab_oracle::{
     check_cell, check_collective_relations, check_experiment_relations, check_fault_relations,
+    check_resilience_grid_cell, check_resilience_relations,
 };
 use std::fmt::Write as _;
 
@@ -102,6 +106,31 @@ fn main() {
         let _ = writeln!(report, "{failure}");
     }
     println!("fault smoke: {fault_feasible}/{fault_count} seeds feasible (base seed {base})");
+
+    // Recovery smoke: the fault-free-lower-bound, checkpoint-overhead and
+    // byte-conservation relations over a fresh slice of seeds...
+    let res_count = env_u64("OLAB_ORACLE_RESILIENCE_SEEDS", 6);
+    let res_seeds: Vec<u64> = (0..res_count).map(|i| base.wrapping_add(i)).collect();
+    let res_outcomes = pool.map(&res_seeds, |&seed| check_resilience_relations(seed));
+    let res_feasible = res_outcomes.iter().filter(|o| o.feasible).count();
+    for failure in res_outcomes.into_iter().flat_map(|o| o.failures) {
+        failed = true;
+        let _ = writeln!(report, "{failure}");
+    }
+    println!("resilience smoke: {res_feasible}/{res_count} seeds feasible (base seed {base})");
+
+    // ...and R1/R3 over every registry grid cell under its killing
+    // scenario, so recovery holds on exactly the cells the figures run.
+    let grid_outcomes = pool.map(&cells, |exp| check_resilience_grid_cell(exp, base));
+    let grid_feasible = grid_outcomes.iter().filter(|o| o.feasible).count();
+    for failure in grid_outcomes.into_iter().flat_map(|o| o.failures) {
+        failed = true;
+        let _ = writeln!(report, "{failure}");
+    }
+    println!(
+        "resilience grid: {grid_feasible}/{} registry cells feasible",
+        cells.len()
+    );
 
     if failed {
         eprint!("{report}");

@@ -45,4 +45,6 @@ pub use channels::channel_count;
 pub use collective::{Collective, CollectiveKind};
 pub use error::CclError;
 pub use lowering::{lower, try_lower, CommOp};
-pub use watchdog::{adjudicate, relower_degraded, FailAction, WatchdogConfig, WatchdogVerdict};
+pub use watchdog::{
+    adjudicate, relower_degraded, relower_surviving, FailAction, WatchdogConfig, WatchdogVerdict,
+};

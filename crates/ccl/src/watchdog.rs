@@ -20,8 +20,10 @@
 //! fixed up front yields a deterministic verdict per stall — the property
 //! the seeded fault scenarios rely on.
 
-use crate::{CclError, CommOp};
+use crate::{try_lower, CclError, Collective, CommOp};
+use olab_gpu::{GpuSku, Precision};
 use olab_net::{Link, Topology};
+use olab_sim::GpuId;
 
 /// What to do when a collective exhausts its retry budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -158,6 +160,39 @@ pub fn relower_degraded(op: &CommOp, dead: Link, topology: &Topology) -> Result<
     Ok(out)
 }
 
+/// Re-lowers a collective onto an arbitrary surviving rank set — the
+/// elastic shrink-and-continue transition, where a rank is evicted for
+/// good and the communicator is rebuilt over whoever is left.
+///
+/// The *logical* buffer is conserved: the surviving group moves the same
+/// `collective.bytes` the original group did (state is re-sharded, not
+/// dropped), only the per-rank wire traffic and the schedule change with
+/// the new group size. The returned op is a fresh lowering over
+/// `survivors`, not a scaled copy, so latency steps, channel count, and
+/// reduction FLOPs all reflect the shrunken world.
+///
+/// # Errors
+///
+/// [`CclError::GroupTooSmall`] when fewer than two distinct survivors
+/// remain, [`CclError::NotPairwise`] when a point-to-point loses an
+/// endpoint, [`CclError::GroupExceedsTopology`] when a survivor lies
+/// outside the topology.
+pub fn relower_surviving(
+    op: &CommOp,
+    survivors: &[GpuId],
+    sku: &GpuSku,
+    topology: &Topology,
+    precision: Precision,
+) -> Result<CommOp, CclError> {
+    let shrunk = Collective::try_new(op.collective.kind, op.collective.bytes, survivors.to_vec())?;
+    let out = try_lower(&shrunk, op.algorithm, sku, topology, precision)?;
+    debug_assert_eq!(
+        out.collective.bytes, op.collective.bytes,
+        "re-lowering must conserve the logical buffer"
+    );
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,6 +271,147 @@ mod tests {
         assert!(degraded.latency_s > op.latency_s);
         assert_eq!(degraded.channels, op.channels - 1);
         assert!(degraded.isolated_duration_s() > op.isolated_duration_s());
+    }
+
+    #[test]
+    fn exactly_exhausted_budget_sits_on_the_resume_side_of_the_boundary() {
+        // The final retry's deadline is stall_start + patience_s(). An
+        // outage ending exactly there is observed by that attempt and
+        // resumes; one ulp-scale nudge past it exhausts the budget.
+        let cfg = cfg();
+        let boundary = 10.0 + cfg.patience_s();
+        match adjudicate(10.0, Some(boundary), &cfg) {
+            WatchdogVerdict::Resumed { at, retries } => {
+                assert!((at - boundary).abs() < 1e-12);
+                assert_eq!(retries, cfg.max_retries);
+            }
+            v => panic!("exact boundary must resume, got {v:?}"),
+        }
+        match adjudicate(10.0, Some(boundary + 1e-9), &cfg) {
+            WatchdogVerdict::Exhausted {
+                give_up_at,
+                retries,
+            } => {
+                assert!((give_up_at - boundary).abs() < 1e-12);
+                assert_eq!(retries, cfg.max_retries);
+            }
+            v => panic!("past the boundary must exhaust, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_retry_budget_gets_exactly_one_timeout() {
+        let cfg = WatchdogConfig {
+            max_retries: 0,
+            ..cfg()
+        };
+        // No retries: the single attempt's deadline is the whole patience.
+        match adjudicate(5.0, Some(6.0), &cfg) {
+            WatchdogVerdict::Resumed { at, retries } => {
+                assert!((at - 6.0).abs() < 1e-12);
+                assert_eq!(retries, 0);
+            }
+            v => panic!("unexpected {v:?}"),
+        }
+        match adjudicate(5.0, Some(6.0 + 1e-9), &cfg) {
+            WatchdogVerdict::Exhausted {
+                give_up_at,
+                retries,
+            } => {
+                assert!((give_up_at - 6.0).abs() < 1e-12);
+                assert_eq!(retries, 0);
+            }
+            v => panic!("unexpected {v:?}"),
+        }
+        assert!(matches!(
+            adjudicate(5.0, None, &cfg),
+            WatchdogVerdict::Exhausted { retries: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn boundary_verdicts_agree_serially_and_under_worker_fanout() {
+        // The same exactly-exhausted adjudications, fanned across the
+        // sweep worker pool: verdicts must be bitwise identical to the
+        // serial pass regardless of parallelism.
+        let cases: Vec<(u32, f64)> = (0..=4)
+            .flat_map(|retries| {
+                [-1e-9, 0.0, 1e-9]
+                    .into_iter()
+                    .map(move |nudge| (retries, nudge))
+            })
+            .collect();
+        let verdict_of = |&(retries, nudge): &(u32, f64)| {
+            let cfg = WatchdogConfig {
+                max_retries: retries,
+                ..WatchdogConfig::degrade(1.0)
+            };
+            adjudicate(10.0, Some(10.0 + cfg.patience_s() + nudge), &cfg)
+        };
+        let serial: Vec<WatchdogVerdict> = cases.iter().map(verdict_of).collect();
+        let parallel = olab_grid::Pool::new(4).map(&cases, verdict_of);
+        assert_eq!(serial, parallel);
+        // Sanity: the nudge direction decides the verdict in every case.
+        for (case, v) in cases.iter().zip(&serial) {
+            match case.1 {
+                n if n > 0.0 => assert!(matches!(v, WatchdogVerdict::Exhausted { .. })),
+                _ => assert!(matches!(v, WatchdogVerdict::Resumed { .. })),
+            }
+        }
+    }
+
+    #[test]
+    fn surviving_rank_relowering_conserves_the_logical_buffer() {
+        let sku = GpuSku::h100();
+        let topo = olab_net::Topology::nvswitch(4, sku.link_bw_unidir_gbs, sku.link_latency_us);
+        let group: Vec<GpuId> = (0..4).map(GpuId).collect();
+        let ag = Collective::all_gather(3 << 20, group);
+        let op = lower(&ag, Algorithm::Ring, &sku, &topo, Precision::Fp16);
+        // gpu2 died: rebuild over the other three.
+        let survivors = vec![GpuId(0), GpuId(1), GpuId(3)];
+        let shrunk = relower_surviving(&op, &survivors, &sku, &topo, Precision::Fp16).unwrap();
+        assert_eq!(shrunk.collective.bytes, op.collective.bytes);
+        assert_eq!(shrunk.collective.group, survivors);
+        // Ring all-gather wire bytes are S(n-1)/n per rank: the total moved
+        // over the fabric is S(n-1) — it changes with the group size, but
+        // per-rank * ranks always reassembles it exactly.
+        let total = |o: &CommOp| o.wire_bytes_per_rank * o.collective.group_size() as f64;
+        let s = op.collective.bytes as f64;
+        assert!((total(&op) - s * 3.0).abs() < 1e-6);
+        assert!((total(&shrunk) - s * 2.0).abs() < 1e-6);
+        // The shrunken schedule is a fresh lowering, not a scaled copy:
+        // per-rank ring traffic is S(n-1)/n, which drops with the group.
+        assert!(shrunk.wire_bytes_per_rank < op.wire_bytes_per_rank);
+        assert!(shrunk.latency_s < op.latency_s, "fewer ring steps");
+    }
+
+    #[test]
+    fn surviving_rank_relowering_rejects_degenerate_groups() {
+        let sku = GpuSku::h100();
+        let topo = olab_net::Topology::nvswitch(4, sku.link_bw_unidir_gbs, sku.link_latency_us);
+        let group: Vec<GpuId> = (0..4).map(GpuId).collect();
+        let ar = Collective::all_reduce(1 << 20, group);
+        let op = lower(&ar, Algorithm::Ring, &sku, &topo, Precision::Fp16);
+        assert_eq!(
+            relower_surviving(&op, &[GpuId(0)], &sku, &topo, Precision::Fp16),
+            Err(CclError::GroupTooSmall { got: 1 })
+        );
+        assert!(matches!(
+            relower_surviving(&op, &[GpuId(0), GpuId(9)], &sku, &topo, Precision::Fp16),
+            Err(CclError::GroupExceedsTopology { .. })
+        ));
+        let p2p = Collective::p2p(1 << 20, GpuId(0), GpuId(1));
+        let p2p_op = lower(&p2p, Algorithm::Direct, &sku, &topo, Precision::Fp16);
+        assert_eq!(
+            relower_surviving(
+                &p2p_op,
+                &[GpuId(0), GpuId(2), GpuId(3)],
+                &sku,
+                &topo,
+                Precision::Fp16
+            ),
+            Err(CclError::NotPairwise { got: 3 })
+        );
     }
 
     #[test]

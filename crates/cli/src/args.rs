@@ -144,6 +144,10 @@ pub struct FaultsArgs {
     /// Counter sampling cadence for artifacts, ms of simulated time
     /// (`--sample-ms X`).
     pub sample_ms: f64,
+    /// Recovery policy applied when the watchdog gives up
+    /// (`--recovery failfast|ckpt|elastic`; `--ckpt-interval-s X` pins the
+    /// checkpoint interval). `None` keeps the plain fault scorecard.
+    pub recovery: Option<olab_resilience::RecoveryPolicy>,
 }
 
 impl Default for FaultsArgs {
@@ -156,6 +160,28 @@ impl Default for FaultsArgs {
             observe: false,
             out_dir: None,
             sample_ms: 100.0,
+            recovery: None,
+        }
+    }
+}
+
+/// `resilience`-subcommand arguments: the policy-comparison sweep.
+#[derive(Debug, Clone)]
+pub struct ResilienceArgs {
+    /// Fault seeds to sweep (`--seeds a,b,c` or a single `--seed N`).
+    pub seeds: Vec<u64>,
+    /// Scenario severity (`--severity mild|moderate|severe`).
+    pub severity: olab_faults::Severity,
+    /// Worker threads (`--jobs N`; `1` forces a serial sweep).
+    pub jobs: Option<usize>,
+}
+
+impl Default for ResilienceArgs {
+    fn default() -> Self {
+        ResilienceArgs {
+            seeds: vec![3],
+            severity: olab_faults::Severity::Severe,
+            jobs: None,
         }
     }
 }
@@ -212,8 +238,12 @@ pub enum Command {
     Tune(RunArgs, Objective),
     /// `olab chrome ...` — emit a chrome://tracing JSON timeline.
     Chrome(RunArgs),
-    /// `olab faults ... [--seeds a,b] [--severity all] [--action degrade]`.
+    /// `olab faults ... [--seeds a,b] [--severity all] [--action degrade]
+    /// [--recovery failfast|ckpt|elastic] [--ckpt-interval-s X]`.
     Faults(RunArgs, FaultsArgs),
+    /// `olab resilience ... [--seeds a,b] [--severity severe] [--jobs N]`
+    /// — the three-policy recovery comparison table.
+    Resilience(RunArgs, ResilienceArgs),
     /// `olab observe ... [--cell fig7] [--out-dir DIR] [--sample-ms 100]`.
     Observe(RunArgs, ObserveArgs),
     /// `olab help` / no arguments.
@@ -381,16 +411,19 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "list" => {
             reject_observe("list", observe)?;
+            reject_recovery("list", &pairs)?;
             Ok(Command::List)
         }
         "run" => {
             reject_observe("run", observe)?;
+            reject_recovery("run", &pairs)?;
             let (mut args, rest) = parse_run_args(&pairs)?;
             args.csv = csv;
             reject_unknown(&rest)?;
             Ok(Command::Run(args))
         }
         "sweep" => {
+            reject_recovery("sweep", &pairs)?;
             let (mut args, rest) = parse_run_args(&pairs)?;
             args.csv = csv;
             let mut sweep = SweepArgs {
@@ -419,6 +452,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         }
         "trace" => {
             reject_observe("trace", observe)?;
+            reject_recovery("trace", &pairs)?;
             let (mut args, rest) = parse_run_args(&pairs)?;
             args.csv = csv;
             let mut interval = 1.0;
@@ -435,6 +469,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         }
         "chrome" => {
             reject_observe("chrome", observe)?;
+            reject_recovery("chrome", &pairs)?;
             let (mut args, rest) = parse_run_args(&pairs)?;
             args.csv = csv;
             reject_unknown(&rest)?;
@@ -448,6 +483,8 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 ..FaultsArgs::default()
             };
             let mut unknown = Vec::new();
+            let mut recovery = None;
+            let mut ckpt_interval_s = None;
             for (flag, value) in rest {
                 match flag {
                     "--seed" => faults.seeds = vec![num(flag, value)?],
@@ -462,13 +499,50 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     "--jobs" => faults.jobs = Some(num(flag, value)?),
                     "--out-dir" => faults.out_dir = Some(value.to_string()),
                     "--sample-ms" => faults.sample_ms = positive_ms(flag, value)?,
+                    "--recovery" => recovery = Some(value),
+                    "--ckpt-interval-s" => ckpt_interval_s = Some(positive_secs(flag, value)?),
                     _ => unknown.push((flag, value)),
                 }
             }
             reject_unknown(&unknown)?;
+            faults.recovery = parse_recovery(recovery, ckpt_interval_s)?;
             Ok(Command::Faults(args, faults))
         }
+        "resilience" => {
+            reject_observe("resilience", observe)?;
+            reject_recovery("resilience", &pairs)?;
+            let (mut args, rest) = parse_run_args(&pairs)?;
+            args.csv = csv;
+            let mut res = ResilienceArgs::default();
+            let mut unknown = Vec::new();
+            for (flag, value) in rest {
+                match flag {
+                    "--seed" => res.seeds = vec![num(flag, value)?],
+                    "--seeds" => {
+                        res.seeds = value
+                            .split(',')
+                            .map(|v| num("--seeds", v.trim()))
+                            .collect::<Result<Vec<u64>, _>>()?;
+                    }
+                    "--severity" => {
+                        let all = parse_severities(value)?;
+                        let [one] = all.as_slice() else {
+                            return Err(CliError(
+                                "--severity: resilience takes a single severity, not 'all'"
+                                    .to_string(),
+                            ));
+                        };
+                        res.severity = *one;
+                    }
+                    "--jobs" => res.jobs = Some(num(flag, value)?),
+                    _ => unknown.push((flag, value)),
+                }
+            }
+            reject_unknown(&unknown)?;
+            Ok(Command::Resilience(args, res))
+        }
         "observe" => {
+            reject_recovery("observe", &pairs)?;
             let (mut args, rest) = parse_run_args(&pairs)?;
             args.csv = csv;
             let mut obs = ObserveArgs::default();
@@ -499,6 +573,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         }
         "tune" => {
             reject_observe("tune", observe)?;
+            reject_recovery("tune", &pairs)?;
             let (mut args, rest) = parse_run_args(&pairs)?;
             args.csv = csv;
             let mut objective = Objective::Latency;
@@ -515,7 +590,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         }
         other => Err(CliError(format!(
             "unknown command '{other}' \
-             (expected run|sweep|trace|tune|chrome|faults|observe|list|help)"
+             (expected run|sweep|trace|tune|chrome|faults|resilience|observe|list|help)"
         ))),
     }
 }
@@ -541,6 +616,57 @@ fn parse_action(value: &str) -> Result<bool, CliError> {
     }
 }
 
+/// `--recovery`/`--ckpt-interval-s` only make sense where faults inject.
+fn reject_recovery(sub: &str, pairs: &[(&str, &str)]) -> Result<(), CliError> {
+    for &(flag, _) in pairs {
+        if flag == "--recovery" || flag == "--ckpt-interval-s" {
+            return Err(CliError(format!(
+                "{flag} is not supported by '{sub}' (use the faults subcommand; \
+                 'resilience' compares every policy)"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Combines `--recovery` and `--ckpt-interval-s` into a policy. The
+/// interval only exists under checkpoint/restart, so pinning it under any
+/// other policy (or none) is an error rather than a silent no-op.
+fn parse_recovery(
+    policy: Option<&str>,
+    ckpt_interval_s: Option<f64>,
+) -> Result<Option<olab_resilience::RecoveryPolicy>, CliError> {
+    use olab_resilience::RecoveryPolicy;
+    let Some(name) = policy else {
+        if ckpt_interval_s.is_some() {
+            return Err(CliError(
+                "--ckpt-interval-s requires '--recovery ckpt'".to_string(),
+            ));
+        }
+        return Ok(None);
+    };
+    let policy = match name.to_ascii_lowercase().as_str() {
+        "failfast" | "fail-fast" => RecoveryPolicy::FailFast,
+        "ckpt" | "checkpoint" => {
+            return Ok(Some(RecoveryPolicy::CheckpointRestart {
+                interval_s: ckpt_interval_s,
+            }))
+        }
+        "elastic" => RecoveryPolicy::ElasticContinue,
+        other => {
+            return Err(CliError(format!(
+                "unknown recovery policy '{other}' (expected failfast|ckpt|elastic)"
+            )))
+        }
+    };
+    if ckpt_interval_s.is_some() {
+        return Err(CliError(format!(
+            "--ckpt-interval-s requires '--recovery ckpt', not '{name}'"
+        )));
+    }
+    Ok(Some(policy))
+}
+
 /// Parses a strictly-positive millisecond value (`--sample-ms`).
 fn positive_ms(flag: &str, value: &str) -> Result<f64, CliError> {
     let ms: f64 = num(flag, value)?;
@@ -548,6 +674,15 @@ fn positive_ms(flag: &str, value: &str) -> Result<f64, CliError> {
         return Err(CliError(format!("{flag}: '{value}' must be > 0")));
     }
     Ok(ms)
+}
+
+/// Parses a strictly-positive seconds value (`--ckpt-interval-s`).
+fn positive_secs(flag: &str, value: &str) -> Result<f64, CliError> {
+    let s: f64 = num(flag, value)?;
+    if !s.is_finite() || s <= 0.0 {
+        return Err(CliError(format!("{flag}: '{value}' must be > 0")));
+    }
+    Ok(s)
 }
 
 fn reject_unknown(rest: &[(&str, &str)]) -> Result<(), CliError> {
@@ -725,5 +860,108 @@ mod tests {
     fn tune_parses_objective() {
         let cmd = parse(&argv("tune --sku mi250 --objective energy")).unwrap();
         assert!(matches!(cmd, Command::Tune(_, Objective::Energy)));
+    }
+
+    #[test]
+    fn faults_parses_recovery_policies() {
+        use olab_resilience::RecoveryPolicy;
+        let cases = [
+            ("failfast", RecoveryPolicy::FailFast),
+            (
+                "ckpt",
+                RecoveryPolicy::CheckpointRestart { interval_s: None },
+            ),
+            ("elastic", RecoveryPolicy::ElasticContinue),
+        ];
+        for (name, want) in cases {
+            let cmd = parse(&argv(&format!("faults --recovery {name}"))).unwrap();
+            let Command::Faults(_, faults) = cmd else {
+                panic!("expected faults");
+            };
+            assert_eq!(faults.recovery, Some(want), "{name}");
+        }
+
+        let cmd = parse(&argv("faults --recovery ckpt --ckpt-interval-s 12.5")).unwrap();
+        let Command::Faults(_, faults) = cmd else {
+            panic!("expected faults");
+        };
+        assert_eq!(
+            faults.recovery,
+            Some(RecoveryPolicy::CheckpointRestart {
+                interval_s: Some(12.5)
+            })
+        );
+
+        let Command::Faults(_, faults) = parse(&argv("faults")).unwrap() else {
+            panic!("expected faults");
+        };
+        assert_eq!(faults.recovery, None, "no flag keeps the plain scorecard");
+    }
+
+    #[test]
+    fn faults_rejects_bad_recovery_combinations() {
+        // Non-positive or unparsable checkpoint intervals.
+        for bad in ["0", "-3", "nan", "inf", "soon"] {
+            let err = parse(&argv(&format!(
+                "faults --recovery ckpt --ckpt-interval-s {bad}"
+            )))
+            .unwrap_err();
+            assert!(err.0.contains("--ckpt-interval-s"), "{bad}: {err}");
+        }
+        // An interval without (or under the wrong) policy is a silent no-op
+        // waiting to happen, so it errors instead.
+        for prefix in [
+            "faults",
+            "faults --recovery failfast",
+            "faults --recovery elastic",
+        ] {
+            let err = parse(&argv(&format!("{prefix} --ckpt-interval-s 5"))).unwrap_err();
+            assert!(err.0.contains("--recovery ckpt"), "{prefix}: {err}");
+        }
+        assert!(parse(&argv("faults --recovery heroic")).is_err());
+    }
+
+    #[test]
+    fn recovery_flags_are_rejected_on_non_fault_subcommands() {
+        for sub in [
+            "run",
+            "sweep",
+            "trace",
+            "chrome",
+            "tune",
+            "observe",
+            "resilience",
+            "list",
+        ] {
+            let err = parse(&argv(&format!("{sub} --recovery elastic"))).unwrap_err();
+            assert!(err.0.contains("--recovery"), "{sub}: {err}");
+            let err = parse(&argv(&format!("{sub} --ckpt-interval-s 5"))).unwrap_err();
+            assert!(err.0.contains("--ckpt-interval-s"), "{sub}: {err}");
+        }
+    }
+
+    #[test]
+    fn resilience_parses_sweep_flags() {
+        let cmd = parse(&argv(
+            "resilience --sku a100 --seeds 2,4 --severity moderate --jobs 2 --csv",
+        ))
+        .unwrap();
+        let Command::Resilience(args, res) = cmd else {
+            panic!("expected resilience");
+        };
+        assert_eq!(args.sku, SkuKind::A100);
+        assert!(args.csv);
+        assert_eq!(res.seeds, vec![2, 4]);
+        assert_eq!(res.severity, olab_faults::Severity::Moderate);
+        assert_eq!(res.jobs, Some(2));
+
+        let Command::Resilience(_, res) = parse(&argv("resilience --seed 7")).unwrap() else {
+            panic!("expected resilience");
+        };
+        assert_eq!(res.seeds, vec![7]);
+        assert_eq!(res.severity, olab_faults::Severity::Severe, "default");
+
+        assert!(parse(&argv("resilience --severity all")).is_err());
+        assert!(parse(&argv("resilience --observe")).is_err());
     }
 }

@@ -1,6 +1,6 @@
 //! Subcommand implementations (each returns the text to print).
 
-use crate::args::{CliError, FaultsArgs, ObserveArgs, RunArgs, SweepArgs};
+use crate::args::{CliError, FaultsArgs, ObserveArgs, ResilienceArgs, RunArgs, SweepArgs};
 use olab_core::adaptive::{tune_fsdp, Objective};
 use olab_core::report::{ms, pct, Table};
 use olab_core::Sweep;
@@ -25,9 +25,14 @@ USAGE:
   olab trace [flags] [--interval-ms 1]         sampled power trace (CSV-ish)
   olab tune  [flags] [--objective energy]      adaptive overlap search (FSDP)
   olab chrome [flags]                          chrome://tracing JSON timeline
-  olab faults [flags] [--seeds 1,2,3]          resilience sweep under injected faults
+  olab faults [flags] [--seeds 1,2,3]          fault sweep under injected scenarios
               [--severity mild|moderate|severe|all] [--action degrade|abort] [--jobs N]
               [--observe] [--out-dir DIR]      live progress, per-cell run artifacts
+              [--recovery failfast|ckpt|elastic] recovery scorecard instead of the
+              [--ckpt-interval-s X]              fault table (X pins the ckpt interval)
+  olab resilience [flags] [--seeds 3]          three-policy recovery comparison
+              [--severity mild|moderate|severe] (fail-fast vs checkpoint vs elastic)
+              [--jobs N]
   olab observe [flags] [--cell fig7]           one observed cell, full run artifact
                [--out-dir DIR] [--sample-ms 100] [--jobs N]
                [--fault-seed N] [--severity mild|moderate|severe] [--action degrade|abort]
@@ -236,9 +241,15 @@ pub fn chrome(args: &RunArgs) -> Result<String, CliError> {
 }
 
 /// `olab faults`: sweep fault scenarios over one experiment and tabulate
-/// the resilience scorecard of each `(seed, severity)` cell.
+/// the scorecard of each `(seed, severity)` cell. With `--recovery` the
+/// job reacts to each scenario under the chosen policy and the table
+/// becomes a recovery scorecard (goodput, lost work, time-to-recover).
 pub fn faults(args: &RunArgs, faults_args: &FaultsArgs) -> Result<String, CliError> {
     use olab_faults::{CachedFaultCell, FaultCell, FaultScenarioSpec};
+
+    if let Some(policy) = faults_args.recovery {
+        return faults_with_recovery(args, faults_args, policy);
+    }
 
     let base = args.experiment();
     let mut cells = Vec::new();
@@ -342,6 +353,150 @@ pub fn faults(args: &RunArgs, faults_args: &FaultsArgs) -> Result<String, CliErr
                 "-".into(),
             ]),
         };
+    }
+    Ok(if args.csv {
+        table.to_csv()
+    } else {
+        table.to_markdown()
+    })
+}
+
+/// The recovery-scorecard columns shared by `faults --recovery` and
+/// `resilience` (each prepends its own lead columns).
+const RECOVERY_COLUMNS: [&str; 8] = [
+    "Done",
+    "E2E fault-free",
+    "Wall",
+    "Goodput",
+    "Lost work",
+    "TTR",
+    "Ckpts",
+    "World",
+];
+
+/// Renders one cached recovery outcome into the shared scorecard columns.
+fn recovery_columns(cached: &olab_resilience::CachedRecoveryCell) -> Vec<String> {
+    use olab_resilience::CachedRecoveryCell;
+    match cached {
+        CachedRecoveryCell::Ok(m) => vec![
+            if m.completed { "yes" } else { "KILLED" }.to_string(),
+            ms(m.fault_free_e2e_s),
+            ms(m.wall_s),
+            format!("{:.2}/s", m.goodput_samples_per_s),
+            ms(m.lost_work_s),
+            ms(m.time_to_recover_s),
+            m.checkpoints_written.to_string(),
+            m.final_world_size.to_string(),
+        ],
+        CachedRecoveryCell::Infeasible(msg) => {
+            let mut row = vec![msg.clone()];
+            row.resize(RECOVERY_COLUMNS.len(), "-".into());
+            row
+        }
+    }
+}
+
+/// `olab faults --recovery`: the fault sweep with the job reacting to
+/// each scenario under one recovery policy.
+fn faults_with_recovery(
+    args: &RunArgs,
+    faults_args: &FaultsArgs,
+    policy: olab_resilience::RecoveryPolicy,
+) -> Result<String, CliError> {
+    use olab_faults::FaultScenarioSpec;
+    use olab_resilience::ResilienceCell;
+
+    let base = args.experiment();
+    let mut cells = Vec::new();
+    for &seed in &faults_args.seeds {
+        for &severity in &faults_args.severities {
+            let spec = if faults_args.abort {
+                FaultScenarioSpec::abort(seed, severity)
+            } else {
+                FaultScenarioSpec::degrade(seed, severity)
+            };
+            cells.push(ResilienceCell::new(base.clone(), spec, policy));
+        }
+    }
+
+    let mut engine = olab_grid::Executor::new();
+    if let Some(jobs) = faults_args.jobs {
+        engine = engine.with_jobs(jobs);
+    }
+    let sinks = progress_sinks(faults_args.observe, faults_args.out_dir.as_deref())?;
+    let outcome = if sinks.is_empty() {
+        engine.run(&cells)
+    } else {
+        engine.run_with_progress(&cells, Some(&sinks))
+    };
+    eprintln!("{}", outcome.stats);
+    if faults_args.observe {
+        if let Some(dir) = &faults_args.out_dir {
+            let cfg = ObserveConfig {
+                sample_ms: faults_args.sample_ms,
+                jobs: 1,
+            };
+            for (i, cell) in cells.iter().enumerate() {
+                match olab_obs::observe_recovery_cell(&base, &cell.spec, policy, &cfg) {
+                    Ok(artifact) => write_artifact(dir, i, &artifact)?,
+                    Err(e) => eprintln!(
+                        "[olab] recovery cell {i} ({}) not observed: {e}",
+                        cell.spec.descriptor()
+                    ),
+                }
+            }
+        }
+    }
+
+    let mut headers = vec!["Seed", "Severity", "Policy"];
+    headers.extend(RECOVERY_COLUMNS);
+    let mut table = Table::new(headers);
+    for (cell, result) in cells.iter().zip(outcome.outputs) {
+        let cached = result.map_err(|p| CliError(format!("faults sweep: {p}")))?;
+        let mut row = vec![
+            cell.spec.seed.to_string(),
+            cell.spec.severity.to_string(),
+            policy.name().to_string(),
+        ];
+        row.extend(recovery_columns(&cached));
+        table.row(row);
+    }
+    Ok(if args.csv {
+        table.to_csv()
+    } else {
+        table.to_markdown()
+    })
+}
+
+/// `olab resilience`: run every recovery policy against the same fault
+/// scenarios and tabulate the comparison — fail-fast (lose everything),
+/// auto-interval checkpoint/restart, and elastic shrink-and-continue.
+pub fn resilience(args: &RunArgs, res: &ResilienceArgs) -> Result<String, CliError> {
+    use olab_faults::FaultScenarioSpec;
+    use olab_resilience::policy_grid;
+
+    let base = args.experiment();
+    let cells = policy_grid(
+        &base,
+        |seed| FaultScenarioSpec::abort(seed, res.severity),
+        &res.seeds,
+    );
+
+    let mut engine = olab_grid::Executor::new();
+    if let Some(jobs) = res.jobs {
+        engine = engine.with_jobs(jobs);
+    }
+    let outcome = engine.run(&cells);
+    eprintln!("{}", outcome.stats);
+
+    let mut headers = vec!["Seed", "Policy"];
+    headers.extend(RECOVERY_COLUMNS);
+    let mut table = Table::new(headers);
+    for (cell, result) in cells.iter().zip(outcome.outputs) {
+        let cached = result.map_err(|p| CliError(format!("resilience sweep: {p}")))?;
+        let mut row = vec![cell.spec.seed.to_string(), cell.policy.name().to_string()];
+        row.extend(recovery_columns(&cached));
+        table.row(row);
     }
     Ok(if args.csv {
         table.to_csv()
@@ -470,10 +625,26 @@ mod tests {
     #[test]
     fn help_mentions_every_subcommand() {
         let h = help();
-        for cmd in ["run", "sweep", "trace", "tune", "faults", "observe", "list"] {
+        for cmd in [
+            "run",
+            "sweep",
+            "trace",
+            "tune",
+            "faults",
+            "resilience",
+            "observe",
+            "list",
+        ] {
             assert!(h.contains(cmd), "{cmd}");
         }
-        for flag in ["--observe", "--out-dir", "--sample-ms", "--fault-seed"] {
+        for flag in [
+            "--observe",
+            "--out-dir",
+            "--sample-ms",
+            "--fault-seed",
+            "--recovery",
+            "--ckpt-interval-s",
+        ] {
             assert!(h.contains(flag), "{flag}");
         }
     }
@@ -721,5 +892,116 @@ mod tests {
         };
         let out = tune(&args, Objective::Latency).unwrap();
         assert!(out.contains("<== best"));
+    }
+
+    #[test]
+    fn faults_with_recovery_renders_the_recovery_scorecard() {
+        let fa = FaultsArgs {
+            seeds: vec![3],
+            severities: vec![olab_faults::Severity::Severe],
+            abort: true,
+            jobs: Some(1),
+            recovery: Some(olab_resilience::RecoveryPolicy::ElasticContinue),
+            ..Default::default()
+        };
+        let out = faults(&small_args(), &fa).unwrap();
+        assert_eq!(out.lines().count(), 3, "header + separator + 1 row:\n{out}");
+        assert!(out.contains("Goodput"), "{out}");
+        assert!(out.contains("elastic"), "{out}");
+        assert!(out.contains("yes"), "elastic survives the kill:\n{out}");
+        assert!(out.contains(" 3"), "world shrinks to 3 ranks:\n{out}");
+    }
+
+    #[test]
+    fn resilience_compares_all_three_policies_per_seed() {
+        let res = ResilienceArgs {
+            seeds: vec![3, 5],
+            severity: olab_faults::Severity::Severe,
+            jobs: Some(2),
+        };
+        let out = resilience(&small_args(), &res).unwrap();
+        assert_eq!(
+            out.lines().count(),
+            8,
+            "header + separator + 6 rows:\n{out}"
+        );
+        for policy in ["failfast", "ckpt", "elastic"] {
+            assert!(out.contains(policy), "{policy}:\n{out}");
+        }
+    }
+
+    /// The acceptance check: on a cell whose scenario kills a rank,
+    /// elastic continuation lands strictly between fail-fast death
+    /// (goodput zero) and the fault-free run (wall above the fault-free
+    /// makespan, so the rate is strictly below the healthy one).
+    #[test]
+    fn resilience_ranks_elastic_between_death_and_fault_free() {
+        let mut args = small_args();
+        args.csv = true;
+        let res = ResilienceArgs {
+            seeds: vec![3],
+            severity: olab_faults::Severity::Severe,
+            jobs: Some(1),
+        };
+        let out = resilience(&args, &res).unwrap();
+        let field = |policy: &str, idx: usize| -> String {
+            let line = out
+                .lines()
+                .find(|l| l.split(',').nth(1) == Some(policy))
+                .unwrap_or_else(|| panic!("no {policy} row in:\n{out}"));
+            line.split(',').nth(idx).unwrap().to_string()
+        };
+        let goodput =
+            |policy: &str| -> f64 { field(policy, 5).trim_end_matches("/s").parse().unwrap() };
+        let millis = |policy: &str, idx: usize| -> f64 {
+            field(policy, idx).trim_end_matches(" ms").parse().unwrap()
+        };
+        assert!(field("failfast", 2).contains("KILLED"), "{out}");
+        assert_eq!(goodput("failfast"), 0.0, "a killed job commits nothing");
+        assert!(goodput("elastic") > 0.0, "{out}");
+        let fault_free = millis("elastic", 3);
+        let wall = millis("elastic", 4);
+        assert!(
+            wall > fault_free,
+            "recovered wall {wall} ms must exceed fault-free {fault_free} ms, \
+             so elastic goodput sits strictly below the healthy rate:\n{out}"
+        );
+        assert_eq!(field("elastic", 9), "3", "world shrinks to 3:\n{out}");
+    }
+
+    #[test]
+    fn resilience_serial_and_parallel_render_identically() {
+        let res_serial = ResilienceArgs {
+            seeds: vec![3],
+            severity: olab_faults::Severity::Severe,
+            jobs: Some(1),
+        };
+        let mut res_parallel = res_serial.clone();
+        res_parallel.jobs = Some(4);
+        assert_eq!(
+            resilience(&small_args(), &res_serial).unwrap(),
+            resilience(&small_args(), &res_parallel).unwrap()
+        );
+    }
+
+    #[test]
+    fn faults_recovery_observe_writes_resilience_artifacts() {
+        let dir = temp_dir("faults-recovery-observe");
+        let _ = std::fs::remove_dir_all(&dir);
+        let fa = FaultsArgs {
+            seeds: vec![3],
+            severities: vec![olab_faults::Severity::Severe],
+            abort: true,
+            jobs: Some(1),
+            observe: true,
+            out_dir: Some(dir.display().to_string()),
+            sample_ms: 10.0,
+            recovery: Some(olab_resilience::RecoveryPolicy::ElasticContinue),
+        };
+        faults(&small_args(), &fa).unwrap();
+        let manifest = std::fs::read_to_string(dir.join("cell-000/manifest.json")).unwrap();
+        assert!(manifest.contains("\"kind\": \"resilience\""), "{manifest}");
+        assert!(manifest.contains("policy=elastic"), "{manifest}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -8,6 +8,8 @@
 //! olab trace --sku mi250 --model llama2-13b --batch 8 --interval-ms 1
 //! olab tune  --sku mi250 --model gpt3-2.7b --batch 8 --objective energy
 //! olab observe --cell fig7 --out-dir runs/fig7  # self-describing run artifact
+//! olab faults --seeds 1,2 --recovery elastic    # recover instead of dying
+//! olab resilience --seed 3 --severity severe    # three-policy comparison
 //! ```
 //!
 //! The argument parser is hand-rolled (the workspace keeps its dependency
@@ -20,7 +22,9 @@
 pub mod args;
 pub mod commands;
 
-pub use args::{parse, CliError, Command, FaultsArgs, ObserveArgs, RunArgs, SweepArgs};
+pub use args::{
+    parse, CliError, Command, FaultsArgs, ObserveArgs, ResilienceArgs, RunArgs, SweepArgs,
+};
 
 /// Entry point shared by the binary and the tests.
 ///
@@ -37,6 +41,7 @@ pub fn main_with(args: &[String]) -> Result<String, CliError> {
         Command::Tune(run, objective) => commands::tune(&run, objective),
         Command::Chrome(run) => commands::chrome(&run),
         Command::Faults(run, faults) => commands::faults(&run, &faults),
+        Command::Resilience(run, res) => commands::resilience(&run, &res),
         Command::Observe(run, obs) => commands::observe(&run, &obs),
         Command::Help => Ok(commands::help()),
     }

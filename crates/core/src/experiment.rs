@@ -210,6 +210,19 @@ impl Experiment {
         )
     }
 
+    /// Samples one simulated iteration trains: the global batch. FSDP's
+    /// `batch` is per-rank (data parallelism multiplies it by the world
+    /// size); pipeline and tensor parallelism split one global batch.
+    ///
+    /// This is the numerator of the goodput metric — an elastic world-size
+    /// change shifts it for FSDP but not for the model-parallel layouts.
+    pub fn samples_per_iteration(&self) -> u64 {
+        match self.strategy {
+            Strategy::Fsdp => self.batch * self.n_gpus as u64,
+            Strategy::Pipeline { .. } | Strategy::TensorParallel => self.batch,
+        }
+    }
+
     /// Microbatch count for pipeline experiments.
     fn microbatches(&self) -> Result<u32, ExperimentError> {
         match self.strategy {
@@ -541,6 +554,23 @@ mod tests {
             .run()
             .expect("runs");
         assert!(r.metrics.e2e_overlapped_s > 0.0);
+    }
+
+    #[test]
+    fn samples_per_iteration_follows_the_sharding_layout() {
+        // FSDP's batch is per-rank; model parallelism splits one global batch.
+        assert_eq!(
+            small(SkuKind::H100, Strategy::Fsdp).samples_per_iteration(),
+            32
+        );
+        assert_eq!(
+            small(SkuKind::H100, Strategy::Pipeline { microbatch_size: 2 }).samples_per_iteration(),
+            8
+        );
+        assert_eq!(
+            small(SkuKind::H100, Strategy::TensorParallel).samples_per_iteration(),
+            8
+        );
     }
 
     #[test]

@@ -66,5 +66,5 @@ pub use executor::{
 };
 pub use experiment::{Experiment, ExperimentError, ExperimentReport, MultiRunStats, Strategy};
 pub use machine::{Jitter, Machine, MachineConfig};
-pub use metrics::OverlapMetrics;
+pub use metrics::{goodput_samples_per_s, OverlapMetrics};
 pub use sweep::{CellError, CellMetrics, CellOutcome, Sweep, SweepOutcome};

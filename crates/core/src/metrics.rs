@@ -91,6 +91,21 @@ impl OverlapMetrics {
     }
 }
 
+/// Goodput: training samples actually committed per wall-clock second.
+///
+/// Unlike raw throughput, the wall-clock here includes everything the job
+/// paid for — stalls, checkpoint writes, restarts, re-sharding — and the
+/// numerator only counts samples whose work survived (lost-to-rollback
+/// iterations don't). A job that aborts with nothing durable has goodput 0
+/// no matter how fast it was running when it died.
+pub fn goodput_samples_per_s(committed_samples: f64, wall_s: f64) -> f64 {
+    if wall_s > 0.0 && committed_samples > 0.0 {
+        committed_samples / wall_s
+    } else {
+        0.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +170,13 @@ mod tests {
         let m = metrics();
         assert!(m.overlap_vs_ideal() >= 0.0);
         assert!(m.sequential_vs_overlapped() > 0.0);
+    }
+
+    #[test]
+    fn goodput_is_zero_without_committed_work_or_wall_clock() {
+        assert_eq!(goodput_samples_per_s(0.0, 10.0), 0.0);
+        assert_eq!(goodput_samples_per_s(100.0, 0.0), 0.0);
+        assert!((goodput_samples_per_s(100.0, 4.0) - 25.0).abs() < 1e-12);
     }
 
     #[test]

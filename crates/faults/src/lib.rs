@@ -25,7 +25,10 @@ mod scenario;
 
 pub use cell::{severity_grid, CachedFaultCell, FaultCell};
 pub use machine::{AbortInfo, FaultEvent, FaultEventKind, FaultStats, FaultyMachine};
-pub use run::{fault_annotations, run_with_faults, FaultError, FaultReport, ResilienceMetrics};
+pub use run::{
+    fault_annotations, run_under_faults, run_with_faults, FaultError, FaultReport, FaultRun,
+    ResilienceMetrics,
+};
 pub use scenario::{
     EccFaults, FaultScenarioSpec, FaultTimeline, LinkFault, Severity, ThrottleWindow,
     FAULT_SCHEMA_VERSION,

@@ -205,6 +205,76 @@ impl FaultReport {
     }
 }
 
+/// One faulted execution with the abort surfaced as *data* instead of an
+/// error — the raw material recovery policies are built from.
+///
+/// [`run_with_faults`] keeps the classic fail-fast contract (an abort is a
+/// typed error); recovery layers instead call [`run_under_faults`] and
+/// decide what an abort *means*: terminal failure, a restart from the last
+/// checkpoint, or an elastic shrink onto the surviving ranks.
+#[derive(Debug, Clone)]
+pub struct FaultRun {
+    /// The experiment that ran.
+    pub experiment: Experiment,
+    /// The scenario it ran under.
+    pub spec: FaultScenarioSpec,
+    /// The concrete fault windows the spec expanded into.
+    pub timeline: FaultTimeline,
+    /// The healthy baseline run (also sized the fault windows).
+    pub fault_free: RunResult,
+    /// The run under faults. When `abort` is set, everything after the
+    /// abort instant is a near-zero-power drain, so `faulty.e2e_s` is
+    /// effectively the abort time.
+    pub faulty: RunResult,
+    /// Raw fault accounting (including the per-episode event log).
+    pub stats: FaultStats,
+    /// Set when the watchdog gave up with no graceful path.
+    pub abort: Option<AbortInfo>,
+}
+
+impl FaultRun {
+    /// Seconds of useful forward progress committed before the run ended:
+    /// wall time minus watchdog stalls, clamped to the fault-free makespan.
+    /// For a completed run this is the whole (de-stalled) run; for an
+    /// aborted one it is what a recovery policy can salvage.
+    pub fn useful_s(&self) -> f64 {
+        let horizon = self.abort.as_ref().map_or(self.faulty.e2e_s, |a| a.at_s);
+        (horizon - self.stats.stall_s).clamp(0.0, self.fault_free.e2e_s)
+    }
+}
+
+/// Runs `exp` fault-free (the baseline that sizes the fault windows), then
+/// again under the scenario. A watchdog abort is reported in
+/// [`FaultRun::abort`], not as an error.
+///
+/// # Errors
+///
+/// Only when the experiment itself is infeasible or fails to simulate.
+pub fn run_under_faults(
+    exp: &Experiment,
+    spec: &FaultScenarioSpec,
+) -> Result<FaultRun, ExperimentError> {
+    let policy = exp.validate()?;
+    let machine = exp.machine();
+    let workload = exp.timeline(ExecutionMode::Overlapped, policy)?;
+    let fault_free = execute(&workload, &machine).map_err(ExperimentError::from)?;
+
+    let timeline = FaultTimeline::generate(spec, exp.n_gpus, fault_free.e2e_s);
+    let mut injected = FaultyMachine::new(machine, timeline.clone());
+    let faulty = execute_model(&workload, &mut injected).map_err(ExperimentError::from)?;
+    let abort = injected.abort().cloned();
+    let stats = injected.stats().clone();
+    Ok(FaultRun {
+        experiment: exp.clone(),
+        spec: *spec,
+        timeline,
+        fault_free,
+        faulty,
+        stats,
+        abort,
+    })
+}
+
 /// Runs `exp` fault-free (the baseline that sizes the fault windows), then
 /// again under the scenario, and scores the difference.
 ///
@@ -217,27 +287,19 @@ pub fn run_with_faults(
     exp: &Experiment,
     spec: &FaultScenarioSpec,
 ) -> Result<FaultReport, FaultError> {
-    let policy = exp.validate()?;
-    let machine = exp.machine();
-    let workload = exp.timeline(ExecutionMode::Overlapped, policy)?;
-    let fault_free = execute(&workload, &machine).map_err(ExperimentError::from)?;
-
-    let timeline = FaultTimeline::generate(spec, exp.n_gpus, fault_free.e2e_s);
-    let mut injected = FaultyMachine::new(machine, timeline.clone());
-    let faulty = execute_model(&workload, &mut injected).map_err(ExperimentError::from)?;
-    if let Some(info) = injected.abort() {
-        return Err(FaultError::Aborted(info.clone()));
+    let run = run_under_faults(exp, spec)?;
+    if let Some(info) = run.abort {
+        return Err(FaultError::Aborted(info));
     }
-    let stats = injected.stats().clone();
-    let metrics = ResilienceMetrics::derive(&fault_free, &faulty, &stats);
+    let metrics = ResilienceMetrics::derive(&run.fault_free, &run.faulty, &run.stats);
     Ok(FaultReport {
-        experiment: exp.clone(),
-        spec: *spec,
-        timeline,
+        experiment: run.experiment,
+        spec: run.spec,
+        timeline: run.timeline,
         metrics,
-        fault_free,
-        faulty,
-        stats,
+        fault_free: run.fault_free,
+        faulty: run.faulty,
+        stats: run.stats,
     })
 }
 
@@ -296,6 +358,32 @@ mod tests {
         let a = run_with_faults(&exp, &FaultScenarioSpec::degrade(1, Severity::Moderate)).unwrap();
         let b = run_with_faults(&exp, &FaultScenarioSpec::degrade(2, Severity::Moderate)).unwrap();
         assert_ne!(a.timeline, b.timeline);
+    }
+
+    #[test]
+    fn aborts_are_data_under_faults_and_errors_with_faults() {
+        let exp = small_experiment();
+        let spec = FaultScenarioSpec::abort(3, Severity::Severe);
+        let run = run_under_faults(&exp, &spec).expect("feasible experiment");
+        let info = run.abort.clone().expect("severe abort policy must abort");
+        assert!(info.at_s > 0.0);
+        assert!(run.useful_s() <= info.at_s);
+        assert!(run.useful_s() >= 0.0);
+        match run_with_faults(&exp, &spec) {
+            Err(FaultError::Aborted(e)) => assert_eq!(e, info),
+            other => panic!("fail-fast contract must error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn completed_runs_commit_their_destalled_wall_time() {
+        let exp = small_experiment();
+        let spec = FaultScenarioSpec::degrade(7, Severity::Moderate);
+        let run = run_under_faults(&exp, &spec).unwrap();
+        assert!(run.abort.is_none());
+        let expected = (run.faulty.e2e_s - run.stats.stall_s).clamp(0.0, run.fault_free.e2e_s);
+        assert!((run.useful_s() - expected).abs() < 1e-12);
+        assert!(run.useful_s() <= run.fault_free.e2e_s + 1e-12);
     }
 
     #[test]

@@ -306,6 +306,16 @@ impl FaultTimeline {
         }
     }
 
+    /// The first link that dies for good (`end_s == None` outage), if any.
+    ///
+    /// This is the fault recovery policies react to: elastic continuation
+    /// evicts one of its endpoints and re-shards onto the survivors.
+    pub fn permanent_link_outage(&self) -> Option<&LinkFault> {
+        self.link_faults
+            .iter()
+            .find(|f| f.is_outage() && f.end_s.is_none())
+    }
+
     /// The combined clock cap on `gpu` at `now` (1.0 = uncapped).
     pub fn freq_cap_at(&self, gpu: usize, now: f64) -> f64 {
         self.throttles

@@ -241,6 +241,18 @@ impl GpuSku {
     pub fn mem_bytes(&self) -> u64 {
         self.mem_gb * 1024 * 1024 * 1024
     }
+
+    /// Unidirectional host-link (PCIe) bandwidth in GB/s — the path
+    /// checkpoint writes and restores take to host memory/storage. Derived
+    /// from the launch generation: Hopper-era boards ship PCIe Gen5 x16
+    /// (~64 GB/s), the 2020/2021 parts ship Gen4 x16 (~32 GB/s).
+    pub fn host_link_gbs(&self) -> f64 {
+        if self.year >= 2022 {
+            64.0
+        } else {
+            32.0
+        }
+    }
 }
 
 impl fmt::Display for GpuSku {
@@ -329,5 +341,20 @@ mod tests {
     #[test]
     fn mem_bytes_is_gib() {
         assert_eq!(GpuSku::a100().mem_bytes(), 40 * (1 << 30));
+    }
+
+    #[test]
+    fn host_link_tracks_the_pcie_generation() {
+        assert_eq!(GpuSku::h100().host_link_gbs(), 64.0);
+        for sku in [GpuSku::a100(), GpuSku::mi210(), GpuSku::mi250()] {
+            assert_eq!(sku.host_link_gbs(), 32.0, "{}", sku.name);
+        }
+        for sku in GpuSku::all() {
+            assert!(
+                sku.host_link_gbs() < sku.mem_bw_gbs,
+                "host link is always the slower path on {}",
+                sku.name
+            );
+        }
     }
 }

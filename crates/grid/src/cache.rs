@@ -25,7 +25,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Magic prefix of every cache file (`OLABGRD` + format version).
-const MAGIC: &[u8; 8] = b"OLABGRD1";
+/// Version 2 appends a trailing FNV-1a checksum over the whole entry.
+const MAGIC: &[u8; 8] = b"OLABGRD2";
 
 /// A little-endian byte writer for cache payloads.
 #[derive(Debug, Default)]
@@ -162,6 +163,9 @@ pub struct CacheCounters {
     pub misses: u64,
     /// Values inserted (one per computed cell).
     pub stores: u64,
+    /// Disk entries that failed integrity verification and were renamed to
+    /// `*.corrupt` (each also counts as a miss and is recomputed).
+    pub quarantined: u64,
 }
 
 impl CacheCounters {
@@ -190,6 +194,7 @@ pub struct ResultCache<V> {
     disk_hits: AtomicU64,
     misses: AtomicU64,
     stores: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 impl<V: CacheValue> ResultCache<V> {
@@ -202,6 +207,7 @@ impl<V: CacheValue> ResultCache<V> {
             disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             stores: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
         }
     }
 
@@ -286,25 +292,82 @@ impl<V: CacheValue> ResultCache<V> {
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             stores: self.stores.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
         }
     }
 
     fn disk_lookup(&self, key: u64, descriptor: &str) -> Option<V> {
         let dir = self.disk_dir.as_ref()?;
-        let bytes = fs::read(entry_path(dir, key)).ok()?;
-        let mut r = Reader::new(&bytes);
-        if r.take(MAGIC.len())? != MAGIC {
-            return None;
+        let path = entry_path(dir, key);
+        let bytes = fs::read(&path).ok()?;
+        match parse_entry::<V>(&bytes, key, descriptor) {
+            EntryOutcome::Value(v) => Some(v),
+            // Intact entry for some *other* cell (digest collision, renamed
+            // file): a plain miss, the file stays.
+            EntryOutcome::Foreign => None,
+            EntryOutcome::Corrupt => {
+                // Bit rot, truncation, or a non-cache file squatting on the
+                // name: move it aside so the recompute can land a fresh
+                // entry, and keep the evidence for post-mortems.
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                let _ = fs::rename(&path, quarantine_path(dir, key));
+                None
+            }
         }
-        if r.get_u64()? != key || r.get_str()? != descriptor {
-            return None;
-        }
-        V::decode(&mut r)
+    }
+}
+
+/// What a disk entry turned out to hold.
+enum EntryOutcome<V> {
+    /// Integrity-verified value for the requested descriptor.
+    Value(V),
+    /// An intact entry belonging to a different descriptor or key.
+    Foreign,
+    /// Checksum, framing, or codec failure: the bytes cannot be trusted.
+    Corrupt,
+}
+
+/// Verifies and decodes one on-disk entry. The trailing FNV-1a checksum
+/// covers everything before it, so any bit flip or truncation — in the
+/// header, the descriptor, or the payload — fails verification before a
+/// single field is interpreted.
+fn parse_entry<V: CacheValue>(bytes: &[u8], key: u64, descriptor: &str) -> EntryOutcome<V> {
+    // Smallest well-formed entry: magic + key + empty descriptor + checksum.
+    if bytes.len() < MAGIC.len() + 8 + 4 + 8 {
+        return EntryOutcome::Corrupt;
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+    if fnv1a_64(body) != stored {
+        return EntryOutcome::Corrupt;
+    }
+    let mut r = Reader::new(body);
+    match r.take(MAGIC.len()) {
+        Some(m) if m == MAGIC => {}
+        _ => return EntryOutcome::Corrupt,
+    }
+    match r.get_u64() {
+        Some(k) if k == key => {}
+        Some(_) => return EntryOutcome::Foreign,
+        None => return EntryOutcome::Corrupt,
+    }
+    match r.get_str() {
+        Some(d) if d == descriptor => {}
+        Some(_) => return EntryOutcome::Foreign,
+        None => return EntryOutcome::Corrupt,
+    }
+    match V::decode(&mut r) {
+        Some(v) => EntryOutcome::Value(v),
+        None => EntryOutcome::Corrupt,
     }
 }
 
 fn entry_path(dir: &Path, key: u64) -> PathBuf {
     dir.join(format!("{key:016x}.cell"))
+}
+
+fn quarantine_path(dir: &Path, key: u64) -> PathBuf {
+    dir.join(format!("{key:016x}.cell.corrupt"))
 }
 
 fn write_entry<V: CacheValue>(dir: &Path, key: u64, descriptor: &str, value: &V) -> io::Result<()> {
@@ -313,6 +376,8 @@ fn write_entry<V: CacheValue>(dir: &Path, key: u64, descriptor: &str, value: &V)
     w.put_u64(key);
     w.put_str(descriptor);
     value.encode(&mut w);
+    let digest = fnv1a_64(&w.buf);
+    w.put_u64(digest);
     // Unique temp name per writer so concurrent processes cannot interleave
     // partial writes; rename is atomic on POSIX.
     let tmp = dir.join(format!("{key:016x}.{}.tmp", std::process::id()));
@@ -401,7 +466,7 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_or_foreign_files_degrade_to_misses() {
+    fn corrupt_or_foreign_files_are_quarantined_not_served() {
         let dir = temp_dir("corrupt");
         let cache: ResultCache<(u64, f64)> = ResultCache::with_disk(&dir).unwrap();
         cache.insert("victim", (9, 9.0));
@@ -411,6 +476,65 @@ mod tests {
 
         let fresh: ResultCache<(u64, f64)> = ResultCache::with_disk(&dir).unwrap();
         assert!(fresh.lookup("victim").is_none());
+        assert_eq!(fresh.counters().quarantined, 1);
+        assert!(!path.exists(), "squatter moved aside");
+        assert!(quarantine_path(&dir, key).exists(), "evidence kept");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_single_bit_flip_quarantines_the_entry_and_a_recompute_heals_it() {
+        let dir = temp_dir("bitflip");
+        let key = ResultCache::<(u64, f64)>::key_of("flipped");
+        let path = entry_path(&dir, key);
+        {
+            let cache: ResultCache<(u64, f64)> = ResultCache::with_disk(&dir).unwrap();
+            cache.insert("flipped", (123, 0.25));
+        }
+        // Flip one bit in the value payload (past magic+key+descriptor).
+        let mut bytes = fs::read(&path).unwrap();
+        let payload_at = bytes.len() - 12;
+        bytes[payload_at] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+
+        let cache: ResultCache<(u64, f64)> = ResultCache::with_disk(&dir).unwrap();
+        assert!(
+            cache.lookup("flipped").is_none(),
+            "a flipped bit must never decode into a wrong answer"
+        );
+        assert_eq!(cache.counters().quarantined, 1);
+        assert!(quarantine_path(&dir, key).exists());
+        assert!(!path.exists());
+
+        // The recompute path: insert rewrites the entry, lookups hit again.
+        cache.insert("flipped", (123, 0.25));
+        assert!(path.exists(), "healed entry re-lands on the canonical name");
+        let fresh: ResultCache<(u64, f64)> = ResultCache::with_disk(&dir).unwrap();
+        assert_eq!(
+            fresh.lookup("flipped"),
+            Some(((123, 0.25), CacheTier::Disk))
+        );
+        assert_eq!(fresh.counters().quarantined, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_entries_are_quarantined_at_any_cut_point() {
+        let dir = temp_dir("truncate");
+        let key = ResultCache::<(u64, f64)>::key_of("cut");
+        let path = entry_path(&dir, key);
+        {
+            let cache: ResultCache<(u64, f64)> = ResultCache::with_disk(&dir).unwrap();
+            cache.insert("cut", (7, -1.5));
+        }
+        let full = fs::read(&path).unwrap();
+        for cut in [1, MAGIC.len(), full.len() / 2, full.len() - 1] {
+            fs::write(&path, &full[..cut]).unwrap();
+            let cache: ResultCache<(u64, f64)> = ResultCache::with_disk(&dir).unwrap();
+            assert!(cache.lookup("cut").is_none(), "cut at {cut} must miss");
+            assert_eq!(cache.counters().quarantined, 1, "cut at {cut}");
+            let _ = fs::remove_file(quarantine_path(&dir, key));
+        }
         let _ = fs::remove_dir_all(&dir);
     }
 

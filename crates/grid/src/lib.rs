@@ -150,6 +150,7 @@ impl<V: CacheValue> Executor<V> {
         sink: Option<&dyn ProgressSink>,
     ) -> SweepRun<V> {
         let start = Instant::now();
+        let quarantined_before = self.cache.counters().quarantined;
         let total = jobs.len();
         let completed = AtomicUsize::new(0);
         let observer_ns = AtomicU64::new(0);
@@ -195,6 +196,7 @@ impl<V: CacheValue> Executor<V> {
             workers: self.pool.workers(),
             wall_s: start.elapsed().as_secs_f64(),
             observer_s: observer_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+            quarantined: (self.cache.counters().quarantined - quarantined_before) as usize,
             ..SweepStats::default()
         };
         let mut outputs = Vec::with_capacity(resolved.len());
@@ -302,6 +304,48 @@ mod tests {
         assert_eq!(executions.load(Ordering::SeqCst), 10);
         assert_eq!(warm.stats.disk_hits, 10);
         assert_eq!(warm.stats.simulated, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_corrupted_disk_entry_is_quarantined_recomputed_and_never_served() {
+        let dir = std::env::temp_dir().join(format!("olab-grid-rot-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let executions = AtomicUsize::new(0);
+        let xs: Vec<u64> = (0..10).collect();
+        {
+            let engine = Executor::new().with_disk_cache(&dir).unwrap();
+            engine.run(&jobs(&xs, &executions));
+        }
+        // Rot one entry on disk: flip a bit in the middle of the file.
+        let key = ResultCache::<u64>::key_of("square x=5");
+        let path = dir.join(format!("{key:016x}.cell"));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let engine = Executor::new().with_disk_cache(&dir).unwrap();
+        let run = engine.run(&jobs(&xs, &executions));
+        // Every output is still correct — the rotten entry was recomputed,
+        // not served.
+        let expect: Vec<Result<u64, WorkerPanic>> = xs.iter().map(|x| Ok(x * x)).collect();
+        assert_eq!(run.outputs, expect);
+        assert_eq!(run.stats.quarantined, 1);
+        assert_eq!(run.stats.simulated, 1);
+        assert_eq!(run.stats.disk_hits, 9);
+        assert!(run.stats.summary().contains("1 quarantined"));
+        assert!(
+            dir.join(format!("{key:016x}.cell.corrupt")).exists(),
+            "rotten bytes kept for post-mortem"
+        );
+        assert!(path.exists(), "recompute rewrote the canonical entry");
+
+        // The healed cache serves everything again, quietly.
+        let healed = Executor::<u64>::new().with_disk_cache(&dir).unwrap();
+        let warm = healed.run(&jobs(&xs, &executions));
+        assert_eq!(warm.stats.disk_hits, 10);
+        assert_eq!(warm.stats.quarantined, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

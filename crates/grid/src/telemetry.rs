@@ -16,6 +16,9 @@ pub struct SweepStats {
     pub disk_hits: usize,
     /// Cells whose closure panicked (isolated by the pool, not cached).
     pub panicked: usize,
+    /// Disk cache entries that failed integrity verification during this
+    /// sweep: quarantined as `*.corrupt` and recomputed.
+    pub quarantined: usize,
     /// Worker threads used.
     pub workers: usize,
     /// Wall-clock time of the whole sweep, seconds.
@@ -90,6 +93,9 @@ impl fmt::Display for SweepStats {
         if self.panicked > 0 {
             write!(f, ", {} panicked", self.panicked)?;
         }
+        if self.quarantined > 0 {
+            write!(f, ", {} quarantined", self.quarantined)?;
+        }
         if self.observer_s > 0.0 {
             write!(f, ", {:.3} s in observers", self.observer_s)?;
         }
@@ -108,6 +114,7 @@ mod tests {
             memory_hits: 5,
             disk_hits: 1,
             panicked: 0,
+            quarantined: 0,
             workers: 8,
             wall_s: 2.0,
             cumulative_cell_s: 12.0,
@@ -153,5 +160,11 @@ mod tests {
         };
         assert!(noisy.summary().contains("2 panicked"));
         assert!(noisy.summary().contains("0.250 s in observers"));
+        assert!(!noisy.summary().contains("quarantined"), "quiet when clean");
+        let rotten = SweepStats {
+            quarantined: 1,
+            ..stats()
+        };
+        assert!(rotten.summary().contains("1 quarantined"));
     }
 }

@@ -33,6 +33,21 @@ pub struct FaultManifest {
     pub aborted: Option<String>,
 }
 
+/// Recovery-policy fields of a manifest (present for resilience cells).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryManifest {
+    /// Recovery-policy descriptor (covers the checkpoint interval).
+    pub policy: String,
+    /// Whether the job finished its workload under the policy.
+    pub completed: bool,
+    /// World size at job end (N−1 after an elastic shrink).
+    pub final_world_size: u32,
+    /// Checkpoints written over the whole job.
+    pub checkpoints_written: u32,
+    /// Recovery-schema version the policy expanded under.
+    pub recovery_schema_version: u32,
+}
+
 /// Everything `manifest.json` records about one observed cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Manifest {
@@ -56,6 +71,8 @@ pub struct Manifest {
     pub makespan_s: f64,
     /// Fault-scenario fields, when this was a fault cell.
     pub fault: Option<FaultManifest>,
+    /// Recovery-policy fields, when this was a resilience cell.
+    pub recovery: Option<RecoveryManifest>,
 }
 
 impl Manifest {
@@ -78,7 +95,7 @@ impl Manifest {
         let _ = writeln!(out, "  \"n_gpus\": {},", self.n_gpus);
         let _ = writeln!(out, "  \"makespan_s\": {:.6},", self.makespan_s);
         match &self.fault {
-            None => out.push_str("  \"fault\": null\n"),
+            None => out.push_str("  \"fault\": null,\n"),
             Some(f) => {
                 out.push_str("  \"fault\": {\n");
                 let _ = writeln!(out, "    \"seed\": {},", f.seed);
@@ -90,6 +107,26 @@ impl Manifest {
                         let _ = writeln!(out, "    \"aborted\": \"{}\"", json_escape(msg));
                     }
                 }
+                out.push_str("  },\n");
+            }
+        }
+        match &self.recovery {
+            None => out.push_str("  \"recovery\": null\n"),
+            Some(r) => {
+                out.push_str("  \"recovery\": {\n");
+                let _ = writeln!(out, "    \"policy\": \"{}\",", json_escape(&r.policy));
+                let _ = writeln!(out, "    \"completed\": {},", r.completed);
+                let _ = writeln!(out, "    \"final_world_size\": {},", r.final_world_size);
+                let _ = writeln!(
+                    out,
+                    "    \"checkpoints_written\": {},",
+                    r.checkpoints_written
+                );
+                let _ = writeln!(
+                    out,
+                    "    \"recovery_schema\": {}",
+                    r.recovery_schema_version
+                );
                 out.push_str("  }\n");
             }
         }
@@ -179,6 +216,7 @@ mod tests {
                 fault_schema_version: 1,
                 aborted: None,
             }),
+            recovery: None,
         }
     }
 
@@ -198,6 +236,25 @@ mod tests {
         let json = m.to_json();
         validate_json(&json).expect("valid");
         assert!(json.contains("\"fault\": null"));
+        assert!(json.contains("\"recovery\": null"));
+    }
+
+    #[test]
+    fn resilience_manifest_records_the_policy_verdict() {
+        let mut m = manifest();
+        m.kind = "resilience";
+        m.recovery = Some(RecoveryManifest {
+            policy: "recovery schema=1 policy=elastic".into(),
+            completed: true,
+            final_world_size: 3,
+            checkpoints_written: 0,
+            recovery_schema_version: 1,
+        });
+        let json = m.to_json();
+        validate_json(&json).unwrap_or_else(|e| panic!("{json}\n{e}"));
+        assert!(json.contains("\"policy\": \"recovery schema=1 policy=elastic\""));
+        assert!(json.contains("\"completed\": true"));
+        assert!(json.contains("\"final_world_size\": 3"));
     }
 
     #[test]

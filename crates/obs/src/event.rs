@@ -122,6 +122,45 @@ pub enum ObsEvent<'a> {
         /// Retries spent before giving up.
         retries: u32,
     },
+    /// A recovery policy drained durable state (weights + optimizer) to
+    /// host storage.
+    Checkpoint {
+        /// Write start, seconds.
+        start_s: f64,
+        /// Write end (barrier included), seconds.
+        end_s: f64,
+        /// 1-based checkpoint sequence number within the job.
+        sequence: u32,
+        /// Durable state drained per GPU, bytes.
+        bytes_per_gpu: f64,
+    },
+    /// The job restarted from its last completed checkpoint after a fatal
+    /// fault.
+    Restore {
+        /// The failure time the restart recovers from, seconds.
+        t_s: f64,
+        /// Sequence number of the checkpoint restored (`0` = from
+        /// scratch: the job died before its first write).
+        sequence: u32,
+        /// Time to recover: restore + re-init + warmup, seconds.
+        ttr_s: f64,
+    },
+    /// A dead rank was evicted and its state re-sharded onto the
+    /// survivors.
+    Reshard {
+        /// Re-shard start (the failure time), seconds.
+        t_s: f64,
+        /// The evicted rank.
+        evicted: usize,
+        /// World size before the shrink.
+        from_ranks: usize,
+        /// World size after the shrink.
+        to_ranks: usize,
+        /// Total durable state redistributed, bytes.
+        bytes: f64,
+        /// Wall-clock of the re-shard exchange, seconds.
+        reshard_s: f64,
+    },
     /// A sweep cell was served from cache.
     CacheHit {
         /// Cache tier label (`memory-hit` / `disk-hit`).
@@ -150,6 +189,9 @@ impl ObsEvent<'_> {
             ObsEvent::WatchdogStall { .. } => "watchdog_stall",
             ObsEvent::WatchdogRebuild { .. } => "watchdog_rebuild",
             ObsEvent::WatchdogAbort { .. } => "watchdog_abort",
+            ObsEvent::Checkpoint { .. } => "checkpoint",
+            ObsEvent::Restore { .. } => "restore",
+            ObsEvent::Reshard { .. } => "reshard",
             ObsEvent::CacheHit { .. } => "cache_hit",
             ObsEvent::CacheMiss { .. } => "cache_miss",
         }
@@ -268,6 +310,42 @@ pub fn to_jsonl(event: &ObsEvent<'_>) -> String {
                 out,
                 ", \"t_s\": {t_s:.6}, \"label\": \"{}\", \"retries\": {retries}",
                 json_escape(label)
+            );
+        }
+        ObsEvent::Checkpoint {
+            start_s,
+            end_s,
+            sequence,
+            bytes_per_gpu,
+        } => {
+            let _ = write!(
+                out,
+                ", \"start_s\": {start_s:.6}, \"end_s\": {end_s:.6}, \
+                 \"sequence\": {sequence}, \"bytes_per_gpu\": {bytes_per_gpu:.0}"
+            );
+        }
+        ObsEvent::Restore {
+            t_s,
+            sequence,
+            ttr_s,
+        } => {
+            let _ = write!(
+                out,
+                ", \"t_s\": {t_s:.6}, \"sequence\": {sequence}, \"ttr_s\": {ttr_s:.6}"
+            );
+        }
+        ObsEvent::Reshard {
+            t_s,
+            evicted,
+            from_ranks,
+            to_ranks,
+            bytes,
+            reshard_s,
+        } => {
+            let _ = write!(
+                out,
+                ", \"t_s\": {t_s:.6}, \"evicted\": {evicted}, \"from_ranks\": {from_ranks}, \
+                 \"to_ranks\": {to_ranks}, \"bytes\": {bytes:.0}, \"reshard_s\": {reshard_s:.6}"
             );
         }
         ObsEvent::CacheHit { tier, descriptor } => {
@@ -422,6 +500,25 @@ mod tests {
                 t_s: 0.4,
                 label: "ar",
                 retries: 3,
+            },
+            ObsEvent::Checkpoint {
+                start_s: 0.3,
+                end_s: 0.35,
+                sequence: 2,
+                bytes_per_gpu: 1.5e9,
+            },
+            ObsEvent::Restore {
+                t_s: 0.4,
+                sequence: 2,
+                ttr_s: 0.12,
+            },
+            ObsEvent::Reshard {
+                t_s: 0.4,
+                evicted: 2,
+                from_ranks: 4,
+                to_ranks: 3,
+                bytes: 6.0e9,
+                reshard_s: 0.08,
             },
             ObsEvent::CacheHit {
                 tier: "memory-hit",

@@ -44,7 +44,8 @@ mod record;
 mod run;
 
 pub use artifact::{
-    metrics_csv, FaultManifest, Manifest, RunArtifact, ARTIFACT_FILES, ARTIFACT_SCHEMA_VERSION,
+    metrics_csv, FaultManifest, Manifest, RecoveryManifest, RunArtifact, ARTIFACT_FILES,
+    ARTIFACT_SCHEMA_VERSION,
 };
 pub use counters::{
     counter_tracks, counters_csv, sample_epochs, CounterSample, GpuSeries, COUNTER_NAMES,
@@ -52,4 +53,4 @@ pub use counters::{
 pub use event::{to_jsonl, EventBus, JsonlSink, ObsEvent, Observer};
 pub use progress::{JsonlProgress, MultiSink, StderrProgress};
 pub use record::{CounterEpoch, Recorder};
-pub use run::{observe_cell, observe_fault_cell, ObserveConfig};
+pub use run::{observe_cell, observe_fault_cell, observe_recovery_cell, ObserveConfig};

@@ -6,7 +6,7 @@
 //! dependence leaks into the artifact, so the same cell observed with
 //! `jobs = 1` and `jobs = N` produces byte-identical bytes in every file.
 
-use crate::artifact::{metrics_csv, FaultManifest, Manifest, RunArtifact};
+use crate::artifact::{metrics_csv, FaultManifest, Manifest, RecoveryManifest, RunArtifact};
 use crate::counters::{counter_tracks, counters_csv, sample_epochs};
 use crate::event::{EventBus, JsonlSink, ObsEvent};
 use crate::record::Recorder;
@@ -20,6 +20,10 @@ use olab_faults::{
 };
 use olab_grid::{GridJob, Pool};
 use olab_parallel::{ExecutionMode, Op};
+use olab_resilience::{
+    run_with_recovery, RecoveryError, RecoveryPolicy, RecoveryReport, ResilienceCell,
+    RECOVERY_SCHEMA_VERSION,
+};
 use olab_sim::Workload;
 
 /// How to observe a cell.
@@ -99,6 +103,7 @@ pub fn observe_cell(exp: &Experiment, cfg: &ObserveConfig) -> Result<RunArtifact
             n_gpus: exp.n_gpus,
             makespan_s: overlapped.e2e_s,
             fault: None,
+            recovery: None,
         },
         metrics_csv: metrics_csv(&[
             ("compute_slowdown", metrics.compute_slowdown),
@@ -234,6 +239,7 @@ pub fn observe_fault_cell(
                     )
                 }),
             }),
+            recovery: None,
         },
         metrics_csv: metrics_csv(&[
             ("fault_free_e2e_s", fault_free.e2e_s),
@@ -259,6 +265,143 @@ pub fn observe_fault_cell(
         ]),
         counters_csv: counters_csv(&series),
         trace_json: to_chrome_trace_full(&faulty.trace, &notes, &tracks),
+        events_jsonl,
+    })
+}
+
+fn emit_recovery_epilogue(recorder: &mut Recorder, report: &RecoveryReport) {
+    // Checkpoint writes pace the job every `interval` seconds of progress;
+    // the event log places each back-to-back with its write cost.
+    if let (Some(model), Some(interval)) = (&report.checkpoint, report.interval_s) {
+        for seq in 1..=report.metrics.checkpoints_written {
+            let start = f64::from(seq) * interval + f64::from(seq - 1) * model.write_s;
+            recorder.bus().emit(&ObsEvent::Checkpoint {
+                start_s: start,
+                end_s: start + model.write_s,
+                sequence: seq,
+                bytes_per_gpu: model.bytes_per_gpu,
+            });
+        }
+    }
+    if let Some(abort) = &report.run.abort {
+        if matches!(report.policy, RecoveryPolicy::CheckpointRestart { .. })
+            && report.metrics.completed
+        {
+            let restored = report
+                .interval_s
+                .map_or(0, |t| (report.run.useful_s() / t).floor() as u32);
+            recorder.bus().emit(&ObsEvent::Restore {
+                t_s: abort.at_s,
+                sequence: restored,
+                ttr_s: report.metrics.time_to_recover_s,
+            });
+        }
+    }
+    if let Some(r) = &report.reshard {
+        recorder.bus().emit(&ObsEvent::Reshard {
+            t_s: report.run.abort.as_ref().map_or(0.0, |a| a.at_s),
+            evicted: usize::from(r.evicted.0),
+            from_ranks: r.from_ranks as usize,
+            to_ranks: r.to_ranks as usize,
+            bytes: r.bytes_before,
+            reshard_s: r.reshard_s,
+        });
+    }
+}
+
+/// Runs `exp` under the fault scenario `spec` with the recovery policy
+/// `policy` in force, fully instrumented.
+///
+/// The faulted phase is re-driven through the observed engine so the
+/// event log and counter series carry its real lifecycle edges; the
+/// recovery lifecycle (checkpoint writes, the restore, the elastic
+/// re-shard) lands as an epilogue derived from the recovery report. The
+/// trace covers the whole recovered job — including the mid-run
+/// world-size transition for an elastic shrink — while the counter
+/// series covers the faulted phase.
+///
+/// # Errors
+///
+/// [`RecoveryError::Experiment`] when the experiment is infeasible;
+/// [`RecoveryError::ShrinkInfeasible`] when elastic continuation cannot
+/// shrink the job. A watchdog abort is *not* an error: the policy's
+/// answer to it is the artifact.
+pub fn observe_recovery_cell(
+    exp: &Experiment,
+    spec: &FaultScenarioSpec,
+    policy: RecoveryPolicy,
+    cfg: &ObserveConfig,
+) -> Result<RunArtifact, RecoveryError> {
+    let report = run_with_recovery(exp, spec, policy)?;
+
+    let activation = exp.validate()?;
+    let machine = exp.machine();
+    let workload = exp.timeline(ExecutionMode::Overlapped, activation)?;
+    let (mut recorder, events) = recorder_with_log();
+    emit_fault_prologue(&mut recorder, &report.run.timeline);
+    let mut injected = FaultyMachine::new(machine, report.run.timeline.clone());
+    execute_model_observed(&workload, &mut injected, &mut recorder)
+        .map_err(ExperimentError::from)?;
+    emit_fault_epilogue(&mut recorder, &injected);
+    emit_recovery_epilogue(&mut recorder, &report);
+
+    let m = &report.metrics;
+    let series = sample_epochs(recorder.epochs(), exp.n_gpus, cfg.sample_ms / 1e3);
+    let tracks = counter_tracks(&series);
+    let notes = fault_annotations(
+        &report.run.timeline,
+        &report.run.stats,
+        report.run.faulty.e2e_s,
+    );
+    let descriptor = ResilienceCell::new(exp.clone(), *spec, policy).descriptor();
+    let events_jsonl = events.borrow().clone();
+
+    Ok(RunArtifact {
+        manifest: Manifest {
+            kind: "resilience",
+            label: exp.label(),
+            cell_key: olab_grid::fnv1a_64(descriptor.as_bytes()),
+            descriptor,
+            cell_schema_version: CELL_SCHEMA_VERSION,
+            calibration_version: olab_gpu::CALIBRATION_VERSION,
+            sample_ms: cfg.sample_ms,
+            n_gpus: exp.n_gpus,
+            makespan_s: m.wall_s,
+            fault: Some(FaultManifest {
+                seed: spec.seed,
+                severity: format!("{:?}", spec.severity),
+                fault_schema_version: olab_faults::FAULT_SCHEMA_VERSION,
+                aborted: report.run.abort.as_ref().map(|a| {
+                    format!(
+                        "collective '{}' unreachable after {} retries at {:.3}s",
+                        a.collective, a.retries, a.at_s
+                    )
+                }),
+            }),
+            recovery: Some(RecoveryManifest {
+                policy: policy.descriptor(),
+                completed: m.completed,
+                final_world_size: m.final_world_size,
+                checkpoints_written: m.checkpoints_written,
+                recovery_schema_version: RECOVERY_SCHEMA_VERSION,
+            }),
+        },
+        metrics_csv: metrics_csv(&[
+            ("fault_free_e2e_s", m.fault_free_e2e_s),
+            ("wall_s", m.wall_s),
+            ("committed_samples", m.committed_samples),
+            ("goodput_samples_per_s", m.goodput_samples_per_s),
+            ("lost_work_s", m.lost_work_s),
+            ("time_to_recover_s", m.time_to_recover_s),
+            ("checkpoints_written", f64::from(m.checkpoints_written)),
+            ("checkpoint_overhead_s", m.checkpoint_overhead_s),
+            ("recovery_energy_j", m.recovery_energy_j),
+            ("final_world_size", f64::from(m.final_world_size)),
+            ("stall_s", report.run.stats.stall_s),
+            ("retries", f64::from(report.run.stats.retries)),
+        ]),
+        counters_csv: counters_csv(&series),
+        trace_json: to_chrome_trace_full(&report.trace, &notes, &tracks),
         events_jsonl,
     })
 }
@@ -394,6 +537,86 @@ mod tests {
             "{}",
             artifact.events_jsonl
         );
+    }
+
+    #[test]
+    fn elastic_recovery_cells_record_the_shrink() {
+        let spec = FaultScenarioSpec::abort(3, Severity::Severe);
+        let artifact = observe_recovery_cell(
+            &small(),
+            &spec,
+            RecoveryPolicy::ElasticContinue,
+            &ObserveConfig::default(),
+        )
+        .expect("recovers");
+        assert_eq!(artifact.manifest.kind, "resilience");
+        let rec = artifact.manifest.recovery.as_ref().expect("recovery block");
+        assert!(rec.completed);
+        assert_eq!(rec.final_world_size, 3);
+        assert!(rec.policy.contains("policy=elastic"));
+        let fault = artifact.manifest.fault.as_ref().expect("fault block");
+        assert!(fault.aborted.is_some(), "the scenario killed phase 1");
+        validate_json(&artifact.manifest.to_json()).expect("manifest JSON");
+        validate_json(&artifact.trace_json).expect("trace JSON");
+        assert!(
+            artifact.events_jsonl.contains("\"event\": \"reshard\""),
+            "{}",
+            artifact.events_jsonl
+        );
+        assert!(artifact.events_jsonl.contains("watchdog_abort"));
+        for line in artifact.events_jsonl.lines() {
+            validate_json(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        assert!(artifact.metrics_csv.contains("goodput_samples_per_s,"));
+        assert!(artifact.metrics_csv.contains("final_world_size,3.0"));
+        // The stitched trace outlives the aborted phase-1 makespan.
+        assert!(artifact.manifest.makespan_s > 0.0);
+    }
+
+    #[test]
+    fn checkpoint_recovery_cells_log_the_writes_and_the_restore() {
+        let spec = FaultScenarioSpec::abort(3, Severity::Severe);
+        let exp = small();
+        // An explicit quarter-makespan interval guarantees several writes.
+        let probe = olab_resilience::run_with_recovery(
+            &exp,
+            &spec,
+            RecoveryPolicy::CheckpointRestart { interval_s: None },
+        )
+        .expect("probes");
+        let interval = probe.metrics.fault_free_e2e_s / 4.0;
+        let artifact = observe_recovery_cell(
+            &exp,
+            &spec,
+            RecoveryPolicy::CheckpointRestart {
+                interval_s: Some(interval),
+            },
+            &ObserveConfig::default(),
+        )
+        .expect("recovers");
+        let rec = artifact.manifest.recovery.as_ref().expect("recovery block");
+        assert!(rec.completed);
+        assert!(rec.checkpoints_written >= 2, "{rec:?}");
+        assert!(
+            artifact.events_jsonl.contains("\"event\": \"checkpoint\""),
+            "{}",
+            artifact.events_jsonl
+        );
+        assert!(artifact.events_jsonl.contains("\"event\": \"restore\""));
+        for line in artifact.events_jsonl.lines() {
+            validate_json(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+    }
+
+    #[test]
+    fn recovery_artifacts_are_deterministic() {
+        let spec = FaultScenarioSpec::abort(3, Severity::Severe);
+        let cfg = ObserveConfig::default();
+        let a =
+            observe_recovery_cell(&small(), &spec, RecoveryPolicy::ElasticContinue, &cfg).unwrap();
+        let b =
+            observe_recovery_cell(&small(), &spec, RecoveryPolicy::ElasticContinue, &cfg).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

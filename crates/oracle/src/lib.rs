@@ -33,7 +33,8 @@ pub mod oracles;
 
 pub use gen::{random_experiment, random_plan, shrink_experiment, shrink_plan, Gen, WorkloadPlan};
 pub use metamorphic::{
-    check_collective_relations, check_experiment_relations, check_fault_relations, RelationOutcome,
+    check_collective_relations, check_experiment_relations, check_fault_relations,
+    check_resilience_grid_cell, check_resilience_relations, RelationOutcome,
 };
 pub use oracles::{
     check_cell, check_comm_op, check_kernel, Divergence, DivergenceReport, Tolerance,

@@ -12,6 +12,12 @@
 //!   activation-, sized, while attention FLOPs grow superlinearly).
 //!   R4 is FSDP-only by design: TP and PP activations travel over the
 //!   wire, so their comm time scales with `seq` too.
+//!
+//! Fault scenarios add **F1**/**F2** ([`check_fault_relations`]) and the
+//! recovery layer adds its own **R1**–**R3**
+//! ([`check_resilience_relations`]): the fault-free makespan lower-bounds
+//! any completed recovery, checkpointing under no fault pressure is pure
+//! overhead, and elastic re-sharding conserves durable state bytes.
 
 use crate::gen::{random_experiment, Gen};
 use crate::oracles::Tolerance;
@@ -304,6 +310,156 @@ pub fn check_fault_relations(seed: u64) -> RelationOutcome {
     }
 }
 
+/// The recovery relations R1 and R3 for one `(experiment, scenario)`
+/// pair, appended to `failures`. Used both by the seeded smoke
+/// ([`check_resilience_relations`]) and by the conformance gate's
+/// registry-grid pass ([`check_resilience_grid_cell`]).
+fn resilience_r1_r3(
+    exp: &Experiment,
+    spec: &olab_faults::FaultScenarioSpec,
+    seed: u64,
+    failures: &mut Vec<String>,
+) {
+    use olab_resilience::{run_with_recovery, RecoveryError, RecoveryPolicy};
+
+    let tol = Tolerance::LOOSE;
+    let policies = [
+        RecoveryPolicy::FailFast,
+        RecoveryPolicy::CheckpointRestart { interval_s: None },
+        RecoveryPolicy::ElasticContinue,
+    ];
+    for policy in policies {
+        match run_with_recovery(exp, spec, policy) {
+            Ok(r) if r.metrics.completed => {
+                let m = &r.metrics;
+                // R1: a healthy machine lower-bounds any completed
+                // recovery — restarts re-execute work, shrinks finish on
+                // fewer GPUs; neither can beat the fault-free makespan.
+                if m.wall_s + tol.allowance(m.fault_free_e2e_s) < m.fault_free_e2e_s {
+                    failures.push(format!(
+                        "seed {seed}: resilience R1 broken for {} under {policy}: \
+                         recovered wall {:.6e} beat the fault-free makespan {:.6e}",
+                        exp.label(),
+                        m.wall_s,
+                        m.fault_free_e2e_s
+                    ));
+                }
+                // R3: an elastic shrink conserves durable state byte for
+                // byte — piggybacks on the elastic run R1 already paid for.
+                if let Some(rs) = &r.reshard {
+                    let drift = (rs.bytes_before - rs.bytes_after).abs() / rs.bytes_before.max(1.0);
+                    if drift > 1e-6 {
+                        failures.push(format!(
+                            "seed {seed}: resilience R3 broken for {}: the full world held \
+                             {:.6e} state bytes but the survivors hold {:.6e}",
+                            exp.label(),
+                            rs.bytes_before,
+                            rs.bytes_after
+                        ));
+                    }
+                }
+            }
+            Ok(_) => {} // a fail-fast death has no completion to bound
+            Err(RecoveryError::ShrinkInfeasible { .. }) => {} // pinned world size: skip
+            Err(RecoveryError::Experiment(e)) => failures.push(format!(
+                "seed {seed}: resilience R1 could not run: a feasible cell failed under \
+                 recovery: {e}"
+            )),
+        }
+    }
+}
+
+/// Resilience relations R1–R3 for one seeded random cell.
+///
+/// * **R1** — the fault-free makespan lower-bounds the wall-clock of any
+///   *completed* recovered run (checked under a killing scenario and a
+///   mild one, for all three policies).
+/// * **R2** — under a scenario with no unrecoverable fault, checkpointing
+///   is pure overhead: goodput is monotone non-increasing as the explicit
+///   interval shrinks.
+/// * **R3** — an elastic shrink conserves durable state: bytes re-sharded
+///   onto the survivors equal the bytes the full world held.
+pub fn check_resilience_relations(seed: u64) -> RelationOutcome {
+    use olab_faults::{FaultScenarioSpec, Severity};
+    use olab_resilience::RecoveryPolicy;
+
+    let exp = random_experiment(seed);
+    let base = match overlapped_run(&exp) {
+        Ok(run) => run,
+        Err(_) => return RelationOutcome::infeasible(seed),
+    };
+    let mut failures = Vec::new();
+    let tol = Tolerance::LOOSE;
+
+    // R1 + R3 under a scenario that kills the job and one that does not.
+    for spec in [
+        FaultScenarioSpec::abort(seed, Severity::Severe),
+        FaultScenarioSpec::degrade(seed, Severity::Mild),
+    ] {
+        resilience_r1_r3(&exp, &spec, seed, &mut failures);
+    }
+
+    // R2: shrinking an explicit checkpoint interval under a fault-free
+    // scenario never raises goodput (floor plateaus allow equality).
+    let spec = FaultScenarioSpec::degrade(seed, Severity::Mild);
+    let mut prev: Option<(f64, f64)> = None;
+    for divisor in [2.0, 4.0, 8.0] {
+        let interval = base.e2e_s / divisor;
+        match olab_resilience::run_with_recovery(
+            &exp,
+            &spec,
+            RecoveryPolicy::CheckpointRestart {
+                interval_s: Some(interval),
+            },
+        ) {
+            Ok(r) => {
+                let goodput = r.metrics.goodput_samples_per_s;
+                if let Some((prev_interval, prev_goodput)) = prev {
+                    if goodput > prev_goodput * (1.0 + tol.rel) {
+                        failures.push(format!(
+                            "seed {seed}: resilience R2 broken for {}: shrinking the \
+                             checkpoint interval {prev_interval:.6e} -> {interval:.6e} \
+                             raised goodput {prev_goodput:.6e} -> {goodput:.6e}",
+                            exp.label()
+                        ));
+                    }
+                }
+                prev = Some((interval, goodput));
+            }
+            Err(e) => failures.push(format!("seed {seed}: resilience R2 could not run: {e}")),
+        }
+    }
+
+    RelationOutcome {
+        seed,
+        feasible: true,
+        failures,
+    }
+}
+
+/// Resilience relations R1 and R3 for one *registry* cell under its
+/// killing scenario — the conformance gate fans this over every grid cell
+/// so the recovery layer is held to the same standard as the simulator.
+pub fn check_resilience_grid_cell(exp: &Experiment, seed: u64) -> RelationOutcome {
+    use olab_faults::{FaultScenarioSpec, Severity};
+
+    if overlapped_run(exp).is_err() {
+        return RelationOutcome::infeasible(seed);
+    }
+    let mut failures = Vec::new();
+    resilience_r1_r3(
+        exp,
+        &FaultScenarioSpec::abort(seed, Severity::Severe),
+        seed,
+        &mut failures,
+    );
+    RelationOutcome {
+        seed,
+        feasible: true,
+        failures,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -348,6 +504,36 @@ mod tests {
             );
         }
         assert!(feasible >= 2, "only {feasible}/6 seeds feasible");
+    }
+
+    #[test]
+    fn resilience_relations_hold_on_a_spot_check() {
+        let mut feasible = 0;
+        for seed in 0..4 {
+            let outcome = check_resilience_relations(seed);
+            if outcome.feasible {
+                feasible += 1;
+            }
+            assert!(
+                outcome.failures.is_empty(),
+                "{}",
+                outcome.failures.join("\n")
+            );
+        }
+        assert!(feasible >= 2, "only {feasible}/4 seeds feasible");
+    }
+
+    #[test]
+    fn resilience_grid_relations_hold_on_a_registry_cell() {
+        let cells = olab_core::registry::fig1a();
+        let exp = cells.first().expect("registry has cells");
+        let outcome = check_resilience_grid_cell(exp, 3);
+        assert!(outcome.feasible, "registry cells must be feasible");
+        assert!(
+            outcome.failures.is_empty(),
+            "{}",
+            outcome.failures.join("\n")
+        );
     }
 
     #[test]

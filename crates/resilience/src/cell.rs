@@ -1,0 +1,256 @@
+//! The resilience sweep cell: one `(experiment, scenario, policy)` triple
+//! as a cacheable [`GridJob`].
+//!
+//! The cache descriptor is the experiment's canonical cell descriptor
+//! joined with the scenario descriptor *and* the recovery-policy
+//! descriptor — so the same faulted cell under two policies (or two
+//! checkpoint intervals) can never share a cache entry, while the same
+//! policy + seed always hits.
+
+use crate::policy::RecoveryPolicy;
+use crate::recover::{run_with_recovery, RecoveryError, RecoveryMetrics};
+use olab_core::sweep::cell_descriptor;
+use olab_core::Experiment;
+use olab_faults::FaultScenarioSpec;
+use olab_grid::{CacheValue, GridJob, Reader, Writer};
+
+/// One cell of a resilience sweep.
+#[derive(Debug, Clone)]
+pub struct ResilienceCell {
+    /// The experiment to run.
+    pub experiment: Experiment,
+    /// The fault scenario to inject.
+    pub spec: FaultScenarioSpec,
+    /// The recovery policy in force.
+    pub policy: RecoveryPolicy,
+}
+
+impl ResilienceCell {
+    /// Triples an experiment with a scenario and a policy.
+    pub fn new(experiment: Experiment, spec: FaultScenarioSpec, policy: RecoveryPolicy) -> Self {
+        ResilienceCell {
+            experiment,
+            spec,
+            policy,
+        }
+    }
+}
+
+/// The cacheable outcome of one resilience cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CachedRecoveryCell {
+    /// The policy produced a scorecard (including fail-fast's zero-goodput
+    /// death — that *is* its scorecard).
+    Ok(RecoveryMetrics),
+    /// The experiment or the recovery itself was infeasible (OOM, pinned
+    /// world size, …).
+    Infeasible(String),
+}
+
+impl CacheValue for CachedRecoveryCell {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            CachedRecoveryCell::Ok(m) => {
+                w.put_u8(0);
+                w.put_u8(u8::from(m.completed));
+                w.put_f64(m.fault_free_e2e_s);
+                w.put_f64(m.wall_s);
+                w.put_f64(m.committed_samples);
+                w.put_f64(m.goodput_samples_per_s);
+                w.put_f64(m.lost_work_s);
+                w.put_f64(m.time_to_recover_s);
+                w.put_u32(m.checkpoints_written);
+                w.put_f64(m.checkpoint_overhead_s);
+                w.put_f64(m.recovery_energy_j);
+                w.put_u32(m.final_world_size);
+            }
+            CachedRecoveryCell::Infeasible(msg) => {
+                w.put_u8(1);
+                w.put_str(msg);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        match r.get_u8()? {
+            0 => Some(CachedRecoveryCell::Ok(RecoveryMetrics {
+                completed: r.get_u8()? != 0,
+                fault_free_e2e_s: r.get_f64()?,
+                wall_s: r.get_f64()?,
+                committed_samples: r.get_f64()?,
+                goodput_samples_per_s: r.get_f64()?,
+                lost_work_s: r.get_f64()?,
+                time_to_recover_s: r.get_f64()?,
+                checkpoints_written: r.get_u32()?,
+                checkpoint_overhead_s: r.get_f64()?,
+                recovery_energy_j: r.get_f64()?,
+                final_world_size: r.get_u32()?,
+            })),
+            1 => Some(CachedRecoveryCell::Infeasible(r.get_str()?)),
+            _ => None,
+        }
+    }
+}
+
+impl GridJob for ResilienceCell {
+    type Output = CachedRecoveryCell;
+
+    fn descriptor(&self) -> String {
+        format!(
+            "{} | {} | {}",
+            cell_descriptor(&self.experiment),
+            self.spec.descriptor(),
+            self.policy.descriptor()
+        )
+    }
+
+    fn execute(&self) -> CachedRecoveryCell {
+        match run_with_recovery(&self.experiment, &self.spec, self.policy) {
+            Ok(report) => CachedRecoveryCell::Ok(report.metrics),
+            Err(RecoveryError::Experiment(e)) => CachedRecoveryCell::Infeasible(e.to_string()),
+            Err(e @ RecoveryError::ShrinkInfeasible { .. }) => {
+                CachedRecoveryCell::Infeasible(e.to_string())
+            }
+        }
+    }
+}
+
+/// The three-policy comparison grid behind the CLI `resilience` table and
+/// the CI smoke step: `base` × every seed × fail-fast, auto-interval
+/// checkpointing, and elastic continuation.
+pub fn policy_grid(
+    base: &Experiment,
+    spec_of: impl Fn(u64) -> FaultScenarioSpec,
+    seeds: &[u64],
+) -> Vec<ResilienceCell> {
+    let policies = [
+        RecoveryPolicy::FailFast,
+        RecoveryPolicy::CheckpointRestart { interval_s: None },
+        RecoveryPolicy::ElasticContinue,
+    ];
+    let mut cells = Vec::with_capacity(seeds.len() * policies.len());
+    for &seed in seeds {
+        for policy in policies {
+            cells.push(ResilienceCell::new(base.clone(), spec_of(seed), policy));
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olab_core::Strategy;
+    use olab_faults::Severity;
+    use olab_gpu::SkuKind;
+    use olab_grid::Executor;
+    use olab_models::ModelPreset;
+
+    fn small_experiment() -> Experiment {
+        Experiment::new(SkuKind::H100, 4, ModelPreset::Gpt3Xl, Strategy::Fsdp, 8).with_seq(256)
+    }
+
+    fn sample_metrics() -> RecoveryMetrics {
+        RecoveryMetrics {
+            completed: true,
+            fault_free_e2e_s: 1.5,
+            wall_s: 2.25,
+            committed_samples: 32.0,
+            goodput_samples_per_s: 32.0 / 2.25,
+            lost_work_s: 0.125,
+            time_to_recover_s: 0.5,
+            checkpoints_written: 3,
+            checkpoint_overhead_s: 0.03,
+            recovery_energy_j: 421.0,
+            final_world_size: 4,
+        }
+    }
+
+    #[test]
+    fn cached_cells_roundtrip_through_the_codec() {
+        for value in [
+            CachedRecoveryCell::Ok(sample_metrics()),
+            CachedRecoveryCell::Infeasible("cannot shrink to 3 ranks: pinned".into()),
+        ] {
+            let mut w = Writer::new();
+            value.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(CachedRecoveryCell::decode(&mut r).expect("decodes"), value);
+        }
+    }
+
+    #[test]
+    fn policy_is_part_of_the_cache_key() {
+        let exp = small_experiment();
+        let spec = FaultScenarioSpec::abort(3, Severity::Severe);
+        let fault_only = format!("{} | {}", cell_descriptor(&exp), spec.descriptor());
+        let cells = policy_grid(
+            &exp,
+            |s| FaultScenarioSpec::abort(s, Severity::Severe),
+            &[3],
+        );
+        let descs: Vec<String> = cells.iter().map(|c| c.descriptor()).collect();
+        for (i, d) in descs.iter().enumerate() {
+            assert_ne!(d, &fault_only, "policy must extend the faults key");
+            assert!(d.contains("recovery schema="));
+            for (j, other) in descs.iter().enumerate() {
+                if i != j {
+                    assert_ne!(d, other, "each policy gets its own key");
+                }
+            }
+        }
+        // Same policy + seed → same key (a cache hit), different interval
+        // → a miss.
+        let a = ResilienceCell::new(
+            exp.clone(),
+            spec,
+            RecoveryPolicy::CheckpointRestart {
+                interval_s: Some(0.5),
+            },
+        );
+        let b = ResilienceCell::new(
+            exp.clone(),
+            spec,
+            RecoveryPolicy::CheckpointRestart {
+                interval_s: Some(0.5),
+            },
+        );
+        let c = ResilienceCell::new(
+            exp,
+            spec,
+            RecoveryPolicy::CheckpointRestart {
+                interval_s: Some(0.25),
+            },
+        );
+        assert_eq!(a.descriptor(), b.descriptor());
+        assert_ne!(a.descriptor(), c.descriptor());
+    }
+
+    #[test]
+    fn serial_and_parallel_sweeps_agree_bit_for_bit() {
+        let cells = policy_grid(
+            &small_experiment(),
+            |s| FaultScenarioSpec::abort(s, Severity::Severe),
+            &[3, 11],
+        );
+        let serial: Vec<_> = Executor::new()
+            .with_jobs(1)
+            .run(&cells)
+            .outputs
+            .into_iter()
+            .map(|r| r.expect("no panics"))
+            .collect();
+        let parallel: Vec<_> = Executor::new()
+            .with_jobs(4)
+            .run(&cells)
+            .outputs
+            .into_iter()
+            .map(|r| r.expect("no panics"))
+            .collect();
+        assert_eq!(serial, parallel);
+        assert!(serial
+            .iter()
+            .all(|c| matches!(c, CachedRecoveryCell::Ok(_))));
+    }
+}

@@ -1,0 +1,177 @@
+//! The checkpoint cost model and the Young/Daly interval.
+//!
+//! A checkpoint drains every rank's resident model + optimizer state to
+//! host storage over the PCIe host link (the slower of the host link and
+//! HBM — in practice always the host link). Writes are synchronous and
+//! collective: training pauses for the duration, every GPU pays a modest
+//! copy-engine power draw, and the wall-clock cost is charged against the
+//! job. The optimal interval between checkpoints follows Young/Daly:
+//! `τ* = sqrt(2 · δ · MTBF)` for write cost `δ`.
+
+use olab_core::{Experiment, Strategy};
+use olab_faults::FaultTimeline;
+use olab_models::memory::{footprint, ActivationPolicy, Sharding};
+
+/// Fraction of the dynamic power range (TDP − idle) a GPU draws while its
+/// copy engines drain state to the host: compute is quiesced, only DMA and
+/// HBM reads are active.
+pub const CHECKPOINT_POWER_FRACTION: f64 = 0.2;
+
+/// Fixed per-checkpoint quiesce + barrier cost, seconds: every rank must
+/// reach the same step before state is consistent enough to snapshot.
+pub const CHECKPOINT_BARRIER_S: f64 = 0.01;
+
+/// Fraction of the fault-free makespan a restarted job spends warming up
+/// (JIT caches, allocator pools, NCCL communicator bring-up ramps).
+pub const RESTART_WARMUP_FRACTION: f64 = 0.05;
+
+/// Per-rank checkpoint sizing and timing for one experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointModel {
+    /// Model weights + optimizer state resident on one rank, bytes. The
+    /// sum across ranks is the durable job state.
+    pub bytes_per_gpu: f64,
+    /// Wall-clock to write one checkpoint (all ranks in parallel), seconds.
+    pub write_s: f64,
+    /// Wall-clock to restore one checkpoint on restart, seconds.
+    pub read_s: f64,
+    /// Per-GPU power while a checkpoint drains, watts.
+    pub write_power_w: f64,
+}
+
+/// The sharding layout an experiment's state lives in, mirroring the
+/// mapping `Experiment::validate` applies. Weights and optimizer bytes do
+/// not depend on in-flight microbatch count, so `in_flight = 1` is exact.
+pub(crate) fn state_sharding(exp: &Experiment) -> Sharding {
+    match exp.strategy {
+        Strategy::Fsdp => Sharding::FsdpZero3 { ranks: exp.n_gpus },
+        Strategy::TensorParallel => Sharding::TensorParallel { ranks: exp.n_gpus },
+        Strategy::Pipeline { .. } => Sharding::Pipeline {
+            stages: exp.n_gpus,
+            in_flight: 1,
+        },
+    }
+}
+
+/// Per-rank durable state (weights + optimizer) under `exp`'s layout,
+/// bytes.
+pub fn state_bytes_per_gpu(exp: &Experiment) -> f64 {
+    let est = footprint(
+        &exp.model.config(),
+        exp.batch,
+        exp.seq,
+        exp.precision,
+        state_sharding(exp),
+        ActivationPolicy::Full,
+    );
+    est.weights + est.optimizer
+}
+
+impl CheckpointModel {
+    /// Sizes the checkpoint for one experiment from its memory footprint
+    /// and the SKU's host-link bandwidth.
+    pub fn for_experiment(exp: &Experiment) -> Self {
+        let sku = exp.sku.sku();
+        let bytes = state_bytes_per_gpu(exp);
+        let lane_bytes_per_s = sku.host_link_gbs().min(sku.mem_bw_gbs) * 1e9;
+        let write_s = bytes / lane_bytes_per_s + CHECKPOINT_BARRIER_S;
+        CheckpointModel {
+            bytes_per_gpu: bytes,
+            write_s,
+            read_s: write_s,
+            write_power_w: sku.idle_w + CHECKPOINT_POWER_FRACTION * (sku.tdp_w - sku.idle_w),
+        }
+    }
+
+    /// The Young/Daly optimum `sqrt(2 · δ · MTBF)`, or `None` when the
+    /// MTBF is infinite (no fault pressure → never checkpoint).
+    pub fn young_daly_interval_s(&self, mtbf_s: f64) -> Option<f64> {
+        if mtbf_s.is_finite() && mtbf_s > 0.0 {
+            Some((2.0 * self.write_s * mtbf_s).sqrt())
+        } else {
+            None
+        }
+    }
+}
+
+/// Mean time between *unrecoverable* failures implied by a fault timeline:
+/// the generator plants at most one permanent link outage per horizon, so
+/// the MTBF is the horizon when one exists and infinite otherwise.
+/// Transient faults (throttles, flaps, ECC retries) never kill the job and
+/// therefore don't count.
+pub fn mtbf_s(timeline: &FaultTimeline) -> f64 {
+    if timeline.permanent_link_outage().is_some() {
+        timeline.horizon_s
+    } else {
+        f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olab_faults::{FaultScenarioSpec, Severity};
+    use olab_gpu::SkuKind;
+    use olab_models::ModelPreset;
+
+    fn exp(strategy: Strategy) -> Experiment {
+        Experiment::new(SkuKind::H100, 4, ModelPreset::Gpt3Xl, strategy, 8).with_seq(256)
+    }
+
+    #[test]
+    fn sharded_layouts_sum_to_the_unsharded_state() {
+        // FSDP and TP shard weights/optimizer 1/ranks: per-rank bytes times
+        // ranks must equal the replicated total.
+        let full = {
+            let e = exp(Strategy::Fsdp);
+            let est = footprint(
+                &e.model.config(),
+                e.batch,
+                e.seq,
+                e.precision,
+                Sharding::Replicated,
+                ActivationPolicy::Full,
+            );
+            est.weights + est.optimizer
+        };
+        for strategy in [Strategy::Fsdp, Strategy::TensorParallel] {
+            let e = exp(strategy);
+            let total = state_bytes_per_gpu(&e) * e.n_gpus as f64;
+            assert!(
+                (total - full).abs() < 1.0,
+                "{strategy:?}: {total} vs {full}"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoints_take_milliseconds_to_seconds() {
+        let m = CheckpointModel::for_experiment(&exp(Strategy::Fsdp));
+        assert!(m.bytes_per_gpu > 1e6, "GPT-3 XL state is MBs per rank");
+        assert!(m.write_s > CHECKPOINT_BARRIER_S);
+        assert!(m.write_s < 60.0);
+        assert_eq!(m.write_s, m.read_s);
+        let sku = SkuKind::H100.sku();
+        assert!(m.write_power_w > sku.idle_w && m.write_power_w < sku.tdp_w);
+    }
+
+    #[test]
+    fn young_daly_grows_with_the_root_of_mtbf() {
+        let m = CheckpointModel::for_experiment(&exp(Strategy::Fsdp));
+        let t1 = m.young_daly_interval_s(100.0).unwrap();
+        let t4 = m.young_daly_interval_s(400.0).unwrap();
+        assert!((t4 / t1 - 2.0).abs() < 1e-9, "sqrt scaling");
+        assert_eq!(m.young_daly_interval_s(f64::INFINITY), None);
+        assert_eq!(m.young_daly_interval_s(0.0), None);
+    }
+
+    #[test]
+    fn mtbf_is_the_horizon_only_under_permanent_faults() {
+        let severe =
+            FaultTimeline::generate(&FaultScenarioSpec::degrade(3, Severity::Severe), 4, 100.0);
+        assert_eq!(mtbf_s(&severe), severe.horizon_s);
+        let mild =
+            FaultTimeline::generate(&FaultScenarioSpec::degrade(3, Severity::Mild), 4, 100.0);
+        assert_eq!(mtbf_s(&mild), f64::INFINITY);
+    }
+}

@@ -1,0 +1,116 @@
+//! Recovery policies and their cache-key descriptors.
+
+use std::fmt;
+
+/// Version of the recovery model baked into cached results. Bump whenever
+/// the policy semantics, checkpoint cost model, or metric derivations
+/// change meaning — cached cells keyed on the old version then miss
+/// instead of serving stale numbers.
+pub const RECOVERY_SCHEMA_VERSION: u32 = 1;
+
+/// What the job does when the fault layer's watchdog gives up.
+///
+/// All three policies run the *same* faulted simulation underneath (see
+/// `olab_faults::run_under_faults`); they differ only in what an abort
+/// means and what overhead the job pays while healthy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecoveryPolicy {
+    /// NCCL's default: the first unrecoverable fault kills the job and all
+    /// work since launch is lost. Goodput of a killed job is zero.
+    FailFast,
+    /// Periodic checkpoints to host storage while healthy; on failure,
+    /// restart the (repaired) job from the last completed checkpoint.
+    CheckpointRestart {
+        /// Seconds between checkpoint *starts*. `None` derives the
+        /// Young/Daly optimum from the cell's fault rate — which means *no*
+        /// checkpoints when the scenario has no permanent fault.
+        interval_s: Option<f64>,
+    },
+    /// torch-elastic style shrink-and-continue: on a dead GPU/link, evict
+    /// the failed rank, re-shard model/optimizer state onto the surviving
+    /// world via real collective traffic, and finish at the smaller world
+    /// size. No work is lost, but the survivors run slower.
+    ElasticContinue,
+}
+
+impl RecoveryPolicy {
+    /// Short CLI-facing name (`failfast` / `ckpt` / `elastic`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RecoveryPolicy::FailFast => "failfast",
+            RecoveryPolicy::CheckpointRestart { .. } => "ckpt",
+            RecoveryPolicy::ElasticContinue => "elastic",
+        }
+    }
+
+    /// The policy's contribution to a cache descriptor. Carries the
+    /// recovery schema version and every semantic knob, so two runs that
+    /// differ only in policy (or checkpoint interval) can never share a
+    /// cache entry.
+    pub fn descriptor(&self) -> String {
+        let detail = match self {
+            RecoveryPolicy::FailFast => "failfast".to_string(),
+            RecoveryPolicy::CheckpointRestart { interval_s: None } => {
+                "ckpt interval=auto".to_string()
+            }
+            RecoveryPolicy::CheckpointRestart {
+                interval_s: Some(t),
+            } => format!("ckpt interval={t:.6}"),
+            RecoveryPolicy::ElasticContinue => "elastic".to_string(),
+        };
+        format!("recovery schema={RECOVERY_SCHEMA_VERSION} policy={detail}")
+    }
+}
+
+impl fmt::Display for RecoveryPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryPolicy::FailFast => write!(f, "fail-fast"),
+            RecoveryPolicy::CheckpointRestart { interval_s: None } => {
+                write!(f, "checkpoint-restart (auto interval)")
+            }
+            RecoveryPolicy::CheckpointRestart {
+                interval_s: Some(t),
+            } => write!(f, "checkpoint-restart (every {t:.1}s)"),
+            RecoveryPolicy::ElasticContinue => write!(f, "elastic-continue"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptors_separate_every_policy_variant() {
+        let policies = [
+            RecoveryPolicy::FailFast,
+            RecoveryPolicy::CheckpointRestart { interval_s: None },
+            RecoveryPolicy::CheckpointRestart {
+                interval_s: Some(1.0),
+            },
+            RecoveryPolicy::CheckpointRestart {
+                interval_s: Some(2.0),
+            },
+            RecoveryPolicy::ElasticContinue,
+        ];
+        for (i, a) in policies.iter().enumerate() {
+            assert!(a.descriptor().contains("schema=1"));
+            for (j, b) in policies.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a.descriptor(), b.descriptor());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_the_cli_spellings() {
+        assert_eq!(RecoveryPolicy::FailFast.name(), "failfast");
+        assert_eq!(
+            RecoveryPolicy::CheckpointRestart { interval_s: None }.name(),
+            "ckpt"
+        );
+        assert_eq!(RecoveryPolicy::ElasticContinue.name(), "elastic");
+    }
+}

@@ -175,6 +175,162 @@ impl SimTrace {
             .map(|r| r.coactive)
             .sum()
     }
+
+    /// The trace clipped to `[0, at)`: records starting at or after `at`
+    /// are dropped, records straddling the cut are clamped (co-active time
+    /// is clamped to the clipped duration), power segments and overlap
+    /// windows are clipped, and per-stream busy time is recomputed from the
+    /// clipped records.
+    ///
+    /// This is the first half of a mid-run regime transition: a run that
+    /// stops making useful progress at `at` (a fatal fault, an elastic
+    /// shrink) keeps exactly the activity it completed before the cut.
+    pub fn truncated(&self, at: SimTime) -> SimTrace {
+        let cut = at.min(self.makespan);
+        let records: Vec<TaskRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.start < cut)
+            .map(|r| {
+                let end = r.end.min(cut);
+                let duration = end - r.start;
+                TaskRecord {
+                    id: r.id,
+                    label: r.label.clone(),
+                    participants: r.participants.clone(),
+                    stream: r.stream,
+                    start: r.start,
+                    end,
+                    coactive: r.coactive.min(duration),
+                }
+            })
+            .collect();
+        let gpus: Vec<GpuActivity> = self
+            .gpus
+            .iter()
+            .enumerate()
+            .map(|(g, activity)| {
+                let gpu = GpuId(g as u16);
+                let power = activity
+                    .power
+                    .iter()
+                    .filter(|seg| seg.window.start < cut)
+                    .map(|seg| PowerSegment {
+                        window: Window {
+                            start: seg.window.start,
+                            end: seg.window.end.min(cut),
+                        },
+                        watts: seg.watts,
+                    })
+                    .collect();
+                let overlap_windows = activity
+                    .overlap_windows
+                    .iter()
+                    .filter(|w| w.start < cut)
+                    .map(|w| Window {
+                        start: w.start,
+                        end: w.end.min(cut),
+                    })
+                    .collect();
+                let busy_of = |stream: StreamKind| {
+                    records
+                        .iter()
+                        .filter(|r| r.stream == stream && r.participants.contains(&gpu))
+                        .map(|r| r.duration())
+                        .sum()
+                };
+                GpuActivity {
+                    power,
+                    overlap_windows,
+                    busy: [busy_of(StreamKind::Compute), busy_of(StreamKind::Comm)],
+                }
+            })
+            .collect();
+        SimTrace {
+            records,
+            gpus,
+            makespan: cut,
+        }
+    }
+
+    /// Composes this trace with a `later` trace separated by an idle `gap`
+    /// (a recovery epoch: checkpoint restore, communicator rebuild, state
+    /// re-shard). The later trace — possibly over a *different* device
+    /// count, the mid-run world-size transition — is shifted to start at
+    /// `makespan + gap`; devices present here but absent from the later
+    /// phase (evicted ranks) draw `gap_watts` until the stitched trace
+    /// ends. The gap itself is priced at `gap_watts` on every device, and
+    /// later-phase task ids are renumbered past this trace's ids.
+    pub fn then(&self, gap: SimTime, gap_watts: f64, later: &SimTrace) -> SimTrace {
+        let offset = self.makespan + gap;
+        let id_base = self
+            .records
+            .iter()
+            .map(|r| r.id.0 + 1)
+            .max()
+            .unwrap_or_default();
+        let mut records = self.records.clone();
+        records.extend(later.records.iter().map(|r| TaskRecord {
+            id: TaskId(r.id.0 + id_base),
+            label: r.label.clone(),
+            participants: r.participants.clone(),
+            stream: r.stream,
+            start: r.start + offset,
+            end: r.end + offset,
+            coactive: r.coactive,
+        }));
+        let makespan = offset + later.makespan;
+        let n_gpus = self.gpus.len().max(later.gpus.len());
+        let empty = GpuActivity::default();
+        let gpus: Vec<GpuActivity> = (0..n_gpus)
+            .map(|g| {
+                let first = self.gpus.get(g).unwrap_or(&empty);
+                let second = later.gpus.get(g);
+                let mut power = first.power.clone();
+                let gap_end = match second {
+                    Some(_) => offset,
+                    // An evicted rank stays parked at `gap_watts` for the
+                    // rest of the stitched run.
+                    None => makespan,
+                };
+                if gap_end > self.makespan {
+                    power.push(PowerSegment {
+                        window: Window {
+                            start: self.makespan,
+                            end: gap_end,
+                        },
+                        watts: gap_watts,
+                    });
+                }
+                let mut overlap_windows = first.overlap_windows.clone();
+                let mut busy = first.busy;
+                if let Some(act) = second {
+                    power.extend(act.power.iter().map(|seg| PowerSegment {
+                        window: Window {
+                            start: seg.window.start + offset,
+                            end: seg.window.end + offset,
+                        },
+                        watts: seg.watts,
+                    }));
+                    overlap_windows.extend(act.overlap_windows.iter().map(|w| Window {
+                        start: w.start + offset,
+                        end: w.end + offset,
+                    }));
+                    busy = [busy[0] + act.busy[0], busy[1] + act.busy[1]];
+                }
+                GpuActivity {
+                    power,
+                    overlap_windows,
+                    busy,
+                }
+            })
+            .collect();
+        SimTrace {
+            records,
+            gpus,
+            makespan,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -216,6 +372,153 @@ mod tests {
     #[test]
     fn empty_activity_average_power_is_zero() {
         assert_eq!(GpuActivity::default().average_power(), 0.0);
+    }
+
+    fn two_phase_traces() -> (SimTrace, SimTrace) {
+        let first = SimTrace::new(
+            vec![
+                TaskRecord {
+                    id: TaskId(0),
+                    label: "k0".into(),
+                    participants: vec![GpuId(0)],
+                    stream: StreamKind::Compute,
+                    start: SimTime::ZERO,
+                    end: SimTime::from_secs(1.0),
+                    coactive: SimTime::from_secs(0.5),
+                },
+                TaskRecord {
+                    id: TaskId(1),
+                    label: "ar".into(),
+                    participants: vec![GpuId(0), GpuId(1)],
+                    stream: StreamKind::Comm,
+                    start: SimTime::from_secs(0.5),
+                    end: SimTime::from_secs(2.0),
+                    coactive: SimTime::from_secs(0.5),
+                },
+            ],
+            vec![
+                GpuActivity {
+                    power: vec![PowerSegment {
+                        window: window(0.0, 2.0),
+                        watts: 300.0,
+                    }],
+                    overlap_windows: vec![window(0.5, 1.0)],
+                    busy: [SimTime::from_secs(1.0), SimTime::from_secs(1.5)],
+                },
+                GpuActivity {
+                    power: vec![PowerSegment {
+                        window: window(0.0, 2.0),
+                        watts: 200.0,
+                    }],
+                    overlap_windows: vec![],
+                    busy: [SimTime::ZERO, SimTime::from_secs(1.5)],
+                },
+            ],
+            SimTime::from_secs(2.0),
+        );
+        let second = SimTrace::new(
+            vec![TaskRecord {
+                id: TaskId(0),
+                label: "k1".into(),
+                participants: vec![GpuId(0)],
+                stream: StreamKind::Compute,
+                start: SimTime::ZERO,
+                end: SimTime::from_secs(1.0),
+                coactive: SimTime::ZERO,
+            }],
+            vec![GpuActivity {
+                power: vec![PowerSegment {
+                    window: window(0.0, 1.0),
+                    watts: 250.0,
+                }],
+                overlap_windows: vec![],
+                busy: [SimTime::from_secs(1.0), SimTime::ZERO],
+            }],
+            SimTime::from_secs(1.0),
+        );
+        (first, second)
+    }
+
+    #[test]
+    fn truncation_clips_records_power_and_busy_time() {
+        let (trace, _) = two_phase_traces();
+        let cut = trace.truncated(SimTime::from_secs(1.0));
+        assert_eq!(cut.makespan(), SimTime::from_secs(1.0));
+        assert_eq!(cut.records().len(), 2);
+        // The straddling collective is clamped, and its co-active time can
+        // never exceed the clipped duration.
+        let ar = cut.record(TaskId(1)).unwrap();
+        assert_eq!(ar.end, SimTime::from_secs(1.0));
+        assert_eq!(ar.coactive, SimTime::from_secs(0.5));
+        assert_eq!(
+            cut.gpu(GpuId(0)).power,
+            vec![PowerSegment {
+                window: window(0.0, 1.0),
+                watts: 300.0
+            }]
+        );
+        assert_eq!(
+            cut.stream_time_on(GpuId(1), StreamKind::Comm),
+            SimTime::from_secs(0.5)
+        );
+        assert_eq!(
+            cut.gpu(GpuId(1)).busy_time(StreamKind::Comm),
+            SimTime::from_secs(0.5)
+        );
+        // Truncating past the makespan is the identity on the horizon.
+        assert_eq!(
+            trace.truncated(SimTime::from_secs(10.0)).makespan(),
+            trace.makespan()
+        );
+    }
+
+    #[test]
+    fn stitching_shifts_the_later_phase_and_prices_the_gap() {
+        let (first, second) = two_phase_traces();
+        let stitched = first.then(SimTime::from_secs(0.5), 60.0, &second);
+        assert_eq!(stitched.makespan(), SimTime::from_secs(3.5));
+        assert_eq!(stitched.records().len(), 3);
+        // Later-phase ids are renumbered past the first phase's ids.
+        let k1 = stitched.record(TaskId(2)).expect("renumbered");
+        assert_eq!(k1.label, "k1");
+        assert_eq!(k1.start, SimTime::from_secs(2.5));
+        assert_eq!(k1.end, SimTime::from_secs(3.5));
+        // The world shrank: gpu1 is parked at the gap draw to the end.
+        assert_eq!(stitched.gpus().len(), 2);
+        let parked = stitched.gpu(GpuId(1));
+        assert_eq!(
+            parked.power.last().unwrap(),
+            &PowerSegment {
+                window: window(2.0, 3.5),
+                watts: 60.0
+            }
+        );
+        // The survivor pays the gap, then resumes with the shifted phase.
+        let survivor = stitched.gpu(GpuId(0));
+        assert_eq!(
+            survivor.power,
+            vec![
+                PowerSegment {
+                    window: window(0.0, 2.0),
+                    watts: 300.0
+                },
+                PowerSegment {
+                    window: window(2.0, 2.5),
+                    watts: 60.0
+                },
+                PowerSegment {
+                    window: window(2.5, 3.5),
+                    watts: 250.0
+                },
+            ]
+        );
+        assert_eq!(
+            survivor.busy_time(StreamKind::Compute),
+            SimTime::from_secs(2.0)
+        );
+        // Energy is conserved: both phases plus the priced gap.
+        let expected = 300.0 * 2.0 + 60.0 * 0.5 + 250.0 * 1.0;
+        assert!((survivor.energy_joules() - expected).abs() < 1e-9);
     }
 
     #[test]
