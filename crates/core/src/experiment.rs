@@ -1,6 +1,6 @@
 //! One cell of the paper's evaluation grid.
 
-use crate::{execute, Jitter, Machine, MachineConfig, OverlapMetrics, RunResult};
+use crate::{execute, execute_lean, Jitter, Machine, MachineConfig, OverlapMetrics, RunResult};
 use olab_gpu::{Datapath, PowerLimit, Precision, SkuKind};
 use olab_models::memory::{self, ActivationPolicy, Sharding};
 use olab_models::ModelPreset;
@@ -382,7 +382,9 @@ impl Experiment {
 
         let overlapped = execute(&self.timeline(ExecutionMode::Overlapped, policy)?, &machine)?;
         let sequential = execute(&self.timeline(ExecutionMode::Sequential, policy)?, &machine)?;
-        let ideal = execute(
+        // Only the ideal leg's end-to-end time is reported, so the lean
+        // executor serves it without materializing a trace.
+        let ideal = execute_lean(
             &self.timeline(ExecutionMode::Overlapped, policy)?,
             &machine.uncontended(),
         )?;
@@ -456,7 +458,7 @@ impl Experiment {
 
         let overlapped = execute(&self.timeline(ExecutionMode::Overlapped, policy)?, &machine)?;
         let sequential = execute(&self.timeline(ExecutionMode::Sequential, policy)?, &machine)?;
-        let ideal = execute(
+        let ideal = execute_lean(
             &self.timeline(ExecutionMode::Overlapped, policy)?,
             &machine.uncontended(),
         )?;

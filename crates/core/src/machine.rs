@@ -21,10 +21,11 @@
 
 use olab_ccl::CommOp;
 use olab_gpu::power::Utilization;
+use olab_gpu::roofline::KernelDemand;
 use olab_gpu::{roofline, ContentionProfile, DvfsGovernor, GpuSku, PowerProfile};
 use olab_net::Topology;
-use olab_parallel::Op;
-use olab_sim::{GpuCounters, RateModel, RunningTask, SeededRng};
+use olab_parallel::{ComputeOp, Op};
+use olab_sim::{GpuCounters, GpuId, RateModel, RunningTask, SeededRng};
 
 /// Fraction of datasheet HBM bandwidth usable when compute and
 /// communication interleave access streams.
@@ -95,6 +96,11 @@ pub struct Machine {
     /// GPU — what the simulated NVML poll reads through
     /// [`RateModel::counters`].
     last_counters: Vec<GpuCounters>,
+    /// Per-epoch scratch (reused across epochs to keep the rate-assignment
+    /// hot path allocation-free once warm).
+    scratch_compute_on: Vec<Option<usize>>,
+    scratch_comm_on: Vec<Option<usize>>,
+    scratch_epochs: Vec<GpuEpoch>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -111,6 +117,9 @@ struct GpuEpoch {
     freq: f64,
     /// Board power this epoch, watts.
     power_w: f64,
+    /// Demand decomposition of the co-resident compute kernel, if any
+    /// (computed once per epoch and reused by the rate loop).
+    demand: Option<KernelDemand>,
 }
 
 impl Default for GpuEpoch {
@@ -122,6 +131,7 @@ impl Default for GpuEpoch {
             l2: 1.0,
             freq: 1.0,
             power_w: 0.0,
+            demand: None,
         }
     }
 }
@@ -139,6 +149,9 @@ impl Machine {
             rng,
             gpu_freq_caps: Vec::new(),
             last_counters: Vec::new(),
+            scratch_compute_on: Vec::new(),
+            scratch_comm_on: Vec::new(),
+            scratch_epochs: Vec::new(),
         }
     }
 
@@ -182,6 +195,156 @@ impl Machine {
         let amplification = op.hbm_bytes_per_rank / op.wire_bytes_per_rank;
         op.wire_rate_bytes_per_sec * amplification
     }
+
+    /// Prices one GPU for an epoch in which `kernel` and/or `comm` are
+    /// co-resident on it: contention factors, DVFS decision, board power,
+    /// and telemetry counters.
+    ///
+    /// This is the single source of pricing truth. [`Machine::assign_rates`]
+    /// calls it per GPU per epoch; the analytic fast path
+    /// (`olab_core::analytic`) calls it per schedule segment, which is what
+    /// guarantees the two execution paths agree by construction.
+    fn gpu_epoch(
+        &self,
+        g: usize,
+        kernel: Option<&ComputeOp>,
+        comm: Option<&CommOp>,
+    ) -> (GpuEpoch, GpuCounters) {
+        let sku = &self.config.sku;
+        let raw_bw = sku.mem_bw_gbs * 1e9;
+        let capacity = raw_bw * SHARED_HBM_EFFICIENCY;
+        let contended = self.config.contended;
+        let mut epoch = GpuEpoch {
+            demand: kernel.map(|c| roofline::demand(&c.kernel, sku, c.precision, c.datapath)),
+            ..GpuEpoch::default()
+        };
+
+        // SM occupancy + cache interference.
+        if let (true, Some(op)) = (contended && kernel.is_some(), comm) {
+            epoch.sm_avail = (1.0 - op.sm_fraction).max(0.05);
+            epoch.l2 = self.contention.l2_interference;
+        }
+
+        // HBM sharing.
+        let comm_demand = comm.map_or(0.0, |op| self.comm_hbm_demand(op));
+        let compute_demand = epoch.demand.as_ref().map_or(0.0, |d| d.bandwidth_demand());
+        if contended && comm_demand + compute_demand > capacity && comm_demand > 0.0 {
+            let scale = capacity / (comm_demand + compute_demand);
+            epoch.comm_factor = scale;
+            if let Some(d) = &epoch.demand {
+                epoch.compute_bw_fraction =
+                    (compute_demand * scale / d.bytes_per_sec).clamp(0.05, 1.0);
+            }
+        }
+
+        // Power components.
+        let mut util = Utilization::idle();
+        let mut flop_busy = 0.0;
+        if let Some(d) = &epoch.demand {
+            let t_flop = d.compute_time(1.0) / epoch.sm_avail;
+            let t_mem = d.memory_time(epoch.compute_bw_fraction);
+            let span = t_flop.max(t_mem) + d.launch_s;
+            flop_busy = (t_flop / span).clamp(0.0, 1.0);
+            if d.on_tensor_core {
+                util.tensor = flop_busy;
+                util.vector = 0.15 * flop_busy; // address gen, epilogues
+            } else {
+                util.vector = flop_busy;
+            }
+            util.mem += (d.bytes / span) / raw_bw;
+        }
+        if let Some(op) = comm {
+            // Links, PHYs and copy engines are busy for the whole
+            // transfer even when protocol overheads cap the *useful*
+            // rate, so comm-engine activity tracks the share factor,
+            // not the bus efficiency.
+            util.comm = epoch.comm_factor.clamp(0.0, 1.0);
+            util.mem += self.comm_hbm_demand(op) * epoch.comm_factor / raw_bw;
+        }
+        util.mem = util.mem.clamp(0.0, 1.0);
+
+        let governor = match self.gpu_freq_caps.get(g) {
+            Some(&cap) if cap < 1.0 => self.config.governor.capped(cap),
+            _ => self.config.governor,
+        };
+        if contended {
+            let decision = governor.decide(&self.power_profile, &util);
+            epoch.freq = decision.freq_factor;
+            epoch.power_w = decision.power_w;
+        } else {
+            epoch.freq = governor.max_freq_factor;
+            epoch.power_w = self.power_profile.instantaneous(&util, epoch.freq);
+        }
+
+        // Telemetry: compute kernels occupy their busy share of the
+        // SMs they were granted; a co-resident collective's channel
+        // kernels pin `sm_fraction` on top.
+        let comm_sm = comm.map_or(0.0, |op| op.sm_fraction);
+        let counters = GpuCounters {
+            sm_occupancy: (flop_busy * epoch.sm_avail + comm_sm).clamp(0.0, 1.0),
+            hbm_util: util.mem,
+            link_util: util.comm,
+            freq_factor: epoch.freq,
+            power_w: epoch.power_w,
+        };
+        (epoch, counters)
+    }
+
+    /// Duration of a compute op running with nothing co-resident on GPU
+    /// `g`, priced exactly as [`Machine::assign_rates`] would price it
+    /// (including DVFS and any transient frequency cap on `g`).
+    pub(crate) fn solo_compute_duration(&self, g: usize, c: &ComputeOp) -> f64 {
+        let (epoch, _) = self.gpu_epoch(g, Some(c), None);
+        let d = epoch.demand.expect("kernel demand computed");
+        let t_flop = d.compute_time(epoch.freq) / epoch.sm_avail;
+        let t_mem = d.memory_time(epoch.compute_bw_fraction);
+        (t_flop.max(t_mem) + d.launch_s) * epoch.l2
+    }
+
+    /// Duration of a collective running with nothing co-resident on any
+    /// participant, priced exactly as [`Machine::assign_rates`] would.
+    ///
+    /// Note this is *not* always `op.isolated_duration_s()`: on a contended
+    /// machine a collective's HBM staging traffic alone can oversubscribe
+    /// the shared-bandwidth capacity and throttle its own wire rate.
+    pub(crate) fn solo_comm_duration(&self, participants: &[GpuId], op: &CommOp) -> f64 {
+        let factor = participants
+            .iter()
+            .map(|g| self.gpu_epoch(g.index(), None, Some(op)).0.comm_factor)
+            .fold(1.0_f64, f64::min);
+        op.latency_s + op.wire_bytes_per_rank / (op.wire_rate_bytes_per_sec * factor.max(0.05))
+    }
+
+    /// Board power of GPU `g` for a segment with the given co-resident set,
+    /// matching the engine's per-epoch power assignment (idle draw when
+    /// nothing runs).
+    pub(crate) fn segment_power_w(
+        &self,
+        g: usize,
+        kernel: Option<&ComputeOp>,
+        comm: Option<&CommOp>,
+    ) -> f64 {
+        if kernel.is_none() && comm.is_none() {
+            self.power_profile.idle_w
+        } else {
+            self.gpu_epoch(g, kernel, comm).0.power_w
+        }
+    }
+
+    /// Whether per-epoch rate noise is configured.
+    pub(crate) fn has_jitter(&self) -> bool {
+        self.config.jitter.is_some()
+    }
+
+    /// Whether any transient per-GPU frequency cap is active.
+    pub(crate) fn has_gpu_freq_caps(&self) -> bool {
+        self.gpu_freq_caps.iter().any(|&c| c < 1.0)
+    }
+
+    /// Whether co-resident tasks contend for resources.
+    pub(crate) fn is_contended(&self) -> bool {
+        self.config.contended
+    }
 }
 
 impl RateModel for Machine {
@@ -194,14 +357,18 @@ impl RateModel for Machine {
         power: &mut [f64],
     ) {
         let n_gpus = power.len();
-        let sku = &self.config.sku;
-        let raw_bw = sku.mem_bw_gbs * 1e9;
-        let capacity = raw_bw * SHARED_HBM_EFFICIENCY;
-        let contended = self.config.contended;
 
-        // Index the (at most one) compute and comm task per GPU.
-        let mut compute_on: Vec<Option<usize>> = vec![None; n_gpus];
-        let mut comm_on: Vec<Option<usize>> = vec![None; n_gpus];
+        // Index the (at most one) compute and comm task per GPU. The index
+        // and epoch buffers are machine-owned scratch, reused every epoch.
+        let mut compute_on = std::mem::take(&mut self.scratch_compute_on);
+        let mut comm_on = std::mem::take(&mut self.scratch_comm_on);
+        let mut epochs = std::mem::take(&mut self.scratch_epochs);
+        compute_on.clear();
+        compute_on.resize(n_gpus, None);
+        comm_on.clear();
+        comm_on.resize(n_gpus, None);
+        epochs.clear();
+        epochs.resize(n_gpus, GpuEpoch::default());
         for (i, task) in running.iter().enumerate() {
             match task.payload {
                 Op::Compute(_) => {
@@ -220,94 +387,23 @@ impl RateModel for Machine {
         }
 
         // Per-GPU epoch state: contention factors, frequency, power.
-        let mut epochs: Vec<GpuEpoch> = vec![GpuEpoch::default(); n_gpus];
         self.last_counters.clear();
         self.last_counters.resize(n_gpus, GpuCounters::default());
         for g in 0..n_gpus {
             let comm = comm_on[g].and_then(|i| running[i].payload.as_comm());
             let kernel = compute_on[g].and_then(|i| running[i].payload.as_compute());
-            let mut epoch = GpuEpoch::default();
-
-            let demand = kernel.map(|c| roofline::demand(&c.kernel, sku, c.precision, c.datapath));
-
-            // SM occupancy + cache interference.
-            if let (true, Some(op)) = (contended && kernel.is_some(), comm) {
-                epoch.sm_avail = (1.0 - op.sm_fraction).max(0.05);
-                epoch.l2 = self.contention.l2_interference;
-            }
-
-            // HBM sharing.
-            let comm_demand = comm.map_or(0.0, |op| self.comm_hbm_demand(op));
-            let compute_demand = demand.as_ref().map_or(0.0, |d| d.bandwidth_demand());
-            if contended && comm_demand + compute_demand > capacity && comm_demand > 0.0 {
-                let scale = capacity / (comm_demand + compute_demand);
-                epoch.comm_factor = scale;
-                if let Some(d) = &demand {
-                    epoch.compute_bw_fraction =
-                        (compute_demand * scale / d.bytes_per_sec).clamp(0.05, 1.0);
-                }
-            }
-
-            // Power components.
-            let mut util = Utilization::idle();
-            let mut flop_busy = 0.0;
-            if let Some(d) = &demand {
-                let t_flop = d.compute_time(1.0) / epoch.sm_avail;
-                let t_mem = d.memory_time(epoch.compute_bw_fraction);
-                let span = t_flop.max(t_mem) + d.launch_s;
-                flop_busy = (t_flop / span).clamp(0.0, 1.0);
-                if d.on_tensor_core {
-                    util.tensor = flop_busy;
-                    util.vector = 0.15 * flop_busy; // address gen, epilogues
-                } else {
-                    util.vector = flop_busy;
-                }
-                util.mem += (d.bytes / span) / raw_bw;
-            }
-            if let Some(op) = comm {
-                // Links, PHYs and copy engines are busy for the whole
-                // transfer even when protocol overheads cap the *useful*
-                // rate, so comm-engine activity tracks the share factor,
-                // not the bus efficiency.
-                util.comm = epoch.comm_factor.clamp(0.0, 1.0);
-                util.mem += self.comm_hbm_demand(op) * epoch.comm_factor / raw_bw;
-            }
-            util.mem = util.mem.clamp(0.0, 1.0);
-
-            let governor = match self.gpu_freq_caps.get(g) {
-                Some(&cap) if cap < 1.0 => self.config.governor.capped(cap),
-                _ => self.config.governor,
-            };
-            if contended {
-                let decision = governor.decide(&self.power_profile, &util);
-                epoch.freq = decision.freq_factor;
-                epoch.power_w = decision.power_w;
-            } else {
-                epoch.freq = governor.max_freq_factor;
-                epoch.power_w = self.power_profile.instantaneous(&util, epoch.freq);
-            }
-
-            // Telemetry: compute kernels occupy their busy share of the
-            // SMs they were granted; a co-resident collective's channel
-            // kernels pin `sm_fraction` on top.
-            let comm_sm = comm.map_or(0.0, |op| op.sm_fraction);
-            self.last_counters[g] = GpuCounters {
-                sm_occupancy: (flop_busy * epoch.sm_avail + comm_sm).clamp(0.0, 1.0),
-                hbm_util: util.mem,
-                link_util: util.comm,
-                freq_factor: epoch.freq,
-                power_w: epoch.power_w,
-            };
+            let (epoch, counters) = self.gpu_epoch(g, kernel, comm);
+            self.last_counters[g] = counters;
             epochs[g] = epoch;
         }
 
         // Rates.
         for (i, task) in running.iter().enumerate() {
             rates[i] = match task.payload {
-                Op::Compute(ref c) => {
+                Op::Compute(_) => {
                     let g = task.participants[0].index();
                     let epoch = &epochs[g];
-                    let d = roofline::demand(&c.kernel, sku, c.precision, c.datapath);
+                    let d = epoch.demand.expect("kernel demand computed");
                     let t_flop = d.compute_time(epoch.freq) / epoch.sm_avail;
                     let t_mem = d.memory_time(epoch.compute_bw_fraction);
                     let duration = (t_flop.max(t_mem) + d.launch_s) * epoch.l2;
@@ -344,6 +440,10 @@ impl RateModel for Machine {
                 self.power_profile.idle_w
             };
         }
+
+        self.scratch_compute_on = compute_on;
+        self.scratch_comm_on = comm_on;
+        self.scratch_epochs = epochs;
     }
 
     fn counters(&self, gpu: usize) -> GpuCounters {

@@ -55,6 +55,8 @@ impl OverlapMetrics {
         let hidden_comm_s = overlapped.hidden_comm_s() / n;
         let e2e_sequential_derived_s = e2e_ideal_s + hidden_comm_s;
 
+        let (avg_power_w, peak_power_w, energy_j) = overlapped.power_summary();
+        let (avg_power_sequential_w, peak_power_sequential_w, _) = sequential.power_summary();
         OverlapMetrics {
             compute_slowdown,
             overlap_ratio: overlapped.overlap_ratio(),
@@ -62,11 +64,11 @@ impl OverlapMetrics {
             e2e_ideal_s,
             e2e_sequential_derived_s,
             e2e_sequential_measured_s: sequential.e2e_s,
-            avg_power_w: overlapped.average_power_w(),
-            peak_power_w: overlapped.peak_power_w(),
-            avg_power_sequential_w: sequential.average_power_w(),
-            peak_power_sequential_w: sequential.peak_power_w(),
-            energy_j: overlapped.energy_j(),
+            avg_power_w,
+            peak_power_w,
+            avg_power_sequential_w,
+            peak_power_sequential_w,
+            energy_j,
         }
     }
 

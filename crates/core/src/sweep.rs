@@ -405,7 +405,12 @@ impl Sweep {
         cells: &[Experiment],
         sink: Option<&dyn ProgressSink>,
     ) -> SweepOutcome {
-        let SweepRun { outputs, stats } = self.engine.run_with_progress(cells, sink);
+        let fast_before = crate::fastpath::fast_runs();
+        let SweepRun { outputs, mut stats } = self.engine.run_with_progress(cells, sink);
+        // Process-global counter: concurrent sweeps can only inflate the
+        // delta, never shrink it, so the attribution stays a lower bound
+        // per-sweep and exact when sweeps don't overlap in time.
+        stats.fast_path = (crate::fastpath::fast_runs() - fast_before) as usize;
         SweepOutcome {
             cells: outputs
                 .into_iter()

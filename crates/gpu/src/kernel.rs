@@ -9,7 +9,7 @@ use std::fmt;
 /// The byte counts assume each operand is read/written once from HBM (tiled
 /// GEMMs reuse operands through shared memory/L2, so this is the standard
 /// first-order model).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum KernelKind {
     /// Dense matrix multiply `C[m,n] += A[m,k] * B[k,n]`.
     Gemm {

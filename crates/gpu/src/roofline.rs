@@ -105,6 +105,50 @@ pub fn isolated_duration(
     demand(kernel, sku, precision, datapath).duration(freq_factor, 1.0)
 }
 
+/// Sum of isolated execution times over a batch of kernels, in seconds.
+///
+/// Equivalent to summing [`isolated_duration`] kernel by kernel (the
+/// arithmetic is identical, so the result matches bit-for-bit), but hoists
+/// the SKU peak lookups out of the loop: the effective datapath of each
+/// kernel is one of two choices, so the FLOP peaks are resolved once per
+/// batch instead of once per kernel. Timeline builders that price hundreds
+/// of identical-shape kernels per layer go through this.
+pub fn isolated_total_duration(
+    kernels: &[KernelKind],
+    sku: &GpuSku,
+    precision: Precision,
+    datapath: Datapath,
+    freq_factor: f64,
+) -> f64 {
+    // Index by Datapath: [Vector, TensorCore].
+    let peaks = [
+        sku.peak_tflops(precision, Datapath::Vector) * 1e12,
+        sku.peak_tflops(precision, Datapath::TensorCore) * 1e12,
+    ];
+    let peak_bytes = sku.mem_bw_gbs * 1e9;
+    let freq = freq_factor.max(1e-6);
+    let mut total = 0.0;
+    for kernel in kernels {
+        let effective_path = if !kernel.uses_matrix_math() {
+            Datapath::Vector
+        } else if precision.requires_tensor_core() {
+            Datapath::TensorCore
+        } else {
+            datapath
+        };
+        let peak = match effective_path {
+            Datapath::Vector => peaks[0],
+            Datapath::TensorCore => peaks[1],
+        };
+        let flops_per_sec = peak * kernel.flop_efficiency(effective_path);
+        let bytes_per_sec = peak_bytes * kernel.bandwidth_efficiency();
+        let compute_time = kernel.flops() / (flops_per_sec * freq);
+        let memory_time = kernel.bytes(precision) / bytes_per_sec;
+        total += compute_time.max(memory_time) + LAUNCH_OVERHEAD_S;
+    }
+    total
+}
+
 /// A hard lower bound on a kernel's execution time: the roofline evaluated
 /// at *datasheet* peaks — full boost clock, no efficiency derating, no
 /// launch overhead. No contention model, DVFS governor, or efficiency
@@ -332,6 +376,33 @@ mod tests {
                         "lower bound {lb} exceeds isolated {iso} for {k:?} on {}",
                         sku.name
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_isolated_durations_match_the_per_kernel_sum_exactly() {
+        let kernels = [
+            big_gemm(),
+            KernelKind::gemm(128, 512, 256),
+            KernelKind::Elementwise {
+                elems: 1 << 24,
+                flops_per_elem: 1,
+                streams: 2,
+            },
+            KernelKind::LayerNorm { elems: 1 << 20 },
+        ];
+        for sku in [GpuSku::a100(), GpuSku::h100(), GpuSku::mi210()] {
+            for path in [Datapath::Vector, Datapath::TensorCore] {
+                for freq in [1.0, 0.65] {
+                    let batched =
+                        isolated_total_duration(&kernels, &sku, Precision::Fp16, path, freq);
+                    let summed: f64 = kernels
+                        .iter()
+                        .map(|k| isolated_duration(k, &sku, Precision::Fp16, path, freq))
+                        .sum();
+                    assert_eq!(batched, summed, "{} {path:?} {freq}", sku.name);
                 }
             }
         }

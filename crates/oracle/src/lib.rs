@@ -37,5 +37,6 @@ pub use metamorphic::{
     check_resilience_grid_cell, check_resilience_relations, RelationOutcome,
 };
 pub use oracles::{
-    check_cell, check_comm_op, check_kernel, Divergence, DivergenceReport, Tolerance,
+    check_cell, check_comm_op, check_fastpath_equivalence, check_kernel, Divergence,
+    DivergenceReport, Tolerance,
 };

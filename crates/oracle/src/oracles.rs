@@ -661,6 +661,181 @@ fn check_report(
     Ok(())
 }
 
+/// Pillar D: differential check of the analytic fast path against the
+/// event loop on the two fast-path-eligible execution shapes of a cell —
+/// the sequential schedule on the contended machine and the overlapped
+/// schedule on the uncontended (ideal) machine.
+///
+/// [`execute`](olab_core::execute) routes eligible cells through the
+/// closed form while [`execute_event_loop`](olab_core::execute_event_loop)
+/// always runs the reference engine; every quantity the figures consume —
+/// makespan, per-GPU stream and co-activity times, energy, average and
+/// peak power — must agree within [`Tolerance::BAND`] (the two paths
+/// accumulate floating-point roundoff in different orders). The fast
+/// trace additionally has to satisfy the same structural invariants
+/// ([`verify_trace`]) as an engine trace.
+///
+/// The check is path-agnostic by design: if the fast path declines a cell
+/// (or is disabled process-wide) both runs take the event loop and the
+/// comparison is trivially clean, so callers that want to *prove* the fast
+/// path fired must additionally watch
+/// [`fast_runs`](olab_core::fastpath::fast_runs).
+///
+/// # Errors
+///
+/// Propagates [`ExperimentError`] from validation or timeline
+/// construction; out-of-memory cells are the caller's to skip.
+pub fn check_fastpath_equivalence(exp: &Experiment) -> Result<DivergenceReport, ExperimentError> {
+    let policy = exp.validate()?;
+    let machine = exp.machine();
+    let mut report = DivergenceReport::new(format!("fastpath {}", exp.label()));
+
+    let sequential_w = exp.timeline(ExecutionMode::Sequential, policy)?;
+    compare_paths(&mut report, "sequential/contended", &sequential_w, &machine)?;
+    let overlapped_w = exp.timeline(ExecutionMode::Overlapped, policy)?;
+    compare_paths(
+        &mut report,
+        "overlapped/uncontended",
+        &overlapped_w,
+        &machine.uncontended(),
+    )?;
+    Ok(report)
+}
+
+fn compare_paths(
+    report: &mut DivergenceReport,
+    tag: &str,
+    workload: &olab_sim::Workload<Op>,
+    machine: &olab_core::Machine,
+) -> Result<(), ExperimentError> {
+    let fast = olab_core::execute(workload, machine)?;
+    let reference = olab_core::execute_event_loop(workload, machine)?;
+
+    for v in verify_trace(workload, &fast.trace) {
+        report.violation(format!("{tag} (routed): {v}"));
+    }
+
+    report.compare(
+        &format!("{tag} makespan"),
+        fast.e2e_s,
+        reference.e2e_s,
+        Tolerance::BAND,
+    );
+    for (g, (f, r)) in fast.gpus.iter().zip(&reference.gpus).enumerate() {
+        report.compare(
+            &format!("{tag} gpu{g} compute_s"),
+            f.compute_s,
+            r.compute_s,
+            Tolerance::BAND,
+        );
+        report.compare(
+            &format!("{tag} gpu{g} comm_s"),
+            f.comm_s,
+            r.comm_s,
+            Tolerance::BAND,
+        );
+        report.compare(
+            &format!("{tag} gpu{g} overlapped_compute_s"),
+            f.overlapped_compute_s,
+            r.overlapped_compute_s,
+            Tolerance::BAND,
+        );
+        report.compare(
+            &format!("{tag} gpu{g} hidden_comm_s"),
+            f.hidden_comm_s,
+            r.hidden_comm_s,
+            Tolerance::BAND,
+        );
+        report.compare(
+            &format!("{tag} gpu{g} energy_j"),
+            f.power.energy_j(),
+            r.power.energy_j(),
+            Tolerance::BAND,
+        );
+        report.compare(
+            &format!("{tag} gpu{g} avg power"),
+            f.power.average(),
+            r.power.average(),
+            Tolerance::BAND,
+        );
+        report.compare(
+            &format!("{tag} gpu{g} peak power"),
+            f.power.peak_instantaneous(),
+            r.power.peak_instantaneous(),
+            Tolerance::BAND,
+        );
+        report.compare(
+            &format!("{tag} gpu{g} overlap window count"),
+            f.overlap_windows.len() as f64,
+            r.overlap_windows.len() as f64,
+            Tolerance::TIGHT,
+        );
+    }
+
+    // Third leg: the scalar-only lean executor, which the fast path serves
+    // without materializing a trace, must agree with the reduction of the
+    // reference result quantity by quantity.
+    let lean = olab_core::execute_lean(workload, machine)?;
+    let lean_ref = olab_core::LeanRun::summarize(&reference);
+    report.compare(
+        &format!("{tag} lean makespan"),
+        lean.e2e_s,
+        lean_ref.e2e_s,
+        Tolerance::BAND,
+    );
+    for (g, (f, r)) in lean.gpus.iter().zip(&lean_ref.gpus).enumerate() {
+        report.compare(
+            &format!("{tag} lean gpu{g} compute_s"),
+            f.compute_s,
+            r.compute_s,
+            Tolerance::BAND,
+        );
+        report.compare(
+            &format!("{tag} lean gpu{g} comm_s"),
+            f.comm_s,
+            r.comm_s,
+            Tolerance::BAND,
+        );
+        report.compare(
+            &format!("{tag} lean gpu{g} overlapped_compute_s"),
+            f.overlapped_compute_s,
+            r.overlapped_compute_s,
+            Tolerance::BAND,
+        );
+        report.compare(
+            &format!("{tag} lean gpu{g} hidden_comm_s"),
+            f.hidden_comm_s,
+            r.hidden_comm_s,
+            Tolerance::BAND,
+        );
+        report.compare(
+            &format!("{tag} lean gpu{g} energy_j"),
+            f.energy_j,
+            r.energy_j,
+            Tolerance::BAND,
+        );
+        report.compare(
+            &format!("{tag} lean gpu{g} avg power"),
+            f.average_power_w,
+            r.average_power_w,
+            Tolerance::BAND,
+        );
+        report.compare(
+            &format!("{tag} lean gpu{g} peak power"),
+            f.peak_power_w,
+            r.peak_power_w,
+            Tolerance::BAND,
+        );
+        report.compare(
+            &format!("{tag} lean gpu{g} overlap window count"),
+            f.overlap_windows as f64,
+            r.overlap_windows as f64,
+            Tolerance::TIGHT,
+        );
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,7 +5,7 @@ use olab_gpu::{Datapath, KernelKind, Precision};
 use std::fmt;
 
 /// A compute kernel launch with its numeric configuration.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ComputeOp {
     /// The kernel.
     pub kernel: KernelKind,

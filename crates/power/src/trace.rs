@@ -12,6 +12,45 @@ pub struct PowerSample {
     pub watts: f64,
 }
 
+/// One-pass summary of a piecewise-constant power trace.
+///
+/// Computing average, peak, and energy separately walks the segment list
+/// three times (and [`PowerTrace::from_segments`] copies it first); this
+/// struct folds all of them in a single pass directly over the engine's
+/// segments. Each field matches the corresponding [`PowerTrace`] accessor
+/// bit-for-bit: the accumulation order is identical.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PowerStats {
+    /// Time-weighted average draw, watts (0 for an empty trace).
+    pub average_w: f64,
+    /// True instantaneous peak draw, watts.
+    pub peak_w: f64,
+    /// Total energy, joules.
+    pub energy_j: f64,
+    /// End of the trace, seconds.
+    pub duration_s: f64,
+}
+
+impl PowerStats {
+    /// Summarizes engine power segments in one pass without copying them.
+    pub fn from_segments(segments: &[PowerSegment]) -> Self {
+        let (mut energy, mut span, mut peak) = (0.0f64, 0.0f64, 0.0f64);
+        for seg in segments {
+            let t0 = seg.window.start.as_secs();
+            let t1 = seg.window.end.as_secs();
+            energy += seg.watts * (t1 - t0);
+            span += t1 - t0;
+            peak = peak.max(seg.watts);
+        }
+        PowerStats {
+            average_w: if span > 0.0 { energy / span } else { 0.0 },
+            peak_w: peak,
+            energy_j: energy,
+            duration_s: segments.last().map_or(0.0, |s| s.window.end.as_secs()),
+        }
+    }
+}
+
 /// An exact piecewise-constant power trace for one device.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct PowerTrace {
@@ -56,6 +95,23 @@ impl PowerTrace {
     /// Total energy, joules.
     pub fn energy_j(&self) -> f64 {
         self.segments.iter().map(|(t0, t1, w)| w * (t1 - t0)).sum()
+    }
+
+    /// One-pass summary: average, peak, energy, and duration together,
+    /// matching the individual accessors bit-for-bit.
+    pub fn stats(&self) -> PowerStats {
+        let (mut energy, mut span, mut peak) = (0.0f64, 0.0f64, 0.0f64);
+        for (t0, t1, w) in &self.segments {
+            energy += w * (t1 - t0);
+            span += t1 - t0;
+            peak = peak.max(*w);
+        }
+        PowerStats {
+            average_w: if span > 0.0 { energy / span } else { 0.0 },
+            peak_w: peak,
+            energy_j: energy,
+            duration_s: self.duration_s(),
+        }
     }
 
     /// Average draw over `[a, b)`, watts (0 if the interval is empty).

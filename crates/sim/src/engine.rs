@@ -4,7 +4,7 @@ use crate::obs::{EngineObserver, GpuCounters, NullObserver};
 use crate::rate::{RateModel, RunningTask};
 use crate::trace::{GpuActivity, PowerSegment, SimTrace, TaskRecord, Window};
 use crate::{SimError, SimTime, StreamKind, TaskId, Workload};
-use std::collections::VecDeque;
+use std::cell::RefCell;
 
 /// Work fractions below this are considered complete (guards rounding).
 const REMAINING_TOLERANCE: f64 = 1e-12;
@@ -14,6 +14,146 @@ enum Status {
     Pending,
     Running,
     Done,
+}
+
+/// Reusable per-run scratch memory for the engine.
+///
+/// A cell simulation used to allocate a dozen vectors (dependency lists,
+/// one `VecDeque` per device stream, status/progress arrays, per-epoch
+/// scratch) and drop them all at the end of the run. An arena keeps those
+/// buffers alive between runs: [`SimArena::reset`] rewinds lengths without
+/// releasing capacity, so a steady-state sweep performs no per-cell
+/// allocations for engine bookkeeping at all (the returned [`SimTrace`]
+/// still owns its records).
+///
+/// The dependency graph and the per-(device, stream) FIFO queues are stored
+/// in CSR form (offset table + one flat array); queue contents never change
+/// during a run — only a head cursor advances — so "pop front" is an index
+/// increment instead of a `VecDeque` rotation.
+///
+/// [`Engine::run`] and [`Engine::run_observed`] draw an arena from a
+/// thread-local pool automatically; [`Engine::run_in`] takes an explicit
+/// arena for callers (benchmarks, allocation tests) that want to control
+/// reuse.
+#[derive(Debug, Default)]
+pub struct SimArena {
+    /// Unsatisfied dependency count per task.
+    deps_left: Vec<u32>,
+    /// CSR offsets into `dep_edges`: task `i`'s dependents occupy
+    /// `dep_edges[dep_off[i]..dep_off[i + 1]]`.
+    dep_off: Vec<u32>,
+    dep_edges: Vec<TaskId>,
+    /// Fill cursors while building `dep_edges` (dead after setup).
+    dep_cursor: Vec<u32>,
+    /// CSR offsets into `queue_tasks`: queue `q` occupies
+    /// `queue_tasks[queue_off[q]..queue_off[q + 1]]` in push order.
+    queue_off: Vec<u32>,
+    queue_tasks: Vec<TaskId>,
+    /// Absolute index of each queue's current head in `queue_tasks`.
+    queue_head: Vec<u32>,
+    status: Vec<Status>,
+    remaining: Vec<f64>,
+    start: Vec<SimTime>,
+    end: Vec<SimTime>,
+    coactive: Vec<SimTime>,
+    running: Vec<TaskId>,
+    rates: Vec<f64>,
+    power: Vec<f64>,
+    counters: Vec<GpuCounters>,
+    stream_busy: Vec<[bool; 2]>,
+}
+
+impl SimArena {
+    /// An empty arena; buffers grow on first use and persist afterwards.
+    pub fn new() -> Self {
+        SimArena::default()
+    }
+
+    /// Rewinds every buffer for a workload of `n` tasks on `n_gpus`
+    /// devices, building the CSR dependency and queue tables. Capacity from
+    /// earlier runs is retained.
+    fn reset<P>(&mut self, workload: &Workload<P>) {
+        let n = workload.len();
+        let n_gpus = workload.n_gpus();
+        let n_queues = n_gpus * 2;
+        let tasks = workload.tasks();
+
+        self.deps_left.clear();
+        self.deps_left.resize(n, 0);
+        self.dep_off.clear();
+        self.dep_off.resize(n + 1, 0);
+        for (i, task) in tasks.iter().enumerate() {
+            self.deps_left[i] = task.deps.len() as u32;
+            for dep in &task.deps {
+                self.dep_off[dep.index() + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            self.dep_off[i + 1] += self.dep_off[i];
+        }
+        self.dep_cursor.clear();
+        self.dep_cursor.extend_from_slice(&self.dep_off[..n]);
+        self.dep_edges.clear();
+        self.dep_edges.resize(self.dep_off[n] as usize, TaskId(0));
+        for (i, task) in tasks.iter().enumerate() {
+            for dep in &task.deps {
+                let slot = &mut self.dep_cursor[dep.index()];
+                self.dep_edges[*slot as usize] = TaskId(i as u32);
+                *slot += 1;
+            }
+        }
+
+        self.queue_off.clear();
+        self.queue_off.resize(n_queues + 1, 0);
+        for task in tasks {
+            for gpu in &task.participants {
+                self.queue_off[gpu.index() * 2 + task.stream.index() + 1] += 1;
+            }
+        }
+        for q in 0..n_queues {
+            self.queue_off[q + 1] += self.queue_off[q];
+        }
+        self.queue_head.clear();
+        self.queue_head
+            .extend_from_slice(&self.queue_off[..n_queues]);
+        let mut cursor = std::mem::take(&mut self.dep_cursor);
+        cursor.clear();
+        cursor.extend_from_slice(&self.queue_off[..n_queues]);
+        self.queue_tasks.clear();
+        self.queue_tasks
+            .resize(self.queue_off[n_queues] as usize, TaskId(0));
+        for (i, task) in tasks.iter().enumerate() {
+            for gpu in &task.participants {
+                let q = gpu.index() * 2 + task.stream.index();
+                self.queue_tasks[cursor[q] as usize] = TaskId(i as u32);
+                cursor[q] += 1;
+            }
+        }
+        self.dep_cursor = cursor;
+
+        self.status.clear();
+        self.status.resize(n, Status::Pending);
+        self.remaining.clear();
+        self.remaining.resize(n, 1.0);
+        self.start.clear();
+        self.start.resize(n, SimTime::ZERO);
+        self.end.clear();
+        self.end.resize(n, SimTime::ZERO);
+        self.coactive.clear();
+        self.coactive.resize(n, SimTime::ZERO);
+        self.running.clear();
+        self.rates.clear();
+        self.power.clear();
+        self.counters.clear();
+        self.stream_busy.clear();
+        self.stream_busy.resize(n_gpus, [false; 2]);
+    }
+}
+
+thread_local! {
+    /// Per-thread arena backing [`Engine::run`] / [`Engine::run_observed`],
+    /// so back-to-back cells on one worker reuse the same buffers.
+    static SCRATCH: RefCell<SimArena> = RefCell::new(SimArena::new());
 }
 
 /// Executes a [`Workload`] under a [`RateModel`].
@@ -53,6 +193,23 @@ impl<M: RateModel> Engine<M> {
         self.run_observed(workload, &mut NullObserver)
     }
 
+    /// Runs the workload to completion using an explicit [`SimArena`].
+    ///
+    /// Identical to [`run`](Engine::run) except the caller controls scratch
+    /// reuse — benchmarks and allocation tests use this to compare cold
+    /// (fresh arena each run) against warm (one arena across runs) cost.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Engine::run).
+    pub fn run_in(
+        &mut self,
+        workload: &Workload<M::Payload>,
+        arena: &mut SimArena,
+    ) -> Result<SimTrace, SimError> {
+        self.run_observed_in(workload, &mut NullObserver, arena)
+    }
+
     /// Runs the workload to completion, driving `obs` through every task
     /// start/end and epoch (see [`EngineObserver`]).
     ///
@@ -68,42 +225,60 @@ impl<M: RateModel> Engine<M> {
         workload: &Workload<M::Payload>,
         obs: &mut O,
     ) -> Result<SimTrace, SimError> {
+        SCRATCH.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut arena) => self.run_observed_in(workload, obs, &mut arena),
+            // A rate model or observer that itself runs an engine would find
+            // the thread-local arena busy; give the nested run a fresh one.
+            Err(_) => self.run_observed_in(workload, obs, &mut SimArena::new()),
+        })
+    }
+
+    /// [`run_observed`](Engine::run_observed) with an explicit [`SimArena`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Engine::run).
+    pub fn run_observed_in<O: EngineObserver>(
+        &mut self,
+        workload: &Workload<M::Payload>,
+        obs: &mut O,
+        arena: &mut SimArena,
+    ) -> Result<SimTrace, SimError> {
         workload.validate()?;
 
         let n = workload.len();
         let n_gpus = workload.n_gpus();
         let n_queues = n_gpus * 2;
+        let tasks = workload.tasks();
 
-        let mut deps_left = vec![0usize; n];
-        let mut dependents: Vec<Vec<TaskId>> = vec![Vec::new(); n];
-        for (i, task) in workload.tasks().iter().enumerate() {
-            deps_left[i] = task.deps.len();
-            for dep in &task.deps {
-                dependents[dep.index()].push(TaskId(i as u32));
-            }
-        }
+        arena.reset(workload);
+        let SimArena {
+            deps_left,
+            dep_off,
+            dep_edges,
+            queue_off,
+            queue_tasks,
+            queue_head,
+            status,
+            remaining,
+            start,
+            end,
+            coactive,
+            running,
+            rates,
+            power,
+            counters,
+            stream_busy,
+            ..
+        } = arena;
 
-        let mut queues: Vec<VecDeque<TaskId>> = vec![VecDeque::new(); n_queues];
-        for (i, task) in workload.tasks().iter().enumerate() {
-            for gpu in &task.participants {
-                queues[gpu.index() * 2 + task.stream.index()].push_back(TaskId(i as u32));
-            }
-        }
-
-        let mut status = vec![Status::Pending; n];
-        let mut remaining = vec![1.0f64; n];
-        let mut start = vec![SimTime::ZERO; n];
-        let mut end = vec![SimTime::ZERO; n];
-        let mut coactive = vec![SimTime::ZERO; n];
-        let mut running: Vec<TaskId> = Vec::new();
         let mut gpus: Vec<GpuActivity> = vec![GpuActivity::default(); n_gpus];
+        // Task views borrow the workload, so they cannot live in the arena;
+        // one allocation per run, cleared and rebuilt each epoch.
+        let mut views: Vec<RunningTask<'_, M::Payload>> = Vec::with_capacity(n);
 
         let mut now = SimTime::ZERO;
         let mut done = 0usize;
-
-        let mut rates: Vec<f64> = Vec::new();
-        let mut power: Vec<f64> = Vec::new();
-        let mut counters: Vec<GpuCounters> = Vec::new();
 
         while done < n {
             // Promote every task that is at the head of all its queues with
@@ -112,15 +287,19 @@ impl<M: RateModel> Engine<M> {
             while promoted {
                 promoted = false;
                 for q in 0..n_queues {
-                    let Some(&head) = queues[q].front() else {
+                    let head_at = queue_head[q];
+                    if head_at >= queue_off[q + 1] {
                         continue;
-                    };
+                    }
+                    let head = queue_tasks[head_at as usize];
                     if status[head.index()] != Status::Pending || deps_left[head.index()] != 0 {
                         continue;
                     }
-                    let spec = &workload.tasks()[head.index()];
+                    let spec = &tasks[head.index()];
                     let ready = spec.participants.iter().all(|g| {
-                        queues[g.index() * 2 + spec.stream.index()].front() == Some(&head)
+                        let pq = g.index() * 2 + spec.stream.index();
+                        let at = queue_head[pq];
+                        at < queue_off[pq + 1] && queue_tasks[at as usize] == head
                     });
                     if ready {
                         status[head.index()] = Status::Running;
@@ -150,26 +329,24 @@ impl<M: RateModel> Engine<M> {
             }
 
             // Ask the model for rates and power.
-            let views: Vec<RunningTask<'_, M::Payload>> = running
-                .iter()
-                .map(|&id| {
-                    let spec = &workload.tasks()[id.index()];
-                    RunningTask {
-                        id,
-                        label: &spec.label,
-                        participants: &spec.participants,
-                        stream: spec.stream,
-                        remaining: remaining[id.index()],
-                        payload: &spec.payload,
-                    }
-                })
-                .collect();
+            views.clear();
+            views.extend(running.iter().map(|&id| {
+                let spec = &tasks[id.index()];
+                RunningTask {
+                    id,
+                    label: &spec.label,
+                    participants: &spec.participants,
+                    stream: spec.stream,
+                    remaining: remaining[id.index()],
+                    payload: &spec.payload,
+                }
+            }));
             rates.clear();
             rates.resize(running.len(), 0.0);
             power.clear();
             power.resize(n_gpus, 0.0);
             self.model
-                .assign_rates_at(now.as_secs(), &views, &mut rates, &mut power);
+                .assign_rates_at(now.as_secs(), &views, rates, power);
 
             for (i, &rate) in rates.iter().enumerate() {
                 if !(rate.is_finite() && rate > 0.0) {
@@ -214,9 +391,11 @@ impl<M: RateModel> Engine<M> {
             }
 
             // Per-device stream occupancy during this epoch.
-            let mut stream_busy = vec![[false; 2]; n_gpus];
-            for &id in &running {
-                let spec = &workload.tasks()[id.index()];
+            for busy in stream_busy.iter_mut() {
+                *busy = [false; 2];
+            }
+            for &id in running.iter() {
+                let spec = &tasks[id.index()];
                 for gpu in &spec.participants {
                     stream_busy[gpu.index()][spec.stream.index()] = true;
                 }
@@ -232,7 +411,7 @@ impl<M: RateModel> Engine<M> {
                     c.power_w = watts;
                     counters.push(c);
                 }
-                obs.on_epoch(now.as_secs(), epoch_end.as_secs(), &counters);
+                obs.on_epoch(now.as_secs(), epoch_end.as_secs(), counters);
             }
 
             for (g, busy) in stream_busy.iter().enumerate() {
@@ -248,7 +427,7 @@ impl<M: RateModel> Engine<M> {
             }
 
             for (i, &id) in running.iter().enumerate() {
-                let spec = &workload.tasks()[id.index()];
+                let spec = &tasks[id.index()];
                 let other_busy = spec
                     .participants
                     .iter()
@@ -264,41 +443,42 @@ impl<M: RateModel> Engine<M> {
 
             now = epoch_end;
 
-            // Retire completed tasks.
-            let mut still_running = Vec::with_capacity(running.len());
-            for &id in &running {
-                if remaining[id.index()] <= REMAINING_TOLERANCE {
-                    status[id.index()] = Status::Done;
-                    end[id.index()] = now;
-                    done += 1;
-                    let spec = &workload.tasks()[id.index()];
-                    if O::ENABLED {
-                        obs.on_task_end(
-                            now.as_secs(),
-                            id,
-                            &spec.label,
-                            &spec.participants,
-                            spec.stream,
-                        );
-                    }
-                    for gpu in &spec.participants {
-                        let q = &mut queues[gpu.index() * 2 + spec.stream.index()];
-                        debug_assert_eq!(q.front(), Some(&id));
-                        q.pop_front();
-                    }
-                    for dep in &dependents[id.index()] {
-                        deps_left[dep.index()] -= 1;
-                    }
-                } else {
-                    still_running.push(id);
+            // Retire completed tasks in place (`retain` visits in order and
+            // compacts without allocating).
+            running.retain(|&id| {
+                if remaining[id.index()] > REMAINING_TOLERANCE {
+                    return true;
                 }
-            }
-            running = still_running;
+                status[id.index()] = Status::Done;
+                end[id.index()] = now;
+                done += 1;
+                let spec = &tasks[id.index()];
+                if O::ENABLED {
+                    obs.on_task_end(
+                        now.as_secs(),
+                        id,
+                        &spec.label,
+                        &spec.participants,
+                        spec.stream,
+                    );
+                }
+                for gpu in &spec.participants {
+                    let q = gpu.index() * 2 + spec.stream.index();
+                    debug_assert_eq!(queue_tasks[queue_head[q] as usize], id);
+                    queue_head[q] += 1;
+                }
+                let lo = dep_off[id.index()] as usize;
+                let hi = dep_off[id.index() + 1] as usize;
+                for dep in &dep_edges[lo..hi] {
+                    deps_left[dep.index()] -= 1;
+                }
+                false
+            });
         }
 
         let records = (0..n)
             .map(|i| {
-                let spec = &workload.tasks()[i];
+                let spec = &tasks[i];
                 TaskRecord {
                     id: TaskId(i as u32),
                     label: spec.label.clone(),

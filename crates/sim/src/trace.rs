@@ -120,6 +120,16 @@ impl SimTrace {
         }
     }
 
+    /// Assembles a trace from externally computed parts.
+    ///
+    /// This exists for analytic schedulers that derive the same quantities
+    /// the engine would record without running the event loop; the result is
+    /// indistinguishable from an engine-produced trace and should satisfy
+    /// [`verify_trace`](crate::verify::verify_trace) for the same workload.
+    pub fn from_parts(records: Vec<TaskRecord>, gpus: Vec<GpuActivity>, makespan: SimTime) -> Self {
+        SimTrace::new(records, gpus, makespan)
+    }
+
     /// Completion records in task-id order.
     pub fn records(&self) -> &[TaskRecord] {
         &self.records
