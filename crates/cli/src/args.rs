@@ -110,6 +110,15 @@ pub struct SweepArgs {
     /// Counter sampling cadence for artifacts, ms of simulated time
     /// (`--sample-ms X`).
     pub sample_ms: f64,
+    /// Per-cell wall-clock deadline, seconds (`--cell-timeout-s X`).
+    /// `None` defers to `OLAB_CELL_TIMEOUT_S` or no deadline.
+    pub cell_timeout_s: Option<f64>,
+    /// Per-cell retry budget for transient failures (`--retries N`).
+    /// `None` defers to `OLAB_RETRIES` or no retries.
+    pub retries: Option<u32>,
+    /// Disk-cache byte cap with deterministic eviction
+    /// (`--cache-max-bytes N`); requires a disk cache.
+    pub cache_max_bytes: Option<u64>,
 }
 
 impl Default for SweepArgs {
@@ -121,6 +130,9 @@ impl Default for SweepArgs {
             observe: false,
             out_dir: None,
             sample_ms: 100.0,
+            cell_timeout_s: None,
+            retries: None,
+            cache_max_bytes: None,
         }
     }
 }
@@ -148,6 +160,16 @@ pub struct FaultsArgs {
     /// (`--recovery failfast|ckpt|elastic`; `--ckpt-interval-s X` pins the
     /// checkpoint interval). `None` keeps the plain fault scorecard.
     pub recovery: Option<olab_resilience::RecoveryPolicy>,
+    /// Persistent result-cache directory (`--cache DIR`). `None` defers
+    /// to `OLAB_CACHE_DIR` or memory-only caching.
+    pub cache: Option<String>,
+    /// Per-cell wall-clock deadline, seconds (`--cell-timeout-s X`).
+    pub cell_timeout_s: Option<f64>,
+    /// Per-cell retry budget for transient failures (`--retries N`).
+    pub retries: Option<u32>,
+    /// Disk-cache byte cap with deterministic eviction
+    /// (`--cache-max-bytes N`); requires a disk cache.
+    pub cache_max_bytes: Option<u64>,
 }
 
 impl Default for FaultsArgs {
@@ -161,6 +183,10 @@ impl Default for FaultsArgs {
             out_dir: None,
             sample_ms: 100.0,
             recovery: None,
+            cache: None,
+            cell_timeout_s: None,
+            retries: None,
+            cache_max_bytes: None,
         }
     }
 }
@@ -207,6 +233,11 @@ pub struct ObserveArgs {
     /// Abort on watchdog exhaustion instead of degrading
     /// (`--action degrade|abort`).
     pub abort: bool,
+    /// Wall-clock deadline for the observed run, seconds
+    /// (`--cell-timeout-s X`).
+    pub cell_timeout_s: Option<f64>,
+    /// Retry budget for the observed run (`--retries N`).
+    pub retries: Option<u32>,
 }
 
 impl Default for ObserveArgs {
@@ -219,6 +250,8 @@ impl Default for ObserveArgs {
             fault_seed: None,
             severity: olab_faults::Severity::Moderate,
             abort: false,
+            cell_timeout_s: None,
+            retries: None,
         }
     }
 }
@@ -412,11 +445,13 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         "list" => {
             reject_observe("list", observe)?;
             reject_recovery("list", &pairs)?;
+            reject_guard("list", &pairs)?;
             Ok(Command::List)
         }
         "run" => {
             reject_observe("run", observe)?;
             reject_recovery("run", &pairs)?;
+            reject_guard("run", &pairs)?;
             let (mut args, rest) = parse_run_args(&pairs)?;
             args.csv = csv;
             reject_unknown(&rest)?;
@@ -444,15 +479,20 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     "--cache" => sweep.cache = Some(value.to_string()),
                     "--out-dir" => sweep.out_dir = Some(value.to_string()),
                     "--sample-ms" => sweep.sample_ms = positive_ms(flag, value)?,
+                    "--cell-timeout-s" => sweep.cell_timeout_s = Some(positive_secs(flag, value)?),
+                    "--retries" => sweep.retries = Some(num(flag, value)?),
+                    "--cache-max-bytes" => sweep.cache_max_bytes = Some(num(flag, value)?),
                     _ => unknown.push((flag, value)),
                 }
             }
             reject_unknown(&unknown)?;
+            require_cache_for_cap(sweep.cache_max_bytes, &sweep.cache)?;
             Ok(Command::Sweep(args, sweep))
         }
         "trace" => {
             reject_observe("trace", observe)?;
             reject_recovery("trace", &pairs)?;
+            reject_guard("trace", &pairs)?;
             let (mut args, rest) = parse_run_args(&pairs)?;
             args.csv = csv;
             let mut interval = 1.0;
@@ -470,6 +510,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         "chrome" => {
             reject_observe("chrome", observe)?;
             reject_recovery("chrome", &pairs)?;
+            reject_guard("chrome", &pairs)?;
             let (mut args, rest) = parse_run_args(&pairs)?;
             args.csv = csv;
             reject_unknown(&rest)?;
@@ -501,16 +542,22 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     "--sample-ms" => faults.sample_ms = positive_ms(flag, value)?,
                     "--recovery" => recovery = Some(value),
                     "--ckpt-interval-s" => ckpt_interval_s = Some(positive_secs(flag, value)?),
+                    "--cache" => faults.cache = Some(value.to_string()),
+                    "--cell-timeout-s" => faults.cell_timeout_s = Some(positive_secs(flag, value)?),
+                    "--retries" => faults.retries = Some(num(flag, value)?),
+                    "--cache-max-bytes" => faults.cache_max_bytes = Some(num(flag, value)?),
                     _ => unknown.push((flag, value)),
                 }
             }
             reject_unknown(&unknown)?;
             faults.recovery = parse_recovery(recovery, ckpt_interval_s)?;
+            require_cache_for_cap(faults.cache_max_bytes, &faults.cache)?;
             Ok(Command::Faults(args, faults))
         }
         "resilience" => {
             reject_observe("resilience", observe)?;
             reject_recovery("resilience", &pairs)?;
+            reject_guard("resilience", &pairs)?;
             let (mut args, rest) = parse_run_args(&pairs)?;
             args.csv = csv;
             let mut res = ResilienceArgs::default();
@@ -565,6 +612,15 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                         obs.severity = *one;
                     }
                     "--action" => obs.abort = parse_action(value)?,
+                    "--cell-timeout-s" => obs.cell_timeout_s = Some(positive_secs(flag, value)?),
+                    "--retries" => obs.retries = Some(num(flag, value)?),
+                    "--cache-max-bytes" => {
+                        return Err(CliError(
+                            "--cache-max-bytes is not supported by 'observe' \
+                             (the cap applies to sweep/faults disk caches)"
+                                .to_string(),
+                        ))
+                    }
                     _ => unknown.push((flag, value)),
                 }
             }
@@ -574,6 +630,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         "tune" => {
             reject_observe("tune", observe)?;
             reject_recovery("tune", &pairs)?;
+            reject_guard("tune", &pairs)?;
             let (mut args, rest) = parse_run_args(&pairs)?;
             args.csv = csv;
             let mut objective = Objective::Latency;
@@ -613,6 +670,34 @@ fn parse_action(value: &str) -> Result<bool, CliError> {
         other => Err(CliError(format!(
             "unknown action '{other}' (expected degrade|abort)"
         ))),
+    }
+}
+
+/// Guard/cache-hardening flags only make sense where a grid engine runs
+/// (sweep, faults) or a guarded single cell does (observe).
+fn reject_guard(sub: &str, pairs: &[(&str, &str)]) -> Result<(), CliError> {
+    for &(flag, _) in pairs {
+        if flag == "--cell-timeout-s" || flag == "--retries" || flag == "--cache-max-bytes" {
+            return Err(CliError(format!(
+                "{flag} is not supported by '{sub}' (use sweep, faults, or observe)"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// A disk-cache byte cap with nothing on disk to cap is a configuration
+/// mistake, not a no-op: `--cache-max-bytes` requires `--cache DIR` or
+/// `OLAB_CACHE_DIR`.
+fn require_cache_for_cap(cap: Option<u64>, cache: &Option<String>) -> Result<(), CliError> {
+    if cap.is_none() || cache.is_some() {
+        return Ok(());
+    }
+    match std::env::var("OLAB_CACHE_DIR") {
+        Ok(dir) if !dir.is_empty() => Ok(()),
+        _ => Err(CliError(
+            "--cache-max-bytes requires a disk cache (--cache DIR or OLAB_CACHE_DIR)".to_string(),
+        )),
     }
 }
 
@@ -854,6 +939,77 @@ mod tests {
             let err = parse(&argv(&format!("{sub} --observe"))).unwrap_err();
             assert!(err.0.contains("--observe"), "{sub}: {err}");
         }
+    }
+
+    #[test]
+    fn sweep_and_faults_parse_guard_and_cap_flags() {
+        let cmd = parse(&argv(
+            "sweep --cache /tmp/olab-c --cell-timeout-s 2.5 --retries 3 --cache-max-bytes 1048576",
+        ))
+        .unwrap();
+        let Command::Sweep(_, sweep) = cmd else {
+            panic!("expected sweep");
+        };
+        assert_eq!(sweep.cell_timeout_s, Some(2.5));
+        assert_eq!(sweep.retries, Some(3));
+        assert_eq!(sweep.cache_max_bytes, Some(1_048_576));
+
+        let cmd = parse(&argv(
+            "faults --cache /tmp/olab-c --cell-timeout-s 1.5 --retries 2 --cache-max-bytes 4096",
+        ))
+        .unwrap();
+        let Command::Faults(_, faults) = cmd else {
+            panic!("expected faults");
+        };
+        assert_eq!(faults.cache.as_deref(), Some("/tmp/olab-c"));
+        assert_eq!(faults.cell_timeout_s, Some(1.5));
+        assert_eq!(faults.retries, Some(2));
+        assert_eq!(faults.cache_max_bytes, Some(4096));
+
+        let cmd = parse(&argv("observe --cell-timeout-s 4 --retries 1")).unwrap();
+        let Command::Observe(_, obs) = cmd else {
+            panic!("expected observe");
+        };
+        assert_eq!(obs.cell_timeout_s, Some(4.0));
+        assert_eq!(obs.retries, Some(1));
+    }
+
+    #[test]
+    fn guard_flags_reject_bad_values() {
+        for bad in ["0", "-1", "nan", "soon"] {
+            assert!(
+                parse(&argv(&format!("sweep --cell-timeout-s {bad}"))).is_err(),
+                "{bad}"
+            );
+        }
+        assert!(parse(&argv("sweep --retries -1")).is_err());
+        assert!(parse(&argv("sweep --cache-max-bytes lots")).is_err());
+    }
+
+    #[test]
+    fn cache_cap_requires_a_disk_cache() {
+        // Only meaningful when OLAB_CACHE_DIR is not set in the test
+        // environment (CI runs it clean); with --cache it always parses.
+        if std::env::var("OLAB_CACHE_DIR").map_or(true, |v| v.is_empty()) {
+            let err = parse(&argv("sweep --cache-max-bytes 4096")).unwrap_err();
+            assert!(err.0.contains("--cache-max-bytes requires"), "{err}");
+            let err = parse(&argv("faults --cache-max-bytes 4096")).unwrap_err();
+            assert!(err.0.contains("--cache-max-bytes requires"), "{err}");
+        }
+        assert!(parse(&argv("sweep --cache /tmp/c --cache-max-bytes 4096")).is_ok());
+    }
+
+    #[test]
+    fn guard_flags_are_rejected_on_non_grid_subcommands() {
+        for sub in ["run", "trace", "chrome", "tune", "resilience", "list"] {
+            for flag in ["--cell-timeout-s 2", "--retries 1", "--cache-max-bytes 9"] {
+                let err = parse(&argv(&format!("{sub} {flag}"))).unwrap_err();
+                let name = flag.split_whitespace().next().unwrap();
+                assert!(err.0.contains(name), "{sub} {flag}: {err}");
+            }
+        }
+        let err = parse(&argv("observe --cache-max-bytes 9")).unwrap_err();
+        assert!(err.0.contains("not supported by 'observe'"), "{err}");
     }
 
     #[test]

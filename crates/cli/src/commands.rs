@@ -21,6 +21,8 @@ USAGE:
   olab run   [flags]                           one experiment, full metrics
   olab sweep [flags] --batches 8,16,32         batch sweep table
              [--jobs N] [--cache DIR]          parallel workers, result cache
+             [--cache-max-bytes N]             disk-cache cap, deterministic eviction
+             [--cell-timeout-s X] [--retries N] per-cell deadline and retry budget
              [--observe] [--out-dir DIR]       live progress, per-cell run artifacts
   olab trace [flags] [--interval-ms 1]         sampled power trace (CSV-ish)
   olab tune  [flags] [--objective energy]      adaptive overlap search (FSDP)
@@ -30,12 +32,15 @@ USAGE:
               [--observe] [--out-dir DIR]      live progress, per-cell run artifacts
               [--recovery failfast|ckpt|elastic] recovery scorecard instead of the
               [--ckpt-interval-s X]              fault table (X pins the ckpt interval)
+              [--cache DIR] [--cache-max-bytes N] persistent capped result cache
+              [--cell-timeout-s X] [--retries N] per-cell deadline and retry budget
   olab resilience [flags] [--seeds 3]          three-policy recovery comparison
               [--severity mild|moderate|severe] (fail-fast vs checkpoint vs elastic)
               [--jobs N]
   olab observe [flags] [--cell fig7]           one observed cell, full run artifact
                [--out-dir DIR] [--sample-ms 100] [--jobs N]
                [--fault-seed N] [--severity mild|moderate|severe] [--action degrade|abort]
+               [--cell-timeout-s X] [--retries N] guarded observed run
 
 FLAGS (shared):
   --sku a100|h100|mi210|mi250     --gpus N             --model gpt3-2.7b|...
@@ -136,6 +141,18 @@ pub fn sweep(args: &RunArgs, sweep_args: &SweepArgs) -> Result<String, CliError>
         engine = engine
             .with_disk_cache(dir)
             .map_err(|e| CliError(format!("--cache {dir}: {e}")))?;
+    }
+    // Flags override the OLAB_* environment the engine was seeded from.
+    let mut guard = *engine.guard();
+    if let Some(timeout) = sweep_args.cell_timeout_s {
+        guard.cell_timeout_s = Some(timeout);
+    }
+    if let Some(retries) = sweep_args.retries {
+        guard.retries = retries;
+    }
+    engine = engine.with_guard(guard);
+    if let Some(cap) = sweep_args.cache_max_bytes {
+        engine = engine.with_cache_cap(cap);
     }
 
     let grid: Vec<_> = sweep_args
@@ -268,6 +285,7 @@ pub fn faults(args: &RunArgs, faults_args: &FaultsArgs) -> Result<String, CliErr
     if let Some(jobs) = faults_args.jobs {
         engine = engine.with_jobs(jobs);
     }
+    engine = harden_executor(engine, faults_args)?;
     let sinks = progress_sinks(faults_args.observe, faults_args.out_dir.as_deref())?;
     let outcome = if sinks.is_empty() {
         engine.run(&cells)
@@ -423,6 +441,7 @@ fn faults_with_recovery(
     if let Some(jobs) = faults_args.jobs {
         engine = engine.with_jobs(jobs);
     }
+    engine = harden_executor(engine, faults_args)?;
     let sinks = progress_sinks(faults_args.observe, faults_args.out_dir.as_deref())?;
     let outcome = if sinks.is_empty() {
         engine.run(&cells)
@@ -466,6 +485,32 @@ fn faults_with_recovery(
     } else {
         table.to_markdown()
     })
+}
+
+/// Applies the hardening flags shared by `faults` and
+/// `faults --recovery` to a grid executor: `--cache DIR`,
+/// `--cell-timeout-s`, `--retries`, `--cache-max-bytes`.
+fn harden_executor<V: olab_grid::CacheValue>(
+    mut engine: olab_grid::Executor<V>,
+    faults_args: &FaultsArgs,
+) -> Result<olab_grid::Executor<V>, CliError> {
+    if let Some(dir) = &faults_args.cache {
+        engine = engine
+            .with_disk_cache(dir)
+            .map_err(|e| CliError(format!("--cache {dir}: {e}")))?;
+    }
+    let mut guard = *engine.guard();
+    if let Some(timeout) = faults_args.cell_timeout_s {
+        guard.cell_timeout_s = Some(timeout);
+    }
+    if let Some(retries) = faults_args.retries {
+        guard.retries = retries;
+    }
+    engine = engine.with_guard(guard);
+    if let Some(cap) = faults_args.cache_max_bytes {
+        engine = engine.with_cache_cap(cap);
+    }
+    Ok(engine)
 }
 
 /// `olab resilience`: run every recovery policy against the same fault
@@ -527,8 +572,16 @@ pub fn observe(args: &RunArgs, obs: &ObserveArgs) -> Result<String, CliError> {
         sample_ms: obs.sample_ms,
         jobs: obs.jobs.unwrap_or(1),
     };
-    let artifact = match obs.fault_seed {
-        None => olab_obs::observe_cell(&exp, &cfg)?,
+    // The observed run executes under the same execution guard as sweep
+    // cells: `--cell-timeout-s` bounds it, `--retries` reruns transient
+    // failures, and a panic is reported instead of crashing the CLI.
+    let guard = olab_grid::GuardConfig {
+        cell_timeout_s: obs.cell_timeout_s,
+        retries: obs.retries.unwrap_or(0),
+        ..olab_grid::GuardConfig::default()
+    };
+    let report = olab_grid::guard::run_cell(&guard, |_ctx| match obs.fault_seed {
+        None => olab_obs::observe_cell(&exp, &cfg).map_err(CliError::from),
         Some(seed) => {
             let spec = if obs.abort {
                 FaultScenarioSpec::abort(seed, obs.severity)
@@ -536,8 +589,12 @@ pub fn observe(args: &RunArgs, obs: &ObserveArgs) -> Result<String, CliError> {
                 FaultScenarioSpec::degrade(seed, obs.severity)
             };
             olab_obs::observe_fault_cell(&exp, &spec, &cfg)
-                .map_err(|e| CliError(format!("fault cell failed: {e}")))?
+                .map_err(|e| CliError(format!("fault cell failed: {e}")))
         }
+    });
+    let artifact = match report.result {
+        Ok(run) => run?,
+        Err(failure) => return Err(CliError(format!("observed run failed: {failure}"))),
     };
     match &obs.out_dir {
         Some(dir) => {
@@ -644,6 +701,9 @@ mod tests {
             "--fault-seed",
             "--recovery",
             "--ckpt-interval-s",
+            "--cell-timeout-s",
+            "--retries",
+            "--cache-max-bytes",
         ] {
             assert!(h.contains(flag), "{flag}");
         }
@@ -684,6 +744,27 @@ mod tests {
         };
         let out = sweep(&args, &sweep_args(&[4, 8])).unwrap();
         assert_eq!(out.lines().count(), 4, "header + separator + 2 rows");
+    }
+
+    #[test]
+    fn sweep_with_guard_and_capped_cache_matches_plain_sweep() {
+        let dir = temp_dir("sweep-guarded");
+        let _ = std::fs::remove_dir_all(&dir);
+        let args = RunArgs {
+            seq: 256,
+            ..Default::default()
+        };
+        let mut hardened = sweep_args(&[4, 8]);
+        hardened.cache = Some(dir.display().to_string());
+        hardened.cache_max_bytes = Some(1_000_000);
+        hardened.cell_timeout_s = Some(120.0);
+        hardened.retries = Some(2);
+        assert_eq!(
+            sweep(&args, &hardened).unwrap(),
+            sweep(&args, &sweep_args(&[4, 8])).unwrap(),
+            "guards and a generous cap must not change results"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -997,6 +1078,7 @@ mod tests {
             out_dir: Some(dir.display().to_string()),
             sample_ms: 10.0,
             recovery: Some(olab_resilience::RecoveryPolicy::ElasticContinue),
+            ..Default::default()
         };
         faults(&small_args(), &fa).unwrap();
         let manifest = std::fs::read_to_string(dir.join("cell-000/manifest.json")).unwrap();

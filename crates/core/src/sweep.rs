@@ -14,8 +14,8 @@
 
 use crate::{Experiment, ExperimentError, ExperimentReport, OverlapMetrics};
 use olab_grid::{
-    CacheCounters, CacheValue, Executor, GridJob, ProgressSink, Reader, SweepRun, SweepStats,
-    Writer,
+    CacheCounters, CacheHealth, CacheValue, CellFailure, Executor, GridJob, GuardConfig,
+    ProgressSink, Reader, SweepRun, SweepStats, Writer,
 };
 use olab_models::memory::ActivationPolicy;
 use std::fmt;
@@ -87,6 +87,22 @@ pub enum CellError {
     /// The cell's worker panicked mid-sweep; the panic was isolated to
     /// this slot (and never cached) instead of aborting the sweep.
     Panic(String),
+    /// Every attempt of the cell exceeded its per-attempt wall-clock
+    /// deadline; the late results were discarded, never cached.
+    Timeout {
+        /// The per-attempt deadline that was missed, seconds.
+        deadline_s: f64,
+        /// Total attempts made.
+        attempts: u32,
+    },
+    /// Retries were configured and every attempt failed; the final
+    /// attempt's panic message is kept.
+    RetriesExhausted {
+        /// Total attempts made.
+        attempts: u32,
+        /// The last attempt's panic, rendered to text.
+        last: String,
+    },
 }
 
 impl fmt::Display for CellError {
@@ -104,6 +120,35 @@ impl fmt::Display for CellError {
             CellError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             CellError::Sim(msg) => write!(f, "simulation failed: {msg}"),
             CellError::Panic(msg) => write!(f, "cell panicked: {msg}"),
+            CellError::Timeout {
+                deadline_s,
+                attempts,
+            } => write!(
+                f,
+                "cell timed out: {attempts} attempt(s) each exceeded the {deadline_s} s deadline"
+            ),
+            CellError::RetriesExhausted { attempts, last } => {
+                write!(f, "cell failed after {attempts} attempts; last: {last}")
+            }
+        }
+    }
+}
+
+impl From<CellFailure> for CellError {
+    fn from(failure: CellFailure) -> Self {
+        match failure {
+            CellFailure::Panic(p) => CellError::Panic(p.message),
+            CellFailure::Timeout {
+                deadline_s,
+                attempts,
+            } => CellError::Timeout {
+                deadline_s,
+                attempts,
+            },
+            CellFailure::RetriesExhausted { attempts, last } => CellError::RetriesExhausted {
+                attempts,
+                last: last.message,
+            },
         }
     }
 }
@@ -219,6 +264,19 @@ impl CacheValue for CachedCell {
                 w.put_u8(4);
                 w.put_str(msg);
             }
+            Err(CellError::Timeout {
+                deadline_s,
+                attempts,
+            }) => {
+                w.put_u8(5);
+                w.put_f64(*deadline_s);
+                w.put_u32(*attempts);
+            }
+            Err(CellError::RetriesExhausted { attempts, last }) => {
+                w.put_u8(6);
+                w.put_u32(*attempts);
+                w.put_str(last);
+            }
         }
     }
 
@@ -241,6 +299,14 @@ impl CacheValue for CachedCell {
             2 => Some(Err(CellError::InvalidConfig(r.get_str()?))),
             3 => Some(Err(CellError::Sim(r.get_str()?))),
             4 => Some(Err(CellError::Panic(r.get_str()?))),
+            5 => Some(Err(CellError::Timeout {
+                deadline_s: r.get_f64()?,
+                attempts: r.get_u32()?,
+            })),
+            6 => Some(Err(CellError::RetriesExhausted {
+                attempts: r.get_u32()?,
+                last: r.get_str()?,
+            })),
             _ => None,
         };
         outcome.map(CachedCell)
@@ -309,6 +375,18 @@ pub const JOBS_ENV: &str = "OLAB_JOBS";
 /// a persistent disk cache directory.
 pub const CACHE_DIR_ENV: &str = "OLAB_CACHE_DIR";
 
+/// Environment variable setting a per-cell wall-clock deadline, seconds,
+/// for sweeps built with [`Sweep::from_env`].
+pub const CELL_TIMEOUT_ENV: &str = "OLAB_CELL_TIMEOUT_S";
+
+/// Environment variable setting the per-cell retry budget for sweeps
+/// built with [`Sweep::from_env`].
+pub const RETRIES_ENV: &str = "OLAB_RETRIES";
+
+/// Environment variable capping the disk cache tier, bytes, for sweeps
+/// built with [`Sweep::from_env`].
+pub const CACHE_MAX_BYTES_ENV: &str = "OLAB_CACHE_MAX_BYTES";
+
 /// The results of one sweep, index-aligned with the submitted cells.
 #[derive(Debug, Clone)]
 pub struct SweepOutcome {
@@ -341,9 +419,11 @@ impl Sweep {
     }
 
     /// A sweep engine configured from the environment: worker count from
-    /// `OLAB_JOBS`, disk cache from `OLAB_CACHE_DIR`. Unset, unparsable,
+    /// `OLAB_JOBS`, disk cache from `OLAB_CACHE_DIR`, per-cell deadline
+    /// from `OLAB_CELL_TIMEOUT_S`, retry budget from `OLAB_RETRIES`, and
+    /// disk-cache byte cap from `OLAB_CACHE_MAX_BYTES`. Unset, unparsable,
     /// or uncreatable values fall back to the defaults (parallel,
-    /// memory-only).
+    /// memory-only, unguarded, uncapped).
     pub fn from_env() -> Self {
         let mut sweep = Sweep::new();
         if let Some(jobs) = std::env::var(JOBS_ENV)
@@ -360,6 +440,27 @@ impl Sweep {
                     };
                 }
             }
+        }
+        let mut guard = GuardConfig::default();
+        if let Some(timeout) = std::env::var(CELL_TIMEOUT_ENV)
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|t| t.is_finite() && *t > 0.0)
+        {
+            guard.cell_timeout_s = Some(timeout);
+        }
+        if let Some(retries) = std::env::var(RETRIES_ENV)
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+        {
+            guard.retries = retries;
+        }
+        sweep = sweep.with_guard(guard);
+        if let Some(cap) = std::env::var(CACHE_MAX_BYTES_ENV)
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            sweep = sweep.with_cache_cap(cap);
         }
         sweep
     }
@@ -380,9 +481,33 @@ impl Sweep {
         Ok(self)
     }
 
+    /// Overrides the execution guard (per-cell deadline, retry budget).
+    pub fn with_guard(mut self, guard: GuardConfig) -> Self {
+        self.engine = self.engine.with_guard(guard);
+        self
+    }
+
+    /// Caps the disk cache tier at `max_bytes`; excess entries are evicted
+    /// deterministically (cold first, ascending key) at the end of a run.
+    pub fn with_cache_cap(mut self, max_bytes: u64) -> Self {
+        self.engine = self.engine.with_cache_cap(max_bytes);
+        self
+    }
+
     /// Worker threads this sweep will use.
     pub fn jobs(&self) -> usize {
         self.engine.pool().workers()
+    }
+
+    /// The execution guard the sweep runs under.
+    pub fn guard(&self) -> &GuardConfig {
+        self.engine.guard()
+    }
+
+    /// A point-in-time snapshot of cache health (tiering, degradation,
+    /// disk usage against the cap).
+    pub fn cache_health(&self) -> CacheHealth {
+        self.engine.cache().health()
     }
 
     /// Hit/miss/store counters of the underlying cache.
@@ -416,7 +541,7 @@ impl Sweep {
                 .into_iter()
                 .map(|slot| match slot {
                     Ok(cell) => cell.0,
-                    Err(panic) => Err(CellError::Panic(panic.message)),
+                    Err(failure) => Err(CellError::from(failure)),
                 })
                 .collect(),
             stats,
@@ -518,6 +643,14 @@ mod tests {
             ))),
             CachedCell(Err(CellError::Sim("deadlock".into()))),
             CachedCell(Err(CellError::Panic("index out of bounds".into()))),
+            CachedCell(Err(CellError::Timeout {
+                deadline_s: 2.5,
+                attempts: 3,
+            })),
+            CachedCell(Err(CellError::RetriesExhausted {
+                attempts: 4,
+                last: "boom".into(),
+            })),
         ];
         for outcome in outcomes {
             let mut w = Writer::new();

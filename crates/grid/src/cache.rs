@@ -12,17 +12,43 @@
 //! The disk tier is one file per entry under a user-chosen directory,
 //! written with the hand-rolled byte codec in this module (the workspace
 //! takes no serialization dependency). Files are written to a temp name
-//! and renamed into place, so concurrent writers and readers — including
-//! several sweep processes sharing one `--cache` directory — only ever see
-//! whole entries.
+//! unique per (process, instance, write) and renamed into place, so
+//! concurrent writers and readers — including several sweep processes
+//! sharing one `--cache` directory — only ever see whole entries.
+//!
+//! ## Service-grade hardening
+//!
+//! * **Advisory leases + stale-`.tmp` reaping** — every instance drops a
+//!   `lease.{pid}.{instance}` marker in the directory (removed on drop).
+//!   Opening a cache reaps `.tmp` files whose writing process is provably
+//!   dead (no lease and no `/proc/{pid}` on Linux), so a writer that died
+//!   between write and rename cannot leak files forever.
+//! * **Size-capped deterministic eviction** — with a byte cap configured,
+//!   [`ResultCache::enforce_disk_cap`] evicts `*.cell` files cold-first
+//!   (entries this process has not touched), each group in ascending key
+//!   order: a total order independent of scheduling, so serial and
+//!   parallel sweeps leave byte-identical directories.
+//! * **Graceful degradation** — a disk write failing with `ENOSPC` or
+//!   `EACCES` latches the cache into memory-only operation instead of
+//!   failing every subsequent cell; [`ResultCache::health`] reports it.
+//! * **Quarantine evidence preservation** — repeated quarantines of one
+//!   key land on `.corrupt`, `.corrupt.1`, `.corrupt.2`, … so earlier
+//!   evidence is never clobbered.
 
 use crate::hash::fnv1a_64;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
+
+#[cfg(any(test, feature = "chaos"))]
+use crate::chaos::ChaosPlan;
+
+/// Distinguishes instances within one process so their tmp names and
+/// leases never collide.
+static NEXT_INSTANCE: AtomicU64 = AtomicU64::new(0);
 
 /// Magic prefix of every cache file (`OLABGRD` + format version).
 /// Version 2 appends a trailing FNV-1a checksum over the whole entry.
@@ -166,6 +192,10 @@ pub struct CacheCounters {
     /// Disk entries that failed integrity verification and were renamed to
     /// `*.corrupt` (each also counts as a miss and is recomputed).
     pub quarantined: u64,
+    /// Disk entries removed by the size-cap eviction policy.
+    pub evicted: u64,
+    /// Stale `.tmp` files from provably dead writers removed at open.
+    pub tmp_reaped: u64,
 }
 
 impl CacheCounters {
@@ -185,16 +215,45 @@ impl CacheCounters {
     }
 }
 
+/// A typed report on the disk tier's condition, for telemetry and
+/// operator-facing diagnostics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheHealth {
+    /// A disk tier was configured.
+    pub disk_enabled: bool,
+    /// The disk tier latched into memory-only degradation (ENOSPC or
+    /// EACCES on a write).
+    pub degraded: bool,
+    /// The error that tripped degradation, when degraded.
+    pub degraded_reason: Option<String>,
+    /// `*.cell` entries currently on disk.
+    pub disk_entries: u64,
+    /// Bytes held by `*.cell` entries on disk.
+    pub disk_bytes: u64,
+    /// The configured eviction cap, when one is set.
+    pub max_disk_bytes: Option<u64>,
+}
+
 /// The two-tier content-addressed cache.
 #[derive(Debug)]
 pub struct ResultCache<V> {
     memory: Mutex<HashMap<u64, (String, V)>>,
     disk_dir: Option<PathBuf>,
+    max_disk_bytes: Option<u64>,
+    lease_path: Option<PathBuf>,
+    instance: u64,
+    tmp_seq: AtomicU64,
+    degraded: AtomicBool,
+    degraded_reason: Mutex<Option<String>>,
     memory_hits: AtomicU64,
     disk_hits: AtomicU64,
     misses: AtomicU64,
     stores: AtomicU64,
     quarantined: AtomicU64,
+    evicted: AtomicU64,
+    tmp_reaped: AtomicU64,
+    #[cfg(any(test, feature = "chaos"))]
+    chaos: Option<ChaosPlan>,
 }
 
 impl<V: CacheValue> ResultCache<V> {
@@ -203,15 +262,30 @@ impl<V: CacheValue> ResultCache<V> {
         ResultCache {
             memory: Mutex::new(HashMap::new()),
             disk_dir: None,
+            max_disk_bytes: None,
+            lease_path: None,
+            instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
+            tmp_seq: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
+            degraded_reason: Mutex::new(None),
             memory_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             stores: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            tmp_reaped: AtomicU64::new(0),
+            #[cfg(any(test, feature = "chaos"))]
+            chaos: None,
         }
     }
 
     /// A cache backed by `dir` (created if absent) in addition to memory.
+    ///
+    /// Opening reaps stale `.tmp` files left by provably dead writers
+    /// (counted in [`CacheCounters::tmp_reaped`]) and drops an advisory
+    /// lease file, removed when this instance is dropped, so future
+    /// openers can tell live writers from dead ones.
     ///
     /// # Errors
     ///
@@ -221,8 +295,46 @@ impl<V: CacheValue> ResultCache<V> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
         let mut cache = Self::in_memory();
+        let reaped = reap_stale_tmp(&dir);
+        cache.tmp_reaped.store(reaped, Ordering::Relaxed);
+        let lease = dir.join(format!("lease.{}.{}", std::process::id(), cache.instance));
+        // The lease is advisory: failing to write it (read-only directory)
+        // costs reap precision for others, never the sweep.
+        let _ = fs::write(&lease, b"olab-grid writer lease\n");
+        cache.lease_path = Some(lease);
         cache.disk_dir = Some(dir);
         Ok(cache)
+    }
+
+    /// Like [`ResultCache::with_disk`] with a byte cap on the disk tier,
+    /// enforced immediately (pre-existing directories shrink to fit) and
+    /// again whenever [`ResultCache::enforce_disk_cap`] runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `create_dir_all` failure, as [`ResultCache::with_disk`].
+    pub fn with_disk_capped(dir: impl Into<PathBuf>, max_bytes: u64) -> io::Result<Self> {
+        let mut cache = Self::with_disk(dir)?;
+        cache.max_disk_bytes = Some(max_bytes);
+        cache.enforce_disk_cap();
+        Ok(cache)
+    }
+
+    /// Sets or clears the disk-tier byte cap, enforcing it right away when
+    /// set.
+    pub fn set_disk_cap(&mut self, max_bytes: Option<u64>) {
+        self.max_disk_bytes = max_bytes;
+        if max_bytes.is_some() {
+            self.enforce_disk_cap();
+        }
+    }
+
+    /// Arms deterministic fault injection on this instance's disk IO (see
+    /// [`crate::chaos`]). Test/feature-gated; production builds have no
+    /// chaos branches.
+    #[cfg(any(test, feature = "chaos"))]
+    pub fn set_chaos(&mut self, plan: Option<ChaosPlan>) {
+        self.chaos = plan;
     }
 
     /// The key for a descriptor: its FNV-1a 64 digest.
@@ -256,13 +368,20 @@ impl<V: CacheValue> ResultCache<V> {
     }
 
     /// Stores a computed value under `descriptor` in every configured tier.
-    /// Disk write failures are swallowed: a read-only cache directory costs
-    /// persistence, not the sweep.
+    /// Disk write failures are swallowed — a read-only cache directory
+    /// costs persistence, not the sweep — except that `ENOSPC`/`EACCES`
+    /// additionally latch the disk tier into memory-only degradation (see
+    /// [`ResultCache::health`]) so a full disk fails one write, not one
+    /// write per cell.
     pub fn insert(&self, descriptor: &str, value: V) {
         let key = Self::key_of(descriptor);
         self.stores.fetch_add(1, Ordering::Relaxed);
         if let Some(dir) = &self.disk_dir {
-            let _ = write_entry(dir, key, descriptor, &value);
+            if !self.degraded.load(Ordering::SeqCst) {
+                if let Err(err) = self.write_entry(dir, key, descriptor, &value) {
+                    self.note_write_failure(&err);
+                }
+            }
         }
         self.memory
             .lock()
@@ -293,11 +412,89 @@ impl<V: CacheValue> ResultCache<V> {
             misses: self.misses.load(Ordering::Relaxed),
             stores: self.stores.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            tmp_reaped: self.tmp_reaped.load(Ordering::Relaxed),
         }
+    }
+
+    /// True once the disk tier latched into memory-only degradation.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
+    }
+
+    /// A typed report on the disk tier: degradation state, occupancy, and
+    /// the configured cap.
+    pub fn health(&self) -> CacheHealth {
+        let (disk_entries, disk_bytes) = match &self.disk_dir {
+            Some(dir) => {
+                let cells = scan_cells(dir);
+                (cells.len() as u64, cells.iter().map(|&(_, b)| b).sum())
+            }
+            None => (0, 0),
+        };
+        CacheHealth {
+            disk_enabled: self.disk_dir.is_some(),
+            degraded: self.is_degraded(),
+            degraded_reason: self
+                .degraded_reason
+                .lock()
+                .expect("degradation reason poisoned")
+                .clone(),
+            disk_entries,
+            disk_bytes,
+            max_disk_bytes: self.max_disk_bytes,
+        }
+    }
+
+    /// Enforces the disk-tier byte cap, if one is set: while `*.cell`
+    /// bytes exceed the cap, evicts entries this process has *not* touched
+    /// (absent from the memory tier) in ascending key order, then touched
+    /// ones in ascending key order. Both the candidate set and the order
+    /// are independent of worker scheduling, so serial and parallel sweeps
+    /// evict identically — the determinism contract extends to the cache
+    /// directory itself. Returns entries evicted by this call (also
+    /// accumulated into [`CacheCounters::evicted`]).
+    pub fn enforce_disk_cap(&self) -> u64 {
+        let (Some(dir), Some(cap)) = (&self.disk_dir, self.max_disk_bytes) else {
+            return 0;
+        };
+        if self.degraded.load(Ordering::SeqCst) {
+            return 0;
+        }
+        let cells = scan_cells(dir);
+        let mut total: u64 = cells.iter().map(|&(_, b)| b).sum();
+        if total <= cap {
+            return 0;
+        }
+        let hot: HashSet<u64> = self
+            .memory
+            .lock()
+            .expect("cache map poisoned")
+            .keys()
+            .copied()
+            .collect();
+        // `scan_cells` returns ascending keys, so each partition keeps
+        // that order: cold ascending, then hot ascending.
+        let (cold, warm): (Vec<_>, Vec<_>) = cells.into_iter().partition(|(k, _)| !hot.contains(k));
+        let mut evicted = 0u64;
+        for (key, bytes) in cold.into_iter().chain(warm) {
+            if total <= cap {
+                break;
+            }
+            if fs::remove_file(entry_path(dir, key)).is_ok() {
+                total = total.saturating_sub(bytes);
+                evicted += 1;
+            }
+        }
+        self.evicted.fetch_add(evicted, Ordering::Relaxed);
+        evicted
     }
 
     fn disk_lookup(&self, key: u64, descriptor: &str) -> Option<V> {
         let dir = self.disk_dir.as_ref()?;
+        if self.degraded.load(Ordering::SeqCst) {
+            return None;
+        }
         let path = entry_path(dir, key);
         let bytes = fs::read(&path).ok()?;
         match parse_entry::<V>(&bytes, key, descriptor) {
@@ -308,11 +505,91 @@ impl<V: CacheValue> ResultCache<V> {
             EntryOutcome::Corrupt => {
                 // Bit rot, truncation, or a non-cache file squatting on the
                 // name: move it aside so the recompute can land a fresh
-                // entry, and keep the evidence for post-mortems.
+                // entry, and keep the evidence for post-mortems. The
+                // destination is suffixed past any earlier quarantine of
+                // the same key, so repeated corruption never clobbers
+                // evidence.
                 self.quarantined.fetch_add(1, Ordering::Relaxed);
-                let _ = fs::rename(&path, quarantine_path(dir, key));
+                let _ = fs::rename(&path, quarantine_dest(dir, key));
                 None
             }
+        }
+    }
+
+    /// Writes one disk entry atomically: full bytes to a tmp name unique
+    /// per (process, instance, write), then rename. Chaos fault points
+    /// `cache.enospc`, `cache.torn_write`, and `cache.rename_fail` live
+    /// here (test/feature builds only).
+    fn write_entry(&self, dir: &Path, key: u64, descriptor: &str, value: &V) -> io::Result<()> {
+        let mut w = Writer::new();
+        w.buf.extend_from_slice(MAGIC);
+        w.put_u64(key);
+        w.put_str(descriptor);
+        value.encode(&mut w);
+        let digest = fnv1a_64(&w.buf);
+        w.put_u64(digest);
+        let bytes = w.into_bytes();
+
+        #[cfg(any(test, feature = "chaos"))]
+        if self.chaos.as_ref().is_some_and(|p| p.enospc(key)) {
+            return Err(io::Error::new(
+                io::ErrorKind::StorageFull,
+                "chaos: injected ENOSPC",
+            ));
+        }
+
+        let seq = self.tmp_seq.fetch_add(1, Ordering::Relaxed);
+        let tmp = dir.join(format!(
+            "{key:016x}.{}.{}.{seq}.tmp",
+            std::process::id(),
+            self.instance
+        ));
+
+        #[cfg(any(test, feature = "chaos"))]
+        let written: &[u8] = if self.chaos.as_ref().is_some_and(|p| p.torn_write(key)) {
+            // A torn write: only half the entry reaches the disk, as if
+            // power failed mid-write on a filesystem without data
+            // journaling. The trailing checksum must catch it on read.
+            &bytes[..bytes.len() / 2]
+        } else {
+            &bytes
+        };
+        #[cfg(not(any(test, feature = "chaos")))]
+        let written: &[u8] = &bytes;
+
+        fs::write(&tmp, written)?;
+
+        #[cfg(any(test, feature = "chaos"))]
+        if self.chaos.as_ref().is_some_and(|p| p.rename_fail(key)) {
+            // The writer "dies" before the rename: the tmp file leaks, and
+            // a later open must reap it.
+            return Ok(());
+        }
+
+        fs::rename(&tmp, entry_path(dir, key))
+    }
+
+    /// Classifies a disk write failure: `ENOSPC`/`EACCES` latch the
+    /// memory-only degradation flag (first failure records the reason),
+    /// anything else stays a swallowed one-off.
+    fn note_write_failure(&self, err: &io::Error) {
+        let fatal = matches!(
+            err.kind(),
+            io::ErrorKind::StorageFull | io::ErrorKind::PermissionDenied
+        ) || matches!(err.raw_os_error(), Some(28) | Some(13));
+        if fatal && !self.degraded.swap(true, Ordering::SeqCst) {
+            *self
+                .degraded_reason
+                .lock()
+                .expect("degradation reason poisoned") = Some(err.to_string());
+        }
+    }
+}
+
+impl<V> Drop for ResultCache<V> {
+    fn drop(&mut self) {
+        if let Some(lease) = &self.lease_path {
+            let _ = fs::remove_file(lease);
         }
     }
 }
@@ -370,19 +647,119 @@ fn quarantine_path(dir: &Path, key: u64) -> PathBuf {
     dir.join(format!("{key:016x}.cell.corrupt"))
 }
 
-fn write_entry<V: CacheValue>(dir: &Path, key: u64, descriptor: &str, value: &V) -> io::Result<()> {
-    let mut w = Writer::new();
-    w.buf.extend_from_slice(MAGIC);
-    w.put_u64(key);
-    w.put_str(descriptor);
-    value.encode(&mut w);
-    let digest = fnv1a_64(&w.buf);
-    w.put_u64(digest);
-    // Unique temp name per writer so concurrent processes cannot interleave
-    // partial writes; rename is atomic on POSIX.
-    let tmp = dir.join(format!("{key:016x}.{}.tmp", std::process::id()));
-    fs::write(&tmp, w.into_bytes())?;
-    fs::rename(&tmp, entry_path(dir, key))
+/// The first unused quarantine name for `key`: `.corrupt`, then
+/// `.corrupt.1`, `.corrupt.2`, … so earlier evidence survives repeated
+/// quarantines of the same entry.
+fn quarantine_dest(dir: &Path, key: u64) -> PathBuf {
+    let base = quarantine_path(dir, key);
+    if !base.exists() {
+        return base;
+    }
+    for n in 1u32.. {
+        let candidate = dir.join(format!("{key:016x}.cell.corrupt.{n}"));
+        if !candidate.exists() {
+            return candidate;
+        }
+    }
+    base
+}
+
+/// Every `*.cell` entry in `dir` as `(key, bytes)`, ascending by key —
+/// the stable scan order the eviction policy's determinism rests on.
+fn scan_cells(dir: &Path) -> Vec<(u64, u64)> {
+    let mut cells = Vec::new();
+    if let Ok(entries) = fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(key) = parse_cell_key(name) {
+                if let Ok(meta) = entry.metadata() {
+                    cells.push((key, meta.len()));
+                }
+            }
+        }
+    }
+    cells.sort_unstable();
+    cells
+}
+
+/// The key of a canonical `{key:016x}.cell` file name; `None` for
+/// everything else (tmp files, quarantine evidence, leases, strangers).
+fn parse_cell_key(name: &str) -> Option<u64> {
+    let hex = name.strip_suffix(".cell")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// The writer pid embedded in a `{key}.{pid}[...].tmp` file name (both the
+/// current `{key}.{pid}.{instance}.{seq}.tmp` form and the legacy
+/// `{key}.{pid}.tmp` form).
+fn parse_tmp_pid(name: &str) -> Option<u32> {
+    let stem = name.strip_suffix(".tmp")?;
+    let mut parts = stem.split('.');
+    let _key = parts.next()?;
+    parts.next()?.parse().ok()
+}
+
+/// The pid embedded in a `lease.{pid}.{instance}` file name.
+fn parse_lease_pid(name: &str) -> Option<u32> {
+    let rest = name.strip_prefix("lease.")?;
+    rest.split('.').next()?.parse().ok()
+}
+
+/// Whether `pid` is currently alive; `None` when the platform cannot say
+/// (reaping then stays conservative and keeps the file).
+#[cfg(target_os = "linux")]
+fn pid_alive(pid: u32) -> Option<bool> {
+    Some(Path::new("/proc").join(pid.to_string()).exists())
+}
+
+#[cfg(not(target_os = "linux"))]
+fn pid_alive(_pid: u32) -> Option<bool> {
+    None
+}
+
+/// Removes `.tmp` files (and leases) left by provably dead writers: a
+/// writer that died between `fs::write` and `fs::rename` would otherwise
+/// leak its tmp file forever. A tmp survives when its pid is this process,
+/// holds a live lease, or is alive (or of unknown liveness) — reaping
+/// never races a writer that might still rename. Returns tmps removed.
+fn reap_stale_tmp(dir: &Path) -> u64 {
+    let me = std::process::id();
+    let mut leases: Vec<(PathBuf, u32)> = Vec::new();
+    let mut tmps: Vec<(PathBuf, u32)> = Vec::new();
+    let Ok(entries) = fs::read_dir(dir) else {
+        return 0;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(pid) = parse_lease_pid(name) {
+            leases.push((entry.path(), pid));
+        } else if let Some(pid) = parse_tmp_pid(name) {
+            tmps.push((entry.path(), pid));
+        }
+    }
+    let mut leased: HashSet<u32> = HashSet::new();
+    for (path, pid) in leases {
+        if pid != me && pid_alive(pid) == Some(false) {
+            let _ = fs::remove_file(path);
+        } else {
+            leased.insert(pid);
+        }
+    }
+    let mut reaped = 0;
+    for (path, pid) in tmps {
+        if pid == me || leased.contains(&pid) {
+            continue;
+        }
+        if pid_alive(pid) == Some(false) && fs::remove_file(&path).is_ok() {
+            reaped += 1;
+        }
+    }
+    reaped
 }
 
 #[cfg(test)]
@@ -535,6 +912,211 @@ mod tests {
             assert_eq!(cache.counters().quarantined, 1, "cut at {cut}");
             let _ = fs::remove_file(quarantine_path(&dir, key));
         }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A pid guaranteed dead right now (Linux: absent from `/proc`).
+    #[cfg(target_os = "linux")]
+    fn dead_pid() -> u32 {
+        (400_000..500_000)
+            .find(|p| !Path::new("/proc").join(p.to_string()).exists())
+            .expect("some pid in 400k..500k is unused")
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn stale_tmp_files_from_dead_writers_are_reaped_at_open() {
+        let dir = temp_dir("reap");
+        fs::create_dir_all(&dir).unwrap();
+        let dead = dead_pid();
+        // A dead writer's leak (legacy name), a dead writer's leak (current
+        // name), plus its stale lease.
+        let dead_legacy = dir.join(format!("{:016x}.{dead}.tmp", 1u64));
+        let dead_current = dir.join(format!("{:016x}.{dead}.0.3.tmp", 2u64));
+        let dead_lease = dir.join(format!("lease.{dead}.0"));
+        // A live writer's in-flight tmp (pid 1 always lives) and our own.
+        let live_tmp = dir.join(format!("{:016x}.1.tmp", 3u64));
+        let own_tmp = dir.join(format!("{:016x}.{}.9.9.tmp", 4u64, std::process::id()));
+        for p in [
+            &dead_legacy,
+            &dead_current,
+            &dead_lease,
+            &live_tmp,
+            &own_tmp,
+        ] {
+            fs::write(p, b"junk").unwrap();
+        }
+
+        let cache: ResultCache<(u64, f64)> = ResultCache::with_disk(&dir).unwrap();
+        assert_eq!(cache.counters().tmp_reaped, 2, "both dead leaks reaped");
+        assert!(!dead_legacy.exists() && !dead_current.exists());
+        assert!(!dead_lease.exists(), "stale lease removed with its owner");
+        assert!(live_tmp.exists(), "a live writer's tmp must survive");
+        assert!(own_tmp.exists(), "our own in-flight tmp must survive");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn leases_are_dropped_with_the_instance_and_protect_tmp_files() {
+        let dir = temp_dir("lease");
+        let lease = {
+            let cache: ResultCache<(u64, f64)> = ResultCache::with_disk(&dir).unwrap();
+            cache.insert("held", (1, 1.0));
+            let lease = fs::read_dir(&dir)
+                .unwrap()
+                .flatten()
+                .map(|e| e.path())
+                .find(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("lease."))
+                })
+                .expect("an open cache holds a lease");
+            assert!(lease.exists());
+            lease
+        };
+        assert!(!lease.exists(), "drop removes the advisory lease");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn repeated_quarantines_keep_every_piece_of_evidence() {
+        let dir = temp_dir("requarantine");
+        let cache: ResultCache<(u64, f64)> = ResultCache::with_disk(&dir).unwrap();
+        let key = ResultCache::<(u64, f64)>::key_of("repeat offender");
+        let path = entry_path(&dir, key);
+        for round in 0..3u8 {
+            cache.insert("repeat offender", (round as u64, 0.0));
+            fs::write(&path, [b"rotten round ", &[b'0' + round][..]].concat()).unwrap();
+            let fresh: ResultCache<(u64, f64)> = ResultCache::with_disk(&dir).unwrap();
+            assert!(fresh.lookup("repeat offender").is_none());
+        }
+        assert!(quarantine_path(&dir, key).exists());
+        assert!(dir.join(format!("{key:016x}.cell.corrupt.1")).exists());
+        assert!(dir.join(format!("{key:016x}.cell.corrupt.2")).exists());
+        // Each quarantine kept its own round's bytes: no clobbering.
+        let first = fs::read(quarantine_path(&dir, key)).unwrap();
+        let third = fs::read(dir.join(format!("{key:016x}.cell.corrupt.2"))).unwrap();
+        assert_ne!(first, third);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_byte_cap_evicts_cold_entries_first_in_key_order() {
+        let dir = temp_dir("evict");
+        {
+            let cache: ResultCache<(u64, f64)> = ResultCache::with_disk(&dir).unwrap();
+            for i in 0..10u64 {
+                cache.insert(&format!("cold entry {i}"), (i, 0.0));
+            }
+        }
+        // Reopen with a cap that keeps roughly half: every entry is cold
+        // (nothing touched yet), so eviction is ascending-key order.
+        let entry_bytes = scan_cells(&dir)[0].1;
+        let cap = entry_bytes * 5;
+        let mut cache: ResultCache<(u64, f64)> = ResultCache::with_disk_capped(&dir, cap).unwrap();
+        assert_eq!(cache.counters().evicted, 5);
+        let kept = scan_cells(&dir);
+        assert_eq!(kept.len(), 5);
+        let mut all_keys: Vec<u64> = (0..10u64)
+            .map(|i| ResultCache::<(u64, f64)>::key_of(&format!("cold entry {i}")))
+            .collect();
+        all_keys.sort_unstable();
+        let expect: Vec<u64> = all_keys[5..].to_vec();
+        assert_eq!(
+            kept.iter().map(|&(k, _)| k).collect::<Vec<_>>(),
+            expect,
+            "the five smallest keys go first"
+        );
+        // Touched (hot) entries outlive cold ones at the next enforcement.
+        let survivor = (0..10u64)
+            .map(|i| format!("cold entry {i}"))
+            .find(|d| ResultCache::<(u64, f64)>::key_of(d) == expect[0])
+            .unwrap();
+        assert!(cache.lookup(&survivor).is_some(), "promoted to hot");
+        cache.set_disk_cap(Some(entry_bytes));
+        let kept_now = scan_cells(&dir);
+        assert_eq!(kept_now.len(), 1);
+        assert_eq!(kept_now[0].0, expect[0], "the hot entry survived");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_enospc_latches_memory_only_degradation() {
+        let dir = temp_dir("enospc");
+        let mut cache: ResultCache<(u64, f64)> = ResultCache::with_disk(&dir).unwrap();
+        cache.set_chaos(Some(crate::chaos::ChaosPlan {
+            seed: 1,
+            enospc_permille: 1000,
+            ..Default::default()
+        }));
+        assert!(!cache.is_degraded());
+        cache.insert("doomed write", (1, 1.0));
+        assert!(cache.is_degraded(), "one ENOSPC latches degradation");
+        // Memory still serves; disk holds nothing.
+        assert_eq!(
+            cache.lookup("doomed write"),
+            Some(((1, 1.0), CacheTier::Memory))
+        );
+        assert!(scan_cells(&dir).is_empty());
+        let health = cache.health();
+        assert!(health.disk_enabled && health.degraded);
+        assert!(health.degraded_reason.unwrap().contains("ENOSPC"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn an_injected_torn_write_is_caught_never_served() {
+        let dir = temp_dir("torn");
+        {
+            let mut cache: ResultCache<(u64, f64)> = ResultCache::with_disk(&dir).unwrap();
+            cache.set_chaos(Some(crate::chaos::ChaosPlan {
+                seed: 1,
+                torn_write_permille: 1000,
+                ..Default::default()
+            }));
+            cache.insert("torn", (7, 7.0));
+        }
+        let fresh: ResultCache<(u64, f64)> = ResultCache::with_disk(&dir).unwrap();
+        assert!(fresh.lookup("torn").is_none(), "half an entry is no entry");
+        assert_eq!(fresh.counters().quarantined, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn an_injected_rename_failure_leaks_a_tmp_the_entry_never_lands() {
+        let dir = temp_dir("renamefail");
+        let mut cache: ResultCache<(u64, f64)> = ResultCache::with_disk(&dir).unwrap();
+        cache.set_chaos(Some(crate::chaos::ChaosPlan {
+            seed: 1,
+            rename_fail_permille: 1000,
+            ..Default::default()
+        }));
+        cache.insert("never lands", (2, 2.0));
+        let key = ResultCache::<(u64, f64)>::key_of("never lands");
+        assert!(!entry_path(&dir, key).exists());
+        let tmps = fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .count();
+        assert_eq!(tmps, 1, "the tmp leaked, exactly as a dying writer would");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn health_reports_occupancy_and_cap() {
+        let dir = temp_dir("health");
+        let cache: ResultCache<(u64, f64)> = ResultCache::with_disk_capped(&dir, 10_000).unwrap();
+        cache.insert("one", (1, 1.0));
+        cache.insert("two", (2, 2.0));
+        let health = cache.health();
+        assert!(health.disk_enabled && !health.degraded);
+        assert_eq!(health.disk_entries, 2);
+        assert!(health.disk_bytes > 0);
+        assert_eq!(health.max_disk_bytes, Some(10_000));
+        let memory_only: ResultCache<(u64, f64)> = ResultCache::in_memory();
+        assert_eq!(memory_only.health(), CacheHealth::default());
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,168 @@
+//! Deterministic seeded fault injection for the sweep engine itself.
+//!
+//! `olab-faults` chaos-tests the *simulated cluster*; this module
+//! chaos-tests the *harness* — the cache IO and the worker pool that every
+//! sweep stands on. A [`ChaosPlan`] decides, at a handful of named fault
+//! points, whether to inject a failure. Every decision is a pure function
+//! of `(seed, fault point, cell key, attempt)`, so a chaotic run is exactly
+//! reproducible regardless of worker count, scheduling, or wall clock —
+//! which is what lets the `grid_soak` harness assert that a chaotic sweep
+//! returns results bit-identical to a clean one.
+//!
+//! ## Fault-point catalog
+//!
+//! | point | site | injected failure |
+//! |---|---|---|
+//! | `cache.torn_write` | disk insert | entry lands with its tail truncated (a torn write the checksum must catch) |
+//! | `cache.rename_fail` | disk insert | the tmp file is written but never renamed (a leaked `.tmp`) |
+//! | `cache.enospc` | disk insert | the write fails with `StorageFull` (trips memory-only degradation) |
+//! | `pool.panic` | executor, before a miss simulates | the cell closure panics |
+//! | `pool.slow_cell` | executor, before a miss simulates | the cell sleeps past its deadline |
+//!
+//! Compiled only under `cfg(test)` or the `chaos` cargo feature:
+//! production builds carry zero chaos branches.
+
+use crate::hash::fnv1a_64;
+
+/// A seeded, deterministic fault-injection plan. All rates are permille
+/// (`0..=1000`); `0` disables a fault point.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Seed folded into every roll.
+    pub seed: u64,
+    /// Rate of torn (tail-truncated) disk entries per insert.
+    pub torn_write_permille: u16,
+    /// Rate of writes whose tmp file is never renamed into place.
+    pub rename_fail_permille: u16,
+    /// Rate of disk writes failing with `StorageFull`.
+    pub enospc_permille: u16,
+    /// Rate of cell closures panicking before the simulation runs.
+    pub panic_permille: u16,
+    /// Rate of cells sleeping `slow_cell_ms` before the simulation runs.
+    pub slow_cell_permille: u16,
+    /// How long an injected slow cell sleeps, milliseconds.
+    pub slow_cell_ms: u64,
+}
+
+impl ChaosPlan {
+    /// A plan with `seed` and every fault disabled; set rates on the
+    /// returned value.
+    pub fn seeded(seed: u64) -> Self {
+        ChaosPlan {
+            seed,
+            ..ChaosPlan::default()
+        }
+    }
+
+    /// The deterministic roll for a fault point: an FNV-1a digest of
+    /// `(seed, point, key, attempt)` reduced to `0..1000`. Independent of
+    /// scheduling, worker count, and wall clock.
+    fn roll(&self, point: &str, key: u64, attempt: u32) -> u64 {
+        let mut bytes = Vec::with_capacity(point.len() + 20);
+        bytes.extend_from_slice(&self.seed.to_le_bytes());
+        bytes.extend_from_slice(point.as_bytes());
+        bytes.extend_from_slice(&key.to_le_bytes());
+        bytes.extend_from_slice(&attempt.to_le_bytes());
+        fnv1a_64(&bytes) % 1000
+    }
+
+    fn fires(&self, point: &str, permille: u16, key: u64, attempt: u32) -> bool {
+        permille > 0 && self.roll(point, key, attempt) < u64::from(permille.min(1000))
+    }
+
+    /// Should this insert of `key` land torn?
+    pub fn torn_write(&self, key: u64) -> bool {
+        self.fires("cache.torn_write", self.torn_write_permille, key, 0)
+    }
+
+    /// Should this insert of `key` leak its tmp file (rename skipped)?
+    pub fn rename_fail(&self, key: u64) -> bool {
+        self.fires("cache.rename_fail", self.rename_fail_permille, key, 0)
+    }
+
+    /// Should this disk write of `key` fail with `StorageFull`?
+    pub fn enospc(&self, key: u64) -> bool {
+        self.fires("cache.enospc", self.enospc_permille, key, 0)
+    }
+
+    /// Should attempt `attempt` of cell `key` panic before simulating?
+    pub fn worker_panic(&self, key: u64, attempt: u32) -> bool {
+        self.fires("pool.panic", self.panic_permille, key, attempt)
+    }
+
+    /// Should attempt `attempt` of cell `key` run slow?
+    pub fn slow_cell(&self, key: u64, attempt: u32) -> bool {
+        self.fires("pool.slow_cell", self.slow_cell_permille, key, attempt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolls_are_deterministic_and_seed_sensitive() {
+        let a = ChaosPlan {
+            seed: 7,
+            panic_permille: 500,
+            ..ChaosPlan::default()
+        };
+        let b = ChaosPlan { seed: 8, ..a };
+        let fires_a: Vec<bool> = (0..64).map(|k| a.worker_panic(k, 0)).collect();
+        let fires_a2: Vec<bool> = (0..64).map(|k| a.worker_panic(k, 0)).collect();
+        let fires_b: Vec<bool> = (0..64).map(|k| b.worker_panic(k, 0)).collect();
+        assert_eq!(fires_a, fires_a2, "same seed, same plan");
+        assert_ne!(fires_a, fires_b, "a different seed rolls differently");
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let plan = ChaosPlan {
+            seed: 42,
+            torn_write_permille: 250,
+            ..ChaosPlan::default()
+        };
+        let fired = (0..4000).filter(|&k| plan.torn_write(k)).count();
+        assert!(
+            (800..1200).contains(&fired),
+            "~25% of 4000 rolls should fire, got {fired}"
+        );
+    }
+
+    #[test]
+    fn zero_permille_never_fires_and_full_permille_always_fires() {
+        let off = ChaosPlan::seeded(1);
+        assert!((0..200).all(|k| !off.worker_panic(k, 0)));
+        let on = ChaosPlan {
+            seed: 1,
+            enospc_permille: 1000,
+            ..ChaosPlan::default()
+        };
+        assert!((0..200).all(|k| on.enospc(k)));
+    }
+
+    #[test]
+    fn attempts_roll_independently() {
+        // The retry story depends on it: an attempt that panics must have
+        // a real chance of succeeding on retry.
+        let plan = ChaosPlan {
+            seed: 3,
+            panic_permille: 500,
+            ..ChaosPlan::default()
+        };
+        let differs = (0..64).any(|k| plan.worker_panic(k, 0) != plan.worker_panic(k, 1));
+        assert!(differs, "attempt must be folded into the roll");
+    }
+
+    #[test]
+    fn fault_points_roll_independently() {
+        let plan = ChaosPlan {
+            seed: 9,
+            torn_write_permille: 500,
+            rename_fail_permille: 500,
+            ..ChaosPlan::default()
+        };
+        let differs = (0..64).any(|k| plan.torn_write(k) != plan.rename_fail(k));
+        assert!(differs, "point name must be folded into the roll");
+    }
+}

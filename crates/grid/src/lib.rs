@@ -36,12 +36,18 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+#[cfg(any(test, feature = "chaos"))]
+pub mod chaos;
+pub mod guard;
 pub mod hash;
 pub mod pool;
 pub mod progress;
 pub mod telemetry;
 
-pub use cache::{CacheCounters, CacheTier, CacheValue, Reader, ResultCache, Writer};
+pub use cache::{CacheCounters, CacheHealth, CacheTier, CacheValue, Reader, ResultCache, Writer};
+#[cfg(any(test, feature = "chaos"))]
+pub use chaos::ChaosPlan;
+pub use guard::{CellCtx, CellFailure, CellReport, GuardConfig};
 pub use hash::{fnv1a_64, StableHasher};
 pub use pool::{Pool, WorkerPanic};
 pub use progress::{CellProgress, CellResolution, ProgressSink};
@@ -79,31 +85,40 @@ enum CellSource {
 
 /// The outputs of one sweep, in input order, plus its telemetry.
 ///
-/// A cell whose closure panicked occupies its slot with the captured
-/// [`WorkerPanic`] instead of aborting the sweep; everything else completes
-/// normally.
+/// A cell that ultimately failed — a panic, a missed deadline, or an
+/// exhausted retry budget — occupies its slot with a typed
+/// [`CellFailure`] instead of aborting the sweep; everything else
+/// completes normally.
 #[derive(Debug, Clone)]
 pub struct SweepRun<V> {
     /// Per-cell outputs, index-aligned with the submitted jobs.
-    pub outputs: Vec<Result<V, WorkerPanic>>,
+    pub outputs: Vec<Result<V, CellFailure>>,
     /// Throughput and cache statistics.
     pub stats: SweepStats,
 }
 
-/// The sweep engine: a worker pool over a shared result cache.
+/// The sweep engine: a worker pool over a shared result cache, with
+/// optional execution guards (deadlines + retries) and, in test/chaos
+/// builds, deterministic fault injection.
 #[derive(Debug)]
 pub struct Executor<V> {
     pool: Pool,
     cache: ResultCache<V>,
+    guard: GuardConfig,
+    #[cfg(any(test, feature = "chaos"))]
+    chaos: Option<ChaosPlan>,
 }
 
 impl<V: CacheValue> Executor<V> {
-    /// An engine with `available_parallelism` workers and an in-memory
-    /// cache.
+    /// An engine with `available_parallelism` workers, an in-memory
+    /// cache, and no guards (single-shot cells, no deadlines).
     pub fn new() -> Self {
         Executor {
             pool: Pool::with_available_parallelism(),
             cache: ResultCache::in_memory(),
+            guard: GuardConfig::default(),
+            #[cfg(any(test, feature = "chaos"))]
+            chaos: None,
         }
     }
 
@@ -120,12 +135,43 @@ impl<V: CacheValue> Executor<V> {
     /// Fails when the directory cannot be created.
     pub fn with_disk_cache(mut self, dir: impl Into<PathBuf>) -> io::Result<Self> {
         self.cache = ResultCache::with_disk(dir)?;
+        #[cfg(any(test, feature = "chaos"))]
+        self.cache.set_chaos(self.chaos);
         Ok(self)
+    }
+
+    /// Caps the disk tier at `max_bytes`, evicting deterministically
+    /// (cold entries first, ascending key) now and at the end of every
+    /// run. No-op until a disk cache is attached.
+    pub fn with_cache_cap(mut self, max_bytes: u64) -> Self {
+        self.cache.set_disk_cap(Some(max_bytes));
+        self
+    }
+
+    /// Applies per-cell deadlines and retry policy to every subsequent
+    /// run (see [`GuardConfig`]).
+    pub fn with_guard(mut self, guard: GuardConfig) -> Self {
+        self.guard = guard;
+        self
+    }
+
+    /// Arms deterministic fault injection on the executor and its cache
+    /// (see [`chaos`]). Test/feature-gated.
+    #[cfg(any(test, feature = "chaos"))]
+    pub fn with_chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = Some(plan);
+        self.cache.set_chaos(Some(plan));
+        self
     }
 
     /// The worker pool in use.
     pub fn pool(&self) -> &Pool {
         &self.pool
+    }
+
+    /// The guard policy in use.
+    pub fn guard(&self) -> &GuardConfig {
+        &self.guard
     }
 
     /// The cache in use (for counter inspection in tests and telemetry).
@@ -150,58 +196,102 @@ impl<V: CacheValue> Executor<V> {
         sink: Option<&dyn ProgressSink>,
     ) -> SweepRun<V> {
         let start = Instant::now();
-        let quarantined_before = self.cache.counters().quarantined;
+        let counters_before = self.cache.counters();
         let total = jobs.len();
         let completed = AtomicUsize::new(0);
         let observer_ns = AtomicU64::new(0);
         let indexed: Vec<(usize, &J)> = jobs.iter().enumerate().collect();
-        // `try_map`, not `map`: a panicking cell fails only its own slot.
-        // The panic escapes `execute` before the insert, so the cache never
-        // learns a poisoned descriptor — a retry re-executes the cell.
-        let resolved = self.pool.try_map(&indexed, |&(index, job)| {
-            let descriptor = job.descriptor();
-            let (value, source) = match self.cache.lookup(&descriptor) {
-                Some((value, tier)) => (value, CellSource::Hit(tier)),
-                None => {
-                    let cell_start = Instant::now();
-                    let value = job.execute();
-                    let cell_s = cell_start.elapsed().as_secs_f64();
-                    self.cache.insert(&descriptor, value.clone());
-                    (value, CellSource::Computed { cell_s })
+        // `try_map_guarded`: a failing cell (panic, missed deadline,
+        // exhausted retries) fails only its own slot. Failures escape
+        // `execute` before the insert, so the cache never learns a
+        // poisoned descriptor — a retry re-executes the cell.
+        let reports = self
+            .pool
+            .try_map_guarded(&indexed, &self.guard, |&(index, job), ctx| {
+                let descriptor = job.descriptor();
+                if let Some(sink) = sink {
+                    if ctx.attempt() > 0 {
+                        let sink_start = Instant::now();
+                        sink.on_retry(index, &descriptor, ctx.attempt());
+                        observer_ns
+                            .fetch_add(sink_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    }
                 }
-            };
-            if let Some(sink) = sink {
-                let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
-                let resolution = match source {
-                    CellSource::Hit(CacheTier::Memory) => CellResolution::MemoryHit,
-                    CellSource::Hit(CacheTier::Disk) => CellResolution::DiskHit,
-                    CellSource::Computed { .. } => CellResolution::Simulated,
+                let (value, source) = match self.cache.lookup(&descriptor) {
+                    Some((value, tier)) => (value, CellSource::Hit(tier)),
+                    None => {
+                        #[cfg(any(test, feature = "chaos"))]
+                        if let Some(plan) = &self.chaos {
+                            let key = ResultCache::<V>::key_of(&descriptor);
+                            if plan.worker_panic(key, ctx.attempt()) {
+                                panic!(
+                                    "chaos: injected worker panic for cell {key:016x} attempt {}",
+                                    ctx.attempt()
+                                );
+                            }
+                            if plan.slow_cell(key, ctx.attempt()) {
+                                std::thread::sleep(std::time::Duration::from_millis(
+                                    plan.slow_cell_ms,
+                                ));
+                            }
+                        }
+                        let cell_start = Instant::now();
+                        let value = job.execute();
+                        let cell_s = cell_start.elapsed().as_secs_f64();
+                        // Cooperative cancellation point: an attempt past
+                        // its deadline unwinds here, *before* the insert —
+                        // a timed-out attempt never populates the cache.
+                        ctx.checkpoint();
+                        self.cache.insert(&descriptor, value.clone());
+                        (value, CellSource::Computed { cell_s })
+                    }
                 };
-                let sink_start = Instant::now();
-                sink.on_cell(&CellProgress {
-                    completed: done,
-                    total,
-                    index,
-                    descriptor: &descriptor,
-                    resolution,
-                    wall_s: start.elapsed().as_secs_f64(),
-                });
-                observer_ns.fetch_add(sink_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            }
-            (value, source)
-        });
+                if let Some(sink) = sink {
+                    let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                    let resolution = match source {
+                        CellSource::Hit(CacheTier::Memory) => CellResolution::MemoryHit,
+                        CellSource::Hit(CacheTier::Disk) => CellResolution::DiskHit,
+                        CellSource::Computed { .. } => CellResolution::Simulated,
+                    };
+                    let sink_start = Instant::now();
+                    sink.on_cell(&CellProgress {
+                        completed: done,
+                        total,
+                        index,
+                        descriptor: &descriptor,
+                        resolution,
+                        attempts: ctx.attempt() + 1,
+                        wall_s: start.elapsed().as_secs_f64(),
+                    });
+                    observer_ns
+                        .fetch_add(sink_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                }
+                (value, source)
+            });
+
+        // End-of-run (not per-insert) cap enforcement: the candidate set
+        // and order depend only on the directory and the touched-key set,
+        // both identical between serial and parallel sweeps — the eviction
+        // happens at a deterministic point, so directories stay
+        // byte-identical.
+        self.cache.enforce_disk_cap();
+        let counters_after = self.cache.counters();
 
         let mut stats = SweepStats {
             cells: jobs.len(),
             workers: self.pool.workers(),
             wall_s: start.elapsed().as_secs_f64(),
             observer_s: observer_ns.load(Ordering::Relaxed) as f64 * 1e-9,
-            quarantined: (self.cache.counters().quarantined - quarantined_before) as usize,
+            quarantined: (counters_after.quarantined - counters_before.quarantined) as usize,
+            evicted: (counters_after.evicted - counters_before.evicted) as usize,
+            degraded: self.cache.is_degraded(),
             ..SweepStats::default()
         };
-        let mut outputs = Vec::with_capacity(resolved.len());
-        for slot in resolved {
-            match slot {
+        let mut outputs = Vec::with_capacity(reports.len());
+        for (index, report) in reports.into_iter().enumerate() {
+            stats.retries += report.attempts.saturating_sub(1) as usize;
+            stats.timeouts += report.timeouts as usize;
+            match report.result {
                 Ok((value, source)) => {
                     match source {
                         CellSource::Hit(CacheTier::Memory) => stats.memory_hits += 1,
@@ -213,10 +303,38 @@ impl<V: CacheValue> Executor<V> {
                     }
                     outputs.push(Ok(value));
                 }
-                Err(panic) => {
+                Err(failure) => {
                     stats.panicked += 1;
-                    outputs.push(Err(panic));
+                    if let Some(sink) = sink {
+                        if let CellFailure::Timeout {
+                            deadline_s,
+                            attempts,
+                        } = &failure
+                        {
+                            sink.on_timeout(
+                                index,
+                                &jobs[index].descriptor(),
+                                *deadline_s,
+                                *attempts,
+                            );
+                        }
+                    }
+                    outputs.push(Err(failure));
                 }
+            }
+        }
+        if let Some(sink) = sink {
+            if stats.evicted > 0 {
+                let health = self.cache.health();
+                sink.on_evict(
+                    stats.evicted,
+                    health.disk_bytes,
+                    health.max_disk_bytes.unwrap_or(0),
+                );
+            }
+            if stats.degraded {
+                let health = self.cache.health();
+                sink.on_degraded(health.degraded_reason.as_deref().unwrap_or("unknown"));
             }
         }
         SweepRun { outputs, stats }
@@ -269,7 +387,7 @@ mod tests {
         let executions = AtomicUsize::new(0);
         let xs: Vec<u64> = (0..100).rev().collect();
         let run = Executor::new().with_jobs(8).run(&jobs(&xs, &executions));
-        let expect: Vec<Result<u64, WorkerPanic>> = xs.iter().map(|x| Ok(x * x)).collect();
+        let expect: Vec<Result<u64, CellFailure>> = xs.iter().map(|x| Ok(x * x)).collect();
         assert_eq!(run.outputs, expect);
         assert_eq!(run.stats.cells, 100);
         assert_eq!(run.stats.simulated, 100);
@@ -329,7 +447,7 @@ mod tests {
         let run = engine.run(&jobs(&xs, &executions));
         // Every output is still correct — the rotten entry was recomputed,
         // not served.
-        let expect: Vec<Result<u64, WorkerPanic>> = xs.iter().map(|x| Ok(x * x)).collect();
+        let expect: Vec<Result<u64, CellFailure>> = xs.iter().map(|x| Ok(x * x)).collect();
         assert_eq!(run.outputs, expect);
         assert_eq!(run.stats.quarantined, 1);
         assert_eq!(run.stats.simulated, 1);
@@ -388,8 +506,12 @@ mod tests {
         assert_eq!(run.stats.simulated, 15);
         for (i, slot) in run.outputs.iter().enumerate() {
             if i == 7 {
-                let p = slot.as_ref().unwrap_err();
-                assert!(p.message.contains("cell x=7 blew up"), "got {p}");
+                match slot.as_ref().unwrap_err() {
+                    CellFailure::Panic(p) => {
+                        assert!(p.message.contains("cell x=7 blew up"), "got {p}")
+                    }
+                    other => panic!("expected a plain panic, got {other}"),
+                }
             } else {
                 assert_eq!(*slot.as_ref().unwrap(), (i as u64) * (i as u64));
             }
@@ -469,5 +591,212 @@ mod tests {
         let run = Executor::new().with_jobs(2).run(&jobs(&xs, &executions));
         assert_eq!(run.stats.observer_s, 0.0);
         assert!(!run.stats.summary().contains("observers"));
+    }
+
+    #[test]
+    fn retries_heal_chaos_panics_and_outputs_match_a_clean_run() {
+        let executions = AtomicUsize::new(0);
+        let xs: Vec<u64> = (0..64).collect();
+        let clean = Executor::new().with_jobs(1).run(&jobs(&xs, &executions));
+
+        let plan = ChaosPlan {
+            seed: 11,
+            panic_permille: 300,
+            ..ChaosPlan::default()
+        };
+        // With 30% injected panics and 4 retries, no cell can fail every
+        // attempt under this seed; all outputs must match the clean run.
+        let guard = GuardConfig {
+            retries: 4,
+            backoff_base_s: 0.0,
+            ..GuardConfig::default()
+        };
+        let chaotic_executions = AtomicUsize::new(0);
+        let run = Executor::new()
+            .with_jobs(4)
+            .with_guard(guard)
+            .with_chaos(plan)
+            .run(&jobs(&xs, &chaotic_executions));
+        assert_eq!(
+            run.outputs, clean.outputs,
+            "chaos may cost retries, never answers"
+        );
+        assert!(run.stats.retries > 0, "the seed must actually inject");
+        assert_eq!(run.stats.panicked, 0);
+        assert!(run.stats.summary().contains("retries"));
+    }
+
+    /// A job that sleeps long enough to blow any millisecond deadline.
+    struct Sluggish {
+        x: u64,
+    }
+
+    impl GridJob for Sluggish {
+        type Output = u64;
+        fn descriptor(&self) -> String {
+            format!("sluggish x={}", self.x)
+        }
+        fn execute(&self) -> u64 {
+            if self.x == 3 {
+                std::thread::sleep(std::time::Duration::from_millis(40));
+            }
+            self.x
+        }
+    }
+
+    #[test]
+    fn a_cell_past_its_deadline_times_out_and_is_never_cached() {
+        let cells: Vec<Sluggish> = (0..8).map(|x| Sluggish { x }).collect();
+        let guard = GuardConfig {
+            cell_timeout_s: Some(0.01),
+            retries: 1,
+            backoff_base_s: 0.0,
+            ..GuardConfig::default()
+        };
+        let engine = Executor::new().with_jobs(4).with_guard(guard);
+        let run = engine.run(&cells);
+        for (i, slot) in run.outputs.iter().enumerate() {
+            if i == 3 {
+                assert!(matches!(
+                    slot.as_ref().unwrap_err(),
+                    CellFailure::Timeout { attempts: 2, .. }
+                ));
+            } else {
+                assert_eq!(*slot.as_ref().unwrap(), i as u64);
+            }
+        }
+        assert_eq!(run.stats.timeouts, 2, "both attempts hit the deadline");
+        assert_eq!(run.stats.panicked, 1, "the timed-out cell failed its slot");
+        assert!(run.stats.summary().contains("2 timeouts"));
+
+        // The timed-out descriptor was never cached: a rerun retries it.
+        let warm = engine.run(&cells);
+        assert_eq!(warm.stats.memory_hits, 7);
+        assert_eq!(warm.stats.timeouts, 2);
+    }
+
+    #[test]
+    fn end_of_run_eviction_is_deterministic_across_worker_counts() {
+        let base = std::env::temp_dir().join(format!("olab-grid-evict-{}", std::process::id()));
+        let executions = AtomicUsize::new(0);
+        let xs: Vec<u64> = (0..32).collect();
+        let mut listings: Vec<Vec<(String, Vec<u8>)>> = Vec::new();
+        for workers in [1, 4] {
+            let dir = base.join(format!("w{workers}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            let engine = Executor::new()
+                .with_jobs(workers)
+                .with_disk_cache(&dir)
+                .unwrap()
+                .with_cache_cap(400);
+            let run = engine.run(&jobs(&xs, &executions));
+            assert!(run.stats.evicted > 0, "a 400-byte cap must evict");
+            assert!(run.stats.summary().contains("evicted"));
+            let mut listing: Vec<(String, Vec<u8>)> = std::fs::read_dir(&dir)
+                .unwrap()
+                .flatten()
+                .filter(|e| e.file_name().to_string_lossy().ends_with(".cell"))
+                .map(|e| {
+                    (
+                        e.file_name().to_string_lossy().into_owned(),
+                        std::fs::read(e.path()).unwrap(),
+                    )
+                })
+                .collect();
+            listing.sort();
+            listings.push(listing);
+        }
+        assert!(!listings[0].is_empty(), "the cap keeps some entries");
+        assert_eq!(
+            listings[0], listings[1],
+            "serial and parallel sweeps must leave byte-identical directories"
+        );
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn injected_enospc_degrades_to_memory_only_and_finishes_the_sweep() {
+        let dir = std::env::temp_dir().join(format!("olab-grid-enospc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let executions = AtomicUsize::new(0);
+        let xs: Vec<u64> = (0..16).collect();
+        let plan = ChaosPlan {
+            seed: 5,
+            enospc_permille: 1000,
+            ..ChaosPlan::default()
+        };
+        let engine = Executor::new()
+            .with_jobs(4)
+            .with_disk_cache(&dir)
+            .unwrap()
+            .with_chaos(plan);
+        let run = engine.run(&jobs(&xs, &executions));
+        let expect: Vec<Result<u64, CellFailure>> = xs.iter().map(|x| Ok(x * x)).collect();
+        assert_eq!(
+            run.outputs, expect,
+            "a full disk costs persistence, not answers"
+        );
+        assert!(run.stats.degraded);
+        assert!(run
+            .stats
+            .summary()
+            .contains("cache degraded to memory-only"));
+        let health = engine.cache().health();
+        assert!(health.degraded);
+        assert!(health
+            .degraded_reason
+            .as_deref()
+            .unwrap()
+            .contains("ENOSPC"));
+        // Memory tier still serves everything.
+        let warm = engine.run(&jobs(&xs, &executions));
+        assert_eq!(warm.stats.memory_hits, 16);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Forwards nothing but counts guard/health hook invocations.
+    #[derive(Default)]
+    struct HookCounter {
+        retries: AtomicUsize,
+        timeouts: AtomicUsize,
+        evictions: AtomicUsize,
+        degradations: AtomicUsize,
+    }
+
+    impl ProgressSink for HookCounter {
+        fn on_cell(&self, _p: &CellProgress<'_>) {}
+        fn on_retry(&self, _i: usize, _d: &str, _a: u32) {
+            self.retries.fetch_add(1, Ordering::SeqCst);
+        }
+        fn on_timeout(&self, _i: usize, _d: &str, _s: f64, _a: u32) {
+            self.timeouts.fetch_add(1, Ordering::SeqCst);
+        }
+        fn on_evict(&self, _e: usize, _b: u64, _m: u64) {
+            self.evictions.fetch_add(1, Ordering::SeqCst);
+        }
+        fn on_degraded(&self, _r: &str) {
+            self.degradations.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn guard_lifecycle_hooks_fire_for_timeouts_and_retries() {
+        let cells: Vec<Sluggish> = (0..8).map(|x| Sluggish { x }).collect();
+        let guard = GuardConfig {
+            cell_timeout_s: Some(0.01),
+            retries: 1,
+            backoff_base_s: 0.0,
+            ..GuardConfig::default()
+        };
+        let sink = HookCounter::default();
+        let run = Executor::new()
+            .with_jobs(2)
+            .with_guard(guard)
+            .run_with_progress(&cells, Some(&sink));
+        assert_eq!(run.stats.panicked, 1);
+        assert_eq!(sink.retries.load(Ordering::SeqCst), 1, "one retry started");
+        assert_eq!(sink.timeouts.load(Ordering::SeqCst), 1, "one final timeout");
+        assert_eq!(sink.evictions.load(Ordering::SeqCst), 0);
+        assert_eq!(sink.degradations.load(Ordering::SeqCst), 0);
     }
 }

@@ -13,6 +13,7 @@
 //! input order regardless of which worker computed what — the determinism
 //! anchor the grid executor's bit-identical-to-serial guarantee rests on.
 
+use crate::guard::{run_cell, CellCtx, CellReport, GuardConfig};
 use std::collections::VecDeque;
 use std::fmt;
 use std::num::NonZeroUsize;
@@ -29,7 +30,7 @@ pub struct WorkerPanic {
 }
 
 impl WorkerPanic {
-    fn from_payload(payload: Box<dyn std::any::Any + Send>) -> Self {
+    pub(crate) fn from_payload(payload: Box<dyn std::any::Any + Send>) -> Self {
         let message = if let Some(s) = payload.downcast_ref::<&str>() {
             (*s).to_string()
         } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -110,11 +111,42 @@ impl Pool {
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
-        let call = |item: &T| {
+        self.schedule(items, |item: &T| {
             std::panic::catch_unwind(AssertUnwindSafe(|| f(item)))
                 .map_err(WorkerPanic::from_payload)
-        };
+        })
+    }
 
+    /// Like [`Pool::try_map`], but every item runs under `guard`: per-cell
+    /// deadlines with cooperative cancellation (the closure receives the
+    /// attempt's [`CellCtx`]) and bounded exponential-backoff retries. Each
+    /// slot carries a full [`CellReport`] — the value or a typed
+    /// [`CellFailure`](crate::guard::CellFailure), plus attempt accounting
+    /// — in input order. With the default [`GuardConfig`] this is exactly
+    /// [`Pool::try_map`] wearing a richer return type.
+    pub fn try_map_guarded<T, R, F>(
+        &self,
+        items: &[T],
+        guard: &GuardConfig,
+        f: F,
+    ) -> Vec<CellReport<R>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T, &CellCtx) -> R + Sync,
+    {
+        self.schedule(items, |item: &T| run_cell(guard, |ctx| f(item, ctx)))
+    }
+
+    /// The work-stealing scheduler shared by every map flavor: applies
+    /// `call` (which must not unwind — the callers wrap panics themselves)
+    /// to each item and collects results by input index.
+    fn schedule<T, R, C>(&self, items: &[T], call: C) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        C: Fn(&T) -> R + Sync,
+    {
         let workers = self.workers.min(items.len());
         if workers <= 1 {
             return items.iter().map(call).collect();
@@ -125,7 +157,7 @@ impl Pool {
             .map(|w| Mutex::new((w..items.len()).step_by(workers).collect()))
             .collect();
 
-        let (tx, rx) = mpsc::channel::<(usize, Result<R, WorkerPanic>)>();
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
         std::thread::scope(|scope| {
             for w in 0..workers {
                 let tx = tx.clone();
@@ -143,8 +175,7 @@ impl Pool {
             }
             drop(tx);
 
-            let mut results: Vec<Option<Result<R, WorkerPanic>>> =
-                (0..items.len()).map(|_| None).collect();
+            let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
             for (idx, result) in rx {
                 results[idx] = Some(result);
             }
@@ -283,5 +314,49 @@ mod tests {
     fn map_repropagates_worker_panics() {
         let items: Vec<u64> = (0..8).collect();
         Pool::new(2).map(&items, |&x| if x == 3 { panic!("boom") } else { x });
+    }
+
+    #[test]
+    fn guarded_map_matches_try_map_with_default_guard() {
+        let items: Vec<u64> = (0..40).collect();
+        for workers in [1, 4] {
+            let reports = Pool::new(workers).try_map_guarded(
+                &items,
+                &crate::guard::GuardConfig::default(),
+                |&x, ctx| {
+                    assert_eq!(ctx.attempt(), 0);
+                    x * 3
+                },
+            );
+            assert_eq!(reports.len(), items.len());
+            for (i, r) in reports.iter().enumerate() {
+                assert_eq!(*r.result.as_ref().unwrap(), i as u64 * 3);
+                assert_eq!((r.attempts, r.timeouts), (1, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn guarded_map_retries_transient_panics_in_place() {
+        use std::sync::atomic::AtomicU32;
+        let items: Vec<u64> = (0..16).collect();
+        let first_tries: Vec<AtomicU32> = (0..16).map(|_| AtomicU32::new(0)).collect();
+        let guard = crate::guard::GuardConfig {
+            retries: 2,
+            backoff_base_s: 0.0,
+            ..Default::default()
+        };
+        let reports = Pool::new(4).try_map_guarded(&items, &guard, |&x, _| {
+            // Every odd item panics exactly once, then succeeds.
+            if x % 2 == 1 && first_tries[x as usize].fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient wobble on {x}");
+            }
+            x + 100
+        });
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(*r.result.as_ref().unwrap(), i as u64 + 100, "slot {i}");
+            let expected_attempts = if i % 2 == 1 { 2 } else { 1 };
+            assert_eq!(r.attempts, expected_attempts, "slot {i}");
+        }
     }
 }

@@ -14,11 +14,23 @@ pub struct SweepStats {
     pub memory_hits: usize,
     /// Cells served by the disk cache tier.
     pub disk_hits: usize,
-    /// Cells whose closure panicked (isolated by the pool, not cached).
+    /// Cells that ultimately failed — a panic, a missed deadline, or an
+    /// exhausted retry budget (isolated by the pool, never cached).
     pub panicked: usize,
     /// Disk cache entries that failed integrity verification during this
     /// sweep: quarantined as `*.corrupt` and recomputed.
     pub quarantined: usize,
+    /// Attempts that hit their wall-clock deadline, including ones later
+    /// recovered by a retry.
+    pub timeouts: usize,
+    /// Extra attempts made beyond each cell's first (0 without guards).
+    pub retries: usize,
+    /// Disk cache entries evicted by the size-cap policy during this
+    /// sweep (at open or at end-of-run enforcement).
+    pub evicted: usize,
+    /// The disk tier latched into memory-only degradation (ENOSPC/EACCES)
+    /// at some point up to the end of this sweep.
+    pub degraded: bool,
     /// Worker threads used.
     pub workers: usize,
     /// Wall-clock time of the whole sweep, seconds.
@@ -101,6 +113,18 @@ impl fmt::Display for SweepStats {
         if self.quarantined > 0 {
             write!(f, ", {} quarantined", self.quarantined)?;
         }
+        if self.retries > 0 {
+            write!(f, ", {} retries", self.retries)?;
+        }
+        if self.timeouts > 0 {
+            write!(f, ", {} timeouts", self.timeouts)?;
+        }
+        if self.evicted > 0 {
+            write!(f, ", {} evicted", self.evicted)?;
+        }
+        if self.degraded {
+            write!(f, ", cache degraded to memory-only")?;
+        }
         if self.observer_s > 0.0 {
             write!(f, ", {:.3} s in observers", self.observer_s)?;
         }
@@ -121,13 +145,10 @@ mod tests {
             simulated: 4,
             memory_hits: 5,
             disk_hits: 1,
-            panicked: 0,
-            quarantined: 0,
             workers: 8,
             wall_s: 2.0,
             cumulative_cell_s: 12.0,
-            observer_s: 0.0,
-            fast_path: 0,
+            ..SweepStats::default()
         }
     }
 
@@ -181,5 +202,29 @@ mod tests {
             ..stats()
         };
         assert!(fast.summary().contains("3 fast-path"));
+    }
+
+    #[test]
+    fn guard_and_cache_health_clauses_appear_only_when_nonzero() {
+        let quiet = stats().summary();
+        for absent in ["retries", "timeouts", "evicted", "degraded"] {
+            assert!(!quiet.contains(absent), "'{absent}' must be quiet: {quiet}");
+        }
+        let guarded = SweepStats {
+            retries: 5,
+            timeouts: 2,
+            evicted: 7,
+            degraded: true,
+            ..stats()
+        };
+        let text = guarded.summary();
+        for needle in [
+            "5 retries",
+            "2 timeouts",
+            "7 evicted",
+            "cache degraded to memory-only",
+        ] {
+            assert!(text.contains(needle), "missing '{needle}' in '{text}'");
+        }
     }
 }

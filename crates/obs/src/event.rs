@@ -173,6 +173,39 @@ pub enum ObsEvent<'a> {
         /// The cell's canonical descriptor.
         descriptor: &'a str,
     },
+    /// A guarded sweep cell is starting a retry attempt after a failed
+    /// earlier attempt.
+    CellRetry {
+        /// The cell's canonical descriptor.
+        descriptor: &'a str,
+        /// 1-based retry attempt (the first retry is 1).
+        attempt: u32,
+    },
+    /// A guarded sweep cell exhausted every attempt against its per-cell
+    /// wall-clock deadline.
+    CellTimeout {
+        /// The cell's canonical descriptor.
+        descriptor: &'a str,
+        /// The per-attempt deadline that was missed, seconds.
+        deadline_s: f64,
+        /// Total attempts made.
+        attempts: u32,
+    },
+    /// The size-cap policy evicted cold entries from the disk cache tier.
+    CacheEvict {
+        /// Entries evicted by this pass.
+        evicted: usize,
+        /// Bytes left on disk after the pass.
+        disk_bytes: u64,
+        /// The configured cap, bytes.
+        max_bytes: u64,
+    },
+    /// The disk cache tier latched into memory-only degradation (e.g.
+    /// ENOSPC or permission loss on write).
+    CacheDegraded {
+        /// Human-readable reason recorded by the latch.
+        reason: &'a str,
+    },
 }
 
 impl ObsEvent<'_> {
@@ -194,6 +227,10 @@ impl ObsEvent<'_> {
             ObsEvent::Reshard { .. } => "reshard",
             ObsEvent::CacheHit { .. } => "cache_hit",
             ObsEvent::CacheMiss { .. } => "cache_miss",
+            ObsEvent::CellRetry { .. } => "cell_retry",
+            ObsEvent::CellTimeout { .. } => "cell_timeout",
+            ObsEvent::CacheEvict { .. } => "cache_evict",
+            ObsEvent::CacheDegraded { .. } => "cache_degraded",
         }
     }
 }
@@ -359,6 +396,42 @@ pub fn to_jsonl(event: &ObsEvent<'_>) -> String {
         ObsEvent::CacheMiss { descriptor } => {
             let _ = write!(out, ", \"descriptor\": \"{}\"", json_escape(descriptor));
         }
+        ObsEvent::CellRetry {
+            descriptor,
+            attempt,
+        } => {
+            let _ = write!(
+                out,
+                ", \"descriptor\": \"{}\", \"attempt\": {attempt}",
+                json_escape(descriptor)
+            );
+        }
+        ObsEvent::CellTimeout {
+            descriptor,
+            deadline_s,
+            attempts,
+        } => {
+            let _ = write!(
+                out,
+                ", \"descriptor\": \"{}\", \"deadline_s\": {deadline_s:.6}, \
+                 \"attempts\": {attempts}",
+                json_escape(descriptor)
+            );
+        }
+        ObsEvent::CacheEvict {
+            evicted,
+            disk_bytes,
+            max_bytes,
+        } => {
+            let _ = write!(
+                out,
+                ", \"evicted\": {evicted}, \"disk_bytes\": {disk_bytes}, \
+                 \"max_bytes\": {max_bytes}"
+            );
+        }
+        ObsEvent::CacheDegraded { reason } => {
+            let _ = write!(out, ", \"reason\": \"{}\"", json_escape(reason));
+        }
     }
     out.push('}');
     out
@@ -523,6 +596,23 @@ mod tests {
             ObsEvent::CacheHit {
                 tier: "memory-hit",
                 descriptor: "olab-cell ...",
+            },
+            ObsEvent::CellRetry {
+                descriptor: "olab-cell ...",
+                attempt: 2,
+            },
+            ObsEvent::CellTimeout {
+                descriptor: "olab-cell ...",
+                deadline_s: 1.5,
+                attempts: 3,
+            },
+            ObsEvent::CacheEvict {
+                evicted: 7,
+                disk_bytes: 4096,
+                max_bytes: 8192,
+            },
+            ObsEvent::CacheDegraded {
+                reason: "no space left on device",
             },
         ]
     }

@@ -8,6 +8,7 @@
 //! Panicked cells are isolated by the pool and surface only in the final
 //! sweep stats, never through these sinks.
 
+use crate::event::{to_jsonl, ObsEvent};
 use olab_core::fmtutil::json_escape;
 use olab_grid::{CellProgress, ProgressSink};
 use std::fmt::Write as _;
@@ -58,11 +59,25 @@ impl ProgressSink for StderrProgress {
         }
         let _ = out.flush();
     }
+
+    fn on_degraded(&self, reason: &str) {
+        let mut out = self.out.lock().unwrap();
+        let _ = writeln!(
+            out,
+            "\n[olab] warning: disk cache degraded to memory-only ({reason})"
+        );
+        let _ = out.flush();
+    }
 }
 
 /// Appends one JSON object per resolved cell to any writer (typically a
 /// `progress.jsonl` file): completion counter, input index, descriptor,
-/// resolution, and wall-clock seconds since the sweep started.
+/// resolution, attempts, and wall-clock seconds since the sweep started.
+///
+/// Guard and cache-health lifecycle events (retries, timeouts, evictions,
+/// degradation) are interleaved into the same stream as typed
+/// [`ObsEvent`] lines, so one file tells the whole story of a hardened
+/// sweep.
 #[derive(Debug)]
 pub struct JsonlProgress<W: std::io::Write + Send> {
     out: Mutex<W>,
@@ -82,23 +97,60 @@ impl<W: std::io::Write + Send> JsonlProgress<W> {
     }
 }
 
+impl<W: std::io::Write + Send> JsonlProgress<W> {
+    fn write_event(&self, event: &ObsEvent<'_>) {
+        let mut line = to_jsonl(event);
+        line.push('\n');
+        let mut out = self.out.lock().unwrap();
+        let _ = out.write_all(line.as_bytes());
+    }
+}
+
 impl<W: std::io::Write + Send> ProgressSink for JsonlProgress<W> {
     fn on_cell(&self, p: &CellProgress<'_>) {
         let mut line = String::with_capacity(96);
         let _ = write!(
             line,
             "{{\"completed\": {}, \"total\": {}, \"index\": {}, \"descriptor\": \"{}\", \
-             \"resolution\": \"{}\", \"wall_s\": {:.3}}}",
+             \"resolution\": \"{}\", \"attempts\": {}, \"wall_s\": {:.3}}}",
             p.completed,
             p.total,
             p.index,
             json_escape(p.descriptor),
             p.resolution.label(),
+            p.attempts,
             p.wall_s
         );
         line.push('\n');
         let mut out = self.out.lock().unwrap();
         let _ = out.write_all(line.as_bytes());
+    }
+
+    fn on_retry(&self, _index: usize, descriptor: &str, attempt: u32) {
+        self.write_event(&ObsEvent::CellRetry {
+            descriptor,
+            attempt,
+        });
+    }
+
+    fn on_timeout(&self, _index: usize, descriptor: &str, deadline_s: f64, attempts: u32) {
+        self.write_event(&ObsEvent::CellTimeout {
+            descriptor,
+            deadline_s,
+            attempts,
+        });
+    }
+
+    fn on_evict(&self, evicted: usize, disk_bytes: u64, max_bytes: u64) {
+        self.write_event(&ObsEvent::CacheEvict {
+            evicted,
+            disk_bytes,
+            max_bytes,
+        });
+    }
+
+    fn on_degraded(&self, reason: &str) {
+        self.write_event(&ObsEvent::CacheDegraded { reason });
     }
 }
 
@@ -136,6 +188,30 @@ impl ProgressSink for MultiSink {
             sink.on_cell(p);
         }
     }
+
+    fn on_retry(&self, index: usize, descriptor: &str, attempt: u32) {
+        for sink in &self.sinks {
+            sink.on_retry(index, descriptor, attempt);
+        }
+    }
+
+    fn on_timeout(&self, index: usize, descriptor: &str, deadline_s: f64, attempts: u32) {
+        for sink in &self.sinks {
+            sink.on_timeout(index, descriptor, deadline_s, attempts);
+        }
+    }
+
+    fn on_evict(&self, evicted: usize, disk_bytes: u64, max_bytes: u64) {
+        for sink in &self.sinks {
+            sink.on_evict(evicted, disk_bytes, max_bytes);
+        }
+    }
+
+    fn on_degraded(&self, reason: &str) {
+        for sink in &self.sinks {
+            sink.on_degraded(reason);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -151,6 +227,7 @@ mod tests {
             index: completed - 1,
             descriptor: "olab-cell \"x\"",
             resolution: CellResolution::Simulated,
+            attempts: 1,
             wall_s: 0.5,
         }
     }
@@ -169,6 +246,58 @@ mod tests {
         }
         assert!(lines[0].contains("\"completed\": 1"));
         assert!(lines[1].contains("\"resolution\": \"simulated\""));
+    }
+
+    #[test]
+    fn jsonl_progress_interleaves_guard_events_as_typed_lines() {
+        let sink = JsonlProgress::new(Vec::new());
+        sink.on_cell(&progress(1, 2));
+        sink.on_retry(1, "olab-cell y", 1);
+        sink.on_timeout(1, "olab-cell y", 2.0, 3);
+        sink.on_cell(&progress(2, 2));
+        sink.on_evict(4, 2048, 4096);
+        sink.on_degraded("no space left on device");
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 6);
+        for line in &lines {
+            validate_json(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        assert!(lines[1].contains("\"event\": \"cell_retry\""));
+        assert!(lines[2].contains("\"event\": \"cell_timeout\""));
+        assert!(lines[2].contains("\"attempts\": 3"));
+        assert!(lines[4].contains("\"event\": \"cache_evict\""));
+        assert!(lines[5].contains("\"event\": \"cache_degraded\""));
+    }
+
+    #[test]
+    fn multi_sink_forwards_guard_hooks_to_every_member() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct Counting(std::sync::Arc<AtomicUsize>);
+        impl ProgressSink for Counting {
+            fn on_cell(&self, _: &CellProgress<'_>) {}
+            fn on_retry(&self, _: usize, _: &str, _: u32) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+            fn on_timeout(&self, _: usize, _: &str, _: f64, _: u32) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+            fn on_evict(&self, _: usize, _: u64, _: u64) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+            fn on_degraded(&self, _: &str) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let count = std::sync::Arc::new(AtomicUsize::new(0));
+        let mut multi = MultiSink::new();
+        multi.push(Box::new(Counting(std::sync::Arc::clone(&count))));
+        multi.push(Box::new(Counting(std::sync::Arc::clone(&count))));
+        multi.on_retry(0, "d", 1);
+        multi.on_timeout(0, "d", 1.0, 2);
+        multi.on_evict(1, 2, 3);
+        multi.on_degraded("r");
+        assert_eq!(count.load(Ordering::SeqCst), 8);
     }
 
     #[test]
