@@ -22,10 +22,13 @@
 //! level — `event_loop_lean / fast_path_lean` — which is how sweeps consume
 //! cells; `fast_path_full_speedup` is the full-result comparison.
 //!
-//! Writes `BENCH_cell.json` (override with `--out <path>`) and prints the
-//! same JSON to stdout; `--smoke` shrinks the cell and iteration count for
-//! CI. The differential suite in `olab-oracle` pins that all paths produce
-//! the same answers; this binary pins what they cost.
+//! Writes a single snapshot (override the path with `--out <path>`) and
+//! prints the same JSON to stdout; `--smoke` shrinks the cell and
+//! iteration count for CI. Each snapshot is stamped with the commit and
+//! mode so the `trend` binary can append it to the `BENCH_cell.json`
+//! trajectory and gate future runs against it. The differential suite in
+//! `olab-oracle` pins that all paths produce the same answers; this
+//! binary pins what they cost.
 
 use olab_core::fmtutil::{json_escape, validate_json};
 use olab_core::{
@@ -37,9 +40,19 @@ use olab_parallel::ExecutionMode;
 use olab_sim::{Engine, SimArena};
 use std::time::Instant;
 
-fn median_ns(mut samples: Vec<u128>) -> u128 {
-    samples.sort_unstable();
-    samples[samples.len() / 2]
+fn median_ns(samples: &[u128]) -> u128 {
+    quantile_ns(samples, 0.5)
+}
+
+fn p99_ns(samples: &[u128]) -> u128 {
+    quantile_ns(samples, 0.99)
+}
+
+fn quantile_ns(samples: &[u128], q: f64) -> u128 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
 }
 
 fn main() {
@@ -121,18 +134,22 @@ fn main() {
         "the benchmark cell must be fast-path eligible on both fast runs"
     );
 
-    let cold_ns = median_ns(cold);
-    let warm_ns = median_ns(warm);
-    let fast_full_ns = median_ns(fast_full);
-    let fast_lean_ns = median_ns(fast_lean);
-    let loop_full_ns = median_ns(loop_full);
-    let loop_lean_ns = median_ns(loop_lean);
+    let cold_ns = median_ns(&cold);
+    let warm_ns = median_ns(&warm);
+    let fast_full_ns = median_ns(&fast_full);
+    let fast_lean_ns = median_ns(&fast_lean);
+    let loop_full_ns = median_ns(&loop_full);
+    let loop_lean_ns = median_ns(&loop_lean);
     let speedup = loop_lean_ns as f64 / fast_lean_ns as f64;
     let full_speedup = loop_full_ns as f64 / fast_full_ns as f64;
     let arena_savings = 1.0 - warm_ns as f64 / cold_ns as f64;
+    let mode = if smoke { "smoke" } else { "full" };
+    let commit = olab_bench::trend::current_commit();
 
     let json = format!(
-        "{{\n  \"bench\": \"cell_cost\",\n  \"cell\": \"{}\",\n  \"tasks\": {},\n  \"iters\": {},\n  \"median_ns\": {{\n    \"event_loop_cold_arena\": {},\n    \"event_loop_warm_arena\": {},\n    \"event_loop_full_stats\": {},\n    \"event_loop_lean\": {},\n    \"fast_path_full\": {},\n    \"fast_path_lean\": {}\n  }},\n  \"fast_path_speedup\": {:.2},\n  \"fast_path_full_speedup\": {:.2},\n  \"warm_arena_savings_frac\": {:.4}\n}}\n",
+        "{{\n  \"bench\": \"cell_cost\",\n  \"commit\": \"{}\",\n  \"mode\": \"{}\",\n  \"cell\": \"{}\",\n  \"tasks\": {},\n  \"iters\": {},\n  \"median_ns\": {{\n    \"event_loop_cold_arena\": {},\n    \"event_loop_warm_arena\": {},\n    \"event_loop_full_stats\": {},\n    \"event_loop_lean\": {},\n    \"fast_path_full\": {},\n    \"fast_path_lean\": {}\n  }},\n  \"p99_ns\": {{\n    \"event_loop_cold_arena\": {},\n    \"event_loop_warm_arena\": {},\n    \"event_loop_full_stats\": {},\n    \"event_loop_lean\": {},\n    \"fast_path_full\": {},\n    \"fast_path_lean\": {}\n  }},\n  \"fast_path_speedup\": {:.2},\n  \"fast_path_full_speedup\": {:.2},\n  \"warm_arena_savings_frac\": {:.4}\n}}\n",
+        json_escape(&commit),
+        mode,
         json_escape(&exp.label()),
         workload.len(),
         iters,
@@ -142,6 +159,12 @@ fn main() {
         loop_lean_ns,
         fast_full_ns,
         fast_lean_ns,
+        p99_ns(&cold),
+        p99_ns(&warm),
+        p99_ns(&loop_full),
+        p99_ns(&loop_lean),
+        p99_ns(&fast_full),
+        p99_ns(&fast_lean),
         speedup,
         full_speedup,
         arena_savings,

@@ -19,9 +19,13 @@
 //! * **eviction** — a byte-capped cache filled serially and in parallel
 //!   must evict to the identical set of surviving entries.
 //!
-//! Writes `BENCH_soak.json` (override with `--out <path>`) and prints the
-//! same JSON to stdout; `--smoke` shrinks the grid for CI (the full run
-//! soaks >= 1000 cells).
+//! Writes a single snapshot (override the path with `--out <path>`) and
+//! prints the same JSON to stdout; `--smoke` shrinks the grid for CI (the
+//! full run soaks >= 1000 cells). The soak runs with the `olab-metrics`
+//! registry enabled and reports its per-cell execution-latency quantiles
+//! straight from the `olab_grid_cell_exec_ns` histogram; each snapshot is
+//! stamped with the commit and mode so the `trend` binary can append it
+//! to the `BENCH_soak.json` trajectory.
 
 use olab_core::fmtutil::validate_json;
 use olab_grid::{
@@ -167,6 +171,11 @@ fn main() {
         .unwrap_or_else(|| "BENCH_soak.json".to_string());
 
     silence_chaos_panics();
+
+    // Soak with self-telemetry on: every computed cell lands in the
+    // `olab_grid_cell_exec_ns` histogram the report reads at the end.
+    olab_metrics::set_enabled(true);
+    olab_grid::metrics::touch();
 
     let n_cells: u64 = if smoke { 400 } else { 1200 };
     let cells: Vec<SoakCell> = (0..n_cells).map(|id| SoakCell { id }).collect();
@@ -355,9 +364,25 @@ fn main() {
     let _ = std::fs::remove_dir_all(&dir_serial);
     let _ = std::fs::remove_dir_all(&dir_parallel);
 
+    // Cell-latency quantiles across every computed cell of every phase,
+    // straight from the registry histogram the executor feeds.
+    let exec = olab_metrics::histogram(
+        "olab_grid_cell_exec_ns",
+        "Wall-clock of each computed (non-cached) cell execution.",
+    )
+    .snapshot();
+    let mode = if smoke { "smoke" } else { "full" };
+    let commit = olab_bench::trend::current_commit();
+
     let json = format!(
-        "{{\n  \"bench\": \"grid_soak\",\n  \"cells\": {},\n  \"chaos_identical\": true,\n  \"pool_chaos\": {{\n    \"retries\": {},\n    \"timeouts\": {},\n    \"failed_cells\": {}\n  }},\n  \"cache_chaos\": {{\n    \"quarantined\": {},\n    \"tmp_reaped\": {},\n    \"leaked_tmps\": {}\n  }},\n  \"degradation\": {{\n    \"latched\": {}\n  }},\n  \"eviction\": {{\n    \"cap_bytes\": {},\n    \"evicted\": {},\n    \"surviving_entries\": {},\n    \"surviving_bytes\": {},\n    \"deterministic\": true\n  }}\n}}\n",
+        "{{\n  \"bench\": \"grid_soak\",\n  \"commit\": \"{}\",\n  \"mode\": \"{}\",\n  \"cells\": {},\n  \"chaos_identical\": true,\n  \"cell_exec_ns\": {{\n    \"count\": {},\n    \"p50\": {},\n    \"p99\": {},\n    \"max\": {}\n  }},\n  \"pool_chaos\": {{\n    \"retries\": {},\n    \"timeouts\": {},\n    \"failed_cells\": {}\n  }},\n  \"cache_chaos\": {{\n    \"quarantined\": {},\n    \"tmp_reaped\": {},\n    \"leaked_tmps\": {}\n  }},\n  \"degradation\": {{\n    \"latched\": {}\n  }},\n  \"eviction\": {{\n    \"cap_bytes\": {},\n    \"evicted\": {},\n    \"surviving_entries\": {},\n    \"surviving_bytes\": {},\n    \"deterministic\": true\n  }}\n}}\n",
+        olab_core::fmtutil::json_escape(&commit),
+        mode,
         n_cells,
+        exec.count,
+        exec.p50(),
+        exec.p99(),
+        exec.max,
         chaos_run.stats.retries,
         chaos_run.stats.timeouts,
         chaos_run.stats.panicked,

@@ -19,12 +19,15 @@
 //! | `headline`| the abstract's aggregate statistics |
 //! | `ablation_*` | design-space studies beyond the paper |
 //! | `conformance` | closed-form-oracle gate over every grid above (exits 1 on divergence) |
+//! | `trend`   | perf-trajectory tooling: appends `cell_cost`/`grid_soak` snapshots to the `BENCH_*.json` trajectories and gates candidates against them (exits 1 on regression) |
 //!
 //! Run any of them with `cargo run --release -p olab-bench --bin <name>`.
 //! Criterion benches (`cargo bench`) measure the simulator itself.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod trend;
 
 use olab_core::report::Table;
 

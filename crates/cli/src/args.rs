@@ -119,6 +119,10 @@ pub struct SweepArgs {
     /// Disk-cache byte cap with deterministic eviction
     /// (`--cache-max-bytes N`); requires a disk cache.
     pub cache_max_bytes: Option<u64>,
+    /// Engine self-telemetry exposition directory (`--metrics DIR`):
+    /// enables the `olab-metrics` registry and writes `metrics.prom` +
+    /// `metrics.json` there after the sweep.
+    pub metrics: Option<String>,
 }
 
 impl Default for SweepArgs {
@@ -133,6 +137,7 @@ impl Default for SweepArgs {
             cell_timeout_s: None,
             retries: None,
             cache_max_bytes: None,
+            metrics: None,
         }
     }
 }
@@ -170,6 +175,8 @@ pub struct FaultsArgs {
     /// Disk-cache byte cap with deterministic eviction
     /// (`--cache-max-bytes N`); requires a disk cache.
     pub cache_max_bytes: Option<u64>,
+    /// Engine self-telemetry exposition directory (`--metrics DIR`).
+    pub metrics: Option<String>,
 }
 
 impl Default for FaultsArgs {
@@ -187,6 +194,7 @@ impl Default for FaultsArgs {
             cell_timeout_s: None,
             retries: None,
             cache_max_bytes: None,
+            metrics: None,
         }
     }
 }
@@ -238,6 +246,8 @@ pub struct ObserveArgs {
     pub cell_timeout_s: Option<f64>,
     /// Retry budget for the observed run (`--retries N`).
     pub retries: Option<u32>,
+    /// Engine self-telemetry exposition directory (`--metrics DIR`).
+    pub metrics: Option<String>,
 }
 
 impl Default for ObserveArgs {
@@ -252,6 +262,7 @@ impl Default for ObserveArgs {
             abort: false,
             cell_timeout_s: None,
             retries: None,
+            metrics: None,
         }
     }
 }
@@ -446,12 +457,14 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             reject_observe("list", observe)?;
             reject_recovery("list", &pairs)?;
             reject_guard("list", &pairs)?;
+            reject_metrics("list", &pairs)?;
             Ok(Command::List)
         }
         "run" => {
             reject_observe("run", observe)?;
             reject_recovery("run", &pairs)?;
             reject_guard("run", &pairs)?;
+            reject_metrics("run", &pairs)?;
             let (mut args, rest) = parse_run_args(&pairs)?;
             args.csv = csv;
             reject_unknown(&rest)?;
@@ -482,6 +495,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     "--cell-timeout-s" => sweep.cell_timeout_s = Some(positive_secs(flag, value)?),
                     "--retries" => sweep.retries = Some(num(flag, value)?),
                     "--cache-max-bytes" => sweep.cache_max_bytes = Some(num(flag, value)?),
+                    "--metrics" => sweep.metrics = Some(value.to_string()),
                     _ => unknown.push((flag, value)),
                 }
             }
@@ -493,6 +507,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             reject_observe("trace", observe)?;
             reject_recovery("trace", &pairs)?;
             reject_guard("trace", &pairs)?;
+            reject_metrics("trace", &pairs)?;
             let (mut args, rest) = parse_run_args(&pairs)?;
             args.csv = csv;
             let mut interval = 1.0;
@@ -511,6 +526,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             reject_observe("chrome", observe)?;
             reject_recovery("chrome", &pairs)?;
             reject_guard("chrome", &pairs)?;
+            reject_metrics("chrome", &pairs)?;
             let (mut args, rest) = parse_run_args(&pairs)?;
             args.csv = csv;
             reject_unknown(&rest)?;
@@ -546,6 +562,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     "--cell-timeout-s" => faults.cell_timeout_s = Some(positive_secs(flag, value)?),
                     "--retries" => faults.retries = Some(num(flag, value)?),
                     "--cache-max-bytes" => faults.cache_max_bytes = Some(num(flag, value)?),
+                    "--metrics" => faults.metrics = Some(value.to_string()),
                     _ => unknown.push((flag, value)),
                 }
             }
@@ -558,6 +575,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             reject_observe("resilience", observe)?;
             reject_recovery("resilience", &pairs)?;
             reject_guard("resilience", &pairs)?;
+            reject_metrics("resilience", &pairs)?;
             let (mut args, rest) = parse_run_args(&pairs)?;
             args.csv = csv;
             let mut res = ResilienceArgs::default();
@@ -614,6 +632,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     "--action" => obs.abort = parse_action(value)?,
                     "--cell-timeout-s" => obs.cell_timeout_s = Some(positive_secs(flag, value)?),
                     "--retries" => obs.retries = Some(num(flag, value)?),
+                    "--metrics" => obs.metrics = Some(value.to_string()),
                     "--cache-max-bytes" => {
                         return Err(CliError(
                             "--cache-max-bytes is not supported by 'observe' \
@@ -631,6 +650,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             reject_observe("tune", observe)?;
             reject_recovery("tune", &pairs)?;
             reject_guard("tune", &pairs)?;
+            reject_metrics("tune", &pairs)?;
             let (mut args, rest) = parse_run_args(&pairs)?;
             args.csv = csv;
             let mut objective = Objective::Latency;
@@ -699,6 +719,19 @@ fn require_cache_for_cap(cap: Option<u64>, cache: &Option<String>) -> Result<(),
             "--cache-max-bytes requires a disk cache (--cache DIR or OLAB_CACHE_DIR)".to_string(),
         )),
     }
+}
+
+/// `--metrics` only makes sense where an engine runs long enough to have
+/// telemetry worth exposing (sweep, faults, observe).
+fn reject_metrics(sub: &str, pairs: &[(&str, &str)]) -> Result<(), CliError> {
+    for &(flag, _) in pairs {
+        if flag == "--metrics" {
+            return Err(CliError(format!(
+                "--metrics is not supported by '{sub}' (use sweep, faults, or observe)"
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// `--recovery`/`--ckpt-interval-s` only make sense where faults inject.
@@ -1010,6 +1043,37 @@ mod tests {
         }
         let err = parse(&argv("observe --cache-max-bytes 9")).unwrap_err();
         assert!(err.0.contains("not supported by 'observe'"), "{err}");
+    }
+
+    #[test]
+    fn metrics_flag_parses_on_telemetry_subcommands() {
+        let cmd = parse(&argv("sweep --metrics /tmp/m")).unwrap();
+        let Command::Sweep(_, sweep) = cmd else {
+            panic!("expected sweep");
+        };
+        assert_eq!(sweep.metrics.as_deref(), Some("/tmp/m"));
+
+        let cmd = parse(&argv("faults --metrics out")).unwrap();
+        let Command::Faults(_, faults) = cmd else {
+            panic!("expected faults");
+        };
+        assert_eq!(faults.metrics.as_deref(), Some("out"));
+
+        let cmd = parse(&argv("observe --metrics m")).unwrap();
+        let Command::Observe(_, obs) = cmd else {
+            panic!("expected observe");
+        };
+        assert_eq!(obs.metrics.as_deref(), Some("m"));
+        assert!(parse(&argv("sweep --metrics")).is_err(), "needs a value");
+    }
+
+    #[test]
+    fn metrics_flag_is_rejected_on_non_telemetry_subcommands() {
+        for sub in ["run", "trace", "chrome", "tune", "resilience", "list"] {
+            let err = parse(&argv(&format!("{sub} --metrics /tmp/m"))).unwrap_err();
+            assert!(err.0.contains("--metrics"), "{sub}: {err}");
+            assert!(err.0.contains("sweep, faults, or observe"), "{sub}: {err}");
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@ USAGE:
              [--cache-max-bytes N]             disk-cache cap, deterministic eviction
              [--cell-timeout-s X] [--retries N] per-cell deadline and retry budget
              [--observe] [--out-dir DIR]       live progress, per-cell run artifacts
+             [--metrics DIR]                   engine self-telemetry (metrics.prom/.json)
   olab trace [flags] [--interval-ms 1]         sampled power trace (CSV-ish)
   olab tune  [flags] [--objective energy]      adaptive overlap search (FSDP)
   olab chrome [flags]                          chrome://tracing JSON timeline
@@ -34,6 +35,7 @@ USAGE:
               [--ckpt-interval-s X]              fault table (X pins the ckpt interval)
               [--cache DIR] [--cache-max-bytes N] persistent capped result cache
               [--cell-timeout-s X] [--retries N] per-cell deadline and retry budget
+              [--metrics DIR]                  engine self-telemetry (metrics.prom/.json)
   olab resilience [flags] [--seeds 3]          three-policy recovery comparison
               [--severity mild|moderate|severe] (fail-fast vs checkpoint vs elastic)
               [--jobs N]
@@ -41,6 +43,7 @@ USAGE:
                [--out-dir DIR] [--sample-ms 100] [--jobs N]
                [--fault-seed N] [--severity mild|moderate|severe] [--action degrade|abort]
                [--cell-timeout-s X] [--retries N] guarded observed run
+               [--metrics DIR]                 engine self-telemetry (metrics.prom/.json)
 
 FLAGS (shared):
   --sku a100|h100|mi210|mi250     --gpus N             --model gpt3-2.7b|...
@@ -133,6 +136,7 @@ pub fn run(args: &RunArgs) -> Result<String, CliError> {
 /// under `--cache DIR`, default `OLAB_CACHE_DIR`, else memory-only).
 /// Telemetry goes to stderr; the table on stdout stays machine-readable.
 pub fn sweep(args: &RunArgs, sweep_args: &SweepArgs) -> Result<String, CliError> {
+    enable_metrics(&sweep_args.metrics);
     let mut engine = Sweep::from_env();
     if let Some(jobs) = sweep_args.jobs {
         engine = engine.with_jobs(jobs);
@@ -219,6 +223,7 @@ pub fn sweep(args: &RunArgs, sweep_args: &SweepArgs) -> Result<String, CliError>
             }
         }
     }
+    write_metrics(&sweep_args.metrics)?;
     Ok(if args.csv {
         table.to_csv()
     } else {
@@ -264,6 +269,7 @@ pub fn chrome(args: &RunArgs) -> Result<String, CliError> {
 pub fn faults(args: &RunArgs, faults_args: &FaultsArgs) -> Result<String, CliError> {
     use olab_faults::{CachedFaultCell, FaultCell, FaultScenarioSpec};
 
+    enable_metrics(&faults_args.metrics);
     if let Some(policy) = faults_args.recovery {
         return faults_with_recovery(args, faults_args, policy);
     }
@@ -372,6 +378,7 @@ pub fn faults(args: &RunArgs, faults_args: &FaultsArgs) -> Result<String, CliErr
             ]),
         };
     }
+    write_metrics(&faults_args.metrics)?;
     Ok(if args.csv {
         table.to_csv()
     } else {
@@ -480,6 +487,7 @@ fn faults_with_recovery(
         row.extend(recovery_columns(&cached));
         table.row(row);
     }
+    write_metrics(&faults_args.metrics)?;
     Ok(if args.csv {
         table.to_csv()
     } else {
@@ -559,6 +567,7 @@ pub fn resilience(args: &RunArgs, res: &ResilienceArgs) -> Result<String, CliErr
 pub fn observe(args: &RunArgs, obs: &ObserveArgs) -> Result<String, CliError> {
     use olab_faults::FaultScenarioSpec;
 
+    enable_metrics(&obs.metrics);
     let exp = match obs.cell.as_deref() {
         None => args.experiment(),
         Some("fig7") => olab_core::registry::fig7(),
@@ -596,6 +605,7 @@ pub fn observe(args: &RunArgs, obs: &ObserveArgs) -> Result<String, CliError> {
         Ok(run) => run?,
         Err(failure) => return Err(CliError(format!("observed run failed: {failure}"))),
     };
+    write_metrics(&obs.metrics)?;
     match &obs.out_dir {
         Some(dir) => {
             let paths = artifact
@@ -609,6 +619,30 @@ pub fn observe(args: &RunArgs, obs: &ObserveArgs) -> Result<String, CliError> {
         }
         None => Ok(artifact.manifest.to_json() + "\n"),
     }
+}
+
+/// Turns on the `olab-metrics` registry when `--metrics DIR` was given,
+/// forcing registration of every engine family so the expositions are
+/// complete (zeros included) regardless of which paths end up running.
+fn enable_metrics(metrics: &Option<String>) {
+    if metrics.is_some() {
+        olab_metrics::set_enabled(true);
+        olab_core::fastpath::touch_metrics();
+    }
+}
+
+/// Writes `metrics.prom` + `metrics.json` under `--metrics DIR` after the
+/// command ran, validating the JSON exposition before anything touches
+/// disk (`olab-metrics` is std-only and sits below `fmtutil`, so the
+/// well-formedness check lives here). A no-op when the flag was absent.
+fn write_metrics(metrics: &Option<String>) -> Result<(), CliError> {
+    let Some(dir) = metrics else {
+        return Ok(());
+    };
+    olab_core::fmtutil::validate_json(&olab_metrics::render_json())
+        .map_err(|e| CliError(format!("--metrics: malformed exposition: {e}")))?;
+    std::fs::create_dir_all(dir).map_err(|e| CliError(format!("--metrics {dir}: {e}")))?;
+    olab_metrics::write_files(Path::new(dir)).map_err(|e| CliError(format!("--metrics {dir}: {e}")))
 }
 
 /// Builds the live-progress fan-out for `--observe`: a stderr status line
@@ -704,6 +738,7 @@ mod tests {
             "--cell-timeout-s",
             "--retries",
             "--cache-max-bytes",
+            "--metrics",
         ] {
             assert!(h.contains(flag), "{flag}");
         }

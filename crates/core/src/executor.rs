@@ -242,14 +242,22 @@ impl LeanRun {
 /// Propagates [`SimError`] from the engine (malformed DAG, deadlock, or a
 /// misbehaving rate model).
 pub fn execute(workload: &Workload<Op>, machine: &Machine) -> Result<RunResult, SimError> {
+    let start = olab_metrics::now_if_enabled();
     if crate::fastpath::machine_eligible(machine) {
         if let Some(result) = crate::analytic::execute_fast(workload, machine) {
             crate::fastpath::note_fast_run();
+            let m = crate::fastpath::route_metrics();
+            m.fast_full.inc();
+            m.fast_full_ns.observe_since(start);
             return Ok(result);
         }
     }
     crate::fastpath::note_event_loop_run();
-    execute_model(workload, machine.clone())
+    let result = execute_model(workload, machine.clone());
+    let m = crate::fastpath::route_metrics();
+    m.event_loop_full.inc();
+    m.event_loop_full_ns.observe_since(start);
+    result
 }
 
 /// Runs a schedule on a machine, producing only the scalar [`LeanRun`]
@@ -267,17 +275,22 @@ pub fn execute(workload: &Workload<Op>, machine: &Machine) -> Result<RunResult, 
 /// Propagates [`SimError`] from the engine (malformed DAG, deadlock, or a
 /// misbehaving rate model).
 pub fn execute_lean(workload: &Workload<Op>, machine: &Machine) -> Result<LeanRun, SimError> {
+    let start = olab_metrics::now_if_enabled();
     if crate::fastpath::machine_eligible(machine) {
         if let Some(result) = crate::analytic::execute_fast_lean(workload, machine) {
             crate::fastpath::note_fast_run();
+            let m = crate::fastpath::route_metrics();
+            m.fast_lean.inc();
+            m.fast_lean_ns.observe_since(start);
             return Ok(result);
         }
     }
     crate::fastpath::note_event_loop_run();
-    Ok(LeanRun::summarize(&execute_model(
-        workload,
-        machine.clone(),
-    )?))
+    let result = execute_model(workload, machine.clone())?;
+    let m = crate::fastpath::route_metrics();
+    m.event_loop_lean.inc();
+    m.event_loop_lean_ns.observe_since(start);
+    Ok(LeanRun::summarize(&result))
 }
 
 /// Runs a schedule on a machine through the event loop unconditionally,

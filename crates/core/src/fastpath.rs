@@ -21,13 +21,81 @@
 //! cells took which path so artifacts stay auditable.
 
 use crate::Machine;
+use olab_metrics::{counter, Counter, Determinism, Histogram};
 use olab_parallel::Op;
 use olab_sim::Workload;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 static ENABLED: AtomicBool = AtomicBool::new(true);
 static FAST_RUNS: AtomicU64 = AtomicU64::new(0);
 static EVENT_LOOP_RUNS: AtomicU64 = AtomicU64::new(0);
+
+/// Registry-backed route attribution: per-route cell counts (cross-run
+/// deterministic) and per-route cell-latency histograms (wall-clock), for
+/// the `olab-metrics` expositions. The legacy `fast_runs`/`event_loop_runs`
+/// atomics above stay authoritative for [`SweepStats`](crate::SweepStats).
+pub(crate) struct RouteMetrics {
+    pub fast_full: &'static Counter,
+    pub fast_lean: &'static Counter,
+    pub event_loop_full: &'static Counter,
+    pub event_loop_lean: &'static Counter,
+    pub fast_full_ns: &'static Histogram,
+    pub fast_lean_ns: &'static Histogram,
+    pub event_loop_full_ns: &'static Histogram,
+    pub event_loop_lean_ns: &'static Histogram,
+}
+
+pub(crate) fn route_metrics() -> &'static RouteMetrics {
+    static M: OnceLock<RouteMetrics> = OnceLock::new();
+    M.get_or_init(|| RouteMetrics {
+        fast_full: counter(
+            "olab_core_route_fast_full_total",
+            Determinism::CrossRun,
+            "Cells served by the analytic fast path with full statistics.",
+        ),
+        fast_lean: counter(
+            "olab_core_route_fast_lean_total",
+            Determinism::CrossRun,
+            "Cells served by the analytic fast path with lean (scalar) statistics.",
+        ),
+        event_loop_full: counter(
+            "olab_core_route_event_loop_full_total",
+            Determinism::CrossRun,
+            "Cells that fell back to the event loop with full statistics.",
+        ),
+        event_loop_lean: counter(
+            "olab_core_route_event_loop_lean_total",
+            Determinism::CrossRun,
+            "Cells that fell back to the event loop with lean (scalar) statistics.",
+        ),
+        fast_full_ns: olab_metrics::histogram(
+            "olab_core_cell_fast_full_ns",
+            "Cell latency through the fast path, full statistics.",
+        ),
+        fast_lean_ns: olab_metrics::histogram(
+            "olab_core_cell_fast_lean_ns",
+            "Cell latency through the fast path, lean statistics.",
+        ),
+        event_loop_full_ns: olab_metrics::histogram(
+            "olab_core_cell_event_loop_full_ns",
+            "Cell latency through the event loop, full statistics.",
+        ),
+        event_loop_lean_ns: olab_metrics::histogram(
+            "olab_core_cell_event_loop_lean_ns",
+            "Cell latency through the event loop, lean statistics.",
+        ),
+    })
+}
+
+/// Forces registration of this crate's engine-telemetry families (and those
+/// of the crates underneath) so expositions are complete even before any
+/// cell executes.
+pub fn touch_metrics() {
+    let _ = route_metrics();
+    olab_sim::metrics::touch();
+    olab_grid::metrics::touch();
+}
 
 /// Enables or disables the fast path process-wide (default: enabled).
 ///

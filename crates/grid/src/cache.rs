@@ -297,6 +297,7 @@ impl<V: CacheValue> ResultCache<V> {
         let mut cache = Self::in_memory();
         let reaped = reap_stale_tmp(&dir);
         cache.tmp_reaped.store(reaped, Ordering::Relaxed);
+        crate::metrics::grid_metrics().cache_tmp_reaped.add(reaped);
         let lease = dir.join(format!("lease.{}.{}", std::process::id(), cache.instance));
         // The lease is advisory: failing to write it (read-only directory)
         // costs reap precision for others, never the sweep.
@@ -345,12 +346,16 @@ impl<V: CacheValue> ResultCache<V> {
     /// Looks `descriptor` up, memory tier first. A disk hit is promoted
     /// into memory. Returns the value and the tier that served it.
     pub fn lookup(&self, descriptor: &str) -> Option<(V, CacheTier)> {
+        let m = crate::metrics::grid_metrics();
+        let start = olab_metrics::now_if_enabled();
         let key = Self::key_of(descriptor);
         {
             let memory = self.memory.lock().expect("cache map poisoned");
             if let Some((stored, value)) = memory.get(&key) {
                 if stored == descriptor {
                     self.memory_hits.fetch_add(1, Ordering::Relaxed);
+                    m.cache_memory_hits.inc();
+                    m.cache_lookup_memory_hit_ns.observe_since(start);
                     return Some((value.clone(), CacheTier::Memory));
                 }
             }
@@ -361,9 +366,13 @@ impl<V: CacheValue> ResultCache<V> {
                 .lock()
                 .expect("cache map poisoned")
                 .insert(key, (descriptor.to_string(), value.clone()));
+            m.cache_disk_hits.inc();
+            m.cache_lookup_disk_hit_ns.observe_since(start);
             return Some((value, CacheTier::Disk));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        m.cache_misses.inc();
+        m.cache_lookup_miss_ns.observe_since(start);
         None
     }
 
@@ -374,8 +383,11 @@ impl<V: CacheValue> ResultCache<V> {
     /// [`ResultCache::health`]) so a full disk fails one write, not one
     /// write per cell.
     pub fn insert(&self, descriptor: &str, value: V) {
+        let m = crate::metrics::grid_metrics();
+        let start = olab_metrics::now_if_enabled();
         let key = Self::key_of(descriptor);
         self.stores.fetch_add(1, Ordering::Relaxed);
+        m.cache_stores.inc();
         if let Some(dir) = &self.disk_dir {
             if !self.degraded.load(Ordering::SeqCst) {
                 if let Err(err) = self.write_entry(dir, key, descriptor, &value) {
@@ -387,6 +399,7 @@ impl<V: CacheValue> ResultCache<V> {
             .lock()
             .expect("cache map poisoned")
             .insert(key, (descriptor.to_string(), value));
+        m.cache_insert_ns.observe_since(start);
     }
 
     /// Entries currently resident in the memory tier.
@@ -487,6 +500,7 @@ impl<V: CacheValue> ResultCache<V> {
             }
         }
         self.evicted.fetch_add(evicted, Ordering::Relaxed);
+        crate::metrics::grid_metrics().cache_evicted.add(evicted);
         evicted
     }
 
@@ -510,6 +524,7 @@ impl<V: CacheValue> ResultCache<V> {
                 // the same key, so repeated corruption never clobbers
                 // evidence.
                 self.quarantined.fetch_add(1, Ordering::Relaxed);
+                crate::metrics::grid_metrics().cache_quarantined.inc();
                 let _ = fs::rename(&path, quarantine_dest(dir, key));
                 None
             }

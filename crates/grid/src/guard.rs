@@ -170,11 +170,14 @@ pub fn run_cell<R>(guard: &GuardConfig, f: impl Fn(&CellCtx) -> R) -> CellReport
     if guard.cell_timeout_s.is_some() {
         install_sentinel_filter();
     }
+    let metrics = crate::metrics::grid_metrics();
     let max_attempts = guard.retries.saturating_add(1);
     let mut timeouts = 0u32;
     let mut last_panic: Option<WorkerPanic> = None;
     for attempt in 0..max_attempts {
+        metrics.guard_attempts.inc();
         if attempt > 0 {
+            metrics.guard_retries.inc();
             let backoff = guard.backoff_s(attempt);
             if backoff > 0.0 {
                 std::thread::sleep(Duration::from_secs_f64(backoff));
@@ -194,11 +197,13 @@ pub fn run_cell<R>(guard: &GuardConfig, f: impl Fn(&CellCtx) -> R) -> CellReport
                 // is a contract, and serving it only when the retry budget
                 // happens to be spent would make outputs timing-dependent.
                 timeouts += 1;
+                metrics.guard_timeouts.inc();
                 last_panic = None;
             }
             Err(payload) => {
                 if payload.is::<DeadlineExceeded>() {
                     timeouts += 1;
+                    metrics.guard_timeouts.inc();
                     last_panic = None;
                 } else {
                     last_panic = Some(WorkerPanic::from_payload(payload));

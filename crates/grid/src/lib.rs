@@ -40,6 +40,7 @@ pub mod cache;
 pub mod chaos;
 pub mod guard;
 pub mod hash;
+pub mod metrics;
 pub mod pool;
 pub mod progress;
 pub mod telemetry;
@@ -238,6 +239,11 @@ impl<V: CacheValue> Executor<V> {
                         let cell_start = Instant::now();
                         let value = job.execute();
                         let cell_s = cell_start.elapsed().as_secs_f64();
+                        if olab_metrics::enabled() {
+                            metrics::grid_metrics()
+                                .cell_exec_ns
+                                .observe((cell_s * 1e9) as u64);
+                        }
                         // Cooperative cancellation point: an attempt past
                         // its deadline unwinds here, *before* the insert —
                         // a timed-out attempt never populates the cache.

@@ -147,7 +147,10 @@ impl Pool {
         R: Send,
         C: Fn(&T) -> R + Sync,
     {
+        let m = crate::metrics::grid_metrics();
+        m.pool_tasks.add(items.len() as u64);
         let workers = self.workers.min(items.len());
+        m.pool_workers.set(workers.max(1) as i64);
         if workers <= 1 {
             return items.iter().map(call).collect();
         }
@@ -164,12 +167,24 @@ impl Pool {
                 let deques = &deques;
                 let call = &call;
                 scope.spawn(move || {
+                    let worker_start = olab_metrics::now_if_enabled();
+                    let mut busy_ns = 0u64;
                     while let Some(idx) = next_item(deques, w) {
+                        let item_start = olab_metrics::now_if_enabled();
+                        let result = call(&items[idx]);
+                        if let Some(t) = item_start {
+                            busy_ns += t.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                        }
                         // A worker dies with the pool if the main thread
                         // already panicked and dropped the receiver.
-                        if tx.send((idx, call(&items[idx]))).is_err() {
+                        if tx.send((idx, result)).is_err() {
                             break;
                         }
+                    }
+                    if let Some(t) = worker_start {
+                        let total = t.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                        m.pool_worker_busy_ns.observe(busy_ns);
+                        m.pool_worker_idle_ns.observe(total.saturating_sub(busy_ns));
                     }
                 });
             }
@@ -196,8 +211,13 @@ impl Default for Pool {
 /// Pops the next index for worker `w`: its own front first, then a steal
 /// from the back of the fullest other deque.
 fn next_item(deques: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
-    if let Some(idx) = deques[w].lock().expect("pool deque poisoned").pop_front() {
-        return Some(idx);
+    let m = crate::metrics::grid_metrics();
+    {
+        let mut own = deques[w].lock().expect("pool deque poisoned");
+        m.pool_queue_depth.observe(own.len() as u64);
+        if let Some(idx) = own.pop_front() {
+            return Some(idx);
+        }
     }
     loop {
         let victim = deques
@@ -207,9 +227,16 @@ fn next_item(deques: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
             .max_by_key(|(_, d)| d.lock().expect("pool deque poisoned").len())?;
         // Bind before matching: a guard in a match scrutinee lives to the
         // end of the match, and the None arm below re-locks every deque.
-        let stolen = victim.1.lock().expect("pool deque poisoned").pop_back();
+        let stolen = {
+            let mut victim_deque = victim.1.lock().expect("pool deque poisoned");
+            m.pool_queue_depth.observe(victim_deque.len() as u64);
+            victim_deque.pop_back()
+        };
         match stolen {
-            Some(idx) => return Some(idx),
+            Some(idx) => {
+                m.pool_steals.inc();
+                return Some(idx);
+            }
             // Raced with the victim draining its own deque; rescan, and
             // stop once every deque is empty.
             None => {

@@ -1,0 +1,226 @@
+//! Exposition: Prometheus text format and a JSON snapshot.
+//!
+//! Both renderings walk the registry in name order, **deterministic
+//! (cross-run) families first**, then wall-clock families, each section
+//! introduced by a marker line. That layout is the machine-checkable half
+//! of the determinism contract: CI extracts everything up to the wall
+//! marker from a `--jobs 1` and a `--jobs 8` exposition and compares the
+//! bytes.
+
+use crate::hist::{bucket_index, bucket_lower, HistogramSnapshot, N_BUCKETS};
+use crate::registry::{with_entries, Determinism, Entry, Metric};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// The marker line separating the two sections in both formats.
+const PROM_WALL_MARKER: &str = "# ==== wall-clock (schedule-dependent) ====";
+
+/// Registry entries paired with their registered names, in name order.
+type Families = Vec<(&'static str, Entry)>;
+
+fn partitioned() -> (Families, Families) {
+    with_entries(|reg| {
+        let mut cross = Vec::new();
+        let mut wall = Vec::new();
+        for (&name, &entry) in reg {
+            match entry.determinism {
+                Determinism::CrossRun => cross.push((name, entry)),
+                Determinism::Wall => wall.push((name, entry)),
+            }
+        }
+        (cross, wall)
+    })
+}
+
+fn prom_family(out: &mut String, name: &str, entry: &Entry) {
+    let kind = match entry.metric {
+        Metric::Counter(_) => "counter",
+        Metric::Gauge(_) => "gauge",
+        Metric::Histogram(_) => "histogram",
+    };
+    let _ = writeln!(out, "# HELP {name} {}", entry.help);
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    match entry.metric {
+        Metric::Counter(c) => {
+            let _ = writeln!(out, "{name} {}", c.get());
+        }
+        Metric::Gauge(g) => {
+            let _ = writeln!(out, "{name} {}", g.get());
+        }
+        Metric::Histogram(h) => {
+            let s = h.snapshot();
+            let _ = writeln!(
+                out,
+                "# quantiles: p50={} p90={} p99={} max={}",
+                s.p50(),
+                s.p90(),
+                s.p99(),
+                s.max
+            );
+            let mut cumulative = 0u64;
+            for &(lower, n) in &s.buckets {
+                cumulative += n;
+                let i = bucket_index(lower);
+                if i + 1 < N_BUCKETS {
+                    // `le` is the bucket's inclusive upper bound — values
+                    // are integers, so "≤ next lower − 1" is exact.
+                    let le = bucket_lower(i + 1) - 1;
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+                }
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", s.count);
+            let _ = writeln!(out, "{name}_sum {}", s.sum);
+            let _ = writeln!(out, "{name}_count {}", s.count);
+        }
+    }
+}
+
+/// Renders the whole registry in Prometheus text exposition format.
+pub fn render_prom() -> String {
+    let (cross, wall) = partitioned();
+    let mut out = String::new();
+    out.push_str("# olab engine self-telemetry (Prometheus text exposition)\n");
+    out.push_str("# ==== deterministic (cross-run) ====\n");
+    for (name, entry) in &cross {
+        prom_family(&mut out, name, entry);
+    }
+    out.push_str(PROM_WALL_MARKER);
+    out.push('\n');
+    for (name, entry) in &wall {
+        prom_family(&mut out, name, entry);
+    }
+    out
+}
+
+fn json_hist(out: &mut String, s: &HistogramSnapshot) {
+    let _ = write!(
+        out,
+        "{{\"count\": {}, \"sum\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [",
+        s.count,
+        s.sum,
+        s.max,
+        s.p50(),
+        s.p90(),
+        s.p99()
+    );
+    for (i, &(lower, n)) in s.buckets.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        let _ = write!(out, "{sep}[{lower}, {n}]");
+    }
+    out.push_str("]}");
+}
+
+fn json_section(out: &mut String, entries: &[(&'static str, Entry)]) {
+    for (i, (name, entry)) in entries.iter().enumerate() {
+        let sep = if i == 0 { "\n" } else { ",\n" };
+        let _ = write!(out, "{sep}    \"{name}\": ");
+        match entry.metric {
+            Metric::Counter(c) => {
+                let _ = write!(out, "{}", c.get());
+            }
+            Metric::Gauge(g) => {
+                let _ = write!(out, "{}", g.get());
+            }
+            Metric::Histogram(h) => json_hist(out, &h.snapshot()),
+        }
+    }
+    if !entries.is_empty() {
+        out.push_str("\n  ");
+    }
+}
+
+/// Renders the whole registry as a JSON snapshot: metric names are keys,
+/// split into a `deterministic` and a `wall` object (see module docs).
+/// Histograms appear as `{count, sum, max, p50, p90, p99, buckets}` with
+/// buckets as `[lower_bound, count]` pairs — bucketed, never per-sample.
+pub fn render_json() -> String {
+    let (cross, wall) = partitioned();
+    let mut out = String::new();
+    out.push_str("{\n  \"schema_version\": 1,\n  \"deterministic\": {");
+    json_section(&mut out, &cross);
+    out.push_str("},\n  \"wall\": {");
+    json_section(&mut out, &wall);
+    out.push_str("}\n}\n");
+    out
+}
+
+/// Writes both expositions — `metrics.prom` and `metrics.json` — into
+/// `dir`, creating it if needed. This is what the CLI's `--metrics <dir>`
+/// flag calls at the end of a run.
+///
+/// # Errors
+///
+/// Propagates directory-creation and file-write failures.
+pub fn write_files(dir: &Path) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("metrics.prom"), render_prom())?;
+    std::fs::write(dir.join("metrics.json"), render_json())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{counter, gauge, histogram, reset, set_enabled};
+
+    #[test]
+    fn both_formats_partition_by_determinism_class() {
+        let _guard = crate::testlock::lock();
+        let c = counter(
+            "olab_test_expose_total",
+            Determinism::CrossRun,
+            "a cross-run counter",
+        );
+        let g = gauge("olab_test_expose_gauge", Determinism::Wall, "a wall gauge");
+        let h = histogram("olab_test_expose_ns", "a wall histogram");
+        set_enabled(true);
+        c.add(3);
+        g.set(-2);
+        h.observe(5);
+        h.observe(100);
+
+        let prom = render_prom();
+        let json = render_json();
+        set_enabled(false);
+        reset();
+
+        let wall_at = prom.find(PROM_WALL_MARKER).expect("wall marker present");
+        let (det, wall) = prom.split_at(wall_at);
+        assert!(det.contains("olab_test_expose_total 3"));
+        assert!(det.contains("# TYPE olab_test_expose_total counter"));
+        assert!(!det.contains("olab_test_expose_gauge"));
+        assert!(wall.contains("olab_test_expose_gauge -2"));
+        assert!(wall.contains("# TYPE olab_test_expose_ns histogram"));
+        assert!(wall.contains("olab_test_expose_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(wall.contains("olab_test_expose_ns_sum 105"));
+        assert!(wall.contains("# quantiles: p50=5 p90=96 p99=96 max=100"));
+
+        let det_obj = json
+            .split("\"wall\"")
+            .next()
+            .expect("deterministic block first");
+        assert!(det_obj.contains("\"olab_test_expose_total\": 3"));
+        assert!(!det_obj.contains("olab_test_expose_gauge"));
+        assert!(json.contains("\"olab_test_expose_gauge\": -2"));
+        assert!(json.contains("\"count\": 2, \"sum\": 105, \"max\": 100"));
+        assert!(json.contains("\"buckets\": [[5, 1], [96, 1]]"));
+    }
+
+    #[test]
+    fn cumulative_buckets_end_at_the_total_count() {
+        let _guard = crate::testlock::lock();
+        let h = histogram("olab_test_cumulative_ns", "cumulative check");
+        set_enabled(true);
+        for v in [1u64, 2, 2, 9, 40, 1 << 50] {
+            h.observe(v);
+        }
+        let prom = render_prom();
+        set_enabled(false);
+        reset();
+        // The +Inf bucket always equals _count, and the saturated sample
+        // appears only there (its bucket is the table's last).
+        assert!(prom.contains("olab_test_cumulative_ns_bucket{le=\"+Inf\"} 6"));
+        assert!(prom.contains("olab_test_cumulative_ns_count 6"));
+    }
+}

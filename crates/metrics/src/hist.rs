@@ -1,0 +1,271 @@
+//! Log-linear (HDR-style) histograms.
+//!
+//! Values (typically nanoseconds) are binned into buckets whose width grows
+//! with magnitude: each power-of-two octave is split into `8` linear
+//! sub-buckets, giving a constant ~12.5% relative resolution across the
+//! whole range with a small fixed table — the same layout HdrHistogram uses
+//! with 3 significant sub-bucket bits. The top bucket saturates, so any
+//! value fits; the exact maximum is tracked separately.
+
+use crate::registry::enabled;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Linear sub-buckets per power-of-two octave (`2^SUB_BITS`).
+const SUB_BITS: u32 = 3;
+const SUB: usize = 1 << SUB_BITS;
+
+/// Total buckets per histogram. With 8 sub-buckets per octave this covers
+/// values up to `8 << 39` (~73 minutes in nanoseconds) before the final
+/// bucket saturates.
+pub const N_BUCKETS: usize = 320;
+
+/// The bucket index a value lands in (saturating at the top bucket).
+///
+/// Values below `8` get their own unit-width bucket; above that, a value
+/// with highest set bit `e` lands in octave `e - 2`, sub-bucket given by
+/// the 3 bits below the leading one.
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let e = 63 - v.leading_zeros();
+    let idx = ((e - SUB_BITS + 1) as usize) * SUB + ((v >> (e - SUB_BITS)) as usize & (SUB - 1));
+    idx.min(N_BUCKETS - 1)
+}
+
+/// The smallest value that lands in bucket `i` — the inverse of
+/// [`bucket_index`] on bucket boundaries, used as the representative value
+/// when estimating quantiles and as the `le` label base in exposition.
+pub fn bucket_lower(i: usize) -> u64 {
+    let o = i / SUB;
+    let r = (i % SUB) as u64;
+    if o == 0 {
+        r
+    } else {
+        (SUB as u64 + r) << (o - 1)
+    }
+}
+
+/// A concurrent log-linear histogram with total count, sum, and exact max.
+///
+/// All mutation is relaxed atomics: recording from many workers at once is
+/// safe and allocation-free. Snapshots are meant to be taken at quiescent
+/// points (end of a run); a snapshot raced with writers is merely slightly
+/// stale, never corrupt.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    pub(crate) fn new() -> Self {
+        Histogram {
+            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value. A no-op while metrics are disabled.
+    pub fn observe(&self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records the elapsed nanoseconds since `start`, when `start` is
+    /// `Some` — the companion to [`crate::now_if_enabled`], so a disabled
+    /// run never reads the clock at all.
+    pub fn observe_since(&self, start: Option<Instant>) {
+        if let Some(t) = start {
+            self.observe(t.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
+    }
+
+    /// A consistent-enough copy of the current state (see type docs).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<(u64, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((bucket_lower(i), n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]: totals plus the non-empty
+/// buckets as `(lower_bound, count)` pairs in ascending order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (wrapping on overflow, which a ns-scale
+    /// histogram does not reach in practice).
+    pub sum: u64,
+    /// Exact largest sample (not bucketed).
+    pub max: u64,
+    /// Non-empty buckets: `(bucket lower bound, sample count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// The estimated `q`-quantile (`0.0..=1.0`): the lower bound of the
+    /// bucket containing the sample of rank `ceil(q * count)`. Zero when
+    /// empty. Deterministic given identical bucket contents.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(lower, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return lower;
+            }
+        }
+        self.buckets.last().map_or(0, |&(lower, _)| lower)
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_buckets_below_eight() {
+        for v in 0..8u64 {
+            assert_eq!(bucket_index(v), v as usize, "value {v}");
+            assert_eq!(bucket_lower(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_lower_inverts_bucket_index_on_boundaries() {
+        for i in 0..N_BUCKETS {
+            let lower = bucket_lower(i);
+            assert_eq!(bucket_index(lower), i, "bucket {i} lower {lower}");
+            if i > 0 {
+                assert!(bucket_lower(i) > bucket_lower(i - 1), "monotone at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_values_straddle_bucket_boundaries() {
+        // One below each octave boundary stays in the previous bucket; the
+        // boundary itself starts a new one.
+        for e in 3..40u32 {
+            let boundary = 1u64 << e;
+            let hi = bucket_index(boundary);
+            let lo = bucket_index(boundary - 1);
+            if hi < N_BUCKETS - 1 {
+                assert_eq!(hi, lo + 1, "boundary 2^{e}");
+                assert_eq!(bucket_lower(hi), boundary, "boundary 2^{e}");
+            }
+        }
+        // Within an octave, the 8 sub-buckets are linear and equal-width.
+        let w = bucket_lower(17) - bucket_lower(16);
+        for i in 16..24 {
+            assert_eq!(bucket_lower(i + 1) - bucket_lower(i), w, "sub-bucket {i}");
+        }
+    }
+
+    #[test]
+    fn top_bucket_saturates() {
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+        assert_eq!(bucket_index(bucket_lower(N_BUCKETS - 1)), N_BUCKETS - 1);
+        // Far past the table's range, still the top bucket — never a panic.
+        assert_eq!(bucket_index(1u64 << 60), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_and_max_track_recorded_values() {
+        let _guard = crate::testlock::lock();
+        crate::set_enabled(true);
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        crate::set_enabled(false);
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.sum, 500_500);
+        assert_eq!(s.max, 1000);
+        // Bucketed quantiles are lower bounds with ~12.5% resolution.
+        for (q, exact) in [(0.5, 500u64), (0.9, 900), (0.99, 990)] {
+            let est = s.quantile(q);
+            assert!(est <= exact, "q{q}: {est} > {exact}");
+            assert!(est as f64 >= exact as f64 * 0.85, "q{q}: {est} « {exact}");
+        }
+        assert_eq!(s.quantile(0.0), s.buckets[0].0);
+        assert_eq!(s.quantile(1.0), s.buckets.last().unwrap().0);
+    }
+
+    #[test]
+    fn disabled_histogram_records_nothing() {
+        let _guard = crate::testlock::lock();
+        crate::set_enabled(false);
+        let h = Histogram::new();
+        h.observe(42);
+        h.observe_since(None);
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    fn saturated_samples_keep_exact_max() {
+        let _guard = crate::testlock::lock();
+        crate::set_enabled(true);
+        let h = Histogram::new();
+        let big = 1u64 << 55;
+        h.observe(big);
+        h.observe(big + 7);
+        let s = h.snapshot();
+        crate::set_enabled(false);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, big + 7);
+        assert_eq!(s.buckets, vec![(bucket_lower(N_BUCKETS - 1), 2)]);
+    }
+}

@@ -1,0 +1,71 @@
+//! # olab-metrics — engine self-telemetry
+//!
+//! The simulator reproduces the paper's *GPU* telemetry (`olab-obs`); this
+//! crate is telemetry for the *engine itself* — the sweep pool, the result
+//! cache, the fast-path router — so a long-lived service can expose latency
+//! distributions and utilization the way NVML exposes power.
+//!
+//! ## Design
+//!
+//! * **Process-wide registry.** Metrics are registered once by name
+//!   ([`counter`], [`gauge`], [`histogram`]) and return `&'static` handles;
+//!   instrument sites cache the handle in a `OnceLock` so the steady state
+//!   is one atomic op per event — no locks, no allocation.
+//! * **Zero-cost when disabled.** Recording is gated on one global
+//!   `AtomicBool` (default **off**), the runtime analogue of the
+//!   `EngineObserver::ENABLED` const pattern: a disabled counter bump is a
+//!   relaxed load and a branch, and [`now_if_enabled`] skips even the
+//!   `Instant::now` for timing sites. The counting-allocator test in
+//!   `olab-sim` pins that neither state allocates on the hot path.
+//! * **Determinism partition.** Every metric carries a [`Determinism`]
+//!   class. `CrossRun` metrics (route counts, cache hit/miss/eviction
+//!   totals) are identical between `--jobs 1` and `--jobs N` by the grid
+//!   engine's determinism contract and are exposed first, in a separately
+//!   comparable block; `Wall` metrics (latencies, steal counts, busy/idle
+//!   time) are schedule- and clock-dependent. Timing fields are only ever
+//!   exposed **bucketed** (log-linear histogram buckets plus
+//!   p50/p90/p99/max), never per-sample.
+//! * **Two expositions.** [`render_prom`] emits Prometheus text format and
+//!   [`render_json`] a JSON snapshot; [`write_files`] drops both
+//!   (`metrics.prom`, `metrics.json`) into a directory, which is what the
+//!   CLI's `--metrics <dir>` flag does.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod expose;
+mod hist;
+mod registry;
+
+pub use expose::{render_json, render_prom, write_files};
+pub use hist::{bucket_index, bucket_lower, Histogram, HistogramSnapshot, N_BUCKETS};
+pub use registry::{
+    counter, enabled, gauge, histogram, reset, set_enabled, Counter, Determinism, Gauge,
+};
+
+use std::time::Instant;
+
+/// `Some(Instant::now())` while metrics are enabled, `None` otherwise.
+///
+/// The idiom for timing sites: grab the start with this, do the work, then
+/// `hist.observe_since(start)` — a disabled run never reads the clock.
+pub fn now_if_enabled() -> Option<Instant> {
+    if enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testlock {
+    //! The enable flag and registry are process-global; unit tests that
+    //! toggle or reset them serialize on this lock.
+    use std::sync::{Mutex, MutexGuard};
+
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    pub fn lock() -> MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}

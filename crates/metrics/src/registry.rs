@@ -1,0 +1,257 @@
+//! The process-wide metric registry and the scalar metric types.
+
+use crate::hist::Histogram;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The global enable flag. Off by default: an uninstrumented process pays
+/// one relaxed load and a branch per record site, nothing more.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns recording on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// True while recording is enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Whether a metric's value is part of the engine's determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Determinism {
+    /// Identical between `--jobs 1` and `--jobs N` runs of the same sweep
+    /// (route counts, cache hit/miss/eviction totals): exposed in the
+    /// byte-comparable `deterministic` block.
+    CrossRun,
+    /// Schedule- or clock-dependent (latencies, steals, busy/idle time):
+    /// exposed in the `wall` block, excluded from determinism comparisons.
+    Wall,
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds 1. A no-op while metrics are disabled.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`. A no-op while metrics are disabled.
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable instantaneous value.
+#[derive(Debug)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the value. A no-op while metrics are disabled.
+    pub fn set(&self, v: i64) {
+        if enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adjusts the value by `d`. A no-op while metrics are disabled.
+    pub fn add(&self, d: i64) {
+        if enabled() {
+            self.value.fetch_add(d, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Entry {
+    pub determinism: Determinism,
+    pub help: &'static str,
+    pub metric: Metric,
+}
+
+static REGISTRY: Mutex<BTreeMap<&'static str, Entry>> = Mutex::new(BTreeMap::new());
+
+pub(crate) fn with_entries<R>(f: impl FnOnce(&BTreeMap<&'static str, Entry>) -> R) -> R {
+    f(&REGISTRY.lock().expect("metrics registry poisoned"))
+}
+
+/// Validated at registration (a cold path) so exposition never needs to
+/// escape: Prometheus metric-name charset, no leading digit.
+fn assert_valid_name(name: &str) {
+    let mut chars = name.chars();
+    let head_ok = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
+    assert!(
+        head_ok
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+        "invalid metric name {name:?}: must match [a-zA-Z_:][a-zA-Z0-9_:]*"
+    );
+}
+
+fn register(name: &'static str, make: impl FnOnce() -> Entry) -> Entry {
+    assert_valid_name(name);
+    let mut reg = REGISTRY.lock().expect("metrics registry poisoned");
+    *reg.entry(name).or_insert_with(make)
+}
+
+/// Registers (or finds) the counter `name`. Idempotent: repeated calls with
+/// the same name return the same handle; instrument sites should cache the
+/// result in a `OnceLock` so the lock is taken once.
+///
+/// # Panics
+///
+/// If `name` is not a valid Prometheus metric name, or is already
+/// registered as a different metric type.
+pub fn counter(
+    name: &'static str,
+    determinism: Determinism,
+    help: &'static str,
+) -> &'static Counter {
+    let entry = register(name, || Entry {
+        determinism,
+        help,
+        metric: Metric::Counter(Box::leak(Box::new(Counter {
+            value: AtomicU64::new(0),
+        }))),
+    });
+    match entry.metric {
+        Metric::Counter(c) => c,
+        _ => panic!("metric {name:?} already registered with a different type"),
+    }
+}
+
+/// Registers (or finds) the gauge `name`. Semantics as [`counter`].
+///
+/// # Panics
+///
+/// As [`counter`].
+pub fn gauge(name: &'static str, determinism: Determinism, help: &'static str) -> &'static Gauge {
+    let entry = register(name, || Entry {
+        determinism,
+        help,
+        metric: Metric::Gauge(Box::leak(Box::new(Gauge {
+            value: AtomicI64::new(0),
+        }))),
+    });
+    match entry.metric {
+        Metric::Gauge(g) => g,
+        _ => panic!("metric {name:?} already registered with a different type"),
+    }
+}
+
+/// Registers (or finds) the histogram `name`. Histograms record timings and
+/// other schedule-dependent samples, so they are always [`Determinism::Wall`]
+/// — the determinism class is fixed rather than a parameter.
+///
+/// # Panics
+///
+/// As [`counter`].
+pub fn histogram(name: &'static str, help: &'static str) -> &'static Histogram {
+    let entry = register(name, || Entry {
+        determinism: Determinism::Wall,
+        help,
+        metric: Metric::Histogram(Box::leak(Box::new(Histogram::new()))),
+    });
+    match entry.metric {
+        Metric::Histogram(h) => h,
+        _ => panic!("metric {name:?} already registered with a different type"),
+    }
+}
+
+/// Zeroes every registered metric (registrations themselves persist).
+///
+/// For tests and tooling that compare runs within one process; production
+/// expositions snapshot cumulative totals instead.
+pub fn reset() {
+    let reg = REGISTRY.lock().expect("metrics registry poisoned");
+    for entry in reg.values() {
+        match entry.metric {
+            Metric::Counter(c) => c.value.store(0, Ordering::Relaxed),
+            Metric::Gauge(g) => g.value.store(0, Ordering::Relaxed),
+            Metric::Histogram(h) => h.reset(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_counters_gate_on_enabled() {
+        let _guard = crate::testlock::lock();
+        let a = counter("olab_test_reg_total", Determinism::CrossRun, "test");
+        let b = counter("olab_test_reg_total", Determinism::CrossRun, "test");
+        assert!(std::ptr::eq(a, b), "same handle for the same name");
+
+        set_enabled(false);
+        a.inc();
+        assert_eq!(a.get(), 0, "disabled counters do not move");
+        set_enabled(true);
+        a.inc();
+        a.add(4);
+        assert_eq!(b.get(), 5);
+        set_enabled(false);
+        reset();
+        assert_eq!(a.get(), 0, "reset rewinds values");
+    }
+
+    #[test]
+    fn gauges_set_and_add_only_while_enabled() {
+        let _guard = crate::testlock::lock();
+        let g = gauge("olab_test_gauge", Determinism::Wall, "test");
+        set_enabled(false);
+        g.set(9);
+        assert_eq!(g.get(), 0);
+        set_enabled(true);
+        g.set(9);
+        g.add(-2);
+        assert_eq!(g.get(), 7);
+        set_enabled(false);
+        reset();
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_confusion_panics() {
+        counter("olab_test_confused", Determinism::Wall, "test");
+        gauge("olab_test_confused", Determinism::Wall, "test");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_names_are_rejected() {
+        counter("9starts_with_digit", Determinism::Wall, "test");
+    }
+}

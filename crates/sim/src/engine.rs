@@ -78,6 +78,13 @@ impl SimArena {
         let n_queues = n_gpus * 2;
         let tasks = workload.tasks();
 
+        let m = crate::metrics::sim_metrics();
+        if self.dep_off.capacity() == 0 {
+            m.arena_cold_resets.inc();
+        } else {
+            m.arena_warm_resets.inc();
+        }
+
         self.deps_left.clear();
         self.deps_left.resize(n, 0);
         self.dep_off.clear();
@@ -491,6 +498,7 @@ impl<M: RateModel> Engine<M> {
             })
             .collect();
 
+        crate::metrics::sim_metrics().engine_runs.inc();
         Ok(SimTrace::new(records, gpus, now))
     }
 }

@@ -70,6 +70,7 @@ pub mod critical;
 mod engine;
 mod error;
 mod ids;
+pub mod metrics;
 mod obs;
 mod rate;
 pub mod rng;

@@ -105,6 +105,34 @@ fn warm_arena_runs_stay_within_the_allocation_budget() {
     );
 }
 
+/// Self-telemetry must be invisible to the arena contract: recording is
+/// pure atomics, so the warm budget holds with the registry disabled
+/// (default) *and* enabled. Registration itself allocates, which is why
+/// the families are touched before counting starts — that cost is paid
+/// once per process, never per run.
+#[test]
+fn metrics_recording_stays_within_the_warm_budget() {
+    let w = workload();
+    let mut engine = Engine::new(ConstantRate::default());
+    olab_sim::metrics::touch();
+
+    olab_metrics::set_enabled(true);
+    let enabled = allocations_per_run(&mut engine, &w, true);
+    olab_metrics::set_enabled(false);
+    let disabled = allocations_per_run(&mut engine, &w, true);
+
+    assert!(
+        enabled <= WARM_BUDGET,
+        "warm run with metrics enabled allocates {enabled} times \
+         (budget {WARM_BUDGET}) — recording must stay allocation-free"
+    );
+    assert!(
+        disabled <= WARM_BUDGET,
+        "warm run with metrics disabled allocates {disabled} times \
+         (budget {WARM_BUDGET}) — the disabled path regressed"
+    );
+}
+
 #[test]
 fn warm_arena_beats_a_cold_arena() {
     let w = workload();
