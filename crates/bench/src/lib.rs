@@ -19,7 +19,9 @@
 //! | `headline`| the abstract's aggregate statistics |
 //! | `ablation_*` | design-space studies beyond the paper |
 //! | `conformance` | closed-form-oracle gate over every grid above (exits 1 on divergence) |
-//! | `trend`   | perf-trajectory tooling: appends `cell_cost`/`grid_soak` snapshots to the `BENCH_*.json` trajectories and gates candidates against them (exits 1 on regression) |
+//! | `grid_soak` | chaos soak of the sweep engine: a faulted run must be bit-identical to a clean one |
+//! | `serve_soak` | live-socket soak of `olab serve`: coalescing storm, shed, deadline, client chaos, degradation, drain |
+//! | `trend`   | perf-trajectory tooling: appends `cell_cost`/`grid_soak`/`serve_soak` snapshots to the `BENCH_*.json` trajectories and gates candidates against them (exits 1 on regression) |
 //!
 //! Run any of them with `cargo run --release -p olab-bench --bin <name>`.
 //! Criterion benches (`cargo bench`) measure the simulator itself.

@@ -123,6 +123,10 @@ pub struct SweepArgs {
     /// enables the `olab-metrics` registry and writes `metrics.prom` +
     /// `metrics.json` there after the sweep.
     pub metrics: Option<String>,
+    /// Restrict the written expositions to deterministic (cross-run)
+    /// families only (`--metrics-deterministic`), so CI can byte-compare
+    /// the files across schedules directly.
+    pub metrics_deterministic: bool,
 }
 
 impl Default for SweepArgs {
@@ -138,6 +142,7 @@ impl Default for SweepArgs {
             retries: None,
             cache_max_bytes: None,
             metrics: None,
+            metrics_deterministic: false,
         }
     }
 }
@@ -177,6 +182,8 @@ pub struct FaultsArgs {
     pub cache_max_bytes: Option<u64>,
     /// Engine self-telemetry exposition directory (`--metrics DIR`).
     pub metrics: Option<String>,
+    /// Deterministic-families-only expositions (`--metrics-deterministic`).
+    pub metrics_deterministic: bool,
 }
 
 impl Default for FaultsArgs {
@@ -195,6 +202,7 @@ impl Default for FaultsArgs {
             retries: None,
             cache_max_bytes: None,
             metrics: None,
+            metrics_deterministic: false,
         }
     }
 }
@@ -248,6 +256,8 @@ pub struct ObserveArgs {
     pub retries: Option<u32>,
     /// Engine self-telemetry exposition directory (`--metrics DIR`).
     pub metrics: Option<String>,
+    /// Deterministic-families-only expositions (`--metrics-deterministic`).
+    pub metrics_deterministic: bool,
 }
 
 impl Default for ObserveArgs {
@@ -263,6 +273,65 @@ impl Default for ObserveArgs {
             cell_timeout_s: None,
             retries: None,
             metrics: None,
+            metrics_deterministic: false,
+        }
+    }
+}
+
+/// `olab serve` arguments: socket + engine knobs for the daemon, or a
+/// `--oneshot QUERY` offline render for CI byte-comparison.
+#[derive(Debug, Clone)]
+pub struct ServeArgs {
+    /// Listen address (`--addr HOST:PORT`; port `0` picks a free port).
+    pub addr: String,
+    /// Engine worker threads (`--jobs N`). `None` defers to `OLAB_JOBS`
+    /// or `available_parallelism`.
+    pub jobs: Option<usize>,
+    /// Persistent result-cache directory (`--cache DIR`).
+    pub cache: Option<String>,
+    /// Disk-cache byte cap (`--cache-max-bytes N`); requires a disk cache.
+    pub cache_max_bytes: Option<u64>,
+    /// Server-side per-cell deadline, seconds (`--cell-timeout-s X`).
+    pub cell_timeout_s: Option<f64>,
+    /// Per-cell retry budget (`--retries N`).
+    pub retries: Option<u32>,
+    /// Admission-queue capacity before shedding (`--max-queue N`).
+    pub max_queue: Option<usize>,
+    /// HTTP worker threads (`--http-workers N`).
+    pub http_workers: Option<usize>,
+    /// Drain grace period, seconds (`--drain-timeout-s X`).
+    pub drain_timeout_s: Option<f64>,
+    /// Coalescing-window hold, ms (`--coalesce-hold-ms N`) — soak/test
+    /// instrumentation that keeps a finished flight joinable briefly.
+    pub coalesce_hold_ms: Option<u64>,
+    /// Metrics exposition directory flushed on drain (`--metrics DIR`).
+    pub metrics: Option<String>,
+    /// Deterministic-families-only expositions (`--metrics-deterministic`).
+    pub metrics_deterministic: bool,
+    /// JSONL request-lifecycle log path (`--log FILE`).
+    pub log: Option<String>,
+    /// Render one cell offline and exit (`--oneshot QUERY`): prints the
+    /// byte-identical body the daemon would serve for `/v1/cell?QUERY`.
+    pub oneshot: Option<String>,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            addr: "127.0.0.1:7979".to_string(),
+            jobs: None,
+            cache: None,
+            cache_max_bytes: None,
+            cell_timeout_s: None,
+            retries: None,
+            max_queue: None,
+            http_workers: None,
+            drain_timeout_s: None,
+            coalesce_hold_ms: None,
+            metrics: None,
+            metrics_deterministic: false,
+            log: None,
+            oneshot: None,
         }
     }
 }
@@ -290,6 +359,9 @@ pub enum Command {
     Resilience(RunArgs, ResilienceArgs),
     /// `olab observe ... [--cell fig7] [--out-dir DIR] [--sample-ms 100]`.
     Observe(RunArgs, ObserveArgs),
+    /// `olab serve [--addr HOST:PORT] [--jobs N] [--cache DIR] ...` — the
+    /// sweep-as-a-service daemon (or `--oneshot QUERY` offline render).
+    Serve(ServeArgs),
     /// `olab help` / no arguments.
     Help,
 }
@@ -424,10 +496,12 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         return Ok(Command::Help);
     };
 
-    // Split "--flag value" pairs; "--csv" and "--observe" are bare flags.
+    // Split "--flag value" pairs; "--csv", "--observe", and
+    // "--metrics-deterministic" are bare flags.
     let mut pairs: Vec<(&str, &str)> = Vec::new();
     let mut csv = false;
     let mut observe = false;
+    let mut metrics_deterministic = false;
     let mut i = 1;
     while i < argv.len() {
         let flag = argv[i].as_str();
@@ -438,6 +512,11 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         }
         if flag == "--observe" {
             observe = true;
+            i += 1;
+            continue;
+        }
+        if flag == "--metrics-deterministic" {
+            metrics_deterministic = true;
             i += 1;
             continue;
         }
@@ -457,14 +536,14 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             reject_observe("list", observe)?;
             reject_recovery("list", &pairs)?;
             reject_guard("list", &pairs)?;
-            reject_metrics("list", &pairs)?;
+            reject_metrics("list", &pairs, metrics_deterministic)?;
             Ok(Command::List)
         }
         "run" => {
             reject_observe("run", observe)?;
             reject_recovery("run", &pairs)?;
             reject_guard("run", &pairs)?;
-            reject_metrics("run", &pairs)?;
+            reject_metrics("run", &pairs, metrics_deterministic)?;
             let (mut args, rest) = parse_run_args(&pairs)?;
             args.csv = csv;
             reject_unknown(&rest)?;
@@ -501,13 +580,15 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             }
             reject_unknown(&unknown)?;
             require_cache_for_cap(sweep.cache_max_bytes, &sweep.cache)?;
+            sweep.metrics_deterministic = metrics_deterministic;
+            require_metrics_for_deterministic(metrics_deterministic, &sweep.metrics)?;
             Ok(Command::Sweep(args, sweep))
         }
         "trace" => {
             reject_observe("trace", observe)?;
             reject_recovery("trace", &pairs)?;
             reject_guard("trace", &pairs)?;
-            reject_metrics("trace", &pairs)?;
+            reject_metrics("trace", &pairs, metrics_deterministic)?;
             let (mut args, rest) = parse_run_args(&pairs)?;
             args.csv = csv;
             let mut interval = 1.0;
@@ -526,7 +607,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             reject_observe("chrome", observe)?;
             reject_recovery("chrome", &pairs)?;
             reject_guard("chrome", &pairs)?;
-            reject_metrics("chrome", &pairs)?;
+            reject_metrics("chrome", &pairs, metrics_deterministic)?;
             let (mut args, rest) = parse_run_args(&pairs)?;
             args.csv = csv;
             reject_unknown(&rest)?;
@@ -569,13 +650,15 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             reject_unknown(&unknown)?;
             faults.recovery = parse_recovery(recovery, ckpt_interval_s)?;
             require_cache_for_cap(faults.cache_max_bytes, &faults.cache)?;
+            faults.metrics_deterministic = metrics_deterministic;
+            require_metrics_for_deterministic(metrics_deterministic, &faults.metrics)?;
             Ok(Command::Faults(args, faults))
         }
         "resilience" => {
             reject_observe("resilience", observe)?;
             reject_recovery("resilience", &pairs)?;
             reject_guard("resilience", &pairs)?;
-            reject_metrics("resilience", &pairs)?;
+            reject_metrics("resilience", &pairs, metrics_deterministic)?;
             let (mut args, rest) = parse_run_args(&pairs)?;
             args.csv = csv;
             let mut res = ResilienceArgs::default();
@@ -644,13 +727,15 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 }
             }
             reject_unknown(&unknown)?;
+            obs.metrics_deterministic = metrics_deterministic;
+            require_metrics_for_deterministic(metrics_deterministic, &obs.metrics)?;
             Ok(Command::Observe(args, obs))
         }
         "tune" => {
             reject_observe("tune", observe)?;
             reject_recovery("tune", &pairs)?;
             reject_guard("tune", &pairs)?;
-            reject_metrics("tune", &pairs)?;
+            reject_metrics("tune", &pairs, metrics_deterministic)?;
             let (mut args, rest) = parse_run_args(&pairs)?;
             args.csv = csv;
             let mut objective = Objective::Latency;
@@ -665,9 +750,53 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             reject_unknown(&unknown)?;
             Ok(Command::Tune(args, objective))
         }
+        "serve" => {
+            if csv {
+                return Err(CliError(
+                    "--csv is not supported by 'serve' (responses are JSON lines)".to_string(),
+                ));
+            }
+            reject_observe("serve", observe)?;
+            reject_recovery("serve", &pairs)?;
+            let mut serve = ServeArgs {
+                metrics_deterministic,
+                ..ServeArgs::default()
+            };
+            let mut unknown = Vec::new();
+            for &(flag, value) in &pairs {
+                match flag {
+                    "--addr" => serve.addr = value.to_string(),
+                    "--jobs" => serve.jobs = Some(num(flag, value)?),
+                    "--cache" => serve.cache = Some(value.to_string()),
+                    "--cache-max-bytes" => serve.cache_max_bytes = Some(num(flag, value)?),
+                    "--cell-timeout-s" => serve.cell_timeout_s = Some(positive_secs(flag, value)?),
+                    "--retries" => serve.retries = Some(num(flag, value)?),
+                    "--max-queue" => serve.max_queue = Some(num(flag, value)?),
+                    "--http-workers" => serve.http_workers = Some(num(flag, value)?),
+                    "--drain-timeout-s" => {
+                        serve.drain_timeout_s = Some(positive_secs(flag, value)?)
+                    }
+                    "--coalesce-hold-ms" => serve.coalesce_hold_ms = Some(num(flag, value)?),
+                    "--metrics" => serve.metrics = Some(value.to_string()),
+                    "--log" => serve.log = Some(value.to_string()),
+                    "--oneshot" => serve.oneshot = Some(value.to_string()),
+                    _ => unknown.push((flag, value)),
+                }
+            }
+            reject_unknown(&unknown)?;
+            require_cache_for_cap(serve.cache_max_bytes, &serve.cache)?;
+            require_metrics_for_deterministic(metrics_deterministic, &serve.metrics)?;
+            if serve.max_queue == Some(0) {
+                return Err(CliError("--max-queue: must be > 0".to_string()));
+            }
+            if serve.http_workers == Some(0) {
+                return Err(CliError("--http-workers: must be > 0".to_string()));
+            }
+            Ok(Command::Serve(serve))
+        }
         other => Err(CliError(format!(
             "unknown command '{other}' \
-             (expected run|sweep|trace|tune|chrome|faults|resilience|observe|list|help)"
+             (expected run|sweep|trace|tune|chrome|faults|resilience|observe|serve|list|help)"
         ))),
     }
 }
@@ -722,14 +851,34 @@ fn require_cache_for_cap(cap: Option<u64>, cache: &Option<String>) -> Result<(),
 }
 
 /// `--metrics` only makes sense where an engine runs long enough to have
-/// telemetry worth exposing (sweep, faults, observe).
-fn reject_metrics(sub: &str, pairs: &[(&str, &str)]) -> Result<(), CliError> {
+/// telemetry worth exposing (sweep, faults, observe, serve).
+fn reject_metrics(sub: &str, pairs: &[(&str, &str)], deterministic: bool) -> Result<(), CliError> {
+    if deterministic {
+        return Err(CliError(format!(
+            "--metrics-deterministic is not supported by '{sub}' \
+             (use sweep, faults, observe, or serve)"
+        )));
+    }
     for &(flag, _) in pairs {
         if flag == "--metrics" {
             return Err(CliError(format!(
-                "--metrics is not supported by '{sub}' (use sweep, faults, or observe)"
+                "--metrics is not supported by '{sub}' (use sweep, faults, observe, or serve)"
             )));
         }
+    }
+    Ok(())
+}
+
+/// `--metrics-deterministic` narrows what `--metrics` writes; alone it
+/// would be a silent no-op, so it requires an exposition directory.
+fn require_metrics_for_deterministic(
+    deterministic: bool,
+    metrics: &Option<String>,
+) -> Result<(), CliError> {
+    if deterministic && metrics.is_none() {
+        return Err(CliError(
+            "--metrics-deterministic requires '--metrics DIR'".to_string(),
+        ));
     }
     Ok(())
 }
@@ -1072,7 +1221,110 @@ mod tests {
         for sub in ["run", "trace", "chrome", "tune", "resilience", "list"] {
             let err = parse(&argv(&format!("{sub} --metrics /tmp/m"))).unwrap_err();
             assert!(err.0.contains("--metrics"), "{sub}: {err}");
-            assert!(err.0.contains("sweep, faults, or observe"), "{sub}: {err}");
+            assert!(
+                err.0.contains("sweep, faults, observe, or serve"),
+                "{sub}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_deterministic_narrows_metrics_on_telemetry_subcommands() {
+        let cmd = parse(&argv("sweep --metrics /tmp/m --metrics-deterministic")).unwrap();
+        let Command::Sweep(_, sweep) = cmd else {
+            panic!("expected sweep");
+        };
+        assert!(sweep.metrics_deterministic);
+
+        let cmd = parse(&argv("faults --metrics-deterministic --metrics m")).unwrap();
+        let Command::Faults(_, faults) = cmd else {
+            panic!("expected faults");
+        };
+        assert!(faults.metrics_deterministic);
+
+        let cmd = parse(&argv("observe --metrics m --metrics-deterministic")).unwrap();
+        let Command::Observe(_, obs) = cmd else {
+            panic!("expected observe");
+        };
+        assert!(obs.metrics_deterministic);
+
+        // Without it, the flag stays off.
+        let Command::Sweep(_, sweep) = parse(&argv("sweep --metrics m")).unwrap() else {
+            panic!("expected sweep");
+        };
+        assert!(!sweep.metrics_deterministic);
+    }
+
+    #[test]
+    fn metrics_deterministic_requires_a_metrics_dir() {
+        for sub in ["sweep", "faults", "observe", "serve"] {
+            let err = parse(&argv(&format!("{sub} --metrics-deterministic"))).unwrap_err();
+            assert!(err.0.contains("requires '--metrics DIR'"), "{sub}: {err}");
+        }
+    }
+
+    #[test]
+    fn metrics_deterministic_is_rejected_on_non_telemetry_subcommands() {
+        for sub in ["run", "trace", "chrome", "tune", "resilience", "list"] {
+            let err = parse(&argv(&format!("{sub} --metrics-deterministic"))).unwrap_err();
+            assert!(err.0.contains("--metrics-deterministic"), "{sub}: {err}");
+        }
+    }
+
+    #[test]
+    fn serve_parses_all_flags() {
+        let cmd = parse(&argv(
+            "serve --addr 0.0.0.0:8080 --jobs 2 --cache /tmp/c --cache-max-bytes 4096 \
+             --cell-timeout-s 2.5 --retries 3 --max-queue 64 --http-workers 8 \
+             --drain-timeout-s 10 --coalesce-hold-ms 250 --metrics /tmp/m \
+             --metrics-deterministic --log /tmp/serve.jsonl",
+        ))
+        .unwrap();
+        let Command::Serve(serve) = cmd else {
+            panic!("expected serve");
+        };
+        assert_eq!(serve.addr, "0.0.0.0:8080");
+        assert_eq!(serve.jobs, Some(2));
+        assert_eq!(serve.cache.as_deref(), Some("/tmp/c"));
+        assert_eq!(serve.cache_max_bytes, Some(4096));
+        assert_eq!(serve.cell_timeout_s, Some(2.5));
+        assert_eq!(serve.retries, Some(3));
+        assert_eq!(serve.max_queue, Some(64));
+        assert_eq!(serve.http_workers, Some(8));
+        assert_eq!(serve.drain_timeout_s, Some(10.0));
+        assert_eq!(serve.coalesce_hold_ms, Some(250));
+        assert_eq!(serve.metrics.as_deref(), Some("/tmp/m"));
+        assert!(serve.metrics_deterministic);
+        assert_eq!(serve.log.as_deref(), Some("/tmp/serve.jsonl"));
+        assert_eq!(serve.oneshot, None);
+    }
+
+    #[test]
+    fn serve_defaults_and_oneshot() {
+        let Command::Serve(serve) = parse(&argv("serve")).unwrap() else {
+            panic!("expected serve");
+        };
+        assert_eq!(serve.addr, "127.0.0.1:7979");
+        assert_eq!(serve.jobs, None);
+        assert!(!serve.metrics_deterministic);
+
+        let Command::Serve(serve) = parse(&argv("serve --oneshot seq=128&batch=2")).unwrap() else {
+            panic!("expected serve");
+        };
+        assert_eq!(serve.oneshot.as_deref(), Some("seq=128&batch=2"));
+    }
+
+    #[test]
+    fn serve_rejects_nonsense() {
+        assert!(parse(&argv("serve --csv")).is_err());
+        assert!(parse(&argv("serve --observe")).is_err());
+        assert!(parse(&argv("serve --recovery ckpt")).is_err());
+        assert!(parse(&argv("serve --batches 1,2")).is_err());
+        assert!(parse(&argv("serve --max-queue 0")).is_err());
+        assert!(parse(&argv("serve --http-workers 0")).is_err());
+        assert!(parse(&argv("serve --cell-timeout-s 0")).is_err());
+        if std::env::var("OLAB_CACHE_DIR").map_or(true, |v| v.is_empty()) {
+            assert!(parse(&argv("serve --cache-max-bytes 4096")).is_err());
         }
     }
 

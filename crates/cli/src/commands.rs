@@ -1,6 +1,8 @@
 //! Subcommand implementations (each returns the text to print).
 
-use crate::args::{CliError, FaultsArgs, ObserveArgs, ResilienceArgs, RunArgs, SweepArgs};
+use crate::args::{
+    CliError, FaultsArgs, ObserveArgs, ResilienceArgs, RunArgs, ServeArgs, SweepArgs,
+};
 use olab_core::adaptive::{tune_fsdp, Objective};
 use olab_core::report::{ms, pct, Table};
 use olab_core::Sweep;
@@ -44,6 +46,19 @@ USAGE:
                [--fault-seed N] [--severity mild|moderate|severe] [--action degrade|abort]
                [--cell-timeout-s X] [--retries N] guarded observed run
                [--metrics DIR]                 engine self-telemetry (metrics.prom/.json)
+  olab serve [--addr 127.0.0.1:7979]           sweep-as-a-service daemon (HTTP/1.1)
+             [--jobs N] [--cache DIR]          engine workers, persistent result cache
+             [--cache-max-bytes N]             disk-cache cap, deterministic eviction
+             [--cell-timeout-s X] [--retries N] server-side deadline and retry budget
+             [--max-queue N] [--http-workers N] admission-queue depth, connection threads
+             [--drain-timeout-s X]             graceful-drain grace period
+             [--coalesce-hold-ms N]            soak aid: widen the coalescing window
+             [--metrics DIR] [--log FILE]      expositions on drain, JSONL lifecycle log
+             [--oneshot QUERY]                 print the body /v1/cell?QUERY would
+                                               serve, offline, and exit (CI byte-compare)
+
+  --metrics-deterministic (sweep|faults|observe|serve, with --metrics DIR)
+      restrict expositions to deterministic families so CI can byte-compare them
 
 FLAGS (shared):
   --sku a100|h100|mi210|mi250     --gpus N             --model gpt3-2.7b|...
@@ -223,7 +238,7 @@ pub fn sweep(args: &RunArgs, sweep_args: &SweepArgs) -> Result<String, CliError>
             }
         }
     }
-    write_metrics(&sweep_args.metrics)?;
+    write_metrics(&sweep_args.metrics, sweep_args.metrics_deterministic)?;
     Ok(if args.csv {
         table.to_csv()
     } else {
@@ -378,7 +393,7 @@ pub fn faults(args: &RunArgs, faults_args: &FaultsArgs) -> Result<String, CliErr
             ]),
         };
     }
-    write_metrics(&faults_args.metrics)?;
+    write_metrics(&faults_args.metrics, faults_args.metrics_deterministic)?;
     Ok(if args.csv {
         table.to_csv()
     } else {
@@ -487,7 +502,7 @@ fn faults_with_recovery(
         row.extend(recovery_columns(&cached));
         table.row(row);
     }
-    write_metrics(&faults_args.metrics)?;
+    write_metrics(&faults_args.metrics, faults_args.metrics_deterministic)?;
     Ok(if args.csv {
         table.to_csv()
     } else {
@@ -605,7 +620,7 @@ pub fn observe(args: &RunArgs, obs: &ObserveArgs) -> Result<String, CliError> {
         Ok(run) => run?,
         Err(failure) => return Err(CliError(format!("observed run failed: {failure}"))),
     };
-    write_metrics(&obs.metrics)?;
+    write_metrics(&obs.metrics, obs.metrics_deterministic)?;
     match &obs.out_dir {
         Some(dir) => {
             let paths = artifact
@@ -635,14 +650,21 @@ fn enable_metrics(metrics: &Option<String>) {
 /// command ran, validating the JSON exposition before anything touches
 /// disk (`olab-metrics` is std-only and sits below `fmtutil`, so the
 /// well-formedness check lives here). A no-op when the flag was absent.
-fn write_metrics(metrics: &Option<String>) -> Result<(), CliError> {
+/// With `--metrics-deterministic` only cross-run-stable families are
+/// written, so CI can byte-compare the files across schedules.
+fn write_metrics(metrics: &Option<String>, deterministic: bool) -> Result<(), CliError> {
     let Some(dir) = metrics else {
         return Ok(());
     };
     olab_core::fmtutil::validate_json(&olab_metrics::render_json())
         .map_err(|e| CliError(format!("--metrics: malformed exposition: {e}")))?;
     std::fs::create_dir_all(dir).map_err(|e| CliError(format!("--metrics {dir}: {e}")))?;
-    olab_metrics::write_files(Path::new(dir)).map_err(|e| CliError(format!("--metrics {dir}: {e}")))
+    let result = if deterministic {
+        olab_metrics::write_files_deterministic(Path::new(dir))
+    } else {
+        olab_metrics::write_files(Path::new(dir))
+    };
+    result.map_err(|e| CliError(format!("--metrics {dir}: {e}")))
 }
 
 /// Builds the live-progress fan-out for `--observe`: a stderr status line
@@ -676,6 +698,56 @@ fn write_artifact(
         .write_to(&cell_dir)
         .map_err(|e| CliError(format!("{}: {e}", cell_dir.display())))?;
     Ok(())
+}
+
+/// `olab serve` — the sweep-as-a-service daemon, or a one-shot offline
+/// render of the body the daemon would serve (`--oneshot QUERY`).
+///
+/// The daemon blocks until something posts `/v1/drain`, then drains
+/// gracefully: no new admissions, every admitted request finished,
+/// metrics expositions flushed.
+pub fn serve(args: &ServeArgs) -> Result<String, CliError> {
+    if let Some(query) = &args.oneshot {
+        return olab_serve::oneshot(query).map_err(CliError);
+    }
+    let mut cfg = olab_serve::ServeConfig {
+        addr: args.addr.clone(),
+        metrics_deterministic: args.metrics_deterministic,
+        ..olab_serve::ServeConfig::default()
+    };
+    cfg.cache_dir = args.cache.as_ref().map(std::path::PathBuf::from);
+    cfg.cache_max_bytes = args.cache_max_bytes;
+    cfg.cell_timeout_s = args.cell_timeout_s;
+    cfg.metrics_out = args.metrics.as_ref().map(std::path::PathBuf::from);
+    cfg.log = args.log.as_ref().map(std::path::PathBuf::from);
+    if let Some(jobs) = args.jobs {
+        cfg.jobs = jobs;
+    }
+    if let Some(retries) = args.retries {
+        cfg.retries = retries;
+    }
+    if let Some(depth) = args.max_queue {
+        cfg.max_queue = depth;
+    }
+    if let Some(workers) = args.http_workers {
+        cfg.http_workers = workers;
+    }
+    if let Some(secs) = args.drain_timeout_s {
+        cfg.drain_timeout_s = secs;
+    }
+    if let Some(hold) = args.coalesce_hold_ms {
+        cfg.coalesce_hold_ms = hold;
+    }
+    let handle = olab_serve::start(cfg).map_err(|e| CliError(format!("serve: {e}")))?;
+    eprintln!(
+        "[olab-serve] listening on http://{} (POST /v1/drain to stop)",
+        handle.addr()
+    );
+    let report = handle.run_until_drained();
+    Ok(format!(
+        "drained clean; stranded workers: {}\n",
+        report.stranded_workers
+    ))
 }
 
 /// `olab tune`.
@@ -724,6 +796,7 @@ mod tests {
             "faults",
             "resilience",
             "observe",
+            "serve",
             "list",
         ] {
             assert!(h.contains(cmd), "{cmd}");
@@ -739,6 +812,12 @@ mod tests {
             "--retries",
             "--cache-max-bytes",
             "--metrics",
+            "--metrics-deterministic",
+            "--addr",
+            "--max-queue",
+            "--http-workers",
+            "--drain-timeout-s",
+            "--oneshot",
         ] {
             assert!(h.contains(flag), "{flag}");
         }

@@ -10,6 +10,7 @@
 //! olab observe --cell fig7 --out-dir runs/fig7  # self-describing run artifact
 //! olab faults --seeds 1,2 --recovery elastic    # recover instead of dying
 //! olab resilience --seed 3 --severity severe    # three-policy comparison
+//! olab serve --addr 127.0.0.1:7979 --cache ~/.cache/olab  # sweep-as-a-service
 //! ```
 //!
 //! The argument parser is hand-rolled (the workspace keeps its dependency
@@ -23,7 +24,8 @@ pub mod args;
 pub mod commands;
 
 pub use args::{
-    parse, CliError, Command, FaultsArgs, ObserveArgs, ResilienceArgs, RunArgs, SweepArgs,
+    parse, CliError, Command, FaultsArgs, ObserveArgs, ResilienceArgs, RunArgs, ServeArgs,
+    SweepArgs,
 };
 
 /// Entry point shared by the binary and the tests.
@@ -43,6 +45,7 @@ pub fn main_with(args: &[String]) -> Result<String, CliError> {
         Command::Faults(run, faults) => commands::faults(&run, &faults),
         Command::Resilience(run, res) => commands::resilience(&run, &res),
         Command::Observe(run, obs) => commands::observe(&run, &obs),
+        Command::Serve(serve) => commands::serve(&serve),
         Command::Help => Ok(commands::help()),
     }
 }

@@ -14,7 +14,7 @@
 
 use crate::{Experiment, ExperimentError, ExperimentReport, OverlapMetrics};
 use olab_grid::{
-    CacheCounters, CacheHealth, CacheValue, CellFailure, Executor, GridJob, GuardConfig,
+    CacheCost, CacheCounters, CacheHealth, CacheValue, CellFailure, Executor, GridJob, GuardConfig,
     ProgressSink, Reader, SweepRun, SweepStats, Writer,
 };
 use olab_models::memory::ActivationPolicy;
@@ -365,6 +365,25 @@ impl GridJob for Experiment {
                 .map_err(CellError::from),
         )
     }
+
+    /// Cost class for the capped disk cache: cells the analytic fast path
+    /// can serve are microseconds to recompute (`Cheap`), everything the
+    /// event loop must re-simulate is `Expensive`, and a cell that fails
+    /// validation caches only a tiny error record (`Cheap`). The
+    /// classification is a pure function of the cell, so the eviction
+    /// order it feeds stays schedule-independent.
+    fn cost_hint(&self) -> CacheCost {
+        let Ok(policy) = self.validate() else {
+            return CacheCost::Cheap;
+        };
+        let Ok(workload) = self.timeline(olab_parallel::ExecutionMode::Overlapped, policy) else {
+            return CacheCost::Cheap;
+        };
+        match crate::CellClassifier::classify(&workload, &self.machine(), false) {
+            crate::FastPathDecision::Eligible => CacheCost::Cheap,
+            _ => CacheCost::Expensive,
+        }
+    }
 }
 
 /// Environment variable overriding the default worker count for sweeps
@@ -494,6 +513,14 @@ impl Sweep {
         self
     }
 
+    /// Arms deterministic fault injection on the engine and its cache
+    /// (see `olab_grid::chaos`). Feature-gated; soak harnesses only.
+    #[cfg(feature = "chaos")]
+    pub fn with_chaos(mut self, plan: olab_grid::ChaosPlan) -> Self {
+        self.engine = self.engine.with_chaos(plan);
+        self
+    }
+
     /// Worker threads this sweep will use.
     pub fn jobs(&self) -> usize {
         self.engine.pool().workers()
@@ -530,8 +557,21 @@ impl Sweep {
         cells: &[Experiment],
         sink: Option<&dyn ProgressSink>,
     ) -> SweepOutcome {
+        self.run_guarded(cells, *self.engine.guard(), sink)
+    }
+
+    /// Like [`Sweep::run_with_progress`], but under `guard` instead of the
+    /// engine's own guard — the deadline-propagation hook: a serving
+    /// front-end tightens the per-cell deadline to each request's own
+    /// budget while concurrent runs keep sharing one engine and cache.
+    pub fn run_guarded(
+        &self,
+        cells: &[Experiment],
+        guard: GuardConfig,
+        sink: Option<&dyn ProgressSink>,
+    ) -> SweepOutcome {
         let fast_before = crate::fastpath::fast_runs();
-        let SweepRun { outputs, mut stats } = self.engine.run_with_progress(cells, sink);
+        let SweepRun { outputs, mut stats } = self.engine.run_guarded(cells, &guard, sink);
         // Process-global counter: concurrent sweeps can only inflate the
         // delta, never shrink it, so the attribution stays a lower bound
         // per-sweep and exact when sweeps don't overlap in time.

@@ -1,0 +1,250 @@
+//! Bounded admission queue for serving front-ends: accept work up to a
+//! fixed depth, shed the rest immediately, drain cleanly on shutdown.
+//!
+//! The load-shedding half of the serve story: an acceptor thread pushes
+//! accepted connections, worker threads pop them, and when the queue is
+//! full [`AdmissionQueue::push`] fails *immediately* with the rejected
+//! item instead of blocking — the caller turns that into a `429` with a
+//! `Retry-After` rather than letting latency grow without bound. Closing
+//! the queue ([`AdmissionQueue::close`]) starts the drain protocol:
+//! further pushes are rejected as [`RejectReason::Closed`], while pops
+//! keep returning queued items until the queue is empty and only then
+//! return `None` — already-admitted work is always finished, never
+//! dropped.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was rejected, with the item handed back to the caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rejected<T> {
+    /// The item that was not admitted.
+    pub item: T,
+    /// Why.
+    pub reason: RejectReason,
+}
+
+/// Why the queue refused an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The queue is at capacity: shed load now, retry later.
+    Full,
+    /// The queue is draining for shutdown: no new work is admitted.
+    Closed,
+}
+
+#[derive(Debug, Default)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue with immediate rejection and drain-on-close.
+#[derive(Debug)]
+pub struct AdmissionQueue<T> {
+    state: Mutex<QueueState<T>>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue admitting at most `capacity` items at a time (a zero
+    /// capacity is clamped to one so the queue can make progress).
+    pub fn new(capacity: usize) -> Self {
+        AdmissionQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Admits `item`, or rejects it immediately — never blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`RejectReason::Full`] at capacity, [`RejectReason::Closed`] after
+    /// [`AdmissionQueue::close`]; the item rides back in the error either
+    /// way so the caller can respond to it.
+    pub fn push(&self, item: T) -> Result<(), Rejected<T>> {
+        let mut state = self.state.lock().expect("admission queue poisoned");
+        if state.closed {
+            return Err(Rejected {
+                item,
+                reason: RejectReason::Closed,
+            });
+        }
+        if state.items.len() >= self.capacity {
+            return Err(Rejected {
+                item,
+                reason: RejectReason::Full,
+            });
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next item. Returns `None` only once the queue is
+    /// closed **and** empty — the drain guarantee: every admitted item is
+    /// popped before any worker is released.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("admission queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.cv.wait(state).expect("admission queue poisoned");
+        }
+    }
+
+    /// Starts the drain: rejects future pushes, lets pops run the queue
+    /// dry, then releases every blocked popper with `None`. Idempotent.
+    pub fn close(&self) {
+        self.state.lock().expect("admission queue poisoned").closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Items queued right now.
+    pub fn depth(&self) -> usize {
+        self.state
+            .lock()
+            .expect("admission queue poisoned")
+            .items
+            .len()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether the queue has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("admission queue poisoned").closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn a_full_queue_sheds_immediately_with_the_item_returned() {
+        let q: AdmissionQueue<u32> = AdmissionQueue::new(2);
+        assert_eq!(q.capacity(), 2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        let rejected = q.push(3).unwrap_err();
+        assert_eq!(rejected.item, 3, "the shed item rides back to the caller");
+        assert_eq!(rejected.reason, RejectReason::Full);
+        assert_eq!(q.depth(), 2);
+        // Popping one frees a slot.
+        assert_eq!(q.pop(), Some(1));
+        q.push(3).unwrap();
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn close_rejects_new_work_but_drains_admitted_work() {
+        let q: AdmissionQueue<u32> = AdmissionQueue::new(8);
+        q.push(10).unwrap();
+        q.push(11).unwrap();
+        q.close();
+        assert!(q.is_closed());
+        let rejected = q.push(12).unwrap_err();
+        assert_eq!(rejected.reason, RejectReason::Closed);
+        // The drain guarantee: both admitted items come out before None.
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(11));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "closed-and-empty stays terminal");
+        q.close(); // idempotent
+    }
+
+    #[test]
+    fn close_releases_every_blocked_popper() {
+        let q: AdmissionQueue<u32> = AdmissionQueue::new(4);
+        let released = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    // Workers drain whatever arrives, then exit on None.
+                    while q.pop().is_some() {}
+                    released.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            q.push(1).unwrap();
+            q.push(2).unwrap();
+            std::thread::sleep(Duration::from_millis(20));
+            q.close();
+        });
+        assert_eq!(released.load(Ordering::SeqCst), 4, "no stranded workers");
+        assert_eq!(q.depth(), 0, "everything admitted was drained");
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_neither_lose_nor_duplicate() {
+        let q: AdmissionQueue<u32> = AdmissionQueue::new(4);
+        let consumed = Mutex::new(Vec::new());
+        let shed = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                s.spawn(|| {
+                    while let Some(v) = q.pop() {
+                        consumed.lock().unwrap().push(v);
+                    }
+                });
+                let shed = &shed;
+                let q = &q;
+                s.spawn(move || {
+                    for i in 0..64u32 {
+                        let v = t * 1000 + i;
+                        // Retry shed items so every value lands exactly once.
+                        let mut item = v;
+                        loop {
+                            match q.push(item) {
+                                Ok(()) => break,
+                                Err(r) => {
+                                    assert_eq!(r.reason, RejectReason::Full);
+                                    shed.fetch_add(1, Ordering::Relaxed);
+                                    item = r.item;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            // Give producers time to finish before starting the drain.
+            while q.depth() > 0 || consumed.lock().unwrap().len() < 256 {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            q.close();
+        });
+        let mut got = consumed.into_inner().unwrap();
+        got.sort_unstable();
+        let mut expect: Vec<u32> = (0..4u32)
+            .flat_map(|t| (0..64u32).map(move |i| t * 1000 + i))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect, "every admitted item consumed exactly once");
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let q: AdmissionQueue<u32> = AdmissionQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.push(5).unwrap();
+        assert_eq!(q.push(6).unwrap_err().reason, RejectReason::Full);
+        assert_eq!(q.pop(), Some(5));
+    }
+}

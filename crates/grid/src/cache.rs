@@ -25,9 +25,16 @@
 //!   between write and rename cannot leak files forever.
 //! * **Size-capped deterministic eviction** — with a byte cap configured,
 //!   [`ResultCache::enforce_disk_cap`] evicts `*.cell` files cold-first
-//!   (entries this process has not touched), each group in ascending key
-//!   order: a total order independent of scheduling, so serial and
-//!   parallel sweeps leave byte-identical directories.
+//!   (entries this process has not touched), each group ordered by
+//!   ascending recompute cost ([`CacheCost`]) then ascending key: a total
+//!   order independent of scheduling, so serial and parallel sweeps leave
+//!   byte-identical directories.
+//! * **Cost/size-aware admission** — jobs declare how expensive their
+//!   value is to recompute ([`ResultCache::insert_with_cost`]); under a
+//!   byte cap, cheap fast-path cells are evicted before expensive
+//!   event-loop results, and a single entry larger than the whole cap is
+//!   denied disk admission outright
+//!   ([`CacheCounters::admission_rejected`]) instead of flushing the tier.
 //! * **Graceful degradation** — a disk write failing with `ENOSPC` or
 //!   `EACCES` latches the cache into memory-only operation instead of
 //!   failing every subsequent cell; [`ResultCache::health`] reports it.
@@ -178,6 +185,30 @@ pub enum CacheTier {
     Disk,
 }
 
+/// How expensive a cached value would be to *recompute* — the currency of
+/// the disk tier's admission/eviction policy. The variant order is the
+/// eviction order: under a byte cap, `Cheap` entries (analytic fast-path
+/// cells, microseconds to regenerate) are dropped before `Standard` ones,
+/// and `Expensive` entries (full event-loop results) go last — a burst of
+/// lean cells can no longer wash costly results out of a capped cache.
+///
+/// Costs are tracked in-process for keys inserted through
+/// [`ResultCache::insert_with_cost`]; entries from earlier processes have
+/// unknown cost and rank as `Standard`. Because a job's cost is a pure
+/// function of the cell, the ranking — like the rest of the eviction
+/// policy — is identical between serial and parallel sweeps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CacheCost {
+    /// Trivially recomputable (e.g. analytic fast-path cells).
+    Cheap,
+    /// Unclassified — the default for jobs without a hint, and for disk
+    /// entries inherited from other processes.
+    #[default]
+    Standard,
+    /// Costly to recompute (e.g. full event-loop simulations).
+    Expensive,
+}
+
 /// Lifetime hit/miss/store counters of one cache instance.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheCounters {
@@ -196,6 +227,9 @@ pub struct CacheCounters {
     pub evicted: u64,
     /// Stale `.tmp` files from provably dead writers removed at open.
     pub tmp_reaped: u64,
+    /// Values denied disk-tier admission because one encoded entry alone
+    /// would exceed the configured byte cap (they stay in memory).
+    pub admission_rejected: u64,
 }
 
 impl CacheCounters {
@@ -238,6 +272,9 @@ pub struct CacheHealth {
 #[derive(Debug)]
 pub struct ResultCache<V> {
     memory: Mutex<HashMap<u64, (String, V)>>,
+    /// Recompute-cost classes of keys inserted by this process, feeding
+    /// the eviction order of [`ResultCache::enforce_disk_cap`].
+    costs: Mutex<HashMap<u64, CacheCost>>,
     disk_dir: Option<PathBuf>,
     max_disk_bytes: Option<u64>,
     lease_path: Option<PathBuf>,
@@ -252,6 +289,7 @@ pub struct ResultCache<V> {
     quarantined: AtomicU64,
     evicted: AtomicU64,
     tmp_reaped: AtomicU64,
+    admission_rejected: AtomicU64,
     #[cfg(any(test, feature = "chaos"))]
     chaos: Option<ChaosPlan>,
 }
@@ -261,6 +299,7 @@ impl<V: CacheValue> ResultCache<V> {
     pub fn in_memory() -> Self {
         ResultCache {
             memory: Mutex::new(HashMap::new()),
+            costs: Mutex::new(HashMap::new()),
             disk_dir: None,
             max_disk_bytes: None,
             lease_path: None,
@@ -275,6 +314,7 @@ impl<V: CacheValue> ResultCache<V> {
             quarantined: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
             tmp_reaped: AtomicU64::new(0),
+            admission_rejected: AtomicU64::new(0),
             #[cfg(any(test, feature = "chaos"))]
             chaos: None,
         }
@@ -383,12 +423,24 @@ impl<V: CacheValue> ResultCache<V> {
     /// [`ResultCache::health`]) so a full disk fails one write, not one
     /// write per cell.
     pub fn insert(&self, descriptor: &str, value: V) {
+        self.insert_with_cost(descriptor, value, CacheCost::Standard);
+    }
+
+    /// Like [`ResultCache::insert`], additionally recording the value's
+    /// recompute-cost class for the eviction policy (see [`CacheCost`]).
+    /// The [`crate::GridJob::cost_hint`] of the computing job is what the
+    /// sweep engine passes here.
+    pub fn insert_with_cost(&self, descriptor: &str, value: V, cost: CacheCost) {
         let m = crate::metrics::grid_metrics();
         let start = olab_metrics::now_if_enabled();
         let key = Self::key_of(descriptor);
         self.stores.fetch_add(1, Ordering::Relaxed);
         m.cache_stores.inc();
         if let Some(dir) = &self.disk_dir {
+            self.costs
+                .lock()
+                .expect("cost map poisoned")
+                .insert(key, cost);
             if !self.degraded.load(Ordering::SeqCst) {
                 if let Err(err) = self.write_entry(dir, key, descriptor, &value) {
                     self.note_write_failure(&err);
@@ -427,6 +479,7 @@ impl<V: CacheValue> ResultCache<V> {
             quarantined: self.quarantined.load(Ordering::Relaxed),
             evicted: self.evicted.load(Ordering::Relaxed),
             tmp_reaped: self.tmp_reaped.load(Ordering::Relaxed),
+            admission_rejected: self.admission_rejected.load(Ordering::Relaxed),
         }
     }
 
@@ -461,9 +514,12 @@ impl<V: CacheValue> ResultCache<V> {
 
     /// Enforces the disk-tier byte cap, if one is set: while `*.cell`
     /// bytes exceed the cap, evicts entries this process has *not* touched
-    /// (absent from the memory tier) in ascending key order, then touched
-    /// ones in ascending key order. Both the candidate set and the order
-    /// are independent of worker scheduling, so serial and parallel sweeps
+    /// (absent from the memory tier) before touched ones, each partition
+    /// ordered by ascending recompute cost ([`CacheCost`]) and then
+    /// ascending key — so cheap fast-path cells go before expensive
+    /// event-loop results of the same temperature. The candidate set, the
+    /// cost ranks (pure functions of the cells), and the order are all
+    /// independent of worker scheduling, so serial and parallel sweeps
     /// evict identically — the determinism contract extends to the cache
     /// directory itself. Returns entries evicted by this call (also
     /// accumulated into [`CacheCounters::evicted`]).
@@ -486,9 +542,17 @@ impl<V: CacheValue> ResultCache<V> {
             .keys()
             .copied()
             .collect();
-        // `scan_cells` returns ascending keys, so each partition keeps
-        // that order: cold ascending, then hot ascending.
-        let (cold, warm): (Vec<_>, Vec<_>) = cells.into_iter().partition(|(k, _)| !hot.contains(k));
+        let (mut cold, mut warm): (Vec<_>, Vec<_>) =
+            cells.into_iter().partition(|(k, _)| !hot.contains(k));
+        // Within each temperature, cheapest-to-recompute first; keys this
+        // process never inserted rank `Standard`. `scan_cells` returns
+        // ascending keys and the sort is stable, so ties stay key-ordered.
+        {
+            let costs = self.costs.lock().expect("cost map poisoned");
+            let rank = |k: u64| costs.get(&k).copied().unwrap_or_default();
+            cold.sort_by_key(|&(k, _)| rank(k));
+            warm.sort_by_key(|&(k, _)| rank(k));
+        }
         let mut evicted = 0u64;
         for (key, bytes) in cold.into_iter().chain(warm) {
             if total <= cap {
@@ -544,6 +608,21 @@ impl<V: CacheValue> ResultCache<V> {
         let digest = fnv1a_64(&w.buf);
         w.put_u64(digest);
         let bytes = w.into_bytes();
+
+        // Size-aware admission: an entry that alone exceeds the byte cap
+        // could never survive enforcement — admitting it would just evict
+        // the rest of the tier on its way out. Deny it the disk tier up
+        // front; it still serves from memory. A pure function of the entry
+        // and the cap, so serial and parallel sweeps decide identically.
+        if let Some(cap) = self.max_disk_bytes {
+            if bytes.len() as u64 > cap {
+                self.admission_rejected.fetch_add(1, Ordering::Relaxed);
+                crate::metrics::grid_metrics()
+                    .cache_admission_rejected
+                    .inc();
+                return Ok(());
+            }
+        }
 
         #[cfg(any(test, feature = "chaos"))]
         if self.chaos.as_ref().is_some_and(|p| p.enospc(key)) {
@@ -1054,6 +1133,93 @@ mod tests {
         assert_eq!(kept_now.len(), 1);
         assert_eq!(kept_now[0].0, expect[0], "the hot entry survived");
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn an_entry_larger_than_the_cap_is_denied_disk_admission() {
+        let dir = temp_dir("admission");
+        // One (u64, f64) entry encodes to well over 30 bytes with magic,
+        // key, descriptor, and checksum; a 30-byte cap admits nothing.
+        let cache: ResultCache<(u64, f64)> = ResultCache::with_disk_capped(&dir, 30).unwrap();
+        cache.insert("too big to ever fit", (1, 1.0));
+        assert!(scan_cells(&dir).is_empty(), "never reached the disk");
+        assert_eq!(cache.counters().admission_rejected, 1);
+        assert_eq!(cache.counters().evicted, 0, "rejected, not evicted");
+        assert!(!cache.is_degraded(), "admission denial is not a failure");
+        // The value still serves from memory.
+        assert_eq!(
+            cache.lookup("too big to ever fit"),
+            Some(((1, 1.0), CacheTier::Memory))
+        );
+        // A roomy cap admits the same entry normally.
+        let roomy: ResultCache<(u64, f64)> = ResultCache::with_disk_capped(&dir, 10_000).unwrap();
+        roomy.insert("too big to ever fit", (1, 1.0));
+        assert_eq!(scan_cells(&dir).len(), 1);
+        assert_eq!(roomy.counters().admission_rejected, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_drops_cheap_entries_before_expensive_ones() {
+        let dir = temp_dir("cost-evict");
+        let cache: ResultCache<(u64, f64)> = ResultCache::with_disk(&dir).unwrap();
+        let descriptors: Vec<String> = (0..6u64).map(|i| format!("costed cell {i}")).collect();
+        let mut keys: Vec<u64> = descriptors
+            .iter()
+            .map(|d| ResultCache::<(u64, f64)>::key_of(d))
+            .collect();
+        keys.sort_unstable();
+        // The two smallest keys get Expensive, the rest Cheap: pure
+        // key-order eviction would drop the expensive pair first, the
+        // cost-aware order must drop all four cheap entries instead.
+        let expensive: HashSet<u64> = keys[..2].iter().copied().collect();
+        for (i, d) in descriptors.iter().enumerate() {
+            let cost = if expensive.contains(&ResultCache::<(u64, f64)>::key_of(d)) {
+                CacheCost::Expensive
+            } else {
+                CacheCost::Cheap
+            };
+            cache.insert_with_cost(d, (i as u64, 0.0), cost);
+        }
+        let entry_bytes = scan_cells(&dir)[0].1;
+        let mut cache = cache;
+        cache.set_disk_cap(Some(entry_bytes * 2));
+        assert_eq!(cache.counters().evicted, 4, "all four cheap cells go");
+        let kept: Vec<u64> = scan_cells(&dir).iter().map(|&(k, _)| k).collect();
+        assert_eq!(kept, keys[..2].to_vec(), "the expensive pair survives");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cost_aware_eviction_is_independent_of_insert_order() {
+        // Same entries, same costs, opposite insertion orders: both
+        // directories must keep exactly the same survivors — the eviction
+        // point sees identical state regardless of scheduling.
+        let descriptors: Vec<String> = (0..8u64).map(|i| format!("order cell {i}")).collect();
+        let cost_of = |i: usize| match i % 3 {
+            0 => CacheCost::Cheap,
+            1 => CacheCost::Standard,
+            _ => CacheCost::Expensive,
+        };
+        let mut survivors: Vec<Vec<u64>> = Vec::new();
+        for (tag, reversed) in [("fwd", false), ("rev", true)] {
+            let dir = temp_dir(&format!("cost-order-{tag}"));
+            let cache: ResultCache<(u64, f64)> = ResultCache::with_disk(&dir).unwrap();
+            let mut order: Vec<usize> = (0..descriptors.len()).collect();
+            if reversed {
+                order.reverse();
+            }
+            for i in order {
+                cache.insert_with_cost(&descriptors[i], (i as u64, 0.0), cost_of(i));
+            }
+            let entry_bytes = scan_cells(&dir)[0].1;
+            let mut cache = cache;
+            cache.set_disk_cap(Some(entry_bytes * 3));
+            survivors.push(scan_cells(&dir).iter().map(|&(k, _)| k).collect());
+            let _ = fs::remove_dir_all(&dir);
+        }
+        assert_eq!(survivors[0], survivors[1]);
+        assert_eq!(survivors[0].len(), 3);
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! | `cache.enospc` | disk insert | the write fails with `StorageFull` (trips memory-only degradation) |
 //! | `pool.panic` | executor, before a miss simulates | the cell closure panics |
 //! | `pool.slow_cell` | executor, before a miss simulates | the cell sleeps past its deadline |
+//! | `serve.slow_client` | daemon, before a response is written | the connection handler sleeps `slow_client_ms` (a client draining its socket slowly) |
+//! | `serve.conn_reset` | daemon, before a response is written | the connection is dropped without a response (a mid-request client reset) |
 //!
 //! Compiled only under `cfg(test)` or the `chaos` cargo feature:
 //! production builds carry zero chaos branches.
@@ -42,6 +44,14 @@ pub struct ChaosPlan {
     pub slow_cell_permille: u16,
     /// How long an injected slow cell sleeps, milliseconds.
     pub slow_cell_ms: u64,
+    /// Rate of served responses stalled by `slow_client_ms` before the
+    /// bytes go out (models a client draining its socket slowly).
+    pub slow_client_permille: u16,
+    /// How long an injected slow client stalls the response, milliseconds.
+    pub slow_client_ms: u64,
+    /// Rate of connections dropped without a response right before the
+    /// write (models a mid-request client reset).
+    pub conn_reset_permille: u16,
 }
 
 impl ChaosPlan {
@@ -93,6 +103,19 @@ impl ChaosPlan {
     /// Should attempt `attempt` of cell `key` run slow?
     pub fn slow_cell(&self, key: u64, attempt: u32) -> bool {
         self.fires("pool.slow_cell", self.slow_cell_permille, key, attempt)
+    }
+
+    /// Should the response for request `request` (a serving front-end's
+    /// own monotone request counter, playing the `key` role) stall for
+    /// `slow_client_ms` before its bytes are written?
+    pub fn slow_client(&self, request: u64) -> bool {
+        self.fires("serve.slow_client", self.slow_client_permille, request, 0)
+    }
+
+    /// Should the connection carrying request `request` be dropped without
+    /// a response, as if the client reset mid-request?
+    pub fn conn_reset(&self, request: u64) -> bool {
+        self.fires("serve.conn_reset", self.conn_reset_permille, request, 0)
     }
 }
 
@@ -164,5 +187,37 @@ mod tests {
         };
         let differs = (0..64).any(|k| plan.torn_write(k) != plan.rename_fail(k));
         assert!(differs, "point name must be folded into the roll");
+    }
+
+    #[test]
+    fn serve_points_are_deterministic_and_independent_of_each_other() {
+        let plan = ChaosPlan {
+            seed: 11,
+            slow_client_permille: 500,
+            slow_client_ms: 5,
+            conn_reset_permille: 500,
+            ..ChaosPlan::default()
+        };
+        let slow: Vec<bool> = (0..64).map(|r| plan.slow_client(r)).collect();
+        let slow2: Vec<bool> = (0..64).map(|r| plan.slow_client(r)).collect();
+        assert_eq!(slow, slow2, "same plan, same request ids, same faults");
+        let differs = (0..64).any(|r| plan.slow_client(r) != plan.conn_reset(r));
+        assert!(differs, "the two serve points roll independently");
+        // And independently of the pool/cache points with the same key.
+        let cross = (0..64).any(|r| plan.slow_client(r) != plan.slow_cell(r, 0));
+        assert!(cross, "serve rolls do not mirror pool rolls");
+    }
+
+    #[test]
+    fn serve_rates_honor_zero_and_full_permille() {
+        let off = ChaosPlan::seeded(2);
+        assert!((0..200).all(|r| !off.slow_client(r) && !off.conn_reset(r)));
+        let on = ChaosPlan {
+            seed: 2,
+            slow_client_permille: 1000,
+            conn_reset_permille: 1000,
+            ..ChaosPlan::default()
+        };
+        assert!((0..200).all(|r| on.slow_client(r) && on.conn_reset(r)));
     }
 }

@@ -35,9 +35,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod cache;
 #[cfg(any(test, feature = "chaos"))]
 pub mod chaos;
+pub mod coalesce;
 pub mod guard;
 pub mod hash;
 pub mod metrics;
@@ -45,9 +47,13 @@ pub mod pool;
 pub mod progress;
 pub mod telemetry;
 
-pub use cache::{CacheCounters, CacheHealth, CacheTier, CacheValue, Reader, ResultCache, Writer};
+pub use admission::{AdmissionQueue, RejectReason, Rejected};
+pub use cache::{
+    CacheCost, CacheCounters, CacheHealth, CacheTier, CacheValue, Reader, ResultCache, Writer,
+};
 #[cfg(any(test, feature = "chaos"))]
 pub use chaos::ChaosPlan;
+pub use coalesce::{CoalesceMap, Join, Leader, WaitOutcome, Waiter};
 pub use guard::{CellCtx, CellFailure, CellReport, GuardConfig};
 pub use hash::{fnv1a_64, StableHasher};
 pub use pool::{Pool, WorkerPanic};
@@ -72,6 +78,16 @@ pub trait GridJob: Sync {
 
     /// Computes the result. Must be deterministic and side-effect free.
     fn execute(&self) -> Self::Output;
+
+    /// How expensive this cell's value would be to *recompute*, feeding
+    /// the capped disk tier's admission/eviction policy (see
+    /// [`cache::CacheCost`]): cheap cells are evicted before expensive
+    /// ones. Must be a pure function of the cell — the determinism
+    /// contract extends to the eviction order. Defaults to `Standard`
+    /// (exactly the pre-policy behavior).
+    fn cost_hint(&self) -> cache::CacheCost {
+        cache::CacheCost::Standard
+    }
 }
 
 /// How one cell of a sweep was resolved.
@@ -196,6 +212,24 @@ impl<V: CacheValue> Executor<V> {
         jobs: &[J],
         sink: Option<&dyn ProgressSink>,
     ) -> SweepRun<V> {
+        self.run_guarded(jobs, &self.guard, sink)
+    }
+
+    /// Like [`Executor::run_with_progress`] but under `guard` instead of
+    /// the engine-level policy, leaving the engine untouched. This is the
+    /// deadline-propagation hook for a serving front-end: a request-scoped
+    /// deadline (e.g. an HTTP `timeout_ms`) becomes the cooperative
+    /// [`CellCtx`] deadline of exactly this run, so a dead client's cell
+    /// is abandoned at the next checkpoint instead of stranding a worker,
+    /// while concurrent runs keep their own budgets. `run` takes `&self`,
+    /// so differently-guarded runs may execute concurrently over the
+    /// shared cache.
+    pub fn run_guarded<J: GridJob<Output = V>>(
+        &self,
+        jobs: &[J],
+        guard: &GuardConfig,
+        sink: Option<&dyn ProgressSink>,
+    ) -> SweepRun<V> {
         let start = Instant::now();
         let counters_before = self.cache.counters();
         let total = jobs.len();
@@ -208,7 +242,7 @@ impl<V: CacheValue> Executor<V> {
         // poisoned descriptor — a retry re-executes the cell.
         let reports = self
             .pool
-            .try_map_guarded(&indexed, &self.guard, |&(index, job), ctx| {
+            .try_map_guarded(&indexed, guard, |&(index, job), ctx| {
                 let descriptor = job.descriptor();
                 if let Some(sink) = sink {
                     if ctx.attempt() > 0 {
@@ -248,7 +282,15 @@ impl<V: CacheValue> Executor<V> {
                         // its deadline unwinds here, *before* the insert —
                         // a timed-out attempt never populates the cache.
                         ctx.checkpoint();
-                        self.cache.insert(&descriptor, value.clone());
+                        // The cost hint only matters to the disk tier's
+                        // eviction order; memory-only caches skip it.
+                        let cost = if self.cache.disk_dir().is_some() {
+                            job.cost_hint()
+                        } else {
+                            cache::CacheCost::Standard
+                        };
+                        self.cache
+                            .insert_with_cost(&descriptor, value.clone(), cost);
                         (value, CellSource::Computed { cell_s })
                     }
                 };
@@ -283,6 +325,10 @@ impl<V: CacheValue> Executor<V> {
         self.cache.enforce_disk_cap();
         let counters_after = self.cache.counters();
 
+        // One fresh scan feeds both the stats and any `on_degraded`
+        // reporting below — offline sweeps and a serving `/readyz` read
+        // the same `CacheHealth` source of truth.
+        let health = self.cache.health();
         let mut stats = SweepStats {
             cells: jobs.len(),
             workers: self.pool.workers(),
@@ -290,7 +336,10 @@ impl<V: CacheValue> Executor<V> {
             observer_s: observer_ns.load(Ordering::Relaxed) as f64 * 1e-9,
             quarantined: (counters_after.quarantined - counters_before.quarantined) as usize,
             evicted: (counters_after.evicted - counters_before.evicted) as usize,
-            degraded: self.cache.is_degraded(),
+            degraded: health.degraded,
+            disk_enabled: health.disk_enabled,
+            disk_entries: health.disk_entries,
+            disk_bytes: health.disk_bytes,
             ..SweepStats::default()
         };
         let mut outputs = Vec::with_capacity(reports.len());
@@ -331,7 +380,6 @@ impl<V: CacheValue> Executor<V> {
         }
         if let Some(sink) = sink {
             if stats.evicted > 0 {
-                let health = self.cache.health();
                 sink.on_evict(
                     stats.evicted,
                     health.disk_bytes,
@@ -339,7 +387,6 @@ impl<V: CacheValue> Executor<V> {
                 );
             }
             if stats.degraded {
-                let health = self.cache.health();
                 sink.on_degraded(health.degraded_reason.as_deref().unwrap_or("unknown"));
             }
         }

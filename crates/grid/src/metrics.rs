@@ -33,6 +33,7 @@ pub(crate) struct GridMetrics {
     pub cache_quarantined: &'static Counter,
     pub cache_evicted: &'static Counter,
     pub cache_tmp_reaped: &'static Counter,
+    pub cache_admission_rejected: &'static Counter,
     pub cache_lookup_memory_hit_ns: &'static Histogram,
     pub cache_lookup_disk_hit_ns: &'static Histogram,
     pub cache_lookup_miss_ns: &'static Histogram,
@@ -120,6 +121,11 @@ pub(crate) fn grid_metrics() -> &'static GridMetrics {
             "olab_cache_tmp_reaped_total",
             Determinism::Wall,
             "Stale tmp files from provably dead writers removed at cache open.",
+        ),
+        cache_admission_rejected: counter(
+            "olab_cache_admission_rejected_total",
+            Determinism::CrossRun,
+            "Values denied disk-tier admission because one entry would exceed the byte cap.",
         ),
         cache_lookup_memory_hit_ns: histogram(
             "olab_cache_lookup_memory_hit_ns",

@@ -31,6 +31,16 @@ pub struct SweepStats {
     /// The disk tier latched into memory-only degradation (ENOSPC/EACCES)
     /// at some point up to the end of this sweep.
     pub degraded: bool,
+    /// Whether a disk cache tier was attached for this sweep. With it the
+    /// two fields below describe the tier as of end-of-run; without it
+    /// they are zero.
+    pub disk_enabled: bool,
+    /// Disk cache entries present after the sweep (post cap enforcement),
+    /// from the same [`crate::cache::CacheHealth`] scan that `/readyz`
+    /// reads in a serving deployment.
+    pub disk_entries: u64,
+    /// Bytes occupied by the disk tier after the sweep.
+    pub disk_bytes: u64,
     /// Worker threads used.
     pub workers: usize,
     /// Wall-clock time of the whole sweep, seconds.
@@ -124,6 +134,13 @@ impl fmt::Display for SweepStats {
         }
         if self.degraded {
             write!(f, ", cache degraded to memory-only")?;
+        }
+        if self.disk_enabled {
+            write!(
+                f,
+                ", disk tier {} entries / {} B",
+                self.disk_entries, self.disk_bytes
+            )?;
         }
         if self.observer_s > 0.0 {
             write!(f, ", {:.3} s in observers", self.observer_s)?;
@@ -226,5 +243,33 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing '{needle}' in '{text}'");
         }
+    }
+
+    #[test]
+    fn disk_tier_clause_appears_only_with_a_disk_cache() {
+        assert!(
+            !stats().summary().contains("disk tier"),
+            "memory-only sweeps stay quiet about the disk tier"
+        );
+        let on_disk = SweepStats {
+            disk_enabled: true,
+            disk_entries: 12,
+            disk_bytes: 4096,
+            ..stats()
+        };
+        assert!(
+            on_disk.summary().contains("disk tier 12 entries / 4096 B"),
+            "{}",
+            on_disk.summary()
+        );
+        let empty_disk = SweepStats {
+            disk_enabled: true,
+            ..stats()
+        };
+        assert!(
+            empty_disk.summary().contains("disk tier 0 entries / 0 B"),
+            "an attached-but-empty tier is still reported: {}",
+            empty_disk.summary()
+        );
     }
 }

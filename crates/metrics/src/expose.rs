@@ -93,6 +93,30 @@ pub fn render_prom() -> String {
     out
 }
 
+/// Renders only the deterministic (cross-run) families — no wall section
+/// and no wall marker, so two whole files from schedules of the same
+/// sweep can be compared byte-for-byte (`cmp`) without any extraction.
+pub fn render_prom_deterministic() -> String {
+    let (cross, _) = partitioned();
+    let mut out = String::new();
+    out.push_str("# olab engine self-telemetry (deterministic families only)\n");
+    for (name, entry) in &cross {
+        prom_family(&mut out, name, entry);
+    }
+    out
+}
+
+/// The JSON counterpart of [`render_prom_deterministic`]: the snapshot
+/// with the `wall` object omitted entirely.
+pub fn render_json_deterministic() -> String {
+    let (cross, _) = partitioned();
+    let mut out = String::new();
+    out.push_str("{\n  \"schema_version\": 1,\n  \"deterministic\": {");
+    json_section(&mut out, &cross);
+    out.push_str("}\n}\n");
+    out
+}
+
 fn json_hist(out: &mut String, s: &HistogramSnapshot) {
     let _ = write!(
         out,
@@ -153,9 +177,30 @@ pub fn render_json() -> String {
 ///
 /// Propagates directory-creation and file-write failures.
 pub fn write_files(dir: &Path) -> io::Result<()> {
+    write_files_mode(dir, false)
+}
+
+/// Like [`write_files`], but the files carry **only the deterministic
+/// section** (no wall-clock families, no marker line). CI scripts can
+/// `cmp` the whole files from a `--jobs 1` and a `--jobs 8` run directly
+/// instead of sed-extracting the prefix above the wall marker.
+///
+/// # Errors
+///
+/// As [`write_files`].
+pub fn write_files_deterministic(dir: &Path) -> io::Result<()> {
+    write_files_mode(dir, true)
+}
+
+fn write_files_mode(dir: &Path, deterministic_only: bool) -> io::Result<()> {
     std::fs::create_dir_all(dir)?;
-    std::fs::write(dir.join("metrics.prom"), render_prom())?;
-    std::fs::write(dir.join("metrics.json"), render_json())?;
+    let (prom, json) = if deterministic_only {
+        (render_prom_deterministic(), render_json_deterministic())
+    } else {
+        (render_prom(), render_json())
+    };
+    std::fs::write(dir.join("metrics.prom"), prom)?;
+    std::fs::write(dir.join("metrics.json"), json)?;
     Ok(())
 }
 
@@ -205,6 +250,46 @@ mod tests {
         assert!(json.contains("\"olab_test_expose_gauge\": -2"));
         assert!(json.contains("\"count\": 2, \"sum\": 105, \"max\": 100"));
         assert!(json.contains("\"buckets\": [[5, 1], [96, 1]]"));
+    }
+
+    #[test]
+    fn deterministic_only_renderings_carry_no_wall_families_or_marker() {
+        let _guard = crate::testlock::lock();
+        let c = counter(
+            "olab_test_det_only_total",
+            Determinism::CrossRun,
+            "cross-run",
+        );
+        let g = gauge("olab_test_det_only_gauge", Determinism::Wall, "wall");
+        set_enabled(true);
+        c.add(2);
+        g.set(7);
+
+        let prom = render_prom_deterministic();
+        let json = render_json_deterministic();
+        set_enabled(false);
+        reset();
+
+        assert!(prom.contains("olab_test_det_only_total 2"), "{prom}");
+        assert!(!prom.contains(PROM_WALL_MARKER), "{prom}");
+        assert!(!prom.contains("olab_test_det_only_gauge"), "{prom}");
+        assert!(json.contains("\"olab_test_det_only_total\": 2"), "{json}");
+        assert!(!json.contains("\"wall\""), "{json}");
+        assert!(!json.contains("olab_test_det_only_gauge"), "{json}");
+    }
+
+    #[test]
+    fn write_files_deterministic_drops_cmp_ready_files() {
+        let _guard = crate::testlock::lock();
+        let dir = std::env::temp_dir().join(format!("olab-metrics-det-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        write_files_deterministic(&dir).expect("write succeeds");
+        let prom = std::fs::read_to_string(dir.join("metrics.prom")).unwrap();
+        let json = std::fs::read_to_string(dir.join("metrics.json")).unwrap();
+        assert_eq!(prom, render_prom_deterministic());
+        assert_eq!(json, render_json_deterministic());
+        assert!(!prom.contains("wall-clock"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -37,7 +37,10 @@ mod expose;
 mod hist;
 mod registry;
 
-pub use expose::{render_json, render_prom, write_files};
+pub use expose::{
+    render_json, render_json_deterministic, render_prom, render_prom_deterministic, write_files,
+    write_files_deterministic,
+};
 pub use hist::{bucket_index, bucket_lower, Histogram, HistogramSnapshot, N_BUCKETS};
 pub use registry::{
     counter, enabled, gauge, histogram, reset, set_enabled, Counter, Determinism, Gauge,

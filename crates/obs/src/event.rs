@@ -206,6 +206,25 @@ pub enum ObsEvent<'a> {
         /// Human-readable reason recorded by the latch.
         reason: &'a str,
     },
+    /// A serving front-end admitted a cell request (`olab serve`).
+    RequestStart {
+        /// The requested cell's canonical descriptor.
+        descriptor: &'a str,
+        /// The request's own deadline, milliseconds (0 = none given).
+        timeout_ms: u64,
+    },
+    /// A serving front-end finished a cell request, one way or another.
+    RequestDone {
+        /// The requested cell's canonical descriptor.
+        descriptor: &'a str,
+        /// The HTTP status written back.
+        status: u16,
+        /// How it resolved (`executed`, `coalesced`, `cached`, `shed`,
+        /// `timeout`, `error`).
+        outcome: &'a str,
+        /// Wall-clock from admission to response, milliseconds.
+        wall_ms: u64,
+    },
 }
 
 impl ObsEvent<'_> {
@@ -231,6 +250,8 @@ impl ObsEvent<'_> {
             ObsEvent::CellTimeout { .. } => "cell_timeout",
             ObsEvent::CacheEvict { .. } => "cache_evict",
             ObsEvent::CacheDegraded { .. } => "cache_degraded",
+            ObsEvent::RequestStart { .. } => "request_start",
+            ObsEvent::RequestDone { .. } => "request_done",
         }
     }
 }
@@ -432,6 +453,30 @@ pub fn to_jsonl(event: &ObsEvent<'_>) -> String {
         ObsEvent::CacheDegraded { reason } => {
             let _ = write!(out, ", \"reason\": \"{}\"", json_escape(reason));
         }
+        ObsEvent::RequestStart {
+            descriptor,
+            timeout_ms,
+        } => {
+            let _ = write!(
+                out,
+                ", \"descriptor\": \"{}\", \"timeout_ms\": {timeout_ms}",
+                json_escape(descriptor)
+            );
+        }
+        ObsEvent::RequestDone {
+            descriptor,
+            status,
+            outcome,
+            wall_ms,
+        } => {
+            let _ = write!(
+                out,
+                ", \"descriptor\": \"{}\", \"status\": {status}, \"outcome\": \"{}\", \
+                 \"wall_ms\": {wall_ms}",
+                json_escape(descriptor),
+                json_escape(outcome)
+            );
+        }
     }
     out.push('}');
     out
@@ -613,6 +658,16 @@ mod tests {
             },
             ObsEvent::CacheDegraded {
                 reason: "no space left on device",
+            },
+            ObsEvent::RequestStart {
+                descriptor: "olab-cell ...",
+                timeout_ms: 2500,
+            },
+            ObsEvent::RequestDone {
+                descriptor: "olab-cell ...",
+                status: 200,
+                outcome: "coalesced",
+                wall_ms: 41,
             },
         ]
     }

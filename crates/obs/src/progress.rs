@@ -98,7 +98,10 @@ impl<W: std::io::Write + Send> JsonlProgress<W> {
 }
 
 impl<W: std::io::Write + Send> JsonlProgress<W> {
-    fn write_event(&self, event: &ObsEvent<'_>) {
+    /// Appends one typed [`ObsEvent`] line to the stream. Public so
+    /// embedders (e.g. `olab serve`) can interleave their own lifecycle
+    /// events — request admissions, completions — with the cell lines.
+    pub fn write_event(&self, event: &ObsEvent<'_>) {
         let mut line = to_jsonl(event);
         line.push('\n');
         let mut out = self.out.lock().unwrap();

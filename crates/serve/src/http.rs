@@ -1,0 +1,160 @@
+//! A deliberately tiny HTTP/1.1 surface: enough to read one request line
+//! plus headers from a socket and write one response, nothing more.
+//!
+//! The daemon speaks `Connection: close` semantics — one request per
+//! connection — so there is no keep-alive state machine, no chunked
+//! transfer coding, and no body parsing (every route is a `GET` query
+//! string or a bodyless `POST`). Request heads are capped at 16 KiB so a
+//! hostile or broken client cannot grow memory by streaming an endless
+//! header section.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Upper bound on the request head (request line + headers), bytes.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The HTTP method, uppercased by the client (`GET`, `POST`, ...).
+    pub method: String,
+    /// The path component before any `?`.
+    pub path: String,
+    /// The raw query string after `?` (empty when absent), still
+    /// percent-encoded.
+    pub query: String,
+}
+
+/// Reads one request head from `stream`.
+///
+/// # Errors
+///
+/// `InvalidData` on a malformed request line or a head exceeding 16 KiB;
+/// any underlying socket error is passed through.
+pub fn read_request<S: Read>(stream: S) -> io::Result<Request> {
+    let mut reader = BufReader::new(stream.take(MAX_HEAD_BYTES as u64));
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "malformed request line",
+        ));
+    };
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    let method = method.to_string();
+    // Drain the header section so the client sees a clean close; the
+    // routes carry everything in the request line.
+    let mut consumed = line.len();
+    loop {
+        let mut header = String::new();
+        let n = reader.read_line(&mut header)?;
+        consumed += n;
+        if n == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+        if consumed >= MAX_HEAD_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request head too large",
+            ));
+        }
+    }
+    Ok(Request {
+        method,
+        path,
+        query,
+    })
+}
+
+/// Writes one complete response and flushes. `extra_headers` are emitted
+/// verbatim (no trailing CRLF), e.g. `["Retry-After: 2"]`.
+pub fn write_response<S: Write>(
+    mut stream: S,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[&str],
+    body: &str,
+) -> io::Result<()> {
+    let reason = reason_phrase(status);
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    )?;
+    for header in extra_headers {
+        write!(stream, "{header}\r\n")?;
+    }
+    write!(stream, "\r\n{body}")?;
+    stream.flush()
+}
+
+/// The canonical reason phrase for the statuses the daemon emits.
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_method_path_and_query() {
+        let raw = b"GET /v1/cell?sku=h100&batch=8 HTTP/1.1\r\nHost: x\r\n\r\n";
+        let req = read_request(&raw[..]).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/cell");
+        assert_eq!(req.query, "sku=h100&batch=8");
+    }
+
+    #[test]
+    fn a_bare_path_has_an_empty_query() {
+        let req = read_request(&b"POST /v1/drain HTTP/1.1\r\n\r\n"[..]).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/drain");
+        assert_eq!(req.query, "");
+    }
+
+    #[test]
+    fn an_endless_header_section_is_rejected_not_buffered() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for _ in 0..2048 {
+            raw.extend_from_slice(b"X-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+        }
+        let err = read_request(&raw[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn garbage_is_invalid_data() {
+        assert!(read_request(&b"\r\n"[..]).is_err());
+    }
+
+    #[test]
+    fn responses_carry_length_and_extra_headers() {
+        let mut out = Vec::new();
+        write_response(&mut out, 429, "text/plain", &["Retry-After: 2"], "shed\n").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Content-Length: 5\r\n"), "{text}");
+        assert!(text.contains("Retry-After: 2\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\nshed\n"), "{text}");
+    }
+}
